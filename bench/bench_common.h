@@ -1,0 +1,82 @@
+#ifndef STREACH_BENCH_BENCH_COMMON_H_
+#define STREACH_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the per-table/per-figure benchmark binaries.
+//
+// Every binary prints (a) a header identifying the paper experiment it
+// reproduces, (b) a paper-style results table with the measured values,
+// and (c) google-benchmark timings where wall-clock matters. Datasets are
+// generated once per process and cached.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "generators/datasets.h"
+#include "generators/workload.h"
+#include "join/contact_extractor.h"
+#include "network/contact_network.h"
+
+namespace streach {
+namespace bench {
+
+/// Prints the experiment banner: which table/figure of the paper this
+/// binary regenerates and what the paper reports.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("stReach reproduction — %s\n", experiment.c_str());
+  std::printf("Paper result: %s\n", paper_claim.c_str());
+  std::printf("Simulated disk: 4 KB pages; IO normalized as random + seq/20\n");
+  std::printf("================================================================\n");
+}
+
+/// A dataset with its derived contact network and a §6-style workload.
+struct BenchEnv {
+  Dataset dataset;
+  std::unique_ptr<ContactNetwork> network;
+  std::vector<ReachQuery> queries;
+};
+
+/// Builds (once) and returns the environment for a dataset preset.
+/// `which` is "RWP" or "VN" or "VNR"; scale ignored for VNR.
+inline BenchEnv MakeEnv(const std::string& which, DatasetScale scale,
+                        Timestamp duration, int num_queries,
+                        int min_interval = 150, int max_interval = 350,
+                        bool build_network = true) {
+  Result<Dataset> dataset = which == "RWP" ? MakeRwpDataset(scale, duration)
+                            : which == "VN" ? MakeVnDataset(scale, duration)
+                                            : MakeVnrDataset(duration);
+  STREACH_CHECK(dataset.ok());
+  BenchEnv env{std::move(dataset).ValueUnsafe(), nullptr, {}};
+  if (build_network) {
+    env.network = std::make_unique<ContactNetwork>(
+        env.dataset.num_objects(), env.dataset.span(),
+        ExtractContacts(env.dataset.store, env.dataset.contact_range));
+  }
+  if (num_queries > 0) {
+    WorkloadParams wl;
+    wl.num_queries = num_queries;
+    wl.num_objects = env.dataset.num_objects();
+    wl.span = env.dataset.span();
+    wl.min_interval_len = min_interval;
+    wl.max_interval_len = max_interval;
+    wl.seed = 4242;
+    env.queries = GenerateWorkload(wl);
+  }
+  return env;
+}
+
+/// Percentage improvement of `ours` over `baseline` (positive = better).
+inline double ImprovementPct(double ours, double baseline) {
+  if (baseline <= 0) return 0.0;
+  return 100.0 * (baseline - ours) / baseline;
+}
+
+}  // namespace bench
+}  // namespace streach
+
+#endif  // STREACH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,87 @@
+// Reproduces Figure 10 (a)/(b) and the §6.2.1.1 reduction measurement:
+// the number of edges and vertices of the reduced contact-network DAG DN
+// as |T| grows, and the size reduction of DN relative to the TEN model CN.
+//
+// Paper: |V| and |E| grow with |T| and with the object count (RWP40k
+// reaches 10,545M vertices / 17,466M edges); the reduction step shrinks
+// the TEN by ~81%/80% (vertices/edges) on RWP and ~64%/61% on VN.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "reachgraph/dn_builder.h"
+
+namespace streach {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  int64_t ticks;
+  uint64_t dn_vertices;
+  uint64_t dn_edges;
+  double vertex_reduction_pct;  // vs TEN (CN)
+  double edge_reduction_pct;
+};
+std::vector<Row>& Rows() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+void Measure(benchmark::State& state, const std::string& which, DatasetScale scale) {
+  const auto duration = static_cast<Timestamp>(state.range(0));
+  BenchEnv env = MakeEnv(which, scale, duration, /*num_queries=*/0);
+  uint64_t v = 0, e = 0;
+  double vred = 0, ered = 0;
+  for (auto _ : state) {
+    auto dn = BuildDnGraph(*env.network);
+    STREACH_CHECK(dn.ok());
+    const TenStats ten = env.network->ComputeTenStats();
+    v = dn->stats().num_vertices;
+    e = dn->stats().num_edges;
+    vred = 100.0 * (1.0 - static_cast<double>(v) /
+                              static_cast<double>(ten.num_vertices));
+    ered = 100.0 * (1.0 - static_cast<double>(e) /
+                              static_cast<double>(ten.num_edges));
+  }
+  state.counters["V"] = static_cast<double>(v);
+  state.counters["E"] = static_cast<double>(e);
+  state.counters["V_reduction_pct"] = vred;
+  state.counters["E_reduction_pct"] = ered;
+  Rows().push_back({env.dataset.name, duration, v, e, vred, ered});
+}
+
+BENCHMARK_CAPTURE(Measure, RWP_S, std::string("RWP"), DatasetScale::kSmall)
+    ->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Measure, RWP_M, std::string("RWP"), DatasetScale::kMedium)
+    ->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Measure, RWP_L, std::string("RWP"), DatasetScale::kLarge)
+    ->Arg(250)->Arg(500)->Arg(1000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Measure, VN_M, std::string("VN"), DatasetScale::kMedium)
+    ->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace streach
+
+int main(int argc, char** argv) {
+  streach::bench::PrintHeader(
+      "Figure 10 + §6.2.1.1 — DN size vs |T|, and reduction vs the TEN",
+      "V/E grow with |T| and |O|; reduction ~81%/80% (RWP), ~64%/61% (VN)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\n%-8s %7s %12s %12s %12s %12s\n", "Dataset", "|T|", "DN |V|",
+              "DN |E|", "V red. %", "E red. %");
+  for (const auto& row : streach::bench::Rows()) {
+    std::printf("%-8s %7lld %12llu %12llu %11.1f%% %11.1f%%\n",
+                row.dataset.c_str(), static_cast<long long>(row.ticks),
+                static_cast<unsigned long long>(row.dn_vertices),
+                static_cast<unsigned long long>(row.dn_edges),
+                row.vertex_reduction_pct, row.edge_reduction_pct);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Figure 11 (a)/(b): contact network (DN) construction time as
+// a function of |T| for the RWP and VN families.
+//
+// Paper: construction time grows with the object count and |T| (their full
+// four-month datasets take up to 14 days; incremental maintenance is
+// possible). The reproduction measures the same pipeline: per-tick
+// spatiotemporal self-join (contact extraction) + reduction to DN.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "reachgraph/dn_builder.h"
+
+namespace streach {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  int64_t ticks;
+  double join_seconds;       // Contact extraction (the trajectory join).
+  double reduction_seconds;  // TEN -> DN reduction.
+};
+std::vector<Row>& Rows() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+void Construct(benchmark::State& state, const std::string& which, DatasetScale scale) {
+  const auto duration = static_cast<Timestamp>(state.range(0));
+  BenchEnv env = MakeEnv(which, scale, duration, /*num_queries=*/0, 150, 350,
+                         /*build_network=*/false);
+  double join_s = 0, reduce_s = 0;
+  for (auto _ : state) {
+    Stopwatch watch;
+    auto contacts =
+        ExtractContacts(env.dataset.store, env.dataset.contact_range);
+    join_s = watch.ElapsedSeconds();
+    ContactNetwork network(env.dataset.num_objects(), env.dataset.span(),
+                           std::move(contacts));
+    watch.Restart();
+    auto dn = BuildDnGraph(network);
+    STREACH_CHECK(dn.ok());
+    reduce_s = watch.ElapsedSeconds();
+  }
+  state.counters["join_s"] = join_s;
+  state.counters["reduce_s"] = reduce_s;
+  Rows().push_back({env.dataset.name, duration, join_s, reduce_s});
+}
+
+BENCHMARK_CAPTURE(Construct, RWP_S, std::string("RWP"), DatasetScale::kSmall)
+    ->Arg(500)->Arg(1000)->Arg(2000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Construct, RWP_M, std::string("RWP"), DatasetScale::kMedium)
+    ->Arg(500)->Arg(1000)->Arg(2000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Construct, RWP_L, std::string("RWP"), DatasetScale::kLarge)
+    ->Arg(500)->Arg(1000)->Arg(2000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Construct, VN_S, std::string("VN"), DatasetScale::kSmall)
+    ->Arg(500)->Arg(1000)->Arg(2000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Construct, VN_M, std::string("VN"), DatasetScale::kMedium)
+    ->Arg(500)->Arg(1000)->Arg(2000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Construct, VN_L, std::string("VN"), DatasetScale::kLarge)
+    ->Arg(500)->Arg(1000)->Arg(2000)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace streach
+
+int main(int argc, char** argv) {
+  streach::bench::PrintHeader(
+      "Figure 11 — contact network (DN) construction time vs |T|",
+      "grows with |O| and |T|; join dominates, reduction is one pass");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\n%-8s %7s %12s %14s %12s\n", "Dataset", "|T|", "join (s)",
+              "reduction (s)", "total (s)");
+  for (const auto& row : streach::bench::Rows()) {
+    std::printf("%-8s %7lld %12.2f %14.2f %12.2f\n", row.dataset.c_str(),
+                static_cast<long long>(row.ticks), row.join_seconds,
+                row.reduction_seconds,
+                row.join_seconds + row.reduction_seconds);
+  }
+  return 0;
+}

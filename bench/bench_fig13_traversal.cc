@@ -1,0 +1,81 @@
+// Reproduces Figure 13: ReachGraph online query processing with the three
+// traversal strategies — BM-BFS (bidirectional multi-resolution), B-BFS
+// (bidirectional, single resolution), and the naive E-DFS.
+//
+// Paper: BM-BFS outperforms E-DFS by >80% and B-BFS by >=15% on both
+// RWP20k and VN2k: long edges shorten the traversal and component-member
+// checks terminate it as soon as a contact path is found.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "reachgraph/reach_graph_index.h"
+
+namespace streach {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  double bm, bb, edfs;
+};
+std::vector<Row>& Rows() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+void Compare(benchmark::State& state, const std::string& which) {
+  BenchEnv env = MakeEnv(which, DatasetScale::kMedium, /*duration=*/1000,
+                         /*num_queries=*/50);
+  auto index = ReachGraphIndex::Build(*env.network, ReachGraphOptions{});
+  STREACH_CHECK(index.ok());
+  double bm = 0, bb = 0, edfs = 0;
+  for (auto _ : state) {
+    bm = bb = edfs = 0;
+    for (const ReachQuery& q : env.queries) {
+      (*index)->ClearCache();
+      STREACH_CHECK_OK((*index)->QueryBmBfs(q).status());
+      bm += (*index)->last_query_stats().io_cost;
+      (*index)->ClearCache();
+      STREACH_CHECK_OK((*index)->QueryBBfs(q).status());
+      bb += (*index)->last_query_stats().io_cost;
+      (*index)->ClearCache();
+      STREACH_CHECK_OK((*index)->QueryEDfs(q).status());
+      edfs += (*index)->last_query_stats().io_cost;
+    }
+    const auto n = static_cast<double>(env.queries.size());
+    bm /= n;
+    bb /= n;
+    edfs /= n;
+  }
+  state.counters["BM_BFS_io"] = bm;
+  state.counters["B_BFS_io"] = bb;
+  state.counters["E_DFS_io"] = edfs;
+  Rows().push_back({env.dataset.name, bm, bb, edfs});
+}
+
+BENCHMARK_CAPTURE(Compare, RWP_M, std::string("RWP"))
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Compare, VN_M, std::string("VN"))
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace streach
+
+int main(int argc, char** argv) {
+  streach::bench::PrintHeader(
+      "Figure 13 — BM-BFS vs B-BFS vs E-DFS query IO (RWP-M, VN-M)",
+      "BM-BFS beats E-DFS by >80% and B-BFS by >=15%");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\n%-8s %10s %10s %10s %18s %18s\n", "Dataset", "BM-BFS",
+              "B-BFS", "E-DFS", "BM vs E-DFS", "BM vs B-BFS");
+  for (const auto& row : streach::bench::Rows()) {
+    std::printf("%-8s %10.1f %10.1f %10.1f %17.1f%% %17.1f%%\n",
+                row.dataset.c_str(), row.bm, row.bb, row.edfs,
+                streach::bench::ImprovementPct(row.bm, row.edfs),
+                streach::bench::ImprovementPct(row.bm, row.bb));
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Reproduces Figure 15: CPU time (processing time excluding simulated
+// disk transfers) of ReachGrid vs ReachGraph query processing.
+//
+// Paper: ReachGraph has significantly lower CPU time "because of extensive
+// offline precalculations and hence avoiding spatiotemporal joins at the
+// query time".
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "reachgraph/reach_graph_index.h"
+#include "reachgrid/reach_grid_index.h"
+
+namespace streach {
+namespace bench {
+namespace {
+
+struct Setup {
+  BenchEnv env;
+  std::unique_ptr<ReachGridIndex> grid;
+  std::unique_ptr<ReachGraphIndex> graph;
+};
+
+Setup& GetSetup(const std::string& which) {
+  static std::unordered_map<std::string, std::unique_ptr<Setup>> cache;
+  auto it = cache.find(which);
+  if (it == cache.end()) {
+    auto setup = std::make_unique<Setup>();
+    setup->env = MakeEnv(which, DatasetScale::kMedium, /*duration=*/1000,
+                         /*num_queries=*/40);
+    ReachGridOptions grid_options;
+    grid_options.temporal_resolution = 20;
+    grid_options.spatial_cell_size = which == "RWP" ? 1024.0 : 2500.0;
+    grid_options.contact_range = setup->env.dataset.contact_range;
+    auto grid = ReachGridIndex::Build(setup->env.dataset.store, grid_options);
+    STREACH_CHECK(grid.ok());
+    setup->grid = std::move(grid).ValueUnsafe();
+    auto graph =
+        ReachGraphIndex::Build(*setup->env.network, ReachGraphOptions{});
+    STREACH_CHECK(graph.ok());
+    setup->graph = std::move(graph).ValueUnsafe();
+    it = cache.emplace(which, std::move(setup)).first;
+  }
+  return *it->second;
+}
+
+struct Row {
+  std::string dataset;
+  double grid_ms;
+  double graph_ms;
+};
+std::vector<Row>& Rows() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+// google-benchmark measures the full query batch; we report per-query
+// CPU milliseconds from the indexes' own stopwatches as counters too.
+void GridCpu(benchmark::State& state, const std::string& which) {
+  Setup& setup = GetSetup(which);
+  double cpu = 0;
+  for (auto _ : state) {
+    cpu = 0;
+    for (const ReachQuery& q : setup.env.queries) {
+      STREACH_CHECK_OK(setup.grid->Query(q).status());
+      cpu += setup.grid->last_query_stats().cpu_seconds;
+    }
+  }
+  const double ms = cpu * 1e3 / static_cast<double>(setup.env.queries.size());
+  state.counters["cpu_ms_per_query"] = ms;
+  Rows().push_back({setup.env.dataset.name + " ReachGrid", ms, 0});
+}
+
+void GraphCpu(benchmark::State& state, const std::string& which) {
+  Setup& setup = GetSetup(which);
+  double cpu = 0;
+  for (auto _ : state) {
+    cpu = 0;
+    for (const ReachQuery& q : setup.env.queries) {
+      STREACH_CHECK_OK(setup.graph->QueryBmBfs(q).status());
+      cpu += setup.graph->last_query_stats().cpu_seconds;
+    }
+  }
+  const double ms = cpu * 1e3 / static_cast<double>(setup.env.queries.size());
+  state.counters["cpu_ms_per_query"] = ms;
+  Rows().push_back({setup.env.dataset.name + " ReachGraph", 0, ms});
+}
+
+BENCHMARK_CAPTURE(GridCpu, RWP_M, std::string("RWP"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(GraphCpu, RWP_M, std::string("RWP"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(GridCpu, VN_M, std::string("VN"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(GraphCpu, VN_M, std::string("VN"))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace streach
+
+int main(int argc, char** argv) {
+  streach::bench::PrintHeader(
+      "Figure 15 — CPU time, ReachGrid vs ReachGraph (RWP-M, VN-M)",
+      "ReachGraph's precomputation gives far lower CPU time per query");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\n%-22s %18s\n", "Index / dataset", "CPU ms per query");
+  for (const auto& row : streach::bench::Rows()) {
+    std::printf("%-22s %18.3f\n", row.dataset.c_str(),
+                row.grid_ms + row.graph_ms);
+  }
+  return 0;
+}

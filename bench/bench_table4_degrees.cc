@@ -1,0 +1,84 @@
+// Reproduces Table 4: the average vertex out-degree of the contact
+// network at resolutions DN_2 .. DN_32 for the largest VN and RWP
+// datasets and the (sparse-GPS) VNR dataset.
+//
+// Paper (VN4k / RWP40k / VNR):
+//   DN_2: 2.9 / 3.0 / 1.5     DN_4: 6.1 / 8.1 / 1.7    DN_8: 16.3/33.4/2.3
+//   DN_16: 55.5 / 75.6 / 3.69 DN_32: 221.4 / 322 / 9.0
+// Shape to reproduce: degree grows super-linearly with the resolution, and
+// VNR stays far below the dense families.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "reachgraph/augmenter.h"
+#include "reachgraph/dn_builder.h"
+
+namespace streach {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  double degree[5];  // L = 2, 4, 8, 16, 32.
+};
+std::vector<Row>& Rows() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+void Measure(benchmark::State& state, const std::string& which, DatasetScale scale) {
+  BenchEnv env = MakeEnv(which, scale, /*duration=*/1000, /*num_queries=*/0);
+  Row row;
+  row.dataset = env.dataset.name;
+  for (auto _ : state) {
+    auto dn = BuildDnGraph(*env.network);
+    STREACH_CHECK(dn.ok());
+    AugmenterOptions options;
+    options.num_resolutions = 6;
+    STREACH_CHECK_OK(AugmentWithLongEdges(&*dn, options));
+    int i = 0;
+    for (int32_t len : {2, 4, 8, 16, 32}) {
+      row.degree[i] = dn->AverageDegreeAtResolution(len);
+      state.counters["DN_" + std::to_string(len)] = row.degree[i];
+      ++i;
+    }
+  }
+  Rows().push_back(row);
+}
+
+BENCHMARK_CAPTURE(Measure, VN_L, std::string("VN"), DatasetScale::kLarge)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Measure, RWP_L, std::string("RWP"), DatasetScale::kLarge)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(Measure, VNR, std::string("VNR"), DatasetScale::kMedium)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace streach
+
+int main(int argc, char** argv) {
+  streach::bench::PrintHeader(
+      "Table 4 — average vertex degree of DN_i per resolution",
+      "degree grows with L (up to 221/322/9 at DN_32); VNR much sparser");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\n%-10s %8s %8s %8s %8s %8s\n", "Resolution",
+              streach::bench::Rows().size() > 0
+                  ? streach::bench::Rows()[0].dataset.c_str() : "-",
+              streach::bench::Rows().size() > 1
+                  ? streach::bench::Rows()[1].dataset.c_str() : "-",
+              streach::bench::Rows().size() > 2
+                  ? streach::bench::Rows()[2].dataset.c_str() : "-",
+              "", "");
+  const int lengths[5] = {2, 4, 8, 16, 32};
+  for (int i = 0; i < 5; ++i) {
+    std::printf("DN_%-7d", lengths[i]);
+    for (const auto& row : streach::bench::Rows()) {
+      std::printf(" %8.1f", row.degree[i]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Epidemic tracing — the paper's public-health motivating scenario (§1):
+// a set of individuals O is known to carry a contagious virus; find
+// everyone who could have been directly or indirectly contaminated within
+// a time window, so medication can be administered in time.
+//
+//   build/examples/epidemic_tracing [num_individuals] [ticks]
+//
+// Generates a random-waypoint population (GMSF-style, Bluetooth-range
+// contacts), builds a ReachGrid index, and runs the batch reachability
+// closure from each index case, reporting the infection wave over time
+// and the IO cost compared to scanning the raw dataset.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "generators/random_waypoint.h"
+#include "reachgrid/reach_grid_index.h"
+
+using namespace streach;  // NOLINT — example brevity.
+
+int main(int argc, char** argv) {
+  const int num_individuals = argc > 1 ? std::atoi(argv[1]) : 800;
+  const Timestamp ticks = argc > 2 ? std::atoi(argv[2]) : 600;
+  std::printf("Epidemic tracing: %d individuals, %d ticks (6 s each)\n",
+              num_individuals, ticks);
+
+  // GMSF-style population: 2 m/s average walkers in a district,
+  // Bluetooth-range (25 m) contacts.
+  RandomWaypointParams params;
+  params.num_objects = num_individuals;
+  params.area = Rect(0, 0, 4000, 2000);
+  params.min_speed = 6;
+  params.max_speed = 18;
+  params.max_pause_ticks = 5;
+  params.duration = ticks;
+  params.seed = 2026;
+  auto store = GenerateRandomWaypoint(params);
+  STREACH_CHECK(store.ok());
+
+  ReachGridOptions options;
+  options.temporal_resolution = 20;
+  options.spatial_cell_size = 1024;
+  options.contact_range = 25.0;  // Bluetooth range, §6.
+  auto index = ReachGridIndex::Build(*store, options);
+  STREACH_CHECK(index.ok());
+  std::printf("ReachGrid built: %llu buckets, %llu cells, %.1f MB on disk\n",
+              static_cast<unsigned long long>(
+                  (*index)->build_stats().num_buckets),
+              static_cast<unsigned long long>(
+                  (*index)->build_stats().num_nonempty_cells),
+              static_cast<double>((*index)->build_stats().index_bytes) / 1e6);
+
+  // Three index cases detected at t=0; trace everyone reachable within
+  // the first half of the observation window.
+  const std::vector<ObjectId> index_cases = {7, 191, 404};
+  const TimeInterval window(0, ticks / 2);
+  std::printf("\nTracing from %zu index cases over %s...\n",
+              index_cases.size(), window.ToString().c_str());
+
+  std::vector<Timestamp> earliest(store->num_objects(), kInvalidTime);
+  double total_io = 0;
+  for (ObjectId source : index_cases) {
+    (*index)->ClearCache();
+    auto infected = (*index)->ReachableSet(source, window);
+    STREACH_CHECK(infected.ok());
+    total_io += (*index)->last_query_stats().io_cost;
+    for (ObjectId o = 0; o < store->num_objects(); ++o) {
+      const Timestamp t = (*infected)[o];
+      if (t == kInvalidTime) continue;
+      if (earliest[o] == kInvalidTime || t < earliest[o]) earliest[o] = t;
+    }
+  }
+
+  // Infection wave: how many individuals were reached by each time.
+  std::printf("\n%10s %12s\n", "by tick", "contaminated");
+  for (Timestamp t = 0; t <= window.end; t += window.end / 10) {
+    int count = 0;
+    for (Timestamp e : earliest) count += (e != kInvalidTime && e <= t);
+    std::printf("%10d %12d\n", t, count);
+  }
+  int total = 0;
+  for (Timestamp e : earliest) total += (e != kInvalidTime);
+  std::printf(
+      "\n%d of %zu individuals potentially contaminated (%.1f%%).\n", total,
+      store->num_objects(),
+      100.0 * total / static_cast<double>(store->num_objects()));
+  std::printf("Index IO spent: %.1f normalized random accesses; a raw scan\n"
+              "of the window would read %.1f MB.\n",
+              total_io,
+              static_cast<double>(store->RawSizeBytes()) *
+                  static_cast<double>(window.length()) /
+                  static_cast<double>(ticks) / 1e6);
+  return 0;
+}

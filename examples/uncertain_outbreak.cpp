@@ -1,0 +1,85 @@
+// Uncertain contact networks (§7): with most viral diseases an individual
+// infects another one only with some probability p per contact. A contact
+// path is probabilistic with the product of its contacts' probabilities,
+// and "reachable" means a path of probability >= pT exists.
+//
+//   build/examples/uncertain_outbreak [num_individuals] [ticks]
+//
+// Builds a U-ReachGraph over a random-waypoint population and sweeps the
+// probability threshold pT, showing how the set of plausibly-infected
+// individuals shrinks as the analyst demands more likely transmission
+// chains — and comparing against the deterministic (p=1) closure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/check.h"
+#include "ext/uncertain.h"
+#include "generators/random_waypoint.h"
+#include "join/contact_extractor.h"
+#include "network/brute_force.h"
+#include "network/contact_network.h"
+
+using namespace streach;  // NOLINT — example brevity.
+
+int main(int argc, char** argv) {
+  const int num_individuals = argc > 1 ? std::atoi(argv[1]) : 400;
+  const Timestamp ticks = argc > 2 ? std::atoi(argv[2]) : 400;
+  std::printf("Uncertain outbreak: %d individuals, %d ticks\n",
+              num_individuals, ticks);
+
+  RandomWaypointParams params;
+  params.num_objects = num_individuals;
+  params.area = Rect(0, 0, 2500, 1500);
+  params.min_speed = 6;
+  params.max_speed = 18;
+  params.duration = ticks;
+  params.seed = 31337;
+  auto store = GenerateRandomWaypoint(params);
+  STREACH_CHECK(store.ok());
+
+  const double dt = 25.0;
+  const auto contacts = ExtractContacts(*store, dt);
+  std::printf("%zu contacts extracted\n", contacts.size());
+
+  // Transmission probability per contact: 0.6 (e.g. airborne pathogen at
+  // Bluetooth-class proximity).
+  const double p_transmit = 0.6;
+  auto graph = UReachGraph::Build(store->num_objects(), store->span(),
+                                  WithUniformProbability(contacts, p_transmit));
+  STREACH_CHECK(graph.ok());
+  std::printf("U-ReachGraph: %zu event vertices (vs %lld raw TEN vertices)\n",
+              graph->num_event_vertices(),
+              static_cast<long long>(store->num_objects()) * ticks);
+
+  const ObjectId patient_zero = 11;
+  const TimeInterval window(0, ticks - 1);
+
+  // Deterministic upper bound: everyone reachable if p were 1.
+  const ContactNetwork network(store->num_objects(), store->span(), contacts);
+  const auto closure = BruteForceClosure(network, patient_zero, window);
+  int deterministic = 0;
+  for (Timestamp t : closure) deterministic += (t != kInvalidTime);
+
+  std::printf("\nPatient zero: o%u, window %s, p(transmit)=%.1f\n",
+              patient_zero, window.ToString().c_str(), p_transmit);
+  std::printf("%12s %22s\n", "threshold pT", "plausibly infected");
+  for (const double threshold :
+       {1e-9, 1e-6, 1e-4, 1e-2, 0.1, 0.36, 0.6, 1.0}) {
+    int count = 0;
+    for (ObjectId o = 0; o < store->num_objects(); ++o) {
+      if (o == patient_zero) continue;
+      const auto answer = graph->Query(patient_zero, o, window, threshold);
+      count += answer.reachable;
+      // Sanity: never exceeds the deterministic reachability.
+      STREACH_CHECK(!answer.reachable || closure[o] != kInvalidTime);
+    }
+    std::printf("%12.1e %22d\n", threshold, count);
+  }
+  std::printf("%12s %22d  (p = 1 closure)\n", "upper bound",
+              deterministic - 1);
+  std::printf("\nDropping pT tightens the ring of contacts an investigator\n"
+              "must reach out to; pT -> 0 recovers plain reachability.\n");
+  return 0;
+}

@@ -1,0 +1,305 @@
+#include "baselines/grail.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/encoding.h"
+#include "common/stopwatch.h"
+
+namespace streach {
+
+Result<std::unique_ptr<GrailIndex>> GrailIndex::Build(
+    const DnGraph& graph, const GrailOptions& options) {
+  if (options.num_labelings < 1 || options.num_labelings > 16) {
+    return Status::InvalidArgument("num_labelings must be in [1, 16]");
+  }
+  Stopwatch watch;
+  std::unique_ptr<GrailIndex> index(new GrailIndex(options));
+  const size_t n = graph.num_vertices();
+  index->span_ = graph.span();
+  index->labels_.assign(n, std::vector<Label>(
+                               static_cast<size_t>(options.num_labelings)));
+  index->out_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    index->out_[v] = graph.vertex(v).out;
+  }
+  index->timelines_.resize(graph.num_objects());
+  for (ObjectId o = 0; o < graph.num_objects(); ++o) {
+    index->timelines_[o] = graph.timeline(o);
+  }
+  Rng rng(options.seed);
+  for (int i = 0; i < options.num_labelings; ++i) {
+    index->BuildLabels(graph, &rng, i);
+  }
+  STREACH_RETURN_NOT_OK(index->PlaceOnDisk(graph));
+  index->build_seconds_ = watch.ElapsedSeconds();
+  index->device_.ResetStats();
+  return index;
+}
+
+void GrailIndex::BuildLabels(const DnGraph& graph, Rng* rng, int labeling) {
+  const size_t n = graph.num_vertices();
+  // Randomized post-order: iterative DFS over the DAG from every root
+  // (virtual-root construction), children shuffled per labeling.
+  std::vector<uint32_t> rank(n, 0);
+  std::vector<bool> visited(n, false);
+  uint32_t next_rank = 1;
+
+  std::vector<VertexId> roots;
+  for (VertexId v = 0; v < n; ++v) {
+    if (graph.vertex(v).in.empty()) roots.push_back(v);
+  }
+  // Shuffle root order too (Fisher-Yates).
+  for (size_t i = roots.size(); i > 1; --i) {
+    std::swap(roots[i - 1], roots[rng->Uniform(i)]);
+  }
+
+  struct Frame {
+    VertexId v;
+    std::vector<VertexId> children;
+    size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  for (VertexId root : roots) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    Frame frame{root, graph.vertex(root).out, 0};
+    for (size_t i = frame.children.size(); i > 1; --i) {
+      std::swap(frame.children[i - 1], frame.children[rng->Uniform(i)]);
+    }
+    stack.push_back(std::move(frame));
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next < top.children.size()) {
+        const VertexId child = top.children[top.next++];
+        if (visited[child]) continue;
+        visited[child] = true;
+        Frame next_frame{child, graph.vertex(child).out, 0};
+        for (size_t i = next_frame.children.size(); i > 1; --i) {
+          std::swap(next_frame.children[i - 1],
+                    next_frame.children[rng->Uniform(i)]);
+        }
+        stack.push_back(std::move(next_frame));
+      } else {
+        rank[top.v] = next_rank++;
+        stack.pop_back();
+      }
+    }
+  }
+
+  // min label via reverse-topological DP (vertex ids are topological):
+  // min(v) = min(rank(v), min over out-neighbors).
+  for (size_t vi = n; vi-- > 0;) {
+    const auto v = static_cast<VertexId>(vi);
+    uint32_t m = rank[v];
+    for (VertexId w : graph.vertex(v).out) {
+      m = std::min(m, labels_[w][static_cast<size_t>(labeling)].min);
+    }
+    labels_[v][static_cast<size_t>(labeling)] = Label{m, rank[v]};
+  }
+}
+
+Status GrailIndex::PlaceOnDisk(const DnGraph& graph) {
+  // Vertices in generation (id) order — the naive placement the paper
+  // assumes for GRAIL (§6.4) — each record holding labels + out-edges.
+  ExtentWriter writer(&device_);
+  Encoder enc;
+  const size_t n = graph.num_vertices();
+  vertex_extents_.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    enc.Clear();
+    for (const Label& label : labels_[v]) {
+      enc.PutU32(label.min);
+      enc.PutU32(label.rank);
+    }
+    enc.PutVarint(out_[v].size());
+    for (VertexId w : out_[v]) enc.PutU32(w);
+    auto extent = writer.Append(enc.buffer());
+    if (!extent.ok()) return extent.status();
+    vertex_extents_.push_back(*extent);
+  }
+  STREACH_RETURN_NOT_OK(writer.AlignToPage());
+  timeline_extents_.reserve(graph.num_objects());
+  for (ObjectId o = 0; o < graph.num_objects(); ++o) {
+    enc.Clear();
+    const auto& timeline = graph.timeline(o);
+    enc.PutVarint(timeline.size());
+    for (const auto& entry : timeline) {
+      enc.PutI32(entry.span.start);
+      enc.PutI32(entry.span.end);
+      enc.PutU32(entry.vertex);
+    }
+    auto extent = writer.Append(enc.buffer());
+    if (!extent.ok()) return extent.status();
+    timeline_extents_.push_back(*extent);
+  }
+  return writer.Flush();
+}
+
+Result<const GrailIndex::DiskVertex*> GrailIndex::FetchVertexRecord(
+    VertexId v) {
+  auto it = fetched_.find(v);
+  if (it != fetched_.end()) return &it->second;
+  auto blob = ReadExtent(&pool_, vertex_extents_[v], options_.page_size);
+  if (!blob.ok()) return blob.status();
+  Decoder dec(*blob);
+  DiskVertex record;
+  record.labels.reserve(static_cast<size_t>(options_.num_labelings));
+  for (int i = 0; i < options_.num_labelings; ++i) {
+    auto min = dec.GetU32();
+    auto rank = dec.GetU32();
+    if (!min.ok() || !rank.ok()) return Status::Corruption("grail label");
+    record.labels.push_back(Label{*min, *rank});
+  }
+  auto count = dec.GetVarint();
+  if (!count.ok()) return count.status();
+  record.out.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto w = dec.GetU32();
+    if (!w.ok()) return w.status();
+    record.out.push_back(*w);
+  }
+  return &fetched_.emplace(v, std::move(record)).first->second;
+}
+
+Result<VertexId> GrailIndex::LookupVertexDisk(ObjectId object, Timestamp t) {
+  if (object >= timeline_extents_.size()) {
+    return Status::NotFound("unknown object");
+  }
+  auto blob = ReadExtent(&pool_, timeline_extents_[object], options_.page_size);
+  if (!blob.ok()) return blob.status();
+  Decoder dec(*blob);
+  auto count = dec.GetVarint();
+  if (!count.ok()) return count.status();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto start = dec.GetI32();
+    auto end = dec.GetI32();
+    auto vertex = dec.GetU32();
+    if (!start.ok() || !end.ok() || !vertex.ok()) {
+      return Status::Corruption("timeline entry");
+    }
+    if (t >= *start && t <= *end) return *vertex;
+  }
+  return Status::NotFound("object has no vertex at requested time");
+}
+
+bool GrailIndex::ReachableMemory(VertexId from, VertexId to) {
+  if (from == to) return true;
+  if (!Contains(from, to)) return false;
+  // Label-pruned DFS.
+  std::vector<VertexId> stack{from};
+  std::unordered_set<VertexId> visited{from};
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    if (v == to) return true;
+    for (VertexId w : out_[v]) {
+      if (w == to) return true;
+      if (!Contains(w, to)) continue;  // Prune.
+      if (visited.insert(w).second) stack.push_back(w);
+    }
+  }
+  return false;
+}
+
+namespace {
+
+VertexId TimelineLookup(const std::vector<DnGraph::TimelineEntry>& timeline,
+                        Timestamp t) {
+  auto it = std::upper_bound(timeline.begin(), timeline.end(), t,
+                             [](Timestamp time, const DnGraph::TimelineEntry& e) {
+                               return time < e.span.start;
+                             });
+  if (it == timeline.begin()) return kInvalidVertex;
+  --it;
+  return it->span.Contains(t) ? it->vertex : kInvalidVertex;
+}
+
+}  // namespace
+
+Result<ReachAnswer> GrailIndex::QueryMemory(const ReachQuery& query) {
+  Stopwatch watch;
+  ReachAnswer answer;
+  const TimeInterval w = query.interval.Intersect(span_);
+  auto finish = [&](bool reachable) {
+    answer.reachable = reachable;
+    last_stats_ = QueryStats{};
+    last_stats_.cpu_seconds = watch.ElapsedSeconds();
+    return answer;
+  };
+  if (w.empty()) return finish(false);
+  if (query.source == query.destination) {
+    answer.arrival_time = w.start;
+    return finish(true);
+  }
+  if (query.source >= timelines_.size() ||
+      query.destination >= timelines_.size()) {
+    return finish(false);
+  }
+  const VertexId v1 = TimelineLookup(timelines_[query.source], w.start);
+  const VertexId v2 = TimelineLookup(timelines_[query.destination], w.end);
+  if (v1 == kInvalidVertex || v2 == kInvalidVertex) return finish(false);
+  return finish(ReachableMemory(v1, v2));
+}
+
+Result<ReachAnswer> GrailIndex::QueryDisk(const ReachQuery& query) {
+  fetched_.clear();
+  const IoStats io_before = device_.stats();
+  Stopwatch watch;
+  ReachAnswer answer;
+  uint64_t visited_count = 0;
+  auto finish = [&](bool reachable) {
+    answer.reachable = reachable;
+    const IoStats delta = device_.stats() - io_before;
+    last_stats_ = QueryStats{};
+    last_stats_.io_cost = delta.NormalizedReadCost();
+    last_stats_.pages_fetched = delta.total_reads();
+    last_stats_.cpu_seconds = watch.ElapsedSeconds();
+    last_stats_.items_visited = visited_count;
+    return answer;
+  };
+  const TimeInterval w = query.interval.Intersect(span_);
+  if (w.empty()) return finish(false);
+  if (query.source == query.destination) {
+    answer.arrival_time = w.start;
+    return finish(true);
+  }
+  auto v1 = LookupVertexDisk(query.source, w.start);
+  if (!v1.ok()) return v1.status();
+  auto v2 = LookupVertexDisk(query.destination, w.end);
+  if (!v2.ok()) return v2.status();
+  if (*v1 == *v2) return finish(true);
+
+  // Labels live inside the on-disk vertex records: testing containment for
+  // a vertex — even just to prune it — requires fetching its record.
+  auto target = FetchVertexRecord(*v2);
+  if (!target.ok()) return target.status();
+  const std::vector<Label> target_labels = (*target)->labels;
+  auto start = FetchVertexRecord(*v1);
+  if (!start.ok()) return start.status();
+  if (!LabelsContain((*start)->labels, target_labels)) return finish(false);
+
+  std::vector<VertexId> stack{*v1};
+  std::unordered_set<VertexId> visited{*v1};
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    ++visited_count;
+    if (v == *v2) return finish(true);
+    auto record = FetchVertexRecord(v);
+    if (!record.ok()) return record.status();
+    // Copy the out-edges: fetching children below may rehash `fetched_`.
+    const std::vector<VertexId> out = (*record)->out;
+    for (VertexId next : out) {
+      if (next == *v2) return finish(true);
+      if (!visited.insert(next).second) continue;
+      auto child = FetchVertexRecord(next);
+      if (!child.ok()) return child.status();
+      if (!LabelsContain((*child)->labels, target_labels)) continue;
+      stack.push_back(next);
+    }
+  }
+  return finish(false);
+}
+
+}  // namespace streach

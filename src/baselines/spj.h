@@ -1,0 +1,67 @@
+#ifndef STREACH_BASELINES_SPJ_H_
+#define STREACH_BASELINES_SPJ_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/query_stats.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "storage/block_device.h"
+#include "storage/block_file.h"
+#include "storage/buffer_pool.h"
+#include "trajectory/trajectory_store.h"
+
+namespace streach {
+
+/// SPJ parameters.
+struct SpjOptions {
+  /// Ticks per stored time slab (granularity of the interval filter).
+  int slab_ticks = 20;
+  double contact_range = 25.0;
+  size_t page_size = BlockDevice::kDefaultPageSize;
+  size_t buffer_pool_pages = 256;
+};
+
+/// \brief The naive scan-join-traverse evaluator of §6.1.2 ("SPJ").
+///
+/// SPJ "generates the contact network C' relevant to the query interval on
+/// the fly and afterward traverses it": it retrieves *every* trajectory
+/// segment overlapping the query interval (a sequential scan of the time
+/// slabs touched by the interval), runs the spatiotemporal self-join to
+/// extract contacts, and sweeps the resulting contact network. No spatial
+/// pruning, no guided expansion — the ReachGrid comparison baseline.
+class SpjEvaluator {
+ public:
+  static Result<std::unique_ptr<SpjEvaluator>> Build(
+      const TrajectoryStore& store, const SpjOptions& options);
+
+  Result<ReachAnswer> Query(const ReachQuery& query);
+
+  const QueryStats& last_query_stats() const { return last_stats_; }
+  void ClearCache() { pool_.Clear(); }
+
+ private:
+  SpjEvaluator(const SpjOptions& options, TimeInterval span,
+               size_t num_objects)
+      : options_(options),
+        device_(options.page_size),
+        pool_(&device_, options.buffer_pool_pages),
+        span_(span),
+        num_objects_(num_objects) {}
+
+  Status WriteSlabs(const TrajectoryStore& store);
+  TimeInterval SlabInterval(int slab) const;
+
+  SpjOptions options_;
+  BlockDevice device_;
+  BufferPool pool_;
+  TimeInterval span_;
+  size_t num_objects_;
+  QueryStats last_stats_;
+  std::vector<Extent> slab_extents_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_BASELINES_SPJ_H_

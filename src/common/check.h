@@ -1,0 +1,48 @@
+#ifndef STREACH_COMMON_CHECK_H_
+#define STREACH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \brief Always-on invariant checks (enabled in Release builds too).
+///
+/// These guard internal invariants whose violation indicates a bug in
+/// stReach itself, not bad user input (bad input gets a Status). Modeled on
+/// the CHECK family used throughout Google-style codebases.
+#define STREACH_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "STREACH_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define STREACH_CHECK_OP(a, op, b)                                           \
+  do {                                                                       \
+    if (!((a)op(b))) {                                                       \
+      std::fprintf(stderr, "STREACH_CHECK failed at %s:%d: %s %s %s\n",      \
+                   __FILE__, __LINE__, #a, #op, #b);                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define STREACH_CHECK_EQ(a, b) STREACH_CHECK_OP(a, ==, b)
+#define STREACH_CHECK_NE(a, b) STREACH_CHECK_OP(a, !=, b)
+#define STREACH_CHECK_LT(a, b) STREACH_CHECK_OP(a, <, b)
+#define STREACH_CHECK_LE(a, b) STREACH_CHECK_OP(a, <=, b)
+#define STREACH_CHECK_GT(a, b) STREACH_CHECK_OP(a, >, b)
+#define STREACH_CHECK_GE(a, b) STREACH_CHECK_OP(a, >=, b)
+
+/// Checks that a Status-returning expression is OK.
+#define STREACH_CHECK_OK(expr)                                               \
+  do {                                                                       \
+    ::streach::Status _st = (expr);                                          \
+    if (!_st.ok()) {                                                         \
+      std::fprintf(stderr, "STREACH_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, _st.ToString().c_str());              \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // STREACH_COMMON_CHECK_H_

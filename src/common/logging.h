@@ -1,0 +1,52 @@
+#ifndef STREACH_COMMON_LOGGING_H_
+#define STREACH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace streach {
+
+/// Severity levels for library diagnostics.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// The library logs sparingly (index construction milestones, unexpected
+/// conditions); benchmarks raise the threshold to keep output clean.
+class Logger {
+ public:
+  /// Process-wide minimum level; messages below it are dropped.
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+
+  /// Emits one line: "[LEVEL] message".
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream-style accumulator flushed on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define STREACH_LOG(level) \
+  ::streach::internal::LogMessage(::streach::LogLevel::level)
+
+}  // namespace streach
+
+#endif  // STREACH_COMMON_LOGGING_H_

@@ -1,0 +1,33 @@
+#ifndef STREACH_COMMON_QUERY_STATS_H_
+#define STREACH_COMMON_QUERY_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace streach {
+
+/// \brief Per-query cost metrics reported by every index (§6).
+///
+/// `io_cost` is the paper's headline metric: page accesses normalized to
+/// random-access units (sequential accesses count 1/20). `cpu_seconds`
+/// is processing time excluding the simulated disk transfers (Figure 15,
+/// Table 5a).
+struct QueryStats {
+  double io_cost = 0.0;
+  uint64_t pages_fetched = 0;  ///< Buffer-pool misses (device reads).
+  uint64_t pool_hits = 0;      ///< Buffer-pool hits (no device access).
+  double cpu_seconds = 0.0;
+  uint64_t items_visited = 0;  ///< Vertices (ReachGraph) / cells (ReachGrid).
+
+  std::string ToString() const {
+    return "io=" + std::to_string(io_cost) +
+           " pages=" + std::to_string(pages_fetched) +
+           " hits=" + std::to_string(pool_hits) +
+           " cpu_us=" + std::to_string(cpu_seconds * 1e6) +
+           " visited=" + std::to_string(items_visited);
+  }
+};
+
+}  // namespace streach
+
+#endif  // STREACH_COMMON_QUERY_STATS_H_

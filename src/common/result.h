@@ -1,0 +1,71 @@
+#ifndef STREACH_COMMON_RESULT_H_
+#define STREACH_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace streach {
+
+/// \brief Value-or-error holder, the return type of fallible producers.
+///
+/// `Result<T>` holds either a `T` or a non-OK `Status`. It mirrors
+/// `arrow::Result` in spirit: construct from a value or from an error
+/// status; check with `ok()`; extract with `ValueOrDie()` /
+/// `ValueUnsafe()`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      // An OK status carries no value; this is a programming error.
+      std::abort();
+    }
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the value; aborts if this result holds an error.
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the value without checking; undefined when errored. Used by
+  /// the STREACH_ASSIGN_OR_RETURN macro after an explicit ok() check.
+  T& ValueUnsafe() & { return std::get<T>(repr_); }
+  T ValueUnsafe() && { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_COMMON_RESULT_H_

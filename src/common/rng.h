@@ -1,0 +1,99 @@
+#ifndef STREACH_COMMON_RNG_H_
+#define STREACH_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace streach {
+
+/// \brief Deterministic pseudo-random generator (xoshiro256++).
+///
+/// All data generators and randomized index structures (GRAIL labelings)
+/// take an explicit `Rng` so that every experiment in the repository is
+/// reproducible from a seed. Satisfies the UniformRandomBitGenerator
+/// concept so it can also drive <random> distributions.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator; distinct seeds give independent streams
+  /// (seed expansion via SplitMix64 per Blackman & Vigna).
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) s = SplitMix64(&x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    STREACH_CHECK_GT(bound, 0u);
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    STREACH_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  static uint64_t Rotl(uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace streach
+
+#endif  // STREACH_COMMON_RNG_H_

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace streach {
+
+std::string_view Status::CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kIOError:
+      return "IOError";
+    case Code::kCorruption:
+      return "Corruption";
+    case Code::kOutOfRange:
+      return "OutOfRange";
+    case Code::kNotSupported:
+      return "NotSupported";
+    case Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(CodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace streach

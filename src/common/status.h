@@ -1,0 +1,122 @@
+#ifndef STREACH_COMMON_STATUS_H_
+#define STREACH_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace streach {
+
+/// \brief Error-handling vocabulary used by all fallible stReach APIs.
+///
+/// Following the RocksDB / Arrow idiom, the library core is exception-free:
+/// any operation that can fail returns a `Status` (or a `Result<T>`, see
+/// result.h). A default-constructed `Status` is OK; error statuses carry a
+/// code and a human-readable message.
+class Status {
+ public:
+  /// Machine-readable failure category.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kIOError = 3,
+    kCorruption = 4,
+    kOutOfRange = 5,
+    kNotSupported = 6,
+    kAlreadyExists = 7,
+    kInternal = 8,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+  /// Name of a status code, e.g. "InvalidArgument".
+  static std::string_view CodeName(Code code);
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller (RocksDB-style early return).
+#define STREACH_RETURN_NOT_OK(expr)           \
+  do {                                        \
+    ::streach::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on error returns its status,
+/// otherwise moves the value into `lhs`.
+#define STREACH_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                  \
+  if (!var.ok()) return var.status();                  \
+  lhs = std::move(var).ValueUnsafe();
+
+#define STREACH_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define STREACH_ASSIGN_OR_RETURN_NAME(x, y) \
+  STREACH_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define STREACH_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  STREACH_ASSIGN_OR_RETURN_IMPL(                                              \
+      STREACH_ASSIGN_OR_RETURN_NAME(_result_or_, __LINE__), lhs, rexpr)
+
+}  // namespace streach
+
+#endif  // STREACH_COMMON_STATUS_H_

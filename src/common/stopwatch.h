@@ -1,0 +1,34 @@
+#ifndef STREACH_COMMON_STOPWATCH_H_
+#define STREACH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace streach {
+
+/// \brief Monotonic wall-clock stopwatch used to report construction and
+/// query CPU times (Figures 9, 11, 15; Table 5a).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_COMMON_STOPWATCH_H_

@@ -1,0 +1,141 @@
+#include "ext/non_immediate.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.h"
+#include "spatial/grid2d.h"
+
+namespace streach {
+
+std::vector<DelayedContact> ExtractNonImmediateContacts(
+    const TrajectoryStore& store, double dt, Timestamp lifetime) {
+  std::vector<DelayedContact> out;
+  const size_t n = store.num_objects();
+  if (n < 2) return out;
+  STREACH_CHECK_GE(lifetime, 0);
+  const TimeInterval span = store.span();
+
+  Rect extent = store.ComputeExtent();
+  if (extent.Width() <= 0 || extent.Height() <= 0) extent = extent.Padded(1.0);
+  UniformGrid2D grid(extent, dt);
+  const double dt_sq = dt * dt;
+
+  // Rolling window of deposited positions: for receive tick t, entries
+  // (object, deposit tick) for deposit ticks in [t - lifetime, t].
+  struct Deposit {
+    ObjectId object;
+    Timestamp time;
+  };
+  std::vector<std::vector<Deposit>> buckets(grid.num_cells());
+  std::vector<CellId> used;
+
+  auto add_tick = [&](Timestamp t) {
+    for (ObjectId o = 0; o < n; ++o) {
+      const CellId c = grid.CellOf(store.PositionAt(o, t));
+      if (buckets[c].empty()) used.push_back(c);
+      buckets[c].push_back({o, t});
+    }
+  };
+  auto drop_old = [&](Timestamp oldest_kept) {
+    for (size_t i = 0; i < used.size();) {
+      auto& bucket = buckets[used[i]];
+      bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                  [&](const Deposit& d) {
+                                    return d.time < oldest_kept;
+                                  }),
+                   bucket.end());
+      if (bucket.empty()) {
+        used[i] = used.back();
+        used.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  };
+
+  for (Timestamp t = span.start; t <= span.end; ++t) {
+    add_tick(t);
+    drop_old(t - lifetime);
+    // Join receivers at tick t against deposits in the window.
+    for (ObjectId receiver = 0; receiver < n; ++receiver) {
+      const Point& pos = store.PositionAt(receiver, t);
+      const CellId cell = grid.CellOf(pos);
+      for (CellId nb : grid.Neighborhood(cell, 1)) {
+        for (const Deposit& d : buckets[nb]) {
+          if (d.object == receiver) continue;
+          if (Point::DistanceSquared(pos, store.PositionAt(d.object, d.time)) <
+              dt_sq) {
+            out.push_back(DelayedContact{d.object, receiver, d.time, t});
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const DelayedContact& a,
+                                       const DelayedContact& b) {
+    return std::tie(a.receive_time, a.deposit_time, a.from, a.to) <
+           std::tie(b.receive_time, b.deposit_time, b.from, b.to);
+  });
+  return out;
+}
+
+ReachAnswer NonImmediateReach(size_t num_objects,
+                              const std::vector<DelayedContact>& contacts,
+                              ObjectId src, ObjectId dst,
+                              TimeInterval interval) {
+  ReachAnswer answer;
+  if (interval.empty() || src >= num_objects) return answer;
+  if (src == dst) {
+    answer.reachable = true;
+    answer.arrival_time = interval.start;
+    return answer;
+  }
+  std::vector<Timestamp> infected(num_objects, kInvalidTime);
+  infected[src] = interval.start;
+
+  // Contacts sorted by receive time; within one receive tick, chains of
+  // transfers can occur (delay-free handoff), so fixpoint per tick group.
+  size_t i = 0;
+  while (i < contacts.size()) {
+    const Timestamp t = contacts[i].receive_time;
+    size_t group_end = i;
+    while (group_end < contacts.size() &&
+           contacts[group_end].receive_time == t) {
+      ++group_end;
+    }
+    if (t > interval.end) break;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t j = i; j < group_end; ++j) {
+        const DelayedContact& c = contacts[j];
+        if (c.deposit_time < interval.start || c.receive_time > interval.end) {
+          continue;
+        }
+        if (infected[c.from] == kInvalidTime ||
+            infected[c.from] > c.deposit_time) {
+          continue;
+        }
+        if (infected[c.to] == kInvalidTime || infected[c.to] > c.receive_time) {
+          infected[c.to] = c.receive_time;
+          changed = true;
+        }
+      }
+    }
+    if (dst < num_objects && infected[dst] != kInvalidTime) {
+      answer.reachable = true;
+      answer.arrival_time = infected[dst];
+      return answer;
+    }
+    i = group_end;
+  }
+  if (dst < num_objects && infected[dst] != kInvalidTime &&
+      infected[dst] <= interval.end) {
+    answer.reachable = true;
+    answer.arrival_time = infected[dst];
+  }
+  return answer;
+}
+
+}  // namespace streach

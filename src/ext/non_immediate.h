@@ -1,0 +1,49 @@
+#ifndef STREACH_EXT_NON_IMMEDIATE_H_
+#define STREACH_EXT_NON_IMMEDIATE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "trajectory/trajectory_store.h"
+
+namespace streach {
+
+/// \brief Non-immediate contact (§7): object `to` picks up at `receive_time`
+/// an item that `from` deposited at `deposit_time`.
+///
+/// It occurs when dist(from@deposit_time, to@receive_time) < dT with
+/// 0 <= receive_time - deposit_time <= Tt (the item lifetime). Directed in
+/// time — the paper's bus example: an infected rider contaminates a seat,
+/// a later rider is infected. Immediate contacts are the Tt = 0 special
+/// case (generated in both directions).
+struct DelayedContact {
+  ObjectId from = kInvalidObject;
+  ObjectId to = kInvalidObject;
+  Timestamp deposit_time = 0;
+  Timestamp receive_time = 0;
+
+  bool operator==(const DelayedContact& o) const {
+    return from == o.from && to == o.to && deposit_time == o.deposit_time &&
+           receive_time == o.receive_time;
+  }
+};
+
+/// Extracts all non-immediate contacts via the replicated-trajectory join
+/// of §7: each position is replicated across the item lifetime and joined
+/// against current positions (grid-hashed per receive tick).
+std::vector<DelayedContact> ExtractNonImmediateContacts(
+    const TrajectoryStore& store, double dt, Timestamp lifetime);
+
+/// \brief Reachability under non-immediate contact semantics.
+///
+/// Sweeps the delayed contacts in receive-time order with within-tick
+/// chaining; `dst` is reachable iff an item initiated by `src` at
+/// interval.start reaches it by interval.end.
+ReachAnswer NonImmediateReach(size_t num_objects,
+                              const std::vector<DelayedContact>& contacts,
+                              ObjectId src, ObjectId dst,
+                              TimeInterval interval);
+
+}  // namespace streach
+
+#endif  // STREACH_EXT_NON_IMMEDIATE_H_

@@ -1,0 +1,150 @@
+#include "ext/uncertain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace streach {
+
+Result<UReachGraph> UReachGraph::Build(size_t num_objects, TimeInterval span,
+                                       std::vector<UncertainContact> contacts) {
+  if (span.empty()) return Status::InvalidArgument("empty span");
+  UReachGraph graph;
+  graph.num_objects_ = num_objects;
+  graph.span_ = span;
+  graph.events_.resize(num_objects);
+
+  // Gather per-(object, tick) neighbor lists; ticks with no contact are
+  // compressed away (the step-2 analogue).
+  std::vector<std::map<Timestamp, std::vector<std::pair<ObjectId, double>>>>
+      by_object(num_objects);
+  for (const UncertainContact& c : contacts) {
+    if (c.a >= num_objects || c.b >= num_objects) {
+      return Status::InvalidArgument("contact object out of range");
+    }
+    if (!span.Contains(c.validity)) {
+      return Status::InvalidArgument("contact outside span");
+    }
+    if (c.probability < 0.0 || c.probability > 1.0) {
+      return Status::InvalidArgument("probability must be in [0, 1]");
+    }
+    for (Timestamp t = c.validity.start; t <= c.validity.end; ++t) {
+      by_object[c.a][t].emplace_back(c.b, c.probability);
+      by_object[c.b][t].emplace_back(c.a, c.probability);
+    }
+  }
+  for (ObjectId o = 0; o < num_objects; ++o) {
+    auto& timeline = graph.events_[o];
+    timeline.reserve(by_object[o].size());
+    for (auto& [t, neighbors] : by_object[o]) {
+      timeline.push_back(Event{t, std::move(neighbors)});
+      ++graph.num_events_;
+    }
+  }
+  return graph;
+}
+
+ProbReachAnswer UReachGraph::Query(ObjectId src, ObjectId dst,
+                                   TimeInterval interval,
+                                   double threshold) const {
+  ProbReachAnswer answer;
+  const TimeInterval w = interval.Intersect(span_);
+  if (w.empty() || src >= num_objects_ || dst >= num_objects_) return answer;
+  if (src == dst) {
+    answer.best_probability = 1.0;
+    answer.reachable = threshold <= 1.0;
+    return answer;
+  }
+
+  // Max-probability search over states (object, infection time). This is
+  // a bicriteria problem: a state is useful unless another state of the
+  // same object has both higher-or-equal probability and earlier-or-equal
+  // time, so each object keeps a Pareto frontier of (prob, time) labels.
+  // Holding is free (p = 1); popping by descending probability makes the
+  // first pop of `dst` its maximum path probability (edge factors are
+  // <= 1, so probabilities are non-increasing along paths).
+  struct State {
+    double prob;
+    ObjectId object;
+    Timestamp time;
+    bool operator<(const State& o) const { return prob < o.prob; }
+  };
+  struct Label {
+    double prob;
+    Timestamp time;
+  };
+  std::priority_queue<State> queue;
+  std::unordered_map<ObjectId, std::vector<Label>> labels;
+
+  auto try_add_label = [&](ObjectId object, double prob,
+                           Timestamp time) -> bool {
+    auto& frontier = labels[object];
+    for (const Label& l : frontier) {
+      if (l.prob >= prob && l.time <= time) return false;  // Dominated.
+    }
+    frontier.erase(std::remove_if(frontier.begin(), frontier.end(),
+                                  [&](const Label& l) {
+                                    return prob >= l.prob && time <= l.time;
+                                  }),
+                   frontier.end());
+    frontier.push_back(Label{prob, time});
+    return true;
+  };
+
+  try_add_label(src, 1.0, w.start);
+  queue.push({1.0, src, w.start});
+
+  while (!queue.empty()) {
+    const State s = queue.top();
+    queue.pop();
+    if (s.object == dst) {
+      answer.best_probability = s.prob;
+      answer.reachable = s.prob >= threshold;
+      return answer;
+    }
+    // Skip states whose label has been dominated since they were pushed.
+    bool live = false;
+    for (const Label& l : labels[s.object]) {
+      if (l.prob == s.prob && l.time == s.time) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) continue;
+    // Walk the object's events from s.time to the window end; holding to
+    // a later own event is free, so all of them are departure points.
+    const auto& timeline = events_[s.object];
+    auto it = std::lower_bound(
+        timeline.begin(), timeline.end(), s.time,
+        [](const Event& e, Timestamp t) { return e.time < t; });
+    for (; it != timeline.end() && it->time <= w.end; ++it) {
+      for (const auto& [other, p] : it->neighbors) {
+        const double prob = s.prob * p;
+        if (try_add_label(other, prob, it->time)) {
+          queue.push({prob, other, it->time});
+        }
+      }
+    }
+  }
+  for (const Label& l : labels[dst]) {
+    answer.best_probability = std::max(answer.best_probability, l.prob);
+  }
+  answer.reachable = answer.best_probability >= threshold;
+  return answer;
+}
+
+std::vector<UncertainContact> WithUniformProbability(
+    const std::vector<Contact>& contacts, double p) {
+  std::vector<UncertainContact> out;
+  out.reserve(contacts.size());
+  for (const Contact& c : contacts) {
+    out.push_back(UncertainContact{c.a, c.b, c.validity, p});
+  }
+  return out;
+}
+
+}  // namespace streach

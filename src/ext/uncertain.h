@@ -1,0 +1,77 @@
+#ifndef STREACH_EXT_UNCERTAIN_H_
+#define STREACH_EXT_UNCERTAIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "join/contact.h"
+
+namespace streach {
+
+/// \brief Contact with a transmission probability (§7: "two objects make
+/// an uncertain contact with probability p when their distance is less
+/// than dT and transmit an item with the probability of p").
+struct UncertainContact {
+  ObjectId a = kInvalidObject;
+  ObjectId b = kInvalidObject;
+  TimeInterval validity;
+  double probability = 1.0;  ///< Per-tick transmission probability.
+};
+
+/// \brief Probabilistic reachability query result.
+struct ProbReachAnswer {
+  bool reachable = false;       ///< Best path probability >= threshold.
+  double best_probability = 0;  ///< Max contact-path probability found.
+};
+
+/// \brief U-ReachGraph: the uncertain-contact-network extension of
+/// ReachGraph (§7).
+///
+/// A contact path is probabilistic with probability equal to the product
+/// of its contacts' probabilities; `dst` is reachable from `src` during
+/// `Tp` iff a contact path of probability >= pT exists. As the paper
+/// prescribes, reduction step 1 does not apply (components only collapse
+/// when every internal edge has p = 1), but the step-2 analogue does: the
+/// index compresses each object's timeline into *event vertices* — ticks
+/// at which the object has at least one contact — connected by free
+/// (p = 1) holding edges, and query processing runs a max-probability
+/// shortest-path search (Dijkstra on -log p) instead of BFS.
+class UReachGraph {
+ public:
+  /// Builds the event-compressed graph. Contacts must lie within `span`
+  /// and have probabilities in [0, 1].
+  static Result<UReachGraph> Build(size_t num_objects, TimeInterval span,
+                                   std::vector<UncertainContact> contacts);
+
+  /// Max-probability reachability: does a contact path from `src`
+  /// (starting >= interval.start) deliver to `dst` (by interval.end) with
+  /// probability >= `threshold`?
+  ProbReachAnswer Query(ObjectId src, ObjectId dst, TimeInterval interval,
+                        double threshold) const;
+
+  /// Number of event vertices after compression (vs |O| * |T| raw).
+  size_t num_event_vertices() const { return num_events_; }
+
+ private:
+  struct Event {
+    Timestamp time;
+    /// Contacts active at this tick: (other object, probability).
+    std::vector<std::pair<ObjectId, double>> neighbors;
+  };
+
+  size_t num_objects_ = 0;
+  TimeInterval span_;
+  size_t num_events_ = 0;
+  /// Per object: its event ticks, sorted by time.
+  std::vector<std::vector<Event>> events_;
+};
+
+/// Assigns distance-independent probability `p` to every contact of a
+/// deterministic contact list (testing/demo helper).
+std::vector<UncertainContact> WithUniformProbability(
+    const std::vector<Contact>& contacts, double p);
+
+}  // namespace streach
+
+#endif  // STREACH_EXT_UNCERTAIN_H_

@@ -1,0 +1,61 @@
+#include "generators/random_waypoint.h"
+
+#include <cmath>
+
+namespace streach {
+
+Result<TrajectoryStore> GenerateRandomWaypoint(
+    const RandomWaypointParams& params) {
+  if (params.num_objects <= 0) {
+    return Status::InvalidArgument("num_objects must be positive");
+  }
+  if (params.duration <= 0) {
+    return Status::InvalidArgument("duration must be positive");
+  }
+  if (params.area.empty()) {
+    return Status::InvalidArgument("area must be non-empty");
+  }
+  if (params.min_speed <= 0 || params.max_speed < params.min_speed) {
+    return Status::InvalidArgument("require 0 < min_speed <= max_speed");
+  }
+
+  TrajectoryStore store;
+  Rng rng(params.seed);
+  for (ObjectId o = 0; o < static_cast<ObjectId>(params.num_objects); ++o) {
+    std::vector<Point> samples;
+    samples.reserve(static_cast<size_t>(params.duration));
+    Point pos(rng.UniformDouble(params.area.min.x, params.area.max.x),
+              rng.UniformDouble(params.area.min.y, params.area.max.y));
+    Point dest = pos;
+    double speed = 0.0;
+    int pause_left = 0;
+    for (Timestamp t = 0; t < params.duration; ++t) {
+      samples.push_back(pos);
+      if (pause_left > 0) {
+        --pause_left;
+        continue;
+      }
+      double remaining = Point::Distance(pos, dest);
+      if (remaining < 1e-9) {
+        // Arrived: draw the next waypoint, speed, and pause.
+        dest = Point(rng.UniformDouble(params.area.min.x, params.area.max.x),
+                     rng.UniformDouble(params.area.min.y, params.area.max.y));
+        speed = rng.UniformDouble(params.min_speed, params.max_speed);
+        pause_left = params.max_pause_ticks > 0
+                         ? static_cast<int>(rng.Uniform(
+                               static_cast<uint64_t>(params.max_pause_ticks) +
+                               1))
+                         : 0;
+        remaining = Point::Distance(pos, dest);
+      }
+      const double step = std::min(speed, remaining);
+      if (remaining > 1e-9) {
+        pos = pos + (dest - pos) * (step / remaining);
+      }
+    }
+    STREACH_RETURN_NOT_OK(store.Add(Trajectory(o, 0, std::move(samples))));
+  }
+  return store;
+}
+
+}  // namespace streach

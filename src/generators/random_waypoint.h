@@ -1,0 +1,37 @@
+#ifndef STREACH_GENERATORS_RANDOM_WAYPOINT_H_
+#define STREACH_GENERATORS_RANDOM_WAYPOINT_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "spatial/rect.h"
+#include "trajectory/trajectory_store.h"
+
+namespace streach {
+
+/// Parameters of the random-waypoint mobility model (the paper's RWP
+/// datasets are produced by GMSF [3] with this model: individuals in a
+/// 100 km^2 environment, average speed 2 m/s, sampled every 6 s — i.e.
+/// about 12 m per tick).
+struct RandomWaypointParams {
+  int num_objects = 100;
+  Rect area = Rect(0, 0, 1000, 1000);  ///< Environment E, meters.
+  double min_speed = 6.0;              ///< Meters per tick.
+  double max_speed = 18.0;             ///< Meters per tick.
+  int max_pause_ticks = 5;             ///< Pause at each waypoint U[0, max].
+  Timestamp duration = 1000;           ///< Number of ticks to generate.
+  uint64_t seed = 42;
+};
+
+/// \brief Generates random-waypoint trajectories (GMSF substitute).
+///
+/// Every object starts at a uniform point, repeatedly draws a uniform
+/// destination and a uniform speed from [min_speed, max_speed], moves in a
+/// straight line to the destination, pauses, and repeats [11]. One
+/// position sample is emitted per tick over [0, duration-1].
+Result<TrajectoryStore> GenerateRandomWaypoint(
+    const RandomWaypointParams& params);
+
+}  // namespace streach
+
+#endif  // STREACH_GENERATORS_RANDOM_WAYPOINT_H_

@@ -1,0 +1,88 @@
+#include "generators/road_network.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace streach {
+
+Result<RoadNetwork> RoadNetwork::MakeGrid(int rows, int cols, double spacing,
+                                          double jitter, uint64_t seed) {
+  if (rows < 2 || cols < 2) {
+    return Status::InvalidArgument("grid road network needs rows, cols >= 2");
+  }
+  if (spacing <= 0) {
+    return Status::InvalidArgument("spacing must be positive");
+  }
+  RoadNetwork net;
+  Rng rng(seed);
+  net.positions_.reserve(static_cast<size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      net.positions_.emplace_back(
+          c * spacing + rng.UniformDouble(-jitter, jitter),
+          r * spacing + rng.UniformDouble(-jitter, jitter));
+    }
+  }
+  net.adjacency_.resize(net.positions_.size());
+  auto node_at = [cols](int r, int c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  auto connect = [&net](NodeId a, NodeId b) {
+    const double len = Point::Distance(net.positions_[a], net.positions_[b]);
+    net.adjacency_[a].push_back({b, len});
+    net.adjacency_[b].push_back({a, len});
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) connect(node_at(r, c), node_at(r, c + 1));
+      if (r + 1 < rows) connect(node_at(r, c), node_at(r + 1, c));
+    }
+  }
+  return net;
+}
+
+Rect RoadNetwork::Extent() const {
+  Rect extent;
+  for (const Point& p : positions_) extent.ExpandToInclude(p);
+  return extent;
+}
+
+std::vector<NodeId> RoadNetwork::ShortestPath(NodeId from, NodeId to) const {
+  STREACH_CHECK_LT(from, num_nodes());
+  STREACH_CHECK_LT(to, num_nodes());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(num_nodes(), kInf);
+  std::vector<NodeId> prev(num_nodes(), static_cast<NodeId>(-1));
+  using QueueEntry = std::pair<double, NodeId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  dist[from] = 0.0;
+  queue.emplace(0.0, from);
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    if (d > dist[node]) continue;
+    if (node == to) break;
+    for (const Edge& e : adjacency_[node]) {
+      const double nd = d + e.length;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        prev[e.to] = node;
+        queue.emplace(nd, e.to);
+      }
+    }
+  }
+  std::vector<NodeId> path;
+  if (dist[to] == kInf) return path;
+  for (NodeId at = to; at != from; at = prev[at]) {
+    path.push_back(at);
+    STREACH_CHECK_NE(prev[at], static_cast<NodeId>(-1));
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace streach

@@ -1,0 +1,57 @@
+#ifndef STREACH_GENERATORS_ROAD_NETWORK_H_
+#define STREACH_GENERATORS_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "spatial/point.h"
+#include "spatial/rect.h"
+
+namespace streach {
+
+/// Identifier of a road-network junction.
+using NodeId = uint32_t;
+
+/// \brief Planar road network: junction nodes and undirected road edges.
+///
+/// Substitute for the Brinkhoff generator's San Francisco road map: a
+/// perturbed grid of streets. Vehicles move only along edges, which gives
+/// the skewed, strongly clustered spatial distribution that distinguishes
+/// the paper's VN datasets from the uniform RWP datasets.
+class RoadNetwork {
+ public:
+  struct Edge {
+    NodeId to;
+    double length;
+  };
+
+  /// Builds a rows x cols street grid with `spacing` meters between
+  /// neighboring junctions, each junction uniformly jittered by up to
+  /// `jitter` meters per axis.
+  static Result<RoadNetwork> MakeGrid(int rows, int cols, double spacing,
+                                      double jitter, uint64_t seed);
+
+  size_t num_nodes() const { return positions_.size(); }
+  const Point& position(NodeId node) const { return positions_[node]; }
+  const std::vector<Edge>& edges(NodeId node) const {
+    return adjacency_[node];
+  }
+
+  /// Bounding box of all junctions.
+  Rect Extent() const;
+
+  /// Shortest path (by length) from `from` to `to` via Dijkstra; the
+  /// returned node sequence includes both endpoints. Empty when
+  /// unreachable.
+  std::vector<NodeId> ShortestPath(NodeId from, NodeId to) const;
+
+ private:
+  std::vector<Point> positions_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_GENERATORS_ROAD_NETWORK_H_

@@ -1,0 +1,27 @@
+#include "generators/sparse_gps.h"
+
+namespace streach {
+
+Result<TrajectoryStore> SimulateSparseGps(const TrajectoryStore& input,
+                                          int keep_every) {
+  if (keep_every < 1) {
+    return Status::InvalidArgument("keep_every must be >= 1");
+  }
+  TrajectoryStore out;
+  for (const Trajectory& tr : input.trajectories()) {
+    const TimeInterval span = tr.span();
+    std::vector<GpsFix> fixes;
+    for (Timestamp t = span.start; t <= span.end;
+         t += static_cast<Timestamp>(keep_every)) {
+      fixes.push_back({t, tr.At(t)});
+    }
+    if (fixes.back().time != span.end) {
+      fixes.push_back({span.end, tr.At(span.end)});
+    }
+    STREACH_RETURN_NOT_OK(
+        out.Add(Trajectory(tr.object(), span.start, ResampleToTicks(fixes))));
+  }
+  return out;
+}
+
+}  // namespace streach

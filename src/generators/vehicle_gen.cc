@@ -1,0 +1,99 @@
+#include "generators/vehicle_gen.h"
+
+#include "common/rng.h"
+
+namespace streach {
+
+namespace {
+
+/// Incremental movement state of a vehicle along a node path.
+class PathWalker {
+ public:
+  PathWalker(const RoadNetwork* network, std::vector<NodeId> path)
+      : network_(network), path_(std::move(path)) {}
+
+  bool Done() const { return leg_ + 1 >= path_.size(); }
+
+  Point CurrentPosition() const {
+    if (Done()) return network_->position(path_.back());
+    const Point& a = network_->position(path_[leg_]);
+    const Point& b = network_->position(path_[leg_ + 1]);
+    const double len = Point::Distance(a, b);
+    return len < 1e-12 ? a : Point::Lerp(a, b, along_ / len);
+  }
+
+  /// Advances `distance` meters along the remaining legs.
+  void Advance(double distance) {
+    while (distance > 0 && !Done()) {
+      const Point& a = network_->position(path_[leg_]);
+      const Point& b = network_->position(path_[leg_ + 1]);
+      const double len = Point::Distance(a, b);
+      const double remaining = len - along_;
+      if (distance < remaining) {
+        along_ += distance;
+        return;
+      }
+      distance -= remaining;
+      ++leg_;
+      along_ = 0;
+    }
+  }
+
+  NodeId FinalNode() const { return path_.back(); }
+
+ private:
+  const RoadNetwork* network_;
+  std::vector<NodeId> path_;
+  size_t leg_ = 0;
+  double along_ = 0;
+};
+
+}  // namespace
+
+Result<TrajectoryStore> GenerateVehicleTraces(const RoadNetwork& network,
+                                              const VehicleGenParams& params) {
+  if (params.num_vehicles <= 0) {
+    return Status::InvalidArgument("num_vehicles must be positive");
+  }
+  if (params.duration <= 0) {
+    return Status::InvalidArgument("duration must be positive");
+  }
+  if (params.min_speed <= 0 || params.max_speed < params.min_speed) {
+    return Status::InvalidArgument("require 0 < min_speed <= max_speed");
+  }
+  if (network.num_nodes() < 2) {
+    return Status::InvalidArgument("road network too small");
+  }
+
+  TrajectoryStore store;
+  Rng rng(params.seed);
+  const auto num_nodes = static_cast<uint64_t>(network.num_nodes());
+  for (ObjectId v = 0; v < static_cast<ObjectId>(params.num_vehicles); ++v) {
+    std::vector<Point> samples;
+    samples.reserve(static_cast<size_t>(params.duration));
+    NodeId at = static_cast<NodeId>(rng.Uniform(num_nodes));
+    PathWalker walker(&network, {at});
+    double speed = rng.UniformDouble(params.min_speed, params.max_speed);
+    for (Timestamp t = 0; t < params.duration; ++t) {
+      if (walker.Done()) {
+        // Trip finished: draw a new destination (retry on self/unreachable).
+        const NodeId from = walker.FinalNode();
+        NodeId to = from;
+        std::vector<NodeId> path;
+        while (to == from || path.empty()) {
+          to = static_cast<NodeId>(rng.Uniform(num_nodes));
+          if (to == from) continue;
+          path = network.ShortestPath(from, to);
+        }
+        walker = PathWalker(&network, std::move(path));
+        speed = rng.UniformDouble(params.min_speed, params.max_speed);
+      }
+      samples.push_back(walker.CurrentPosition());
+      walker.Advance(speed);
+    }
+    STREACH_RETURN_NOT_OK(store.Add(Trajectory(v, 0, std::move(samples))));
+  }
+  return store;
+}
+
+}  // namespace streach

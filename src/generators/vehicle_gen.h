@@ -1,0 +1,34 @@
+#ifndef STREACH_GENERATORS_VEHICLE_GEN_H_
+#define STREACH_GENERATORS_VEHICLE_GEN_H_
+
+#include "common/result.h"
+#include "common/types.h"
+#include "generators/road_network.h"
+#include "trajectory/trajectory_store.h"
+
+namespace streach {
+
+/// Parameters of the network-constrained vehicle generator (Brinkhoff [4]
+/// substitute; the paper's VN datasets record vehicles on the San
+/// Francisco road network every 5 s, DSRC contact range 300 m).
+struct VehicleGenParams {
+  int num_vehicles = 100;
+  double min_speed = 50.0;   ///< Meters per tick (~36 km/h at 5 s ticks).
+  double max_speed = 120.0;  ///< Meters per tick (~86 km/h at 5 s ticks).
+  Timestamp duration = 1000;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates vehicle trajectories constrained to a road network.
+///
+/// Each vehicle starts at a random junction and repeatedly: picks a random
+/// destination junction, follows the shortest path along road edges at a
+/// per-trip uniform speed, then picks a new destination. One position per
+/// tick; positions lie on road edges (linear interpolation along the
+/// path polyline).
+Result<TrajectoryStore> GenerateVehicleTraces(const RoadNetwork& network,
+                                              const VehicleGenParams& params);
+
+}  // namespace streach
+
+#endif  // STREACH_GENERATORS_VEHICLE_GEN_H_

@@ -1,0 +1,38 @@
+#include "generators/workload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace streach {
+
+std::vector<ReachQuery> GenerateWorkload(const WorkloadParams& params) {
+  STREACH_CHECK_GE(params.num_objects, 2u);
+  STREACH_CHECK(!params.span.empty());
+  STREACH_CHECK_GE(params.min_interval_len, 1);
+  STREACH_CHECK_GE(params.max_interval_len, params.min_interval_len);
+
+  Rng rng(params.seed);
+  std::vector<ReachQuery> queries;
+  queries.reserve(static_cast<size_t>(params.num_queries));
+  const auto span_len = params.span.length();
+  for (int i = 0; i < params.num_queries; ++i) {
+    ReachQuery q;
+    q.source = static_cast<ObjectId>(rng.Uniform(params.num_objects));
+    do {
+      q.destination = static_cast<ObjectId>(rng.Uniform(params.num_objects));
+    } while (q.destination == q.source);
+    const int64_t len = std::min<int64_t>(
+        span_len,
+        rng.UniformInt(params.min_interval_len, params.max_interval_len));
+    const Timestamp latest_start =
+        static_cast<Timestamp>(params.span.end - len + 1);
+    const Timestamp start = static_cast<Timestamp>(
+        rng.UniformInt(params.span.start, latest_start));
+    q.interval = TimeInterval(start, static_cast<Timestamp>(start + len - 1));
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+}  // namespace streach

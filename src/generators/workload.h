@@ -1,0 +1,30 @@
+#ifndef STREACH_GENERATORS_WORKLOAD_H_
+#define STREACH_GENERATORS_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace streach {
+
+/// Parameters of a random reachability-query workload. The paper's default
+/// (§6): sources/destinations uniform, query-interval length uniform in
+/// [150, 350], 400 queries per measurement.
+struct WorkloadParams {
+  int num_queries = 400;
+  size_t num_objects = 0;      ///< Population to draw from (required).
+  TimeInterval span;           ///< Dataset time span (required).
+  int min_interval_len = 150;  ///< Ticks.
+  int max_interval_len = 350;  ///< Ticks.
+  uint64_t seed = 1234;
+};
+
+/// \brief Generates a random query workload per §6: uniform source !=
+/// destination, uniform interval length in [min, max] (clamped to the
+/// span), uniform placement within the span.
+std::vector<ReachQuery> GenerateWorkload(const WorkloadParams& params);
+
+}  // namespace streach
+
+#endif  // STREACH_GENERATORS_WORKLOAD_H_

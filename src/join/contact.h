@@ -1,0 +1,52 @@
+#ifndef STREACH_JOIN_CONTACT_H_
+#define STREACH_JOIN_CONTACT_H_
+
+#include <string>
+#include <tuple>
+
+#include "common/types.h"
+
+namespace streach {
+
+/// \brief A contact c = {a, b} with its validity interval Tc (§3.1).
+///
+/// Two objects are in contact while their distance stays below dT; the
+/// validity interval is the maximal contiguous run of ticks during which
+/// this holds. Following the paper, the *same pair* re-entering proximity
+/// later yields a *distinct* contact (c1 and c4 in Figure 1). Pairs are
+/// stored canonically with `a < b`.
+struct Contact {
+  ObjectId a = kInvalidObject;
+  ObjectId b = kInvalidObject;
+  TimeInterval validity;
+
+  Contact() = default;
+  Contact(ObjectId oa, ObjectId ob, TimeInterval tv)
+      : a(oa < ob ? oa : ob), b(oa < ob ? ob : oa), validity(tv) {}
+
+  bool Involves(ObjectId o) const { return a == o || b == o; }
+
+  /// The partner of `o` in this contact; `o` must be a participant.
+  ObjectId Other(ObjectId o) const { return o == a ? b : a; }
+
+  bool operator==(const Contact& other) const {
+    return a == other.a && b == other.b && validity == other.validity;
+  }
+
+  /// Orders by start time, then pair — the order in which query processing
+  /// consumes contacts.
+  bool operator<(const Contact& other) const {
+    return std::tie(validity.start, a, b, validity.end) <
+           std::tie(other.validity.start, other.a, other.b,
+                    other.validity.end);
+  }
+
+  std::string ToString() const {
+    return "{o" + std::to_string(a) + ",o" + std::to_string(b) + "}@" +
+           validity.ToString();
+  }
+};
+
+}  // namespace streach
+
+#endif  // STREACH_JOIN_CONTACT_H_

@@ -1,0 +1,62 @@
+#include "join/contact_extractor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "join/proximity_join.h"
+
+namespace streach {
+
+namespace {
+
+uint64_t PairKey(ObjectId a, ObjectId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+std::vector<Contact> ExtractContacts(const TrajectoryStore& store, double dt,
+                                     TimeInterval window) {
+  std::vector<Contact> contacts;
+  const TimeInterval w = window.Intersect(store.span());
+  if (w.empty() || store.num_objects() < 2) return contacts;
+
+  ProximityJoiner joiner(&store, dt);
+  // Open contact runs: pair -> start tick of the current run.
+  std::unordered_map<uint64_t, Timestamp> open;
+  std::unordered_map<uint64_t, Timestamp> still_open;
+
+  for (Timestamp t = w.start; t <= w.end; ++t) {
+    still_open.clear();
+    for (const auto& [a, b] : joiner.PairsAtTick(t)) {
+      const uint64_t key = PairKey(a, b);
+      auto it = open.find(key);
+      if (it != open.end()) {
+        still_open.emplace(key, it->second);
+        open.erase(it);
+      } else {
+        still_open.emplace(key, t);
+      }
+    }
+    // Whatever remains in `open` ended at t-1.
+    for (const auto& [key, start] : open) {
+      contacts.emplace_back(static_cast<ObjectId>(key >> 32),
+                            static_cast<ObjectId>(key & 0xFFFFFFFFu),
+                            TimeInterval(start, t - 1));
+    }
+    std::swap(open, still_open);
+  }
+  for (const auto& [key, start] : open) {
+    contacts.emplace_back(static_cast<ObjectId>(key >> 32),
+                          static_cast<ObjectId>(key & 0xFFFFFFFFu),
+                          TimeInterval(start, w.end));
+  }
+  std::sort(contacts.begin(), contacts.end());
+  return contacts;
+}
+
+std::vector<Contact> ExtractContacts(const TrajectoryStore& store, double dt) {
+  return ExtractContacts(store, dt, store.span());
+}
+
+}  // namespace streach

@@ -1,0 +1,30 @@
+#ifndef STREACH_JOIN_CONTACT_EXTRACTOR_H_
+#define STREACH_JOIN_CONTACT_EXTRACTOR_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "join/contact.h"
+#include "trajectory/trajectory_store.h"
+
+namespace streach {
+
+/// \brief Extracts the full contact set of a trajectory dataset (§3.1).
+///
+/// Performs a per-tick proximity self-join across `window` and coalesces
+/// runs of consecutive in-contact ticks of the same pair into contacts
+/// with maximal validity intervals. Pairs leaving and re-entering
+/// proximity produce distinct contacts.
+///
+/// \param store the trajectory dataset.
+/// \param dt contact distance threshold dT (meters, strict `<`).
+/// \param window time range to scan; defaults to the full store span.
+/// \return contacts sorted by (start time, pair).
+std::vector<Contact> ExtractContacts(const TrajectoryStore& store, double dt,
+                                     TimeInterval window);
+
+std::vector<Contact> ExtractContacts(const TrajectoryStore& store, double dt);
+
+}  // namespace streach
+
+#endif  // STREACH_JOIN_CONTACT_EXTRACTOR_H_

@@ -1,0 +1,111 @@
+#include "join/proximity_join.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace streach {
+
+namespace {
+
+Rect NonDegenerateExtent(const TrajectoryStore& store) {
+  Rect extent = store.ComputeExtent();
+  STREACH_CHECK(!extent.empty());
+  // Guard against a degenerate (zero-area) extent, e.g. all objects
+  // stationary on a line.
+  if (extent.Width() <= 0.0 || extent.Height() <= 0.0) {
+    extent = extent.Padded(1.0);
+  }
+  return extent;
+}
+
+}  // namespace
+
+ProximityJoiner::ProximityJoiner(const TrajectoryStore* store, double dt)
+    : store_(store),
+      dt_(dt),
+      dt_sq_(dt * dt),
+      grid_(NonDegenerateExtent(*store), dt) {
+  STREACH_CHECK_GT(dt, 0.0);
+  buckets_.resize(grid_.num_cells());
+}
+
+void ProximityJoiner::FillBuckets(Timestamp t) {
+  for (CellId c : used_buckets_) buckets_[c].clear();
+  used_buckets_.clear();
+  const size_t n = store_->num_objects();
+  for (ObjectId o = 0; o < n; ++o) {
+    const CellId c = grid_.CellOf(store_->PositionAt(o, t));
+    if (buckets_[c].empty()) used_buckets_.push_back(c);
+    buckets_[c].push_back(o);
+  }
+}
+
+std::vector<std::pair<ObjectId, ObjectId>> ProximityJoiner::PairsAtTick(
+    Timestamp t) {
+  FillBuckets(t);
+  std::vector<std::pair<ObjectId, ObjectId>> out;
+  const int rows = grid_.rows();
+  const int cols = grid_.cols();
+  for (CellId cell : used_buckets_) {
+    const std::vector<ObjectId>& mine = buckets_[cell];
+    const int row = grid_.RowOfCell(cell);
+    const int col = grid_.ColOfCell(cell);
+    // Within-cell pairs.
+    for (size_t i = 0; i < mine.size(); ++i) {
+      const Point& pi = store_->PositionAt(mine[i], t);
+      for (size_t j = i + 1; j < mine.size(); ++j) {
+        const Point& pj = store_->PositionAt(mine[j], t);
+        if (Point::DistanceSquared(pi, pj) < dt_sq_) {
+          out.emplace_back(std::min(mine[i], mine[j]),
+                           std::max(mine[i], mine[j]));
+        }
+      }
+    }
+    // Cross-cell pairs: visit only "forward" neighbors so each unordered
+    // cell pair is examined once.
+    static constexpr int kForward[4][2] = {{0, 1}, {1, -1}, {1, 0}, {1, 1}};
+    for (const auto& d : kForward) {
+      const int nr = row + d[0];
+      const int nc = col + d[1];
+      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+      const std::vector<ObjectId>& theirs = buckets_[grid_.CellAt(nr, nc)];
+      for (ObjectId a : mine) {
+        const Point& pa = store_->PositionAt(a, t);
+        for (ObjectId b : theirs) {
+          const Point& pb = store_->PositionAt(b, t);
+          if (Point::DistanceSquared(pa, pb) < dt_sq_) {
+            out.emplace_back(std::min(a, b), std::max(a, b));
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<ObjectId, ObjectId>>
+ProximityJoiner::PairsAtTickInvolving(Timestamp t,
+                                      const std::vector<ObjectId>& probes) {
+  FillBuckets(t);
+  std::vector<std::pair<ObjectId, ObjectId>> out;
+  for (ObjectId a : probes) {
+    const Point& pa = store_->PositionAt(a, t);
+    const CellId cell = grid_.CellOf(pa);
+    for (CellId nb : grid_.Neighborhood(cell, 1)) {
+      for (ObjectId b : buckets_[nb]) {
+        if (b == a) continue;
+        const Point& pb = store_->PositionAt(b, t);
+        if (Point::DistanceSquared(pa, pb) < dt_sq_) {
+          out.emplace_back(std::min(a, b), std::max(a, b));
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace streach

@@ -1,0 +1,51 @@
+#ifndef STREACH_JOIN_PROXIMITY_JOIN_H_
+#define STREACH_JOIN_PROXIMITY_JOIN_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "spatial/grid2d.h"
+#include "trajectory/trajectory_store.h"
+
+namespace streach {
+
+/// \brief Per-tick spatial self-join: all object pairs closer than dT.
+///
+/// The building block of contact-network construction (the
+/// `R(Tp) ⊲⊳dT R(Tp)` window trajectory join of §4). Uses a uniform grid
+/// with cell side dT: each object only needs to be compared against
+/// objects in its own and the 8 neighboring cells. The joiner is reused
+/// across ticks to amortize bucket allocation.
+class ProximityJoiner {
+ public:
+  /// `dt` is the contact threshold dT (meters); pairs at distance < dT
+  /// match (strict, per §3.1).
+  ProximityJoiner(const TrajectoryStore* store, double dt);
+
+  /// All pairs (a < b) in contact at tick `t`, in deterministic order.
+  std::vector<std::pair<ObjectId, ObjectId>> PairsAtTick(Timestamp t);
+
+  /// As PairsAtTick, restricted to pairs where at least one side is in
+  /// `probes` (used by guided expansion: contacts between current seeds
+  /// and anyone else). `probes` must be sorted.
+  std::vector<std::pair<ObjectId, ObjectId>> PairsAtTickInvolving(
+      Timestamp t, const std::vector<ObjectId>& probes);
+
+  const UniformGrid2D& grid() const { return grid_; }
+
+ private:
+  void FillBuckets(Timestamp t);
+
+  const TrajectoryStore* store_;
+  double dt_;
+  double dt_sq_;
+  UniformGrid2D grid_;
+  // Bucketed object ids for the current tick, rebuilt per tick.
+  std::vector<std::vector<ObjectId>> buckets_;
+  std::vector<CellId> used_buckets_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_JOIN_PROXIMITY_JOIN_H_

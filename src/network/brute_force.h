@@ -1,0 +1,37 @@
+#ifndef STREACH_NETWORK_BRUTE_FORCE_H_
+#define STREACH_NETWORK_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "network/contact_network.h"
+
+namespace streach {
+
+/// \brief Reference (ground-truth) reachability evaluator.
+///
+/// Implements the reachability semantics of §3.2 directly as an infection
+/// sweep over the per-tick contact pairs: the seed set starts as {source}
+/// at the query start; at every tick, every connected component (of the
+/// snapshot contact graph) containing an infected object becomes fully
+/// infected — the paper's snapshot-symmetry Property 5.1 (item transfer
+/// within an instant is delay-free, so an item crosses a whole component
+/// in one tick). The query is true iff the destination is infected by the
+/// end of the interval.
+///
+/// This is O(total contact-ticks) per query with no pruning; it exists as
+/// the correctness oracle every index implementation is tested against.
+ReachAnswer BruteForceReach(const ContactNetwork& network, ObjectId source,
+                            ObjectId destination, TimeInterval interval);
+
+/// Infection time of every object reachable from `source` during
+/// `interval`: result[o] is the earliest tick at which o is infected, or
+/// kInvalidTime when o is not reachable. result[source] = interval start
+/// (clamped to the network span).
+std::vector<Timestamp> BruteForceClosure(const ContactNetwork& network,
+                                         ObjectId source,
+                                         TimeInterval interval);
+
+}  // namespace streach
+
+#endif  // STREACH_NETWORK_BRUTE_FORCE_H_

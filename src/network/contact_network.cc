@@ -1,0 +1,39 @@
+#include "network/contact_network.h"
+
+#include <algorithm>
+
+namespace streach {
+
+ContactNetwork::ContactNetwork(size_t num_objects, TimeInterval span,
+                               std::vector<Contact> contacts)
+    : num_objects_(num_objects), span_(span), contacts_(std::move(contacts)) {
+  STREACH_CHECK(!span.empty());
+  pairs_by_tick_.resize(static_cast<size_t>(span.length()));
+  for (const Contact& c : contacts_) {
+    STREACH_CHECK(span_.Contains(c.validity));
+    STREACH_CHECK_LT(c.a, num_objects_);
+    STREACH_CHECK_LT(c.b, num_objects_);
+    for (Timestamp t = c.validity.start; t <= c.validity.end; ++t) {
+      pairs_by_tick_[static_cast<size_t>(t - span_.start)].emplace_back(c.a,
+                                                                        c.b);
+      ++total_contact_ticks_;
+    }
+  }
+  for (auto& pairs : pairs_by_tick_) {
+    std::sort(pairs.begin(), pairs.end());
+  }
+}
+
+TenStats ContactNetwork::ComputeTenStats() const {
+  TenStats stats;
+  const auto n = static_cast<uint64_t>(num_objects_);
+  const auto ticks = static_cast<uint64_t>(span_.length());
+  stats.num_vertices = n * ticks;
+  // Holding edges: o(t) -> o(t+1) for every object and consecutive ticks.
+  stats.num_edges = ticks > 0 ? n * (ticks - 1) : 0;
+  // Contact edges: one (bidirectional) edge per in-contact pair per tick.
+  stats.num_edges += total_contact_ticks_;
+  return stats;
+}
+
+}  // namespace streach

@@ -1,0 +1,65 @@
+#ifndef STREACH_NETWORK_CONTACT_NETWORK_H_
+#define STREACH_NETWORK_CONTACT_NETWORK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "join/contact.h"
+
+namespace streach {
+
+/// Size of the Time-Expanded-Network model of a contact network (the
+/// "CN" whose reduction to DN §6.2.1.1 quantifies).
+struct TenStats {
+  uint64_t num_vertices = 0;  ///< One vertex per (object, tick).
+  uint64_t num_edges = 0;     ///< Holding edges + per-tick contact edges.
+};
+
+/// \brief The contact network C of a dataset: the collection of contacts
+/// over a time span, with per-tick adjacency access (§3.1).
+///
+/// This is the logical structure both indexes are built from. It stores
+/// the contact list plus a per-tick index of the pairs in contact at each
+/// instant, which is what the TEN/DN builders and the brute-force
+/// evaluator iterate over.
+class ContactNetwork {
+ public:
+  /// Builds the network from an extracted contact list.
+  /// `contacts` validity intervals must lie within `span`.
+  ContactNetwork(size_t num_objects, TimeInterval span,
+                 std::vector<Contact> contacts);
+
+  size_t num_objects() const { return num_objects_; }
+  const TimeInterval& span() const { return span_; }
+  const std::vector<Contact>& contacts() const { return contacts_; }
+
+  /// Pairs (a < b) in contact at tick `t` (empty outside the span).
+  const std::vector<std::pair<ObjectId, ObjectId>>& PairsAt(
+      Timestamp t) const {
+    static const std::vector<std::pair<ObjectId, ObjectId>> kEmpty;
+    if (!span_.Contains(t)) return kEmpty;
+    return pairs_by_tick_[static_cast<size_t>(t - span_.start)];
+  }
+
+  /// Total number of (pair, tick) contact incidences.
+  uint64_t TotalContactTicks() const { return total_contact_ticks_; }
+
+  /// Size of the TEN model of this network (§5.1.1): one vertex per
+  /// object-tick; a directed holding edge per object per consecutive tick
+  /// pair; one bidirectional contact edge per in-contact pair per tick.
+  TenStats ComputeTenStats() const;
+
+ private:
+  size_t num_objects_;
+  TimeInterval span_;
+  std::vector<Contact> contacts_;
+  std::vector<std::vector<std::pair<ObjectId, ObjectId>>> pairs_by_tick_;
+  uint64_t total_contact_ticks_ = 0;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_NETWORK_CONTACT_NETWORK_H_

@@ -1,0 +1,126 @@
+#include "reachgraph/augmenter.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streach {
+
+namespace {
+
+/// Reach relation anchored at one time: source vertex -> sorted targets.
+using ReachRelation = std::unordered_map<VertexId, std::vector<VertexId>>;
+
+/// Vertices alive at tick `t` (each object's component, deduplicated).
+std::vector<VertexId> AliveVertices(const DnGraph& graph, Timestamp t) {
+  std::vector<VertexId> alive;
+  alive.reserve(graph.num_objects());
+  for (ObjectId o = 0; o < graph.num_objects(); ++o) {
+    const VertexId v = graph.VertexOf(o, t);
+    if (v != kInvalidVertex) alive.push_back(v);
+  }
+  std::sort(alive.begin(), alive.end());
+  alive.erase(std::unique(alive.begin(), alive.end()), alive.end());
+  return alive;
+}
+
+/// R_1(t): one-step reach from components alive at t to components alive
+/// at t+1.
+ReachRelation BaseRelation(const DnGraph& graph, Timestamp t) {
+  ReachRelation rel;
+  for (VertexId u : AliveVertices(graph, t)) {
+    const DnVertex& vertex = graph.vertex(u);
+    std::vector<VertexId> targets;
+    if (vertex.span.end > t) {
+      // The component persists through t+1 unchanged.
+      targets.push_back(u);
+    } else {
+      targets = vertex.out;
+      std::sort(targets.begin(), targets.end());
+      targets.erase(std::unique(targets.begin(), targets.end()),
+                    targets.end());
+    }
+    rel.emplace(u, std::move(targets));
+  }
+  return rel;
+}
+
+/// R_2L(ta) = R_L(ta+L) o R_L(ta): union of second-hop target sets.
+ReachRelation Compose(const ReachRelation& first, const ReachRelation& second) {
+  ReachRelation rel;
+  rel.reserve(first.size());
+  std::vector<VertexId> merged;
+  for (const auto& [u, mids] : first) {
+    merged.clear();
+    for (VertexId m : mids) {
+      auto it = second.find(m);
+      if (it == second.end()) continue;
+      merged.insert(merged.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    rel.emplace(u, merged);
+  }
+  return rel;
+}
+
+}  // namespace
+
+Status AugmentWithLongEdges(DnGraph* graph, const AugmenterOptions& options) {
+  if (graph == nullptr) return Status::InvalidArgument("null graph");
+  if (options.num_resolutions < 1 || options.num_resolutions > 20) {
+    return Status::InvalidArgument("num_resolutions must be in [1, 20]");
+  }
+  const TimeInterval span = graph->span();
+
+  // Relations of the previous level, keyed by anchor time.
+  std::unordered_map<Timestamp, ReachRelation> previous;
+  uint64_t long_edges = 0;
+
+  for (int level = 1; level < options.num_resolutions; ++level) {
+    const Timestamp length = static_cast<Timestamp>(1) << level;
+    const Timestamp half = length / 2;
+    std::unordered_map<Timestamp, ReachRelation> current;
+    for (Timestamp ta = span.start; ta + length <= span.end; ta += length) {
+      ReachRelation rel;
+      if (level == 1) {
+        rel = Compose(BaseRelation(*graph, ta), BaseRelation(*graph, ta + 1));
+      } else {
+        auto first = previous.find(ta);
+        auto second = previous.find(ta + half);
+        if (first == previous.end() || second == previous.end()) break;
+        rel = Compose(first->second, second->second);
+      }
+      // Materialize non-self pairs as long edges.
+      for (const auto& [u, targets] : rel) {
+        for (VertexId v : targets) {
+          if (v == u) continue;
+          graph->mutable_vertex(u).long_out.push_back(
+              LongEdge{v, ta, static_cast<int32_t>(length)});
+          ++long_edges;
+        }
+      }
+      current.emplace(ta, std::move(rel));
+    }
+    previous = std::move(current);
+  }
+
+  // Sort long edges by (length desc, anchor asc) — the order BM-BFS's
+  // resolution cascade scans them in.
+  for (VertexId v = 0; v < graph->num_vertices(); ++v) {
+    auto& edges = graph->mutable_vertex(v).long_out;
+    std::sort(edges.begin(), edges.end(),
+              [](const LongEdge& a, const LongEdge& b) {
+                if (a.length != b.length) return a.length > b.length;
+                if (a.anchor != b.anchor) return a.anchor < b.anchor;
+                return a.target < b.target;
+              });
+  }
+  graph->mutable_stats()->num_long_edges = long_edges;
+  return Status::OK();
+}
+
+}  // namespace streach

@@ -1,0 +1,34 @@
+#ifndef STREACH_REACHGRAPH_AUGMENTER_H_
+#define STREACH_REACHGRAPH_AUGMENTER_H_
+
+#include "common/status.h"
+#include "reachgraph/dn_graph.h"
+
+namespace streach {
+
+/// Options of the augmentation phase (§5.1.2.2).
+struct AugmenterOptions {
+  /// Number of resolutions of HN including DN_1. The paper's empirical
+  /// optimum is 6: HN = DN_1 u DN_2 u DN_4 u ... u DN_32, i.e. long-edge
+  /// lengths 2^1..2^5. Value 1 means no long edges.
+  int num_resolutions = 6;
+};
+
+/// \brief Augments DN with multi-resolution long edges (§5.1.2.2).
+///
+/// For each resolution L = 2,4,...,2^(num_resolutions-1) the span is cut
+/// into aligned length-L windows [ta, ta+L] (ta = span.start + k*L). For
+/// every component u alive at ta and every component v alive at ta+L that
+/// is reachable from u, a long edge (u->v, anchor=ta, length=L) is added.
+///
+/// The reach relations are computed by *relation doubling*: R_1(t) is read
+/// off the DN_1 edges (a vertex whose span covers t+1 reaches itself; a
+/// vertex ending at t reaches its out-neighbors), and
+/// R_2L(ta) = R_L(ta+L) o R_L(ta). Self-pairs participate in the
+/// composition (an isolated component persists through a window) but are
+/// not materialized as long edges — staying put is free during traversal.
+Status AugmentWithLongEdges(DnGraph* graph, const AugmenterOptions& options);
+
+}  // namespace streach
+
+#endif  // STREACH_REACHGRAPH_AUGMENTER_H_

@@ -1,0 +1,122 @@
+#include "reachgraph/dn_builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "network/union_find.h"
+
+namespace streach {
+
+namespace {
+
+/// Components of one snapshot as sorted member lists, keyed by
+/// representative object (the union-find root).
+struct Snapshot {
+  /// component_of[o] = index into `components` for object o.
+  std::vector<uint32_t> component_of;
+  std::vector<std::vector<ObjectId>> components;
+};
+
+void ComputeSnapshot(const ContactNetwork& network, Timestamp t, UnionFind* uf,
+                     Snapshot* snap) {
+  const size_t n = network.num_objects();
+  uf->Reset();
+  for (const auto& [a, b] : network.PairsAt(t)) uf->Union(a, b);
+  snap->component_of.assign(n, 0);
+  snap->components.clear();
+  std::unordered_map<uint32_t, uint32_t> root_to_component;
+  root_to_component.reserve(n);
+  for (ObjectId o = 0; o < n; ++o) {
+    const uint32_t root = uf->Find(o);
+    auto [it, inserted] =
+        root_to_component.try_emplace(root, snap->components.size());
+    if (inserted) snap->components.emplace_back();
+    snap->component_of[o] = it->second;
+    snap->components[it->second].push_back(o);
+  }
+  // Members come out sorted because objects are scanned in id order.
+}
+
+}  // namespace
+
+Result<DnGraph> BuildDnGraph(const ContactNetwork& network,
+                             const DnBuilderOptions& options) {
+  const size_t n = network.num_objects();
+  if (n == 0) return Status::InvalidArgument("contact network has no objects");
+  const TimeInterval span = network.span();
+
+  DnGraph graph(n, span);
+  UnionFind uf(n);
+  Snapshot current;
+  // Vertex currently hosting each object (its component in the previous
+  // snapshot), i.e. the frontier of the DAG under construction.
+  std::vector<VertexId> vertex_of(n, kInvalidVertex);
+  std::vector<VertexId> new_vertex_of(n, kInvalidVertex);
+  std::vector<VertexId> edge_sources;  // Scratch: dedup of incoming edges.
+
+  uint64_t unmerged_vertices = 0;
+  uint64_t unmerged_edges = 0;
+
+  for (Timestamp t = span.start; t <= span.end; ++t) {
+    ComputeSnapshot(network, t, &uf, &current);
+    unmerged_vertices += current.components.size();
+
+    for (auto& members : current.components) {
+      const ObjectId representative = members.front();
+      // Count edges of the unmerged DAG: distinct predecessor components.
+      if (t > span.start) {
+        edge_sources.clear();
+        for (ObjectId o : members) {
+          if (vertex_of[o] != kInvalidVertex) {
+            edge_sources.push_back(vertex_of[o]);
+          }
+        }
+        std::sort(edge_sources.begin(), edge_sources.end());
+        edge_sources.erase(
+            std::unique(edge_sources.begin(), edge_sources.end()),
+            edge_sources.end());
+        unmerged_edges += edge_sources.size();
+      }
+
+      // Merging: the run continues iff the component equals the previous
+      // component of its representative (identical member sets imply a
+      // 1:1 predecessor/successor relationship, see header).
+      if (options.merge_identical_components && t > span.start) {
+        const VertexId prev = vertex_of[representative];
+        if (prev != kInvalidVertex &&
+            graph.vertex(prev).span.end == t - 1 &&
+            graph.vertex(prev).members == members) {
+          graph.ExtendVertexSpan(prev, t);
+          for (ObjectId o : members) new_vertex_of[o] = prev;
+          continue;
+        }
+      }
+
+      const VertexId v =
+          graph.AddVertex(TimeInterval(t, t), std::move(members));
+      const auto& added = graph.vertex(v).members;
+      if (t > span.start) {
+        edge_sources.clear();
+        for (ObjectId o : added) {
+          if (vertex_of[o] != kInvalidVertex) {
+            edge_sources.push_back(vertex_of[o]);
+          }
+        }
+        std::sort(edge_sources.begin(), edge_sources.end());
+        edge_sources.erase(
+            std::unique(edge_sources.begin(), edge_sources.end()),
+            edge_sources.end());
+        for (VertexId source : edge_sources) graph.AddEdge(source, v);
+      }
+      for (ObjectId o : added) new_vertex_of[o] = v;
+    }
+    std::swap(vertex_of, new_vertex_of);
+  }
+
+  graph.mutable_stats()->unmerged_vertices = unmerged_vertices;
+  graph.mutable_stats()->unmerged_edges = unmerged_edges;
+  return graph;
+}
+
+}  // namespace streach

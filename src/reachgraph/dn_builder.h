@@ -1,0 +1,38 @@
+#ifndef STREACH_REACHGRAPH_DN_BUILDER_H_
+#define STREACH_REACHGRAPH_DN_BUILDER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "network/contact_network.h"
+#include "reachgraph/dn_graph.h"
+
+namespace streach {
+
+/// Options of the reduction phase (§5.1.2.1).
+struct DnBuilderOptions {
+  /// Step 2 of the reduction: merge runs of identical components across
+  /// consecutive snapshots (aggregated edges). Disabling it yields the
+  /// unmerged per-snapshot component DAG — exposed for the merging
+  /// ablation benchmark.
+  bool merge_identical_components = true;
+};
+
+/// \brief Builds the reduced DAG DN from a contact network (§5.1.2.1).
+///
+/// Step 1 collapses each connected component of every snapshot Gt into one
+/// hypernode (sound by snapshot symmetry, Property 5.1) and connects
+/// components of consecutive snapshots that share an object (this subsumes
+/// the TEN holding edges, so reachability is preserved). Step 2 merges a
+/// run of snapshots over which a component's member set stays identical
+/// into a single vertex spanning the run: such a component's only outgoing
+/// edge is to its own next snapshot (member sets partition the objects),
+/// so the merge is lossless.
+///
+/// Construction performs O(|O| |T|) work: one union-find pass per tick.
+Result<DnGraph> BuildDnGraph(const ContactNetwork& network,
+                             const DnBuilderOptions& options = {});
+
+}  // namespace streach
+
+#endif  // STREACH_REACHGRAPH_DN_BUILDER_H_

@@ -1,0 +1,78 @@
+#include "reachgraph/dn_graph.h"
+
+#include <algorithm>
+
+namespace streach {
+
+VertexId DnGraph::AddVertex(TimeInterval span, std::vector<ObjectId> members) {
+  STREACH_CHECK(!span.empty());
+  STREACH_CHECK(!members.empty());
+  STREACH_CHECK(std::is_sorted(members.begin(), members.end()));
+  const VertexId id = static_cast<VertexId>(vertices_.size());
+  DnVertex v;
+  v.span = span;
+  v.members = std::move(members);
+  for (ObjectId o : v.members) {
+    STREACH_CHECK_LT(o, num_objects_);
+    timelines_[o].push_back({span, id});
+  }
+  vertices_.push_back(std::move(v));
+  ++stats_.num_vertices;
+  return id;
+}
+
+void DnGraph::AddEdge(VertexId from, VertexId to) {
+  STREACH_CHECK_LT(from, vertices_.size());
+  STREACH_CHECK_LT(to, vertices_.size());
+  vertices_[from].out.push_back(to);
+  vertices_[to].in.push_back(from);
+  ++stats_.num_edges;
+}
+
+void DnGraph::ExtendVertexSpan(VertexId v, Timestamp new_end) {
+  DnVertex& vertex = vertices_[v];
+  STREACH_CHECK_GE(new_end, vertex.span.end);
+  vertex.span.end = new_end;
+  for (ObjectId o : vertex.members) {
+    auto& timeline = timelines_[o];
+    STREACH_CHECK(!timeline.empty());
+    STREACH_CHECK_EQ(timeline.back().vertex, v);
+    timeline.back().span.end = new_end;
+  }
+}
+
+VertexId DnGraph::VertexOf(ObjectId object, Timestamp t) const {
+  if (object >= timelines_.size()) return kInvalidVertex;
+  const auto& timeline = timelines_[object];
+  // Binary search for the entry whose span contains t.
+  auto it = std::upper_bound(
+      timeline.begin(), timeline.end(), t,
+      [](Timestamp time, const TimelineEntry& e) { return time < e.span.start; });
+  if (it == timeline.begin()) return kInvalidVertex;
+  --it;
+  return it->span.Contains(t) ? it->vertex : kInvalidVertex;
+}
+
+double DnGraph::AverageDegreeAtResolution(int32_t length) const {
+  uint64_t degree_sum = 0;
+  uint64_t vertex_count = 0;
+  for (const DnVertex& v : vertices_) {
+    uint64_t degree = 0;
+    if (length == 1) {
+      degree = v.out.size();
+    } else {
+      for (const LongEdge& e : v.long_out) {
+        if (e.length == length) ++degree;
+      }
+    }
+    if (degree > 0) {
+      degree_sum += degree;
+      ++vertex_count;
+    }
+  }
+  return vertex_count == 0
+             ? 0.0
+             : static_cast<double>(degree_sum) / static_cast<double>(vertex_count);
+}
+
+}  // namespace streach

@@ -1,0 +1,132 @@
+#ifndef STREACH_REACHGRAPH_DN_GRAPH_H_
+#define STREACH_REACHGRAPH_DN_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace streach {
+
+/// \brief Precomputed reachability ("long") edge of the multi-resolution
+/// augmentation (§5.1.2.2).
+///
+/// A long edge (u -> target, anchor, length) states: the component `target`
+/// (alive at time anchor+length) is reachable from component `u` (alive at
+/// time anchor) through the contact network. Anchors are aligned to
+/// multiples of `length` from the span start ("we break T into a set of
+/// disjoint intervals I1..In with equal length L"). During traversal an
+/// item that arrived at `u` at time tau can take the edge iff tau <=
+/// anchor.
+struct LongEdge {
+  VertexId target = kInvalidVertex;
+  Timestamp anchor = 0;   ///< Departure time ta (source alive at ta).
+  int32_t length = 0;     ///< Resolution L; arrival time is anchor+length.
+
+  bool operator==(const LongEdge& o) const {
+    return target == o.target && anchor == o.anchor && length == o.length;
+  }
+};
+
+/// \brief Vertex of the reduced contact-network DAG DN (§5.1.2.1).
+///
+/// A vertex is a connected component of the snapshot contact graph,
+/// merged across the maximal run of consecutive ticks over which its
+/// member set stays identical (the lossless aggregation step; the
+/// "aggregated edge" weight of the paper is recoverable as the span
+/// length). Members are mutually reachable at every instant of `span`.
+struct DnVertex {
+  TimeInterval span;
+  std::vector<ObjectId> members;  ///< Sorted.
+
+  /// DN_1 edges: `out[i]` starts at span.end and arrives at the target's
+  /// span.start (= span.end + 1). `in` is the reverse graph stored for
+  /// bidirectional traversal (§5.1.3).
+  std::vector<VertexId> out;
+  std::vector<VertexId> in;
+
+  /// Multi-resolution long edges, sorted by (length, anchor).
+  std::vector<LongEdge> long_out;
+};
+
+/// Size statistics of DN, before/after the reduction steps (§6.2.1.1,
+/// Figure 10).
+struct DnStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;       ///< DN_1 edges.
+  uint64_t num_long_edges = 0;  ///< All resolutions >= 2.
+  /// Vertex/edge counts of the unmerged per-snapshot component DAG
+  /// (after reduction step 1, before step 2); used to quantify step 2.
+  uint64_t unmerged_vertices = 0;
+  uint64_t unmerged_edges = 0;
+};
+
+/// \brief The reduced (and optionally augmented) contact-network DAG.
+///
+/// Vertices are created in time order, so vertex ids form a topological
+/// order — the property the disk-placement partitioning of §5.1.3 builds
+/// on. The graph also maintains, per object, the timeline of vertices the
+/// object belongs to, which implements the paper's Ht hash tables
+/// ("locate the connected component corresponding to each vertex oi(t)").
+class DnGraph {
+ public:
+  DnGraph(size_t num_objects, TimeInterval span)
+      : num_objects_(num_objects), span_(span),
+        timelines_(num_objects) {}
+
+  size_t num_objects() const { return num_objects_; }
+  const TimeInterval& span() const { return span_; }
+
+  size_t num_vertices() const { return vertices_.size(); }
+  const DnVertex& vertex(VertexId v) const {
+    STREACH_CHECK_LT(v, vertices_.size());
+    return vertices_[v];
+  }
+  DnVertex& mutable_vertex(VertexId v) {
+    STREACH_CHECK_LT(v, vertices_.size());
+    return vertices_[v];
+  }
+  const std::vector<DnVertex>& vertices() const { return vertices_; }
+
+  /// Appends a vertex (must not decrease time order); returns its id.
+  VertexId AddVertex(TimeInterval span, std::vector<ObjectId> members);
+
+  /// Adds a DN_1 edge and its reverse.
+  void AddEdge(VertexId from, VertexId to);
+
+  /// Extends the span of the latest vertex of a run (merging step).
+  void ExtendVertexSpan(VertexId v, Timestamp new_end);
+
+  /// Vertex containing `object` at tick `t`, or kInvalidVertex.
+  VertexId VertexOf(ObjectId object, Timestamp t) const;
+
+  /// Timeline of (span, vertex) entries for an object, time-ordered.
+  struct TimelineEntry {
+    TimeInterval span;
+    VertexId vertex;
+  };
+  const std::vector<TimelineEntry>& timeline(ObjectId object) const {
+    STREACH_CHECK_LT(object, timelines_.size());
+    return timelines_[object];
+  }
+
+  const DnStats& stats() const { return stats_; }
+  DnStats* mutable_stats() { return &stats_; }
+
+  /// Average out-degree of the resolution-L subgraph over vertices with at
+  /// least one length-L long edge (Table 4; for L=1 over vertices with at
+  /// least one DN_1 out-edge).
+  double AverageDegreeAtResolution(int32_t length) const;
+
+ private:
+  size_t num_objects_;
+  TimeInterval span_;
+  std::vector<DnVertex> vertices_;
+  std::vector<std::vector<TimelineEntry>> timelines_;
+  DnStats stats_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_REACHGRAPH_DN_GRAPH_H_

@@ -1,0 +1,467 @@
+#include "reachgraph/reach_graph_index.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_set>
+
+#include "common/encoding.h"
+#include "common/stopwatch.h"
+
+namespace streach {
+
+namespace {
+
+/// Serializes one vertex into a partition blob.
+void EncodeVertex(VertexId id, const DnVertex& v, Encoder* enc) {
+  enc->PutU32(id);
+  enc->PutI32(v.span.start);
+  enc->PutI32(v.span.end);
+  enc->PutVarint(v.members.size());
+  for (ObjectId o : v.members) enc->PutU32(o);
+  enc->PutVarint(v.out.size());
+  for (VertexId w : v.out) enc->PutU32(w);
+  enc->PutVarint(v.in.size());
+  for (VertexId w : v.in) enc->PutU32(w);
+  enc->PutVarint(v.long_out.size());
+  for (const LongEdge& e : v.long_out) {
+    enc->PutI32(e.anchor);
+    enc->PutVarint(static_cast<uint64_t>(e.length));
+    enc->PutU32(e.target);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ReachGraphIndex>> ReachGraphIndex::Build(
+    const ContactNetwork& network, const ReachGraphOptions& options) {
+  Stopwatch watch;
+  DnBuilderOptions dn_options;
+  dn_options.merge_identical_components = options.merge_identical_components;
+  auto dn = BuildDnGraph(network, dn_options);
+  if (!dn.ok()) return dn.status();
+  const double reduction_seconds = watch.ElapsedSeconds();
+  auto index = BuildFromDn(std::move(dn).ValueUnsafe(), options);
+  if (!index.ok()) return index.status();
+  (*index)->build_stats_.reduction_seconds = reduction_seconds;
+  return index;
+}
+
+Result<std::unique_ptr<ReachGraphIndex>> ReachGraphIndex::BuildFromDn(
+    DnGraph dn, const ReachGraphOptions& options) {
+  if (options.partition_depth < 0) {
+    return Status::InvalidArgument("partition_depth must be >= 0");
+  }
+  std::unique_ptr<ReachGraphIndex> index(new ReachGraphIndex(options));
+
+  Stopwatch watch;
+  // A graph that already carries long edges (e.g. shared across several
+  // index builds in a parameter sweep) is used as-is.
+  if (dn.stats().num_long_edges == 0) {
+    AugmenterOptions augment_options;
+    augment_options.num_resolutions = options.num_resolutions;
+    STREACH_RETURN_NOT_OK(AugmentWithLongEdges(&dn, augment_options));
+  }
+  index->build_stats_.augmentation_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  STREACH_RETURN_NOT_OK(index->PlaceOnDisk(dn));
+  index->build_stats_.placement_seconds = watch.ElapsedSeconds();
+  index->build_stats_.dn = dn.stats();
+  index->build_stats_.num_partitions = index->partition_extents_.size();
+  index->build_stats_.index_pages = index->device_.num_pages();
+  index->build_stats_.index_bytes = index->device_.size_bytes();
+  index->device_.ResetStats();
+  return index;
+}
+
+Status ReachGraphIndex::PlaceOnDisk(const DnGraph& graph) {
+  span_ = graph.span();
+  num_objects_ = graph.num_objects();
+  const size_t n = graph.num_vertices();
+  constexpr uint32_t kUnassigned = static_cast<uint32_t>(-1);
+  vertex_partition_.assign(n, kUnassigned);
+
+  // Partitioning (§5.1.3): vertices in topological (= id) order; from each
+  // unassigned root, a BFS over DN_1 out-edges up to depth dp claims every
+  // still-unassigned vertex it reaches. Long edges are ignored so each
+  // partition stays temporally local.
+  ExtentWriter writer(&device_);
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next;
+  std::vector<VertexId> partition_members;
+  Encoder enc;
+  for (VertexId root = 0; root < n; ++root) {
+    if (vertex_partition_[root] != kUnassigned) continue;
+    const auto partition_id = static_cast<uint32_t>(partition_extents_.size());
+    partition_members.clear();
+    frontier.assign(1, root);
+    vertex_partition_[root] = partition_id;
+    partition_members.push_back(root);
+    for (int depth = 0; depth < options_.partition_depth && !frontier.empty();
+         ++depth) {
+      next.clear();
+      for (VertexId v : frontier) {
+        for (VertexId w : graph.vertex(v).out) {
+          if (vertex_partition_[w] != kUnassigned) continue;
+          vertex_partition_[w] = partition_id;
+          partition_members.push_back(w);
+          next.push_back(w);
+        }
+      }
+      std::swap(frontier, next);
+    }
+    // Serialize the partition: vertices in id (time) order within it.
+    std::sort(partition_members.begin(), partition_members.end());
+    enc.Clear();
+    enc.PutVarint(partition_members.size());
+    for (VertexId v : partition_members) {
+      EncodeVertex(v, graph.vertex(v), &enc);
+    }
+    auto extent = writer.Append(enc.buffer());
+    if (!extent.ok()) return extent.status();
+    partition_extents_.push_back(*extent);
+  }
+
+  // Object timelines (the Ht lookup structure), after the partitions.
+  STREACH_RETURN_NOT_OK(writer.AlignToPage());
+  timeline_extents_.reserve(num_objects_);
+  for (ObjectId o = 0; o < num_objects_; ++o) {
+    enc.Clear();
+    const auto& timeline = graph.timeline(o);
+    enc.PutVarint(timeline.size());
+    for (const auto& entry : timeline) {
+      enc.PutI32(entry.span.start);
+      enc.PutI32(entry.span.end);
+      enc.PutU32(entry.vertex);
+    }
+    auto extent = writer.Append(enc.buffer());
+    if (!extent.ok()) return extent.status();
+    timeline_extents_.push_back(*extent);
+  }
+  return writer.Flush();
+}
+
+Result<const ReachGraphIndex::StoredVertex*> ReachGraphIndex::GetVertex(
+    VertexId v) {
+  if (v >= vertex_partition_.size()) {
+    return Status::OutOfRange("vertex id out of range");
+  }
+  const uint32_t partition = vertex_partition_[v];
+  auto it = parsed_.find(partition);
+  if (it == parsed_.end()) {
+    auto blob =
+        ReadExtent(&pool_, partition_extents_[partition], options_.page_size);
+    if (!blob.ok()) return blob.status();
+    Decoder dec(*blob);
+    ParsedPartition vertices;
+    auto count = dec.GetVarint();
+    if (!count.ok()) return count.status();
+    for (uint64_t i = 0; i < *count; ++i) {
+      auto id = dec.GetU32();
+      if (!id.ok()) return id.status();
+      StoredVertex sv;
+      auto ts = dec.GetI32();
+      auto te = dec.GetI32();
+      if (!ts.ok() || !te.ok()) return Status::Corruption("vertex span");
+      sv.span = TimeInterval(*ts, *te);
+      auto nm = dec.GetVarint();
+      if (!nm.ok()) return nm.status();
+      sv.members.reserve(*nm);
+      for (uint64_t j = 0; j < *nm; ++j) {
+        auto o = dec.GetU32();
+        if (!o.ok()) return o.status();
+        sv.members.push_back(*o);
+      }
+      auto nout = dec.GetVarint();
+      if (!nout.ok()) return nout.status();
+      sv.out.reserve(*nout);
+      for (uint64_t j = 0; j < *nout; ++j) {
+        auto w = dec.GetU32();
+        if (!w.ok()) return w.status();
+        sv.out.push_back(*w);
+      }
+      auto nin = dec.GetVarint();
+      if (!nin.ok()) return nin.status();
+      sv.in.reserve(*nin);
+      for (uint64_t j = 0; j < *nin; ++j) {
+        auto w = dec.GetU32();
+        if (!w.ok()) return w.status();
+        sv.in.push_back(*w);
+      }
+      auto nlong = dec.GetVarint();
+      if (!nlong.ok()) return nlong.status();
+      sv.long_out.reserve(*nlong);
+      for (uint64_t j = 0; j < *nlong; ++j) {
+        auto anchor = dec.GetI32();
+        auto length = dec.GetVarint();
+        auto target = dec.GetU32();
+        if (!anchor.ok() || !length.ok() || !target.ok()) {
+          return Status::Corruption("long edge");
+        }
+        sv.long_out.push_back(LongEdge{
+            *target, *anchor, static_cast<int32_t>(*length)});
+      }
+      vertices.emplace(*id, std::move(sv));
+    }
+    it = parsed_.emplace(partition, std::move(vertices)).first;
+  }
+  auto vit = it->second.find(v);
+  if (vit == it->second.end()) {
+    return Status::Corruption("vertex missing from its partition");
+  }
+  return &vit->second;
+}
+
+Result<VertexId> ReachGraphIndex::LookupVertex(ObjectId object, Timestamp t) {
+  if (object >= timeline_extents_.size()) {
+    return Status::NotFound("unknown object");
+  }
+  auto blob = ReadExtent(&pool_, timeline_extents_[object], options_.page_size);
+  if (!blob.ok()) return blob.status();
+  Decoder dec(*blob);
+  auto count = dec.GetVarint();
+  if (!count.ok()) return count.status();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto start = dec.GetI32();
+    auto end = dec.GetI32();
+    auto vertex = dec.GetU32();
+    if (!start.ok() || !end.ok() || !vertex.ok()) {
+      return Status::Corruption("timeline entry");
+    }
+    if (t >= *start && t <= *end) return *vertex;
+  }
+  return Status::NotFound("object has no vertex at requested time");
+}
+
+void ReachGraphIndex::BeginQuery() {
+  parsed_.clear();
+  io_at_query_start_ = device_.stats();
+  pool_hits_at_start_ = pool_.hits();
+  pool_misses_at_start_ = pool_.misses();
+}
+
+void ReachGraphIndex::EndQuery(uint64_t items_visited) {
+  const IoStats delta = device_.stats() - io_at_query_start_;
+  last_stats_.io_cost = delta.NormalizedReadCost();
+  last_stats_.pages_fetched = pool_.misses() - pool_misses_at_start_;
+  last_stats_.pool_hits = pool_.hits() - pool_hits_at_start_;
+  last_stats_.items_visited = items_visited;
+}
+
+void ReachGraphIndex::ClearCache() {
+  pool_.Clear();
+  parsed_.clear();
+}
+
+Result<ReachAnswer> ReachGraphIndex::QueryBmBfs(const ReachQuery& query) {
+  return RunBidirectional(query, /*use_long_edges=*/true);
+}
+
+Result<ReachAnswer> ReachGraphIndex::QueryBBfs(const ReachQuery& query) {
+  return RunBidirectional(query, /*use_long_edges=*/false);
+}
+
+Result<ReachAnswer> ReachGraphIndex::QueryEBfs(const ReachQuery& query) {
+  return RunUnidirectional(query, /*dfs=*/false);
+}
+
+Result<ReachAnswer> ReachGraphIndex::QueryEDfs(const ReachQuery& query) {
+  return RunUnidirectional(query, /*dfs=*/true);
+}
+
+namespace {
+
+/// Forward traversal state: vertex plus item arrival time.
+struct FwdEntry {
+  Timestamp arrival;
+  VertexId vertex;
+  bool operator>(const FwdEntry& o) const {
+    return arrival > o.arrival || (arrival == o.arrival && vertex > o.vertex);
+  }
+};
+
+/// Backward traversal state: vertex plus latest witness time theta (an
+/// item present in the vertex's component at theta reaches the
+/// destination in time).
+struct BwdEntry {
+  Timestamp theta;
+  VertexId vertex;
+  bool operator<(const BwdEntry& o) const {
+    return theta < o.theta || (theta == o.theta && vertex < o.vertex);
+  }
+};
+
+}  // namespace
+
+Result<ReachAnswer> ReachGraphIndex::RunBidirectional(const ReachQuery& query,
+                                                      bool use_long_edges) {
+  BeginQuery();
+  Stopwatch watch;
+  ReachAnswer answer;
+  uint64_t visited_count = 0;
+
+  const TimeInterval w = query.interval.Intersect(span_);
+  auto finish = [&](bool reachable) {
+    answer.reachable = reachable;
+    last_stats_.cpu_seconds = watch.ElapsedSeconds();
+    EndQuery(visited_count);
+    return answer;
+  };
+  if (w.empty()) return finish(false);
+  if (query.source == query.destination) {
+    answer.arrival_time = w.start;
+    return finish(true);
+  }
+  const Timestamp t1 = w.start;
+  const Timestamp t2 = w.end;
+  const Timestamp mid = t1 + (t2 - t1) / 2;
+
+  auto v1 = LookupVertex(query.source, t1);
+  if (!v1.ok()) return v1.status();
+  auto v2 = LookupVertex(query.destination, t2);
+  if (!v2.ok()) return v2.status();
+
+  std::priority_queue<FwdEntry, std::vector<FwdEntry>, std::greater<>> fwd;
+  std::priority_queue<BwdEntry> bwd;
+  std::unordered_set<VertexId> visited_fwd;
+  std::unordered_set<VertexId> visited_bwd;
+  std::unordered_set<ObjectId> objects_fwd;
+  std::unordered_set<ObjectId> objects_bwd;
+  fwd.push({t1, *v1});
+  bwd.push({t2, *v2});
+
+  // Expands one forward entry; returns true when the object sets meet.
+  auto step_forward = [&]() -> Result<bool> {
+    const FwdEntry entry = fwd.top();
+    fwd.pop();
+    if (!visited_fwd.insert(entry.vertex).second) return false;
+    ++visited_count;
+    auto sv = GetVertex(entry.vertex);
+    if (!sv.ok()) return sv.status();
+    const StoredVertex& vx = **sv;
+    for (ObjectId o : vx.members) {
+      if (objects_bwd.count(o) != 0) return true;
+      objects_fwd.insert(o);
+    }
+    bool took_long = false;
+    if (use_long_edges) {
+      // Resolution cascade: edges are sorted by (length desc, anchor asc);
+      // take every admissible edge of the largest admissible length.
+      int32_t chosen_length = 0;
+      for (const LongEdge& e : vx.long_out) {
+        if (chosen_length != 0 && e.length != chosen_length) break;
+        if (e.anchor < entry.arrival ||
+            e.anchor + e.length > mid) {
+          continue;
+        }
+        chosen_length = e.length;
+        took_long = true;
+        if (visited_fwd.count(e.target) == 0) {
+          fwd.push({static_cast<Timestamp>(e.anchor + e.length), e.target});
+        }
+      }
+    }
+    if (!took_long) {
+      const Timestamp arrival = vx.span.end + 1;
+      if (arrival <= mid) {
+        for (VertexId t : vx.out) {
+          if (visited_fwd.count(t) == 0) fwd.push({arrival, t});
+        }
+      }
+    }
+    return false;
+  };
+
+  // Expands one backward entry over the reverse DN_1 graph.
+  auto step_backward = [&]() -> Result<bool> {
+    const BwdEntry entry = bwd.top();
+    bwd.pop();
+    if (!visited_bwd.insert(entry.vertex).second) return false;
+    ++visited_count;
+    auto sv = GetVertex(entry.vertex);
+    if (!sv.ok()) return sv.status();
+    const StoredVertex& vx = **sv;
+    for (ObjectId o : vx.members) {
+      if (objects_fwd.count(o) != 0) return true;
+      objects_bwd.insert(o);
+    }
+    const Timestamp theta = vx.span.start - 1;  // Predecessors end here.
+    if (theta >= mid) {
+      for (VertexId t : vx.in) {
+        if (visited_bwd.count(t) == 0) bwd.push({theta, t});
+      }
+    }
+    return false;
+  };
+
+  while (!fwd.empty() || !bwd.empty()) {
+    if (!fwd.empty()) {
+      auto met = step_forward();
+      if (!met.ok()) return met.status();
+      if (*met) return finish(true);
+    }
+    if (!bwd.empty()) {
+      auto met = step_backward();
+      if (!met.ok()) return met.status();
+      if (*met) return finish(true);
+    }
+  }
+  return finish(false);
+}
+
+Result<ReachAnswer> ReachGraphIndex::RunUnidirectional(const ReachQuery& query,
+                                                       bool dfs) {
+  BeginQuery();
+  Stopwatch watch;
+  ReachAnswer answer;
+  uint64_t visited_count = 0;
+
+  const TimeInterval w = query.interval.Intersect(span_);
+  auto finish = [&](bool reachable) {
+    answer.reachable = reachable;
+    last_stats_.cpu_seconds = watch.ElapsedSeconds();
+    EndQuery(visited_count);
+    return answer;
+  };
+  if (w.empty()) return finish(false);
+  if (query.source == query.destination) {
+    answer.arrival_time = w.start;
+    return finish(true);
+  }
+
+  auto v1 = LookupVertex(query.source, w.start);
+  if (!v1.ok()) return v1.status();
+  auto v2 = LookupVertex(query.destination, w.end);
+  if (!v2.ok()) return v2.status();
+  if (*v1 == *v2) return finish(true);
+
+  // Worklist used as a FIFO (E-BFS) or LIFO (E-DFS).
+  std::deque<VertexId> work;
+  std::unordered_set<VertexId> visited;
+  work.push_back(*v1);
+  visited.insert(*v1);
+  while (!work.empty()) {
+    VertexId v;
+    if (dfs) {
+      v = work.back();
+      work.pop_back();
+    } else {
+      v = work.front();
+      work.pop_front();
+    }
+    ++visited_count;
+    if (v == *v2) return finish(true);
+    auto sv = GetVertex(v);
+    if (!sv.ok()) return sv.status();
+    const StoredVertex& vx = **sv;
+    const Timestamp arrival = vx.span.end + 1;
+    if (arrival > w.end) continue;
+    for (VertexId t : vx.out) {
+      if (visited.insert(t).second) work.push_back(t);
+    }
+  }
+  return finish(false);
+}
+
+}  // namespace streach

@@ -1,0 +1,146 @@
+#ifndef STREACH_REACHGRAPH_REACH_GRAPH_INDEX_H_
+#define STREACH_REACHGRAPH_REACH_GRAPH_INDEX_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/query_stats.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "network/contact_network.h"
+#include "reachgraph/augmenter.h"
+#include "reachgraph/dn_builder.h"
+#include "reachgraph/dn_graph.h"
+#include "storage/block_device.h"
+#include "storage/block_file.h"
+#include "storage/buffer_pool.h"
+
+namespace streach {
+
+/// Construction and placement parameters of ReachGraph (§5).
+struct ReachGraphOptions {
+  /// Resolutions of HN including DN_1 (§6.2.1.4 optimum: 6).
+  int num_resolutions = 6;
+  /// Partitioning depth dp (§6.2.1.4 optimum: 32).
+  int partition_depth = 32;
+  size_t page_size = BlockDevice::kDefaultPageSize;
+  /// Buffer-pool capacity in pages ("internal memory" for partitions).
+  size_t buffer_pool_pages = 64;
+  /// Reduction step 2 toggle (ablation).
+  bool merge_identical_components = true;
+};
+
+/// Construction metrics (Figures 10, 11; Table 4 uses the DnStats).
+struct ReachGraphBuildStats {
+  double reduction_seconds = 0.0;     ///< TEN -> DN (Figure 11).
+  double augmentation_seconds = 0.0;  ///< Long edges.
+  double placement_seconds = 0.0;     ///< Partitioning + serialization.
+  uint64_t num_partitions = 0;
+  uint64_t index_pages = 0;
+  uint64_t index_bytes = 0;
+  DnStats dn;
+};
+
+/// \brief Disk-resident multi-resolution reachability index (§5).
+///
+/// Owns a simulated block device holding: (a) the hypergraph HN serialized
+/// as depth-dp partitions of topologically ordered vertices placed on
+/// consecutive pages (§5.1.3), each vertex carrying its members, DN_1
+/// out-edges, reverse (in) edges, and long edges; and (b) per-object
+/// timelines implementing the paper's Ht lookup tables (object, t) ->
+/// vertex. Four query processors are exposed:
+///
+///  * `QueryBmBfs` — the paper's BM-BFS (Algorithm 2): bidirectional
+///    traversal meeting at the query-interval midpoint, long edges taken
+///    at the highest admissible resolution, early termination when the
+///    forward/backward object sets intersect.
+///  * `QueryBBfs`  — bidirectional, single resolution (baseline of Fig 13).
+///  * `QueryEBfs` / `QueryEDfs` — unidirectional external BFS/DFS on DN_1
+///    testing vertex-to-vertex reachability (naive baselines of Fig 13;
+///    they do not inspect component members).
+class ReachGraphIndex {
+ public:
+  /// Builds the index from a contact network: reduction, augmentation,
+  /// and disk placement.
+  static Result<std::unique_ptr<ReachGraphIndex>> Build(
+      const ContactNetwork& network, const ReachGraphOptions& options);
+
+  /// Builds from an already-reduced DN graph (shares construction across
+  /// experiments). The graph must not already contain long edges.
+  static Result<std::unique_ptr<ReachGraphIndex>> BuildFromDn(
+      DnGraph dn, const ReachGraphOptions& options);
+
+  Result<ReachAnswer> QueryBmBfs(const ReachQuery& query);
+  Result<ReachAnswer> QueryBBfs(const ReachQuery& query);
+  Result<ReachAnswer> QueryEBfs(const ReachQuery& query);
+  Result<ReachAnswer> QueryEDfs(const ReachQuery& query);
+
+  /// Metrics of the most recent query.
+  const QueryStats& last_query_stats() const { return last_stats_; }
+  const ReachGraphBuildStats& build_stats() const { return build_stats_; }
+  const ReachGraphOptions& options() const { return options_; }
+
+  /// Evicts all buffered pages so the next query runs cold.
+  void ClearCache();
+
+  size_t num_vertices() const { return vertex_partition_.size(); }
+  uint64_t num_partitions() const { return partition_extents_.size(); }
+
+ private:
+  /// Deserialized vertex as stored in a partition blob.
+  struct StoredVertex {
+    TimeInterval span;
+    std::vector<ObjectId> members;
+    std::vector<VertexId> out;
+    std::vector<VertexId> in;
+    std::vector<LongEdge> long_out;
+  };
+  using ParsedPartition = std::unordered_map<VertexId, StoredVertex>;
+
+  ReachGraphIndex(const ReachGraphOptions& options)
+      : options_(options),
+        device_(options.page_size),
+        pool_(&device_, options.buffer_pool_pages) {}
+
+  Status PlaceOnDisk(const DnGraph& graph);
+
+  /// Loads (and caches) the vertex's partition; returns the vertex.
+  Result<const StoredVertex*> GetVertex(VertexId v);
+
+  /// (object, t) -> vertex via the on-disk timeline (Ht lookup).
+  Result<VertexId> LookupVertex(ObjectId object, Timestamp t);
+
+  struct TraversalScratch;
+  Result<ReachAnswer> RunBidirectional(const ReachQuery& query,
+                                       bool use_long_edges);
+  Result<ReachAnswer> RunUnidirectional(const ReachQuery& query, bool dfs);
+
+  void BeginQuery();
+  void EndQuery(uint64_t items_visited);
+
+  ReachGraphOptions options_;
+  BlockDevice device_;
+  BufferPool pool_;
+  ReachGraphBuildStats build_stats_;
+  QueryStats last_stats_;
+
+  // In-memory directory (metadata): partition of each vertex, extent of
+  // each partition, extent of each object timeline.
+  std::vector<uint32_t> vertex_partition_;
+  std::vector<Extent> partition_extents_;
+  std::vector<Extent> timeline_extents_;
+  TimeInterval span_;
+  size_t num_objects_ = 0;
+
+  // Partitions parsed during the current query (backed by pool pages).
+  std::unordered_map<uint32_t, ParsedPartition> parsed_;
+
+  IoStats io_at_query_start_;
+  uint64_t pool_hits_at_start_ = 0;
+  uint64_t pool_misses_at_start_ = 0;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_REACHGRAPH_REACH_GRAPH_INDEX_H_

@@ -1,0 +1,347 @@
+#include "reachgrid/reach_grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/encoding.h"
+#include "common/stopwatch.h"
+#include "spatial/rect.h"
+
+namespace streach {
+
+Result<std::unique_ptr<ReachGridIndex>> ReachGridIndex::Build(
+    const TrajectoryStore& store, const ReachGridOptions& options) {
+  if (store.num_objects() == 0) {
+    return Status::InvalidArgument("empty trajectory store");
+  }
+  if (options.temporal_resolution < 1) {
+    return Status::InvalidArgument("temporal_resolution must be >= 1");
+  }
+  if (options.spatial_cell_size <= 0) {
+    return Status::InvalidArgument("spatial_cell_size must be positive");
+  }
+  Rect extent = store.ComputeExtent();
+  if (extent.Width() <= 0 || extent.Height() <= 0) {
+    extent = extent.Padded(1.0);
+  }
+  Stopwatch watch;
+  std::unique_ptr<ReachGridIndex> index(new ReachGridIndex(
+      options, extent, store.span(), store.num_objects()));
+  STREACH_RETURN_NOT_OK(index->WriteIndex(store));
+  index->build_stats_.build_seconds = watch.ElapsedSeconds();
+  index->build_stats_.index_pages = index->device_.num_pages();
+  index->build_stats_.index_bytes = index->device_.size_bytes();
+  index->device_.ResetStats();
+  return index;
+}
+
+TimeInterval ReachGridIndex::BucketInterval(int bucket) const {
+  const Timestamp start =
+      span_.start + static_cast<Timestamp>(bucket) * options_.temporal_resolution;
+  const Timestamp end = std::min<Timestamp>(
+      start + options_.temporal_resolution - 1, span_.end);
+  return TimeInterval(start, end);
+}
+
+Status ReachGridIndex::WriteIndex(const TrajectoryStore& store) {
+  const int num_buckets = BucketOf(span_.end) + 1;
+  bucket_cells_.resize(static_cast<size_t>(num_buckets));
+  build_stats_.num_buckets = static_cast<uint64_t>(num_buckets);
+
+  ExtentWriter writer(&device_);
+  Encoder enc;
+  std::vector<CellId> scratch_cells;
+
+  // Cells of bucket i are written before cells of bucket j > i; within a
+  // bucket, cells in row-major CellId order; blobs packed back-to-back so
+  // a bucket's cells occupy consecutive pages (§4.1).
+  for (int bucket = 0; bucket < num_buckets; ++bucket) {
+    const TimeInterval bw = BucketInterval(bucket);
+    // cell -> objects whose segment has a sample in the cell.
+    std::unordered_map<CellId, std::vector<ObjectId>> cell_objects;
+    for (ObjectId o = 0; o < store.num_objects(); ++o) {
+      const Trajectory& tr = store.Get(o);
+      scratch_cells.clear();
+      for (Timestamp t = bw.start; t <= bw.end; ++t) {
+        scratch_cells.push_back(grid_.CellOf(tr.At(t)));
+      }
+      std::sort(scratch_cells.begin(), scratch_cells.end());
+      scratch_cells.erase(
+          std::unique(scratch_cells.begin(), scratch_cells.end()),
+          scratch_cells.end());
+      for (CellId c : scratch_cells) cell_objects[c].push_back(o);
+    }
+    // Deterministic order: ascending cell id.
+    std::vector<CellId> cells;
+    cells.reserve(cell_objects.size());
+    for (const auto& [c, objs] : cell_objects) cells.push_back(c);
+    std::sort(cells.begin(), cells.end());
+    for (CellId c : cells) {
+      const auto& objs = cell_objects[c];
+      enc.Clear();
+      enc.PutVarint(objs.size());
+      for (ObjectId o : objs) {
+        enc.PutU32(o);
+        const Trajectory& tr = store.Get(o);
+        // Positions time-ordered (§4.1's within-cell placement rule).
+        for (Timestamp t = bw.start; t <= bw.end; ++t) {
+          const Point& p = tr.At(t);
+          enc.PutDouble(p.x);
+          enc.PutDouble(p.y);
+        }
+      }
+      auto extent = writer.Append(enc.buffer());
+      if (!extent.ok()) return extent.status();
+      bucket_cells_[static_cast<size_t>(bucket)].emplace(c, *extent);
+      ++build_stats_.num_nonempty_cells;
+    }
+  }
+
+  // Locator tables (the external object->cell hash of §4.2), one per
+  // bucket, after the cell area.
+  STREACH_RETURN_NOT_OK(writer.AlignToPage());
+  locator_extents_.reserve(static_cast<size_t>(num_buckets));
+  for (int bucket = 0; bucket < num_buckets; ++bucket) {
+    const TimeInterval bw = BucketInterval(bucket);
+    enc.Clear();
+    for (ObjectId o = 0; o < store.num_objects(); ++o) {
+      enc.PutU32(grid_.CellOf(store.Get(o).At(bw.start)));
+    }
+    auto extent = writer.Append(enc.buffer());
+    if (!extent.ok()) return extent.status();
+    locator_extents_.push_back(*extent);
+  }
+  return writer.Flush();
+}
+
+Result<CellId> ReachGridIndex::LookupCell(int bucket, ObjectId object) {
+  if (bucket < 0 || bucket >= num_buckets() || object >= num_objects_) {
+    return Status::OutOfRange("locator lookup out of range");
+  }
+  const Extent& extent = locator_extents_[static_cast<size_t>(bucket)];
+  // Direct single-entry read: the 4-byte entry may straddle a page edge.
+  const uint64_t byte_offset =
+      extent.offset_in_page + static_cast<uint64_t>(object) * 4;
+  char raw[4];
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t off = byte_offset + static_cast<uint64_t>(i);
+    const PageId page = extent.first_page + off / options_.page_size;
+    auto data = pool_.Fetch(page);
+    if (!data.ok()) return data.status();
+    raw[i] = (*data)[off % options_.page_size];
+  }
+  CellId cell = 0;
+  for (int i = 3; i >= 0; --i) {
+    cell = (cell << 8) | static_cast<uint8_t>(raw[i]);
+  }
+  return cell;
+}
+
+Status ReachGridIndex::FetchCell(int bucket, CellId cell, BucketContext* ctx) {
+  auto [fetched_it, first_time] = ctx->fetched_cells.try_emplace(cell, true);
+  if (!first_time) return Status::OK();
+  const auto& cells = bucket_cells_[static_cast<size_t>(bucket)];
+  auto it = cells.find(cell);
+  if (it == cells.end()) return Status::OK();  // Empty cell.
+  auto blob = ReadExtent(&pool_, it->second, options_.page_size);
+  if (!blob.ok()) return blob.status();
+  Decoder dec(*blob);
+  auto count = dec.GetVarint();
+  if (!count.ok()) return count.status();
+  const auto ticks = static_cast<size_t>(ctx->interval.length());
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto object = dec.GetU32();
+    if (!object.ok()) return object.status();
+    const bool known = ctx->objects.count(*object) != 0;
+    BucketPositions positions;
+    if (!known) positions.reserve(ticks);
+    for (size_t j = 0; j < ticks; ++j) {
+      auto x = dec.GetDouble();
+      auto y = dec.GetDouble();
+      if (!x.ok() || !y.ok()) return Status::Corruption("cell positions");
+      if (!known) positions.emplace_back(*x, *y);
+    }
+    if (!known) ctx->objects.emplace(*object, std::move(positions));
+  }
+  return Status::OK();
+}
+
+void ReachGridIndex::BeginQuery() {
+  io_at_query_start_ = device_.stats();
+  pool_hits_at_start_ = pool_.hits();
+  pool_misses_at_start_ = pool_.misses();
+}
+
+void ReachGridIndex::EndQuery(uint64_t cells_fetched) {
+  const IoStats delta = device_.stats() - io_at_query_start_;
+  last_stats_.io_cost = delta.NormalizedReadCost();
+  last_stats_.pages_fetched = pool_.misses() - pool_misses_at_start_;
+  last_stats_.pool_hits = pool_.hits() - pool_hits_at_start_;
+  last_stats_.items_visited = cells_fetched;
+}
+
+void ReachGridIndex::ClearCache() { pool_.Clear(); }
+
+Result<ReachAnswer> ReachGridIndex::Query(const ReachQuery& query) {
+  return Sweep(query.source, query.destination, query.interval, nullptr);
+}
+
+Result<std::vector<Timestamp>> ReachGridIndex::ReachableSet(
+    ObjectId source, TimeInterval interval) {
+  std::vector<Timestamp> infection_times(num_objects_, kInvalidTime);
+  auto answer = Sweep(source, kInvalidObject, interval, &infection_times);
+  if (!answer.ok()) return answer.status();
+  return infection_times;
+}
+
+Result<ReachAnswer> ReachGridIndex::Sweep(
+    ObjectId source, ObjectId destination, TimeInterval interval,
+    std::vector<Timestamp>* infection_times) {
+  BeginQuery();
+  Stopwatch watch;
+  ReachAnswer answer;
+  uint64_t cells_fetched = 0;
+
+  const TimeInterval w = interval.Intersect(span_);
+  auto finish = [&](bool reachable, Timestamp arrival) {
+    answer.reachable = reachable;
+    answer.arrival_time = arrival;
+    last_stats_.cpu_seconds = watch.ElapsedSeconds();
+    EndQuery(cells_fetched);
+    return answer;
+  };
+  if (w.empty() || source >= num_objects_) return finish(false, kInvalidTime);
+  if (infection_times != nullptr) (*infection_times)[source] = w.start;
+  if (source == destination) return finish(true, w.start);
+
+  const double dt = options_.contact_range;
+  const double dt_sq = dt * dt;
+
+  // Seed set: object -> infection tick.
+  std::unordered_map<ObjectId, Timestamp> seeds;
+  seeds.emplace(source, w.start);
+
+  const int first_bucket = BucketOf(w.start);
+  const int last_bucket = BucketOf(w.end);
+  for (int bucket = first_bucket; bucket <= last_bucket; ++bucket) {
+    BucketContext ctx;
+    ctx.bucket = bucket;
+    ctx.interval = BucketInterval(bucket);
+    const TimeInterval bw = ctx.interval.Intersect(w);
+
+    // Position lookup within this bucket.
+    auto position_of = [&](ObjectId o, Timestamp t) -> const Point& {
+      return ctx.objects.find(o)->second[static_cast<size_t>(
+          t - ctx.interval.start)];
+    };
+
+    // Fetches a batch of cells in ascending id order: cells of one bucket
+    // are placed on disk in that order (§4.1), so a sorted fetch turns
+    // most of the batch into sequential page reads.
+    auto fetch_sorted = [&](std::vector<CellId> cells) -> Status {
+      std::sort(cells.begin(), cells.end());
+      cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+      for (CellId c : cells) {
+        STREACH_RETURN_NOT_OK(FetchCell(bucket, c, &ctx));
+        ++cells_fetched;
+      }
+      return Status::OK();
+    };
+
+    // Brings seeds into the bucket: locate their cells (locator IO), fetch
+    // the records, then fetch the candidate cells around their remaining
+    // segments (the potential-seed cells Ni of §4.2).
+    auto admit_seeds = [&](const std::vector<ObjectId>& batch,
+                           Timestamp from) -> Status {
+      std::vector<CellId> wanted;
+      for (ObjectId s : batch) {
+        if (ctx.objects.count(s) != 0) continue;
+        auto cell = LookupCell(bucket, s);
+        if (!cell.ok()) return cell.status();
+        wanted.push_back(*cell);
+      }
+      STREACH_RETURN_NOT_OK(fetch_sorted(std::move(wanted)));
+      wanted.clear();
+      for (ObjectId s : batch) {
+        if (ctx.objects.count(s) == 0) {
+          return Status::Corruption("seed missing from its located cell");
+        }
+        Rect mbr;
+        for (Timestamp t = from; t <= bw.end; ++t) {
+          mbr.ExpandToInclude(position_of(s, t));
+        }
+        const auto candidates = grid_.CellsIntersecting(mbr.Padded(dt));
+        wanted.insert(wanted.end(), candidates.begin(), candidates.end());
+      }
+      return fetch_sorted(std::move(wanted));
+    };
+
+    {
+      std::vector<ObjectId> batch;
+      batch.reserve(seeds.size());
+      for (const auto& [s, arrival] : seeds) {
+        (void)arrival;
+        batch.push_back(s);
+      }
+      std::sort(batch.begin(), batch.end());  // Locator pages in order.
+      STREACH_RETURN_NOT_OK(admit_seeds(batch, bw.start));
+    }
+
+    // Time sweep with within-tick chaining: a new seed can immediately
+    // infect further objects at the same tick (instantaneous transfer
+    // across a snapshot component, Property 5.1). Seeds are hashed into a
+    // transient dT-sided grid per round so each candidate is tested only
+    // against nearby seeds.
+    auto seed_cell_key = [&](const Point& p) {
+      const auto cx = static_cast<int64_t>(std::floor(p.x / dt));
+      const auto cy = static_cast<int64_t>(std::floor(p.y / dt));
+      return (cx << 32) ^ (cy & 0xFFFFFFFFLL);
+    };
+    std::unordered_map<int64_t, std::vector<Point>> seed_hash;
+    std::vector<ObjectId> new_seeds;
+    for (Timestamp t = bw.start; t <= bw.end; ++t) {
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        seed_hash.clear();
+        for (const auto& [s, arrival] : seeds) {
+          if (arrival > t || ctx.objects.count(s) == 0) continue;
+          const Point& ps = position_of(s, t);
+          seed_hash[seed_cell_key(ps)].push_back(ps);
+        }
+        new_seeds.clear();
+        for (auto& [o, positions] : ctx.objects) {
+          if (seeds.count(o) != 0) continue;
+          const Point& po =
+              positions[static_cast<size_t>(t - ctx.interval.start)];
+          bool infected = false;
+          for (int dx = -1; dx <= 1 && !infected; ++dx) {
+            for (int dy = -1; dy <= 1 && !infected; ++dy) {
+              auto it = seed_hash.find(
+                  seed_cell_key(Point(po.x + dx * dt, po.y + dy * dt)));
+              if (it == seed_hash.end()) continue;
+              for (const Point& ps : it->second) {
+                if (Point::DistanceSquared(po, ps) < dt_sq) {
+                  infected = true;
+                  break;
+                }
+              }
+            }
+          }
+          if (infected) new_seeds.push_back(o);
+        }
+        if (new_seeds.empty()) continue;
+        for (ObjectId o : new_seeds) {
+          seeds.emplace(o, t);
+          if (infection_times != nullptr) (*infection_times)[o] = t;
+          if (o == destination) return finish(true, t);
+        }
+        STREACH_RETURN_NOT_OK(admit_seeds(new_seeds, t));
+        changed = true;
+      }
+    }
+  }
+  return finish(false, kInvalidTime);
+}
+
+}  // namespace streach

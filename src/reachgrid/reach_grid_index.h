@@ -1,0 +1,149 @@
+#ifndef STREACH_REACHGRID_REACH_GRID_INDEX_H_
+#define STREACH_REACHGRID_REACH_GRID_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/query_stats.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "spatial/grid2d.h"
+#include "storage/block_device.h"
+#include "storage/block_file.h"
+#include "storage/buffer_pool.h"
+#include "trajectory/trajectory_store.h"
+
+namespace streach {
+
+/// Construction parameters of ReachGrid (§4.1).
+struct ReachGridOptions {
+  /// Temporal resolution RT: ticks per temporal bucket (paper optimum 20).
+  int temporal_resolution = 20;
+  /// Spatial resolution RS: grid-cell side in meters (paper optimum 1024 m
+  /// for RWP, 17 km for VN).
+  double spatial_cell_size = 1024.0;
+  /// Contact threshold dT in meters.
+  double contact_range = 25.0;
+  size_t page_size = BlockDevice::kDefaultPageSize;
+  size_t buffer_pool_pages = 256;
+};
+
+/// Construction metrics (Figure 9).
+struct ReachGridBuildStats {
+  double build_seconds = 0.0;
+  uint64_t num_buckets = 0;
+  uint64_t num_nonempty_cells = 0;
+  uint64_t index_pages = 0;
+  uint64_t index_bytes = 0;
+};
+
+/// \brief Disk-resident spatiotemporal grid index over raw trajectory
+/// segments (§4).
+///
+/// Offline, the time span is cut into temporal buckets of RT ticks; within
+/// each bucket a uniform RS-meter grid partitions the environment, and
+/// every object's bucket segment is stored in each cell one of its samples
+/// falls in. Cells of bucket i are placed before cells of bucket j > i on
+/// consecutive pages, and positions are time-ordered (§4.1's placement
+/// rules). A per-bucket object locator (the external hash of §4.2) maps
+/// each object to its cell at the bucket start.
+///
+/// Online (Algorithm 1), the query interval is swept bucket by bucket: a
+/// seed set (objects already reached) starts as {source}; at every tick
+/// only the cells intersecting the dT-padded MBRs of the seeds' remaining
+/// segments are fetched (the "potential seed cells" Ni), contacts between
+/// seeds and candidates are tested, newly reached objects join the seed
+/// set immediately (chaining within the tick), and processing stops the
+/// moment the destination is reached.
+class ReachGridIndex {
+ public:
+  static Result<std::unique_ptr<ReachGridIndex>> Build(
+      const TrajectoryStore& store, const ReachGridOptions& options);
+
+  /// Evaluates a reachability query; returns the answer with the earliest
+  /// arrival tick when reachable.
+  Result<ReachAnswer> Query(const ReachQuery& query);
+
+  /// All objects reachable from `source` during `interval` with their
+  /// infection times (same sweep without the destination early-exit);
+  /// entry is kInvalidTime for unreached objects.
+  Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
+                                              TimeInterval interval);
+
+  const QueryStats& last_query_stats() const { return last_stats_; }
+  const ReachGridBuildStats& build_stats() const { return build_stats_; }
+  const ReachGridOptions& options() const { return options_; }
+
+  /// Evicts all buffered pages so the next query runs cold.
+  void ClearCache();
+
+  int num_buckets() const { return static_cast<int>(bucket_cells_.size()); }
+  TimeInterval BucketInterval(int bucket) const;
+
+ private:
+  explicit ReachGridIndex(const ReachGridOptions& options, Rect extent,
+                          TimeInterval span, size_t num_objects)
+      : options_(options),
+        device_(options.page_size),
+        pool_(&device_, options.buffer_pool_pages),
+        grid_(extent, options.spatial_cell_size),
+        span_(span),
+        num_objects_(num_objects) {}
+
+  int BucketOf(Timestamp t) const {
+    return static_cast<int>((t - span_.start) / options_.temporal_resolution);
+  }
+
+  Status WriteIndex(const TrajectoryStore& store);
+
+  /// Object positions for one bucket, parsed out of a cell record.
+  using BucketPositions = std::vector<Point>;
+
+  /// Per-query, per-bucket state: positions of every object fetched so far.
+  struct BucketContext {
+    int bucket = -1;
+    TimeInterval interval;  // Full bucket interval.
+    std::unordered_map<ObjectId, BucketPositions> objects;
+    std::unordered_map<CellId, bool> fetched_cells;
+  };
+
+  /// Fetches a cell's record into `ctx` (no-op for empty/fetched cells).
+  Status FetchCell(int bucket, CellId cell, BucketContext* ctx);
+
+  /// Locator lookup: cell of `object` at the start of `bucket` (§4.2's
+  /// constant-IO external hash).
+  Result<CellId> LookupCell(int bucket, ObjectId object);
+
+  /// Core sweep shared by Query and ReachableSet; stops early when
+  /// `destination` (if valid) is reached.
+  Result<ReachAnswer> Sweep(ObjectId source, ObjectId destination,
+                            TimeInterval interval,
+                            std::vector<Timestamp>* infection_times);
+
+  void BeginQuery();
+  void EndQuery(uint64_t cells_fetched);
+
+  ReachGridOptions options_;
+  BlockDevice device_;
+  BufferPool pool_;
+  UniformGrid2D grid_;
+  TimeInterval span_;
+  size_t num_objects_;
+  ReachGridBuildStats build_stats_;
+  QueryStats last_stats_;
+
+  // In-memory directory: per bucket, extents of non-empty cells.
+  std::vector<std::unordered_map<CellId, Extent>> bucket_cells_;
+  // Locator tables: per bucket, extent of the object->cell array.
+  std::vector<Extent> locator_extents_;
+
+  IoStats io_at_query_start_;
+  uint64_t pool_hits_at_start_ = 0;
+  uint64_t pool_misses_at_start_ = 0;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_REACHGRID_REACH_GRID_INDEX_H_

@@ -1,0 +1,49 @@
+#include "spatial/grid2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streach {
+
+UniformGrid2D::UniformGrid2D(const Rect& extent, double cell_size)
+    : extent_(extent), cell_size_(cell_size) {
+  STREACH_CHECK(!extent.empty());
+  STREACH_CHECK_GT(cell_size, 0.0);
+  rows_ = std::max(1, static_cast<int>(std::ceil(extent.Height() / cell_size)));
+  cols_ = std::max(1, static_cast<int>(std::ceil(extent.Width() / cell_size)));
+}
+
+std::vector<CellId> UniformGrid2D::CellsIntersecting(const Rect& query) const {
+  std::vector<CellId> out;
+  if (query.empty() || !extent_.Intersects(query)) return out;
+  const int r0 = RowOf(std::max(query.min.y, extent_.min.y));
+  const int r1 = RowOf(std::min(query.max.y, extent_.max.y));
+  const int c0 = ColOf(std::max(query.min.x, extent_.min.x));
+  const int c1 = ColOf(std::min(query.max.x, extent_.max.x));
+  out.reserve(static_cast<size_t>(r1 - r0 + 1) * (c1 - c0 + 1));
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      out.push_back(CellAt(r, c));
+    }
+  }
+  return out;
+}
+
+std::vector<CellId> UniformGrid2D::Neighborhood(CellId center, int ring) const {
+  std::vector<CellId> out;
+  const int row = RowOfCell(center);
+  const int col = ColOfCell(center);
+  const int r0 = std::max(0, row - ring);
+  const int r1 = std::min(rows_ - 1, row + ring);
+  const int c0 = std::max(0, col - ring);
+  const int c1 = std::min(cols_ - 1, col + ring);
+  out.reserve(static_cast<size_t>(r1 - r0 + 1) * (c1 - c0 + 1));
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      out.push_back(CellAt(r, c));
+    }
+  }
+  return out;
+}
+
+}  // namespace streach

@@ -1,0 +1,85 @@
+#ifndef STREACH_SPATIAL_GRID2D_H_
+#define STREACH_SPATIAL_GRID2D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "spatial/point.h"
+#include "spatial/rect.h"
+
+namespace streach {
+
+/// Dense identifier of a grid cell: `row * cols + col`.
+using CellId = uint32_t;
+
+inline constexpr CellId kInvalidCell = static_cast<CellId>(-1);
+
+/// \brief Uniform spatial grid over a rectangular environment.
+///
+/// This is the spatial half of the ReachGrid index (§4.1): the environment
+/// `E` is tiled by square cells of side `cell_size` (the spatial resolution
+/// RS). Points outside the environment are clamped onto the boundary cells
+/// so that every position maps to exactly one cell.
+class UniformGrid2D {
+ public:
+  /// Builds a grid over `extent` with square cells of side `cell_size`.
+  /// `extent` must be non-empty and `cell_size` positive.
+  UniformGrid2D(const Rect& extent, double cell_size);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  CellId num_cells() const { return static_cast<CellId>(rows_) * cols_; }
+  double cell_size() const { return cell_size_; }
+  const Rect& extent() const { return extent_; }
+
+  /// Cell containing point `p` (clamped to the boundary).
+  CellId CellOf(const Point& p) const {
+    return CellAt(RowOf(p.y), ColOf(p.x));
+  }
+
+  int RowOf(double y) const { return ClampIndex((y - extent_.min.y) / cell_size_, rows_); }
+  int ColOf(double x) const { return ClampIndex((x - extent_.min.x) / cell_size_, cols_); }
+
+  CellId CellAt(int row, int col) const {
+    STREACH_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    return static_cast<CellId>(row) * cols_ + col;
+  }
+
+  int RowOfCell(CellId cell) const { return static_cast<int>(cell) / cols_; }
+  int ColOfCell(CellId cell) const { return static_cast<int>(cell) % cols_; }
+
+  /// Geometric footprint of a cell.
+  Rect CellBounds(CellId cell) const {
+    const int row = RowOfCell(cell);
+    const int col = ColOfCell(cell);
+    const double x0 = extent_.min.x + col * cell_size_;
+    const double y0 = extent_.min.y + row * cell_size_;
+    return Rect(x0, y0, x0 + cell_size_, y0 + cell_size_);
+  }
+
+  /// All cells whose footprint intersects `query` (clamped to the grid).
+  /// This implements ReachGrid's candidate-cell ("potential seed cells" Ni)
+  /// discovery: cells within distance dT of a seed MBR are exactly the
+  /// cells intersecting the dT-padded MBR.
+  std::vector<CellId> CellsIntersecting(const Rect& query) const;
+
+  /// Cells within Chebyshev ring distance <= `ring` of `center`.
+  std::vector<CellId> Neighborhood(CellId center, int ring) const;
+
+ private:
+  static int ClampIndex(double idx, int limit) {
+    if (idx < 0) return 0;
+    if (idx >= limit) return limit - 1;
+    return static_cast<int>(idx);
+  }
+
+  Rect extent_;
+  double cell_size_;
+  int rows_;
+  int cols_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_SPATIAL_GRID2D_H_

@@ -1,0 +1,61 @@
+#ifndef STREACH_SPATIAL_POINT_H_
+#define STREACH_SPATIAL_POINT_H_
+
+#include <cmath>
+#include <ostream>
+#include <string>
+
+namespace streach {
+
+/// \brief 2-D position in the environment, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  constexpr Point operator+(const Point& o) const {
+    return Point(x + o.x, y + o.y);
+  }
+  constexpr Point operator-(const Point& o) const {
+    return Point(x - o.x, y - o.y);
+  }
+  constexpr Point operator*(double s) const { return Point(x * s, y * s); }
+
+  constexpr bool operator==(const Point& o) const {
+    return x == o.x && y == o.y;
+  }
+  constexpr bool operator!=(const Point& o) const { return !(*this == o); }
+
+  double Norm() const { return std::sqrt(x * x + y * y); }
+
+  /// Euclidean distance between two points.
+  static double Distance(const Point& a, const Point& b) {
+    return (a - b).Norm();
+  }
+
+  /// Squared Euclidean distance (avoids the sqrt in hot join loops).
+  static constexpr double DistanceSquared(const Point& a, const Point& b) {
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return dx * dx + dy * dy;
+  }
+
+  /// Linear interpolation: `a` at f=0, `b` at f=1.
+  static constexpr Point Lerp(const Point& a, const Point& b, double f) {
+    return Point(a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f);
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(x) + "," + std::to_string(y) + ")";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << p.ToString();
+}
+
+}  // namespace streach
+
+#endif  // STREACH_SPATIAL_POINT_H_

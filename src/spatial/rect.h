@@ -1,0 +1,104 @@
+#ifndef STREACH_SPATIAL_RECT_H_
+#define STREACH_SPATIAL_RECT_H_
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "spatial/point.h"
+
+namespace streach {
+
+/// \brief Axis-aligned rectangle / minimum bounding region (MBR).
+///
+/// Used for the environment extent, grid-cell footprints, and the dT-padded
+/// trajectory-segment MBRs that guide ReachGrid's candidate-cell discovery
+/// (§4.2). A default-constructed Rect is *empty* (inverted bounds) and acts
+/// as the identity for `ExpandToInclude`.
+struct Rect {
+  Point min{std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  Point max{-std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+
+  constexpr Rect() = default;
+  constexpr Rect(Point mn, Point mx) : min(mn), max(mx) {}
+  constexpr Rect(double x0, double y0, double x1, double y1)
+      : min(x0, y0), max(x1, y1) {}
+
+  bool empty() const { return min.x > max.x || min.y > max.y; }
+
+  double Width() const { return empty() ? 0.0 : max.x - min.x; }
+  double Height() const { return empty() ? 0.0 : max.y - min.y; }
+  double Area() const { return Width() * Height(); }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  bool Contains(const Rect& r) const {
+    return r.empty() || (min.x <= r.min.x && r.max.x <= max.x &&
+                         min.y <= r.min.y && r.max.y <= max.y);
+  }
+
+  bool Intersects(const Rect& r) const {
+    if (empty() || r.empty()) return false;
+    return min.x <= r.max.x && r.min.x <= max.x && min.y <= r.max.y &&
+           r.min.y <= max.y;
+  }
+
+  /// Grows the rectangle to cover `p`.
+  void ExpandToInclude(const Point& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  /// Grows the rectangle to cover `r`.
+  void ExpandToInclude(const Rect& r) {
+    if (r.empty()) return;
+    ExpandToInclude(r.min);
+    ExpandToInclude(r.max);
+  }
+
+  /// Returns a copy padded by `margin` on all sides (the "MBR with the
+  /// width of dT" construction of §4.2).
+  Rect Padded(double margin) const {
+    if (empty()) return *this;
+    return Rect(Point(min.x - margin, min.y - margin),
+                Point(max.x + margin, max.y + margin));
+  }
+
+  /// Minimum distance from the rectangle to a point (0 when inside).
+  double DistanceTo(const Point& p) const {
+    const double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+    const double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Minimum distance between two rectangles (0 when intersecting).
+  double DistanceTo(const Rect& r) const {
+    const double dx =
+        std::max({min.x - r.max.x, 0.0, r.min.x - max.x});
+    const double dy =
+        std::max({min.y - r.max.y, 0.0, r.min.y - max.y});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  bool operator==(const Rect& o) const { return min == o.min && max == o.max; }
+  bool operator!=(const Rect& o) const { return !(*this == o); }
+
+  std::string ToString() const {
+    return "[" + min.ToString() + " - " + max.ToString() + "]";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << r.ToString();
+}
+
+}  // namespace streach
+
+#endif  // STREACH_SPATIAL_RECT_H_

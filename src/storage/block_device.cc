@@ -1,0 +1,58 @@
+#include "storage/block_device.h"
+
+namespace streach {
+
+PageId BlockDevice::AllocatePage() {
+  pages_.emplace_back(page_size_, '\0');
+  return pages_.size() - 1;
+}
+
+PageId BlockDevice::AllocatePages(size_t n) {
+  const PageId first = pages_.size();
+  for (size_t i = 0; i < n; ++i) pages_.emplace_back(page_size_, '\0');
+  return first;
+}
+
+Status BlockDevice::WritePage(PageId id, std::string_view data) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("write to unallocated page " +
+                              std::to_string(id));
+  }
+  if (data.size() > page_size_) {
+    return Status::InvalidArgument("page payload exceeds page size");
+  }
+  RecordAccess(id, /*is_write=*/true);
+  std::string& page = pages_[id];
+  page.assign(data.data(), data.size());
+  page.resize(page_size_, '\0');
+  return Status::OK();
+}
+
+Result<std::string_view> BlockDevice::ReadPage(PageId id) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  RecordAccess(id, /*is_write=*/false);
+  return std::string_view(pages_[id]);
+}
+
+void BlockDevice::RecordAccess(PageId id, bool is_write) {
+  const bool sequential = last_access_ != kInvalidPage && id == last_access_ + 1;
+  if (is_write) {
+    if (sequential) {
+      ++stats_.sequential_writes;
+    } else {
+      ++stats_.random_writes;
+    }
+  } else {
+    if (sequential) {
+      ++stats_.sequential_reads;
+    } else {
+      ++stats_.random_reads;
+    }
+  }
+  last_access_ = id;
+}
+
+}  // namespace streach

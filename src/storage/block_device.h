@@ -1,0 +1,81 @@
+#ifndef STREACH_STORAGE_BLOCK_DEVICE_H_
+#define STREACH_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/io_stats.h"
+
+namespace streach {
+
+/// Identifier of a fixed-size page on a block device.
+using PageId = uint64_t;
+
+inline constexpr PageId kInvalidPage = static_cast<PageId>(-1);
+
+/// \brief Simulated paged disk.
+///
+/// stReach targets *disk-resident* contact datasets; since the evaluation
+/// metric of the paper is the number of (normalized) random page accesses,
+/// we simulate the disk as an array of fixed-size pages with precise access
+/// accounting instead of using a physical device. Semantics:
+///
+///  * `AllocatePage` appends a zeroed page and returns its id (page ids are
+///    physical positions, so consecutively allocated pages are
+///    consecutive on "disk" — this is what the index disk-placement
+///    strategies of §4.1/§5.1.3 exploit).
+///  * An access to page `p` is *sequential* if the immediately preceding
+///    access touched page `p-1`, otherwise it is *random* (seek).
+///
+/// The device itself has no cache; deduplication of repeated reads is the
+/// job of the `BufferPool`.
+class BlockDevice {
+ public:
+  static constexpr size_t kDefaultPageSize = 4096;  // 4 KB, Table 3.
+
+  explicit BlockDevice(size_t page_size = kDefaultPageSize)
+      : page_size_(page_size) {}
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
+
+  size_t page_size() const { return page_size_; }
+  PageId num_pages() const { return pages_.size(); }
+  uint64_t size_bytes() const { return num_pages() * page_size_; }
+
+  /// Appends a zeroed page; returns its id.
+  PageId AllocatePage();
+
+  /// Appends `n` zeroed pages; returns the id of the first.
+  PageId AllocatePages(size_t n);
+
+  /// Overwrites a page. `data` must be at most page_size() bytes; shorter
+  /// payloads are zero-padded.
+  Status WritePage(PageId id, std::string_view data);
+
+  /// Reads a page; the returned view is valid until the next allocation.
+  Result<std::string_view> ReadPage(PageId id);
+
+  const IoStats& stats() const { return stats_; }
+  IoStats* mutable_stats() { return &stats_; }
+  void ResetStats() {
+    stats_.Reset();
+    last_access_ = kInvalidPage;
+  }
+
+ private:
+  void RecordAccess(PageId id, bool is_write);
+
+  size_t page_size_;
+  std::vector<std::string> pages_;
+  IoStats stats_;
+  PageId last_access_ = kInvalidPage;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_STORAGE_BLOCK_DEVICE_H_

@@ -1,0 +1,80 @@
+#include "storage/block_file.h"
+
+#include "common/check.h"
+
+namespace streach {
+
+ExtentWriter::ExtentWriter(BlockDevice* device) : device_(device) {
+  STREACH_CHECK(device != nullptr);
+}
+
+Result<Extent> ExtentWriter::Append(std::string_view blob) {
+  if (current_page_ == kInvalidPage) {
+    current_page_ = device_->AllocatePage();
+    current_.clear();
+  }
+  Extent extent;
+  extent.first_page = current_page_;
+  extent.offset_in_page = current_.size();
+  extent.length = blob.size();
+
+  const size_t page_size = device_->page_size();
+  size_t consumed = 0;
+  while (consumed < blob.size()) {
+    const size_t room = page_size - current_.size();
+    const size_t take = std::min(room, blob.size() - consumed);
+    current_.append(blob.data() + consumed, take);
+    consumed += take;
+    if (current_.size() == page_size) {
+      STREACH_RETURN_NOT_OK(FlushCurrentPage());
+      current_page_ = device_->AllocatePage();
+      current_.clear();
+    }
+  }
+  bytes_written_ += blob.size();
+  return extent;
+}
+
+Status ExtentWriter::AlignToPage() {
+  if (current_page_ == kInvalidPage || current_.empty()) return Status::OK();
+  STREACH_RETURN_NOT_OK(FlushCurrentPage());
+  current_page_ = device_->AllocatePage();
+  current_.clear();
+  return Status::OK();
+}
+
+Status ExtentWriter::Flush() {
+  if (current_page_ == kInvalidPage) return Status::OK();
+  STREACH_RETURN_NOT_OK(FlushCurrentPage());
+  current_page_ = kInvalidPage;
+  current_.clear();
+  return Status::OK();
+}
+
+Status ExtentWriter::FlushCurrentPage() {
+  return device_->WritePage(current_page_, current_);
+}
+
+Result<std::string> ReadExtent(BufferPool* pool, const Extent& extent,
+                               size_t page_size) {
+  if (!extent.valid()) {
+    return Status::InvalidArgument("reading invalid extent");
+  }
+  std::string out;
+  out.reserve(extent.length);
+  uint64_t remaining = extent.length;
+  uint64_t offset = extent.offset_in_page;
+  PageId page = extent.first_page;
+  while (remaining > 0) {
+    auto data = pool->Fetch(page);
+    if (!data.ok()) return data.status();
+    const uint64_t take = std::min<uint64_t>(remaining, page_size - offset);
+    out.append(data->data() + offset, take);
+    remaining -= take;
+    offset = 0;
+    ++page;
+  }
+  return out;
+}
+
+}  // namespace streach

@@ -1,0 +1,72 @@
+#ifndef STREACH_STORAGE_BLOCK_FILE_H_
+#define STREACH_STORAGE_BLOCK_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/block_device.h"
+#include "storage/buffer_pool.h"
+
+namespace streach {
+
+/// Location of a serialized blob on the device: a byte range inside a run
+/// of consecutive pages.
+struct Extent {
+  PageId first_page = kInvalidPage;
+  uint64_t offset_in_page = 0;  ///< Byte offset within first_page.
+  uint64_t length = 0;          ///< Blob length in bytes.
+
+  bool valid() const { return first_page != kInvalidPage; }
+
+  /// Number of pages the blob spans given a page size.
+  uint64_t PageSpan(size_t page_size) const {
+    if (length == 0) return 0;
+    return (offset_in_page + length + page_size - 1) / page_size;
+  }
+};
+
+/// \brief Sequential writer that packs blobs onto consecutive pages.
+///
+/// Both indexes lay out their structures by appending blobs in a carefully
+/// chosen order (cells of bucket i before bucket j>i for ReachGrid;
+/// partitions in creation order for ReachGraph). The writer packs blobs
+/// back-to-back across page boundaries so consecutive blobs land on
+/// consecutive pages — the property that turns traversal IO sequential.
+class ExtentWriter {
+ public:
+  explicit ExtentWriter(BlockDevice* device);
+
+  /// Appends `blob` after the previous one; returns where it landed.
+  Result<Extent> Append(std::string_view blob);
+
+  /// Pads to the next page boundary so the following blob starts a fresh
+  /// page (used to align independent sections).
+  Status AlignToPage();
+
+  /// Flushes the partially filled trailing page. Must be called once after
+  /// the last Append; further Appends are allowed and continue on a new
+  /// page.
+  Status Flush();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Status FlushCurrentPage();
+
+  BlockDevice* device_;
+  std::string current_;    // Buffered bytes of the page being filled.
+  PageId current_page_ = kInvalidPage;
+  uint64_t bytes_written_ = 0;
+};
+
+/// \brief Reads a blob back from an `Extent` through a buffer pool,
+/// concatenating the spanned pages.
+Result<std::string> ReadExtent(BufferPool* pool, const Extent& extent,
+                               size_t page_size);
+
+}  // namespace streach
+
+#endif  // STREACH_STORAGE_BLOCK_FILE_H_

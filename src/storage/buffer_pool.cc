@@ -1,0 +1,42 @@
+#include "storage/buffer_pool.h"
+
+#include "common/check.h"
+
+namespace streach {
+
+BufferPool::BufferPool(BlockDevice* device, size_t capacity_pages)
+    : device_(device), capacity_(capacity_pages) {
+  STREACH_CHECK(device != nullptr);
+  STREACH_CHECK_GT(capacity_pages, 0u);
+}
+
+Result<std::string_view> BufferPool::Fetch(PageId id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(id);
+    it->second.lru_it = lru_.begin();
+    return std::string_view(it->second.data);
+  }
+  ++misses_;
+  auto page = device_->ReadPage(id);
+  if (!page.ok()) return page.status();
+  if (entries_.size() >= capacity_) {
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+  }
+  lru_.push_front(id);
+  Entry entry{std::string(*page), lru_.begin()};
+  auto [pos, inserted] = entries_.emplace(id, std::move(entry));
+  STREACH_CHECK(inserted);
+  return std::string_view(pos->second.data);
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace streach

@@ -1,0 +1,64 @@
+#ifndef STREACH_STORAGE_BUFFER_POOL_H_
+#define STREACH_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/block_device.h"
+
+namespace streach {
+
+/// \brief LRU page cache in front of a `BlockDevice`.
+///
+/// Both index query processors buffer pages during traversal — ReachGrid
+/// buffers the cells retrieved within a temporal bucket ("the retrieved
+/// cells are buffered to prevent unnecessary future retrievals", §4.2) and
+/// ReachGraph buffers partitions ("a partition is retrieved and buffered...
+/// older partitions in memory can be discarded", §5.2). A hit costs no
+/// device IO; a miss reads through and may evict the least recently used
+/// page.
+class BufferPool {
+ public:
+  /// `capacity_pages` bounds resident pages; must be positive.
+  BufferPool(BlockDevice* device, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the page contents, reading from the device on a miss. The
+  /// returned view is valid until the page is evicted.
+  Result<std::string_view> Fetch(PageId id);
+
+  /// Drops all cached pages (e.g. between benchmark queries to make every
+  /// query cold).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetCounters() { hits_ = misses_ = 0; }
+
+  BlockDevice* device() { return device_; }
+
+ private:
+  struct Entry {
+    std::string data;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  BlockDevice* device_;
+  size_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  // Front of the list = most recently used.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, Entry> entries_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,70 @@
+#ifndef STREACH_STORAGE_IO_STATS_H_
+#define STREACH_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace streach {
+
+/// \brief Disk-access counters in the paper's measurement model (§6).
+///
+/// The paper reports "number of random IOs", where "the sequential IOs are
+/// normalized to random accesses by assuming that each random access costs
+/// as much as 20 sequential accesses" (following Corral et al. [6]). A page
+/// read whose page id immediately follows the previously accessed page is
+/// sequential; every other access is random.
+struct IoStats {
+  uint64_t random_reads = 0;
+  uint64_t sequential_reads = 0;
+  uint64_t random_writes = 0;
+  uint64_t sequential_writes = 0;
+
+  /// Random:sequential cost ratio used for normalization.
+  static constexpr double kSequentialPerRandom = 20.0;
+
+  uint64_t total_reads() const { return random_reads + sequential_reads; }
+  uint64_t total_writes() const { return random_writes + sequential_writes; }
+
+  /// Normalized read cost in units of random accesses.
+  double NormalizedReadCost() const {
+    return static_cast<double>(random_reads) +
+           static_cast<double>(sequential_reads) / kSequentialPerRandom;
+  }
+
+  /// Normalized total (read + write) cost in units of random accesses.
+  double NormalizedCost() const {
+    return NormalizedReadCost() + static_cast<double>(random_writes) +
+           static_cast<double>(sequential_writes) / kSequentialPerRandom;
+  }
+
+  IoStats operator-(const IoStats& o) const {
+    IoStats d;
+    d.random_reads = random_reads - o.random_reads;
+    d.sequential_reads = sequential_reads - o.sequential_reads;
+    d.random_writes = random_writes - o.random_writes;
+    d.sequential_writes = sequential_writes - o.sequential_writes;
+    return d;
+  }
+
+  IoStats& operator+=(const IoStats& o) {
+    random_reads += o.random_reads;
+    sequential_reads += o.sequential_reads;
+    random_writes += o.random_writes;
+    sequential_writes += o.sequential_writes;
+    return *this;
+  }
+
+  void Reset() { *this = IoStats(); }
+
+  std::string ToString() const {
+    return "reads{rand=" + std::to_string(random_reads) +
+           ", seq=" + std::to_string(sequential_reads) +
+           "} writes{rand=" + std::to_string(random_writes) +
+           ", seq=" + std::to_string(sequential_writes) +
+           "} normalized=" + std::to_string(NormalizedCost());
+  }
+};
+
+}  // namespace streach
+
+#endif  // STREACH_STORAGE_IO_STATS_H_

@@ -1,0 +1,28 @@
+#include "trajectory/trajectory.h"
+
+namespace streach {
+
+std::vector<Point> ResampleToTicks(const std::vector<GpsFix>& fixes) {
+  std::vector<Point> out;
+  if (fixes.empty()) return out;
+  const Timestamp t0 = fixes.front().time;
+  const Timestamp t1 = fixes.back().time;
+  out.reserve(static_cast<size_t>(t1 - t0 + 1));
+  size_t seg = 0;
+  for (Timestamp t = t0; t <= t1; ++t) {
+    while (seg + 1 < fixes.size() && fixes[seg + 1].time < t) ++seg;
+    if (seg + 1 >= fixes.size() || fixes[seg].time == t) {
+      out.push_back(fixes[seg].position);
+      continue;
+    }
+    const GpsFix& a = fixes[seg];
+    const GpsFix& b = fixes[seg + 1];
+    STREACH_CHECK_LT(a.time, b.time);
+    const double f =
+        static_cast<double>(t - a.time) / static_cast<double>(b.time - a.time);
+    out.push_back(Point::Lerp(a.position, b.position, f));
+  }
+  return out;
+}
+
+}  // namespace streach

@@ -1,0 +1,83 @@
+#ifndef STREACH_TRAJECTORY_TRAJECTORY_H_
+#define STREACH_TRAJECTORY_TRAJECTORY_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "spatial/point.h"
+#include "spatial/rect.h"
+
+namespace streach {
+
+/// \brief Movement history of one object: a position per tick (§3.1,
+/// r_i = {(v1,t1),...,(vn,tn)}).
+///
+/// Positions are densely sampled — one per tick of the covered span —
+/// matching the paper's datasets (GMSF samples every 6 s, Brinkhoff every
+/// 5 s, and the Beijing dataset is interpolated to 5 s). Sparse GPS inputs
+/// are densified with `ResampleToTicks` before entering a store.
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  /// Builds a trajectory starting at `start_time` with one sample per tick.
+  Trajectory(ObjectId object, Timestamp start_time,
+             std::vector<Point> samples)
+      : object_(object), start_(start_time), samples_(std::move(samples)) {}
+
+  ObjectId object() const { return object_; }
+
+  /// Covered time span [start, start + n - 1]; empty when no samples.
+  TimeInterval span() const {
+    return TimeInterval(start_,
+                        start_ + static_cast<Timestamp>(samples_.size()) - 1);
+  }
+
+  size_t num_samples() const { return samples_.size(); }
+
+  bool Covers(Timestamp t) const { return span().Contains(t); }
+
+  /// Position at tick `t`; `t` must lie in span().
+  const Point& At(Timestamp t) const {
+    STREACH_CHECK(Covers(t));
+    return samples_[static_cast<size_t>(t - start_)];
+  }
+
+  const std::vector<Point>& samples() const { return samples_; }
+
+  /// Minimum bounding region of the samples within `window` (the segment
+  /// MBR used by ReachGrid's guided expansion, §4.2). Returns an empty
+  /// Rect when the window misses the span.
+  Rect SegmentMbr(const TimeInterval& window) const {
+    Rect mbr;
+    const TimeInterval w = window.Intersect(span());
+    for (Timestamp t = w.start; t <= w.end; ++t) {
+      mbr.ExpandToInclude(At(t));
+    }
+    return mbr;
+  }
+
+ private:
+  ObjectId object_ = kInvalidObject;
+  Timestamp start_ = 0;
+  std::vector<Point> samples_;
+};
+
+/// A raw (possibly sparse) GPS fix.
+struct GpsFix {
+  Timestamp time = 0;
+  Point position;
+};
+
+/// \brief Densifies sparse fixes to one position per tick over
+/// [fixes.front().time, fixes.back().time] by linear interpolation.
+///
+/// This mirrors how the paper prepares the Beijing dataset ("recorded every
+/// minute and further interpolated to reflect the locations for every five
+/// seconds"). `fixes` must be sorted by strictly increasing time.
+std::vector<Point> ResampleToTicks(const std::vector<GpsFix>& fixes);
+
+}  // namespace streach
+
+#endif  // STREACH_TRAJECTORY_TRAJECTORY_H_

@@ -1,0 +1,33 @@
+#include "trajectory/trajectory_store.h"
+
+namespace streach {
+
+Status TrajectoryStore::Add(Trajectory trajectory) {
+  if (trajectory.object() != trajectories_.size()) {
+    return Status::InvalidArgument(
+        "trajectories must be added in object-id order; expected object " +
+        std::to_string(trajectories_.size()) + " got " +
+        std::to_string(trajectory.object()));
+  }
+  if (trajectory.num_samples() == 0) {
+    return Status::InvalidArgument("empty trajectory");
+  }
+  if (!trajectories_.empty() && trajectory.span() != span()) {
+    return Status::InvalidArgument(
+        "all trajectories in a store must cover the same span");
+  }
+  trajectories_.push_back(std::move(trajectory));
+  return Status::OK();
+}
+
+Rect TrajectoryStore::ComputeExtent() const {
+  Rect extent;
+  for (const Trajectory& tr : trajectories_) {
+    for (const Point& p : tr.samples()) {
+      extent.ExpandToInclude(p);
+    }
+  }
+  return extent;
+}
+
+}  // namespace streach

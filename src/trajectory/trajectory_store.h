@@ -1,0 +1,65 @@
+#ifndef STREACH_TRAJECTORY_TRAJECTORY_STORE_H_
+#define STREACH_TRAJECTORY_TRAJECTORY_STORE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "spatial/rect.h"
+#include "trajectory/trajectory.h"
+
+namespace streach {
+
+/// \brief In-memory collection of the trajectories of all objects in O.
+///
+/// This is the *input* dataset from which every index and baseline is
+/// built; disk layouts belong to the individual indexes. All trajectories
+/// in a store must cover the same time span (the paper's datasets track a
+/// constant object population over T) and objects are densely numbered
+/// 0..N-1.
+class TrajectoryStore {
+ public:
+  TrajectoryStore() = default;
+
+  /// Adds the trajectory of the next object. The trajectory's object id
+  /// must equal the current size(), and its span must match the span of
+  /// previously added trajectories.
+  Status Add(Trajectory trajectory);
+
+  size_t num_objects() const { return trajectories_.size(); }
+
+  /// Common time span of all trajectories (empty when no objects).
+  TimeInterval span() const {
+    return trajectories_.empty() ? TimeInterval() : trajectories_[0].span();
+  }
+
+  const Trajectory& Get(ObjectId object) const {
+    STREACH_CHECK_LT(object, trajectories_.size());
+    return trajectories_[object];
+  }
+
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+
+  /// Position of `object` at tick `t`.
+  const Point& PositionAt(ObjectId object, Timestamp t) const {
+    return Get(object).At(t);
+  }
+
+  /// Bounding box of every sample of every object — the environment E.
+  Rect ComputeExtent() const;
+
+  /// Approximate size of the raw dataset in bytes (one (x, y) pair per
+  /// object per tick), reported in the Table 2 analogue.
+  uint64_t RawSizeBytes() const {
+    return static_cast<uint64_t>(num_objects()) *
+           static_cast<uint64_t>(span().length()) * sizeof(double) * 2;
+  }
+
+ private:
+  std::vector<Trajectory> trajectories_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_TRAJECTORY_TRAJECTORY_STORE_H_

@@ -1,0 +1,262 @@
+// Tests for the §7 extensions: U-ReachGraph (uncertain contact networks)
+// and non-immediate contacts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ext/non_immediate.h"
+#include "ext/uncertain.h"
+#include "generators/random_waypoint.h"
+#include "join/contact_extractor.h"
+#include "network/brute_force.h"
+#include "network/contact_network.h"
+
+namespace streach {
+namespace {
+
+std::vector<Contact> Figure1Contacts() {
+  return {Contact(0, 1, TimeInterval(0, 0)), Contact(1, 3, TimeInterval(1, 1)),
+          Contact(2, 3, TimeInterval(1, 2)), Contact(0, 1, TimeInterval(2, 3))};
+}
+
+// ------------------------------------------------------------ UReachGraph
+
+TEST(UncertainTest, CertainContactsMatchBruteForce) {
+  // Property: with every contact at p=1 and threshold 1, probabilistic
+  // reachability degenerates to plain reachability.
+  RandomWaypointParams params;
+  params.num_objects = 30;
+  params.area = Rect(0, 0, 300, 300);
+  params.duration = 80;
+  params.seed = 307;
+  auto store = GenerateRandomWaypoint(params);
+  ASSERT_TRUE(store.ok());
+  const auto contacts = ExtractContacts(*store, 30.0);
+  const ContactNetwork network(30, store->span(), contacts);
+  auto graph =
+      UReachGraph::Build(30, store->span(), WithUniformProbability(contacts, 1.0));
+  ASSERT_TRUE(graph.ok());
+  Rng rng(1);
+  for (int i = 0; i < 150; ++i) {
+    const ObjectId src = static_cast<ObjectId>(rng.Uniform(30));
+    const ObjectId dst = static_cast<ObjectId>(rng.Uniform(30));
+    const Timestamp t1 = static_cast<Timestamp>(rng.Uniform(60));
+    const TimeInterval interval(t1, t1 + static_cast<Timestamp>(rng.Uniform(20)));
+    const bool expected = BruteForceReach(network, src, dst, interval).reachable;
+    const auto got = graph->Query(src, dst, interval, 1.0);
+    EXPECT_EQ(got.reachable, expected)
+        << "src=" << src << " dst=" << dst << " " << interval.ToString();
+    if (expected) EXPECT_DOUBLE_EQ(got.best_probability, 1.0);
+  }
+}
+
+TEST(UncertainTest, PathProbabilityMultiplies) {
+  // Chain o0 -(0.5)- o1 at t=0, o1 -(0.4)- o2 at t=1.
+  std::vector<UncertainContact> contacts = {
+      {0, 1, TimeInterval(0, 0), 0.5},
+      {1, 2, TimeInterval(1, 1), 0.4},
+  };
+  auto graph = UReachGraph::Build(3, TimeInterval(0, 2), contacts);
+  ASSERT_TRUE(graph.ok());
+  const auto got = graph->Query(0, 2, TimeInterval(0, 2), 0.1);
+  EXPECT_TRUE(got.reachable);
+  EXPECT_NEAR(got.best_probability, 0.2, 1e-12);
+  EXPECT_FALSE(graph->Query(0, 2, TimeInterval(0, 2), 0.25).reachable);
+}
+
+TEST(UncertainTest, PicksMostProbablePath) {
+  // Two routes from o0 to o3: via o1 (0.9 * 0.9) and via o2 (0.5 * 0.5).
+  std::vector<UncertainContact> contacts = {
+      {0, 1, TimeInterval(0, 0), 0.9},
+      {1, 3, TimeInterval(1, 1), 0.9},
+      {0, 2, TimeInterval(0, 0), 0.5},
+      {2, 3, TimeInterval(1, 1), 0.5},
+  };
+  auto graph = UReachGraph::Build(4, TimeInterval(0, 1), contacts);
+  ASSERT_TRUE(graph.ok());
+  const auto got = graph->Query(0, 3, TimeInterval(0, 1), 0.0);
+  EXPECT_NEAR(got.best_probability, 0.81, 1e-12);
+}
+
+TEST(UncertainTest, TimeOrderRespected) {
+  // The higher-probability contact happens too early to be used.
+  std::vector<UncertainContact> contacts = {
+      {0, 1, TimeInterval(0, 0), 1.0},
+      {1, 2, TimeInterval(0, 0), 1.0},  // Same tick: usable via chaining.
+      {1, 3, TimeInterval(5, 5), 1.0},
+  };
+  auto graph = UReachGraph::Build(4, TimeInterval(0, 9), contacts);
+  ASSERT_TRUE(graph.ok());
+  // Start at t=1: both t=0 contacts are gone.
+  EXPECT_FALSE(graph->Query(0, 2, TimeInterval(1, 9), 0.5).reachable);
+  // Start at t=0: within-tick chain works.
+  EXPECT_TRUE(graph->Query(0, 2, TimeInterval(0, 9), 0.5).reachable);
+}
+
+TEST(UncertainTest, ValidityIntervalGivesRepeatedTrials) {
+  // A contact persisting 3 ticks allows transmission at any of its ticks
+  // — the max-probability path uses a single transmission (no
+  // accumulation), so best probability equals p, not 1-(1-p)^3.
+  std::vector<UncertainContact> contacts = {{0, 1, TimeInterval(2, 4), 0.3}};
+  auto graph = UReachGraph::Build(2, TimeInterval(0, 9), contacts);
+  ASSERT_TRUE(graph.ok());
+  const auto got = graph->Query(0, 1, TimeInterval(0, 9), 0.0);
+  EXPECT_TRUE(got.best_probability > 0.0);
+  EXPECT_NEAR(got.best_probability, 0.3, 1e-12);
+  // Query window missing the contact entirely.
+  EXPECT_FALSE(graph->Query(0, 1, TimeInterval(5, 9), 0.01).reachable);
+}
+
+TEST(UncertainTest, EventCompressionShrinksStateSpace) {
+  // 2 objects over 1000 ticks with a single 1-tick contact: only 2 event
+  // vertices (one per object), vs 2000 in the raw TEN.
+  std::vector<UncertainContact> contacts = {{0, 1, TimeInterval(500, 500), 0.7}};
+  auto graph = UReachGraph::Build(2, TimeInterval(0, 999), contacts);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_event_vertices(), 2u);
+}
+
+TEST(UncertainTest, RejectsBadInput) {
+  EXPECT_FALSE(UReachGraph::Build(2, TimeInterval(5, 3), {}).ok());
+  EXPECT_FALSE(UReachGraph::Build(
+                   2, TimeInterval(0, 9),
+                   {{0, 5, TimeInterval(0, 0), 0.5}})
+                   .ok());
+  EXPECT_FALSE(UReachGraph::Build(
+                   2, TimeInterval(0, 9),
+                   {{0, 1, TimeInterval(0, 0), 1.5}})
+                   .ok());
+  EXPECT_FALSE(UReachGraph::Build(
+                   2, TimeInterval(0, 9),
+                   {{0, 1, TimeInterval(0, 20), 0.5}})
+                   .ok());
+}
+
+// ---------------------------------------------------------- Non-immediate
+
+TEST(NonImmediateTest, ZeroLifetimeMatchesImmediateReachability) {
+  // Property: with Tt = 0 the delayed-contact semantics equal the plain
+  // contact-network semantics.
+  RandomWaypointParams params;
+  params.num_objects = 25;
+  params.area = Rect(0, 0, 250, 250);
+  params.duration = 60;
+  params.seed = 311;
+  auto store = GenerateRandomWaypoint(params);
+  ASSERT_TRUE(store.ok());
+  const double dt = 30.0;
+  const ContactNetwork network(25, store->span(), ExtractContacts(*store, dt));
+  const auto delayed = ExtractNonImmediateContacts(*store, dt, 0);
+  Rng rng(2);
+  for (int i = 0; i < 150; ++i) {
+    const ObjectId src = static_cast<ObjectId>(rng.Uniform(25));
+    const ObjectId dst = static_cast<ObjectId>(rng.Uniform(25));
+    const Timestamp t1 = static_cast<Timestamp>(rng.Uniform(40));
+    const TimeInterval interval(t1,
+                                t1 + static_cast<Timestamp>(rng.Uniform(20)));
+    const ReachAnswer expected = BruteForceReach(network, src, dst, interval);
+    const ReachAnswer got =
+        NonImmediateReach(25, delayed, src, dst, interval);
+    EXPECT_EQ(got.reachable, expected.reachable)
+        << "src=" << src << " dst=" << dst << " " << interval.ToString();
+    if (expected.reachable && src != dst) {
+      EXPECT_EQ(got.arrival_time, expected.arrival_time);
+    }
+  }
+}
+
+TEST(NonImmediateTest, BusScenario) {
+  // The paper's example: o0 visits a location at t=0; o1 visits the same
+  // location at t=5, long after o0 left. With lifetime >= 5 the item
+  // transfers; with a shorter lifetime it does not.
+  std::vector<std::vector<Point>> paths(2);
+  for (int t = 0; t < 10; ++t) {
+    paths[0].push_back(t == 0 ? Point(0, 0) : Point(1000, 0));
+    paths[1].push_back(t == 5 ? Point(0.5, 0) : Point(-1000, 0));
+  }
+  TrajectoryStore store;
+  ASSERT_TRUE(store.Add(Trajectory(0, 0, paths[0])).ok());
+  ASSERT_TRUE(store.Add(Trajectory(1, 0, paths[1])).ok());
+
+  const auto with_life5 = ExtractNonImmediateContacts(store, 2.0, 5);
+  EXPECT_TRUE(NonImmediateReach(2, with_life5, 0, 1, TimeInterval(0, 9))
+                  .reachable);
+  // Direction matters: o1 deposited at t=5, o0 was there at t=0 < 5.
+  EXPECT_FALSE(NonImmediateReach(2, with_life5, 1, 0, TimeInterval(0, 9))
+                   .reachable);
+  const auto with_life4 = ExtractNonImmediateContacts(store, 2.0, 4);
+  EXPECT_FALSE(NonImmediateReach(2, with_life4, 0, 1, TimeInterval(0, 9))
+                   .reachable);
+}
+
+TEST(NonImmediateTest, ExtractionMatchesBruteForceProperty) {
+  RandomWaypointParams params;
+  params.num_objects = 15;
+  params.area = Rect(0, 0, 150, 150);
+  params.duration = 25;
+  params.seed = 313;
+  auto store = GenerateRandomWaypoint(params);
+  ASSERT_TRUE(store.ok());
+  const double dt = 25.0;
+  const Timestamp lifetime = 3;
+  const auto got = ExtractNonImmediateContacts(*store, dt, lifetime);
+  // O(N^2 T Tt) reference.
+  std::vector<DelayedContact> expected;
+  for (Timestamp t2 = 0; t2 < 25; ++t2) {
+    for (Timestamp t1 = std::max<Timestamp>(0, t2 - lifetime); t1 <= t2;
+         ++t1) {
+      for (ObjectId a = 0; a < 15; ++a) {
+        for (ObjectId b = 0; b < 15; ++b) {
+          if (a == b) continue;
+          if (Point::DistanceSquared(store->PositionAt(a, t1),
+                                     store->PositionAt(b, t2)) < dt * dt) {
+            expected.push_back(DelayedContact{a, b, t1, t2});
+          }
+        }
+      }
+    }
+  }
+  auto key = [](const DelayedContact& c) {
+    return std::tuple(c.receive_time, c.deposit_time, c.from, c.to);
+  };
+  std::sort(expected.begin(), expected.end(),
+            [&](const auto& x, const auto& y) { return key(x) < key(y); });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(NonImmediateTest, LongerLifetimeNeverHurtsProperty) {
+  // Monotonicity: growing the item lifetime can only add reachable pairs.
+  RandomWaypointParams params;
+  params.num_objects = 20;
+  params.area = Rect(0, 0, 200, 200);
+  params.duration = 40;
+  params.seed = 317;
+  auto store = GenerateRandomWaypoint(params);
+  ASSERT_TRUE(store.ok());
+  const double dt = 20.0;
+  const auto life0 = ExtractNonImmediateContacts(*store, dt, 0);
+  const auto life5 = ExtractNonImmediateContacts(*store, dt, 5);
+  const TimeInterval interval(0, 39);
+  for (ObjectId a = 0; a < 20; a += 2) {
+    for (ObjectId b = 1; b < 20; b += 3) {
+      if (a == b) continue;
+      const bool short_life =
+          NonImmediateReach(20, life0, a, b, interval).reachable;
+      const bool long_life =
+          NonImmediateReach(20, life5, a, b, interval).reachable;
+      EXPECT_TRUE(!short_life || long_life);
+    }
+  }
+}
+
+TEST(NonImmediateTest, DegenerateQueries) {
+  const std::vector<DelayedContact> none;
+  EXPECT_TRUE(NonImmediateReach(5, none, 2, 2, TimeInterval(0, 5)).reachable);
+  EXPECT_FALSE(NonImmediateReach(5, none, 0, 1, TimeInterval(0, 5)).reachable);
+  EXPECT_FALSE(NonImmediateReach(5, none, 0, 1, TimeInterval(5, 2)).reachable);
+}
+
+}  // namespace
+}  // namespace streach

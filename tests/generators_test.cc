@@ -1,0 +1,306 @@
+// Tests for src/generators: random waypoint, road network, vehicle traces,
+// sparse GPS, query workloads, and dataset presets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "generators/datasets.h"
+#include "generators/random_waypoint.h"
+#include "spatial/grid2d.h"
+#include "generators/road_network.h"
+#include "generators/sparse_gps.h"
+#include "generators/vehicle_gen.h"
+#include "generators/workload.h"
+
+namespace streach {
+namespace {
+
+// ---------------------------------------------------------- RandomWaypoint
+
+TEST(RandomWaypointTest, ShapeAndBounds) {
+  RandomWaypointParams params;
+  params.num_objects = 20;
+  params.area = Rect(0, 0, 500, 400);
+  params.duration = 100;
+  params.seed = 1;
+  auto store = GenerateRandomWaypoint(params);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_objects(), 20u);
+  EXPECT_EQ(store->span(), TimeInterval(0, 99));
+  for (const Trajectory& tr : store->trajectories()) {
+    for (const Point& p : tr.samples()) {
+      EXPECT_TRUE(params.area.Contains(p)) << p.ToString();
+    }
+  }
+}
+
+TEST(RandomWaypointTest, SpeedBounded) {
+  RandomWaypointParams params;
+  params.num_objects = 10;
+  params.duration = 200;
+  params.min_speed = 2.0;
+  params.max_speed = 9.0;
+  auto store = GenerateRandomWaypoint(params);
+  ASSERT_TRUE(store.ok());
+  for (const Trajectory& tr : store->trajectories()) {
+    for (Timestamp t = 1; t < 200; ++t) {
+      EXPECT_LE(Point::Distance(tr.At(t - 1), tr.At(t)), 9.0 + 1e-9);
+    }
+  }
+}
+
+TEST(RandomWaypointTest, DeterministicPerSeed) {
+  RandomWaypointParams params;
+  params.num_objects = 5;
+  params.duration = 50;
+  params.seed = 77;
+  auto a = GenerateRandomWaypoint(params);
+  auto b = GenerateRandomWaypoint(params);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (ObjectId o = 0; o < 5; ++o) {
+    EXPECT_EQ(a->Get(o).samples(), b->Get(o).samples());
+  }
+  params.seed = 78;
+  auto c = GenerateRandomWaypoint(params);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->Get(0).samples(), c->Get(0).samples());
+}
+
+TEST(RandomWaypointTest, RejectsBadParams) {
+  RandomWaypointParams params;
+  params.num_objects = 0;
+  EXPECT_FALSE(GenerateRandomWaypoint(params).ok());
+  params.num_objects = 5;
+  params.duration = 0;
+  EXPECT_FALSE(GenerateRandomWaypoint(params).ok());
+  params.duration = 10;
+  params.min_speed = 5;
+  params.max_speed = 2;
+  EXPECT_FALSE(GenerateRandomWaypoint(params).ok());
+}
+
+// ------------------------------------------------------------- RoadNetwork
+
+TEST(RoadNetworkTest, GridTopology) {
+  auto net = RoadNetwork::MakeGrid(3, 4, 100, 0, 1);
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_nodes(), 12u);
+  // Corner has 2 edges, edge-node 3, interior 4.
+  EXPECT_EQ(net->edges(0).size(), 2u);
+  EXPECT_EQ(net->edges(1).size(), 3u);
+  EXPECT_EQ(net->edges(5).size(), 4u);
+}
+
+TEST(RoadNetworkTest, ShortestPathOnUnjitteredGrid) {
+  auto net = RoadNetwork::MakeGrid(3, 3, 100, 0, 1);
+  ASSERT_TRUE(net.ok());
+  // From corner 0 to opposite corner 8: path length 4 edges (5 nodes).
+  const auto path = net->ShortestPath(0, 8);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 8u);
+  // Consecutive path nodes must be road-adjacent.
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto& edges = net->edges(path[i]);
+    EXPECT_TRUE(std::any_of(edges.begin(), edges.end(),
+                            [&](const RoadNetwork::Edge& e) {
+                              return e.to == path[i + 1];
+                            }));
+  }
+}
+
+TEST(RoadNetworkTest, ShortestPathToSelf) {
+  auto net = RoadNetwork::MakeGrid(2, 2, 100, 0, 1);
+  ASSERT_TRUE(net.ok());
+  const auto path = net->ShortestPath(1, 1);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1u);
+}
+
+TEST(RoadNetworkTest, RejectsDegenerate) {
+  EXPECT_FALSE(RoadNetwork::MakeGrid(1, 5, 100, 0, 1).ok());
+  EXPECT_FALSE(RoadNetwork::MakeGrid(3, 3, -1, 0, 1).ok());
+}
+
+// -------------------------------------------------------------- VehicleGen
+
+TEST(VehicleGenTest, VehiclesStayNearRoads) {
+  auto net = RoadNetwork::MakeGrid(4, 4, 500, 0, 3);
+  ASSERT_TRUE(net.ok());
+  VehicleGenParams params;
+  params.num_vehicles = 10;
+  params.duration = 150;
+  params.min_speed = 20;
+  params.max_speed = 60;
+  auto store = GenerateVehicleTraces(*net, params);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_objects(), 10u);
+  // Every sample lies on some road segment (within numeric tolerance):
+  // distance to the nearest edge segment is ~0 for an unjittered grid —
+  // equivalently x or y is a multiple of 500 within the grid extent.
+  for (const Trajectory& tr : store->trajectories()) {
+    for (const Point& p : tr.samples()) {
+      const double fx = std::abs(p.x / 500.0 - std::round(p.x / 500.0));
+      const double fy = std::abs(p.y / 500.0 - std::round(p.y / 500.0));
+      EXPECT_TRUE(fx < 1e-6 || fy < 1e-6) << p.ToString();
+    }
+  }
+}
+
+TEST(VehicleGenTest, SpeedBoundedAlongPath) {
+  auto net = RoadNetwork::MakeGrid(4, 4, 400, 30, 5);
+  ASSERT_TRUE(net.ok());
+  VehicleGenParams params;
+  params.num_vehicles = 8;
+  params.duration = 100;
+  params.min_speed = 10;
+  params.max_speed = 50;
+  auto store = GenerateVehicleTraces(*net, params);
+  ASSERT_TRUE(store.ok());
+  for (const Trajectory& tr : store->trajectories()) {
+    for (Timestamp t = 1; t < 100; ++t) {
+      // Straight-line displacement per tick can't exceed the road speed.
+      EXPECT_LE(Point::Distance(tr.At(t - 1), tr.At(t)), 50.0 + 1e-9);
+    }
+  }
+}
+
+// --------------------------------------------------------------- SparseGps
+
+TEST(SparseGpsTest, PreservesKeptSamplesAndSpan) {
+  RandomWaypointParams params;
+  params.num_objects = 6;
+  params.duration = 100;
+  auto dense = GenerateRandomWaypoint(params);
+  ASSERT_TRUE(dense.ok());
+  auto sparse = SimulateSparseGps(*dense, 10);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse->span(), dense->span());
+  for (ObjectId o = 0; o < 6; ++o) {
+    for (Timestamp t = 0; t < 100; t += 10) {
+      EXPECT_NEAR(sparse->PositionAt(o, t).x, dense->PositionAt(o, t).x, 1e-9);
+      EXPECT_NEAR(sparse->PositionAt(o, t).y, dense->PositionAt(o, t).y, 1e-9);
+    }
+    // Last sample preserved too.
+    EXPECT_NEAR(sparse->PositionAt(o, 99).x, dense->PositionAt(o, 99).x, 1e-9);
+  }
+}
+
+TEST(SparseGpsTest, KeepEveryOneIsIdentity) {
+  RandomWaypointParams params;
+  params.num_objects = 3;
+  params.duration = 30;
+  auto dense = GenerateRandomWaypoint(params);
+  ASSERT_TRUE(dense.ok());
+  auto same = SimulateSparseGps(*dense, 1);
+  ASSERT_TRUE(same.ok());
+  for (ObjectId o = 0; o < 3; ++o) {
+    for (Timestamp t = 0; t < 30; ++t) {
+      EXPECT_NEAR(same->PositionAt(o, t).x, dense->PositionAt(o, t).x, 1e-9);
+    }
+  }
+}
+
+TEST(SparseGpsTest, RejectsBadFactor) {
+  TrajectoryStore empty;
+  EXPECT_FALSE(SimulateSparseGps(empty, 0).ok());
+}
+
+// ---------------------------------------------------------------- Workload
+
+TEST(WorkloadTest, RespectsParameters) {
+  WorkloadParams params;
+  params.num_queries = 500;
+  params.num_objects = 40;
+  params.span = TimeInterval(0, 1999);
+  params.min_interval_len = 150;
+  params.max_interval_len = 350;
+  const auto queries = GenerateWorkload(params);
+  ASSERT_EQ(queries.size(), 500u);
+  for (const ReachQuery& q : queries) {
+    EXPECT_LT(q.source, 40u);
+    EXPECT_LT(q.destination, 40u);
+    EXPECT_NE(q.source, q.destination);
+    EXPECT_GE(q.interval.length(), 150);
+    EXPECT_LE(q.interval.length(), 350);
+    EXPECT_TRUE(params.span.Contains(q.interval));
+  }
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  WorkloadParams params;
+  params.num_queries = 50;
+  params.num_objects = 10;
+  params.span = TimeInterval(0, 999);
+  const auto a = GenerateWorkload(params);
+  const auto b = GenerateWorkload(params);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].interval, b[i].interval);
+  }
+}
+
+TEST(WorkloadTest, IntervalLongerThanSpanClamped) {
+  WorkloadParams params;
+  params.num_queries = 20;
+  params.num_objects = 5;
+  params.span = TimeInterval(0, 99);  // Span 100 < min length 150.
+  const auto queries = GenerateWorkload(params);
+  for (const ReachQuery& q : queries) {
+    EXPECT_TRUE(params.span.Contains(q.interval));
+    EXPECT_EQ(q.interval.length(), 100);
+  }
+}
+
+// ---------------------------------------------------------------- Datasets
+
+TEST(DatasetsTest, RwpPreset) {
+  auto d = MakeRwpDataset(DatasetScale::kSmall, 200);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->name, "RWP-S");
+  EXPECT_EQ(d->num_objects(), 800u);
+  EXPECT_EQ(d->span().length(), 200);
+  EXPECT_DOUBLE_EQ(d->contact_range, kRwpContactRange);
+  auto large = MakeRwpDataset(DatasetScale::kLarge, 50);
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(large->num_objects(), 3200u);
+}
+
+TEST(DatasetsTest, VnPreset) {
+  auto d = MakeVnDataset(DatasetScale::kMedium, 150);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->name, "VN-M");
+  EXPECT_EQ(d->num_objects(), 160u);
+  EXPECT_DOUBLE_EQ(d->contact_range, kVnContactRange);
+}
+
+TEST(DatasetsTest, VnrPresetInterpolates) {
+  auto d = MakeVnrDataset(150);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->name, "VNR");
+  EXPECT_EQ(d->num_objects(), 160u);
+  EXPECT_EQ(d->span().length(), 150);
+}
+
+TEST(DatasetsTest, VnIsSpatiallySkewedVsRwp) {
+  // The motivating difference between the dataset families (§6.3): VN
+  // objects concentrate on the road network while RWP objects spread
+  // uniformly. Measure occupancy of a coarse grid.
+  auto rwp = MakeRwpDataset(DatasetScale::kSmall, 50);
+  auto vn = MakeVnDataset(DatasetScale::kSmall, 50);
+  ASSERT_TRUE(rwp.ok() && vn.ok());
+  auto occupancy = [](const Dataset& d) {
+    UniformGrid2D grid(d.store.ComputeExtent().Padded(1), 250.0);
+    std::set<CellId> used;
+    for (const Trajectory& tr : d.store.trajectories()) {
+      for (const Point& p : tr.samples()) used.insert(grid.CellOf(p));
+    }
+    return static_cast<double>(used.size()) / grid.num_cells();
+  };
+  EXPECT_GT(occupancy(*rwp), occupancy(*vn));
+}
+
+}  // namespace
+}  // namespace streach

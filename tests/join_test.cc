@@ -1,0 +1,258 @@
+// Unit and property tests for src/join: the per-tick proximity join and
+// contact extraction with validity-interval coalescing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "join/contact.h"
+#include "join/contact_extractor.h"
+#include "join/proximity_join.h"
+#include "trajectory/trajectory_store.h"
+
+namespace streach {
+namespace {
+
+TrajectoryStore StoreFromPaths(
+    const std::vector<std::vector<Point>>& paths) {
+  TrajectoryStore store;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_TRUE(
+        store.Add(Trajectory(static_cast<ObjectId>(i), 0, paths[i])).ok());
+  }
+  return store;
+}
+
+TrajectoryStore RandomStore(Rng* rng, int objects, int ticks, double extent,
+                            double step) {
+  std::vector<std::vector<Point>> paths(static_cast<size_t>(objects));
+  for (auto& path : paths) {
+    Point p(rng->UniformDouble(0, extent), rng->UniformDouble(0, extent));
+    for (int t = 0; t < ticks; ++t) {
+      path.push_back(p);
+      p.x += rng->UniformDouble(-step, step);
+      p.y += rng->UniformDouble(-step, step);
+    }
+  }
+  return StoreFromPaths(paths);
+}
+
+/// O(N^2) reference join.
+std::vector<std::pair<ObjectId, ObjectId>> BruteForcePairs(
+    const TrajectoryStore& store, Timestamp t, double dt) {
+  std::vector<std::pair<ObjectId, ObjectId>> out;
+  const double dt_sq = dt * dt;
+  for (ObjectId a = 0; a < store.num_objects(); ++a) {
+    for (ObjectId b = a + 1; b < store.num_objects(); ++b) {
+      if (Point::DistanceSquared(store.PositionAt(a, t),
+                                 store.PositionAt(b, t)) < dt_sq) {
+        out.emplace_back(a, b);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Contact
+
+TEST(ContactTest, CanonicalOrdering) {
+  const Contact c(5, 2, TimeInterval(1, 3));
+  EXPECT_EQ(c.a, 2u);
+  EXPECT_EQ(c.b, 5u);
+  EXPECT_TRUE(c.Involves(2));
+  EXPECT_TRUE(c.Involves(5));
+  EXPECT_FALSE(c.Involves(3));
+  EXPECT_EQ(c.Other(2), 5u);
+  EXPECT_EQ(c.Other(5), 2u);
+}
+
+TEST(ContactTest, SortsByStartTime) {
+  const Contact early(0, 1, TimeInterval(0, 9));
+  const Contact late(0, 1, TimeInterval(5, 6));
+  EXPECT_LT(early, late);
+}
+
+// ---------------------------------------------------------- ProximityJoin
+
+TEST(ProximityJoinTest, SimplePair) {
+  auto store = StoreFromPaths({{Point(0, 0)}, {Point(3, 4)}, {Point(50, 50)}});
+  ProximityJoiner joiner(&store, 6.0);
+  const auto pairs = joiner.PairsAtTick(0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(ObjectId{0}, ObjectId{1}));
+}
+
+TEST(ProximityJoinTest, ThresholdIsStrict) {
+  auto store = StoreFromPaths({{Point(0, 0)}, {Point(5, 0)}});
+  ProximityJoiner exactly(&store, 5.0);
+  EXPECT_TRUE(exactly.PairsAtTick(0).empty());  // dist == dT: no contact.
+  ProximityJoiner slightly(&store, 5.0001);
+  EXPECT_EQ(slightly.PairsAtTick(0).size(), 1u);
+}
+
+TEST(ProximityJoinTest, MatchesBruteForceProperty) {
+  Rng rng(41);
+  for (int round = 0; round < 20; ++round) {
+    auto store = RandomStore(&rng, 60, 5, 200.0, 10.0);
+    const double dt = rng.UniformDouble(5, 40);
+    ProximityJoiner joiner(&store, dt);
+    for (Timestamp t = 0; t < 5; ++t) {
+      auto expected = BruteForcePairs(store, t, dt);
+      auto actual = joiner.PairsAtTick(t);
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(actual, expected) << "round " << round << " t " << t;
+    }
+  }
+}
+
+TEST(ProximityJoinTest, InvolvingSubsetProperty) {
+  Rng rng(43);
+  auto store = RandomStore(&rng, 50, 3, 150.0, 5.0);
+  ProximityJoiner joiner(&store, 20.0);
+  const std::vector<ObjectId> probes = {3, 10, 22};
+  for (Timestamp t = 0; t < 3; ++t) {
+    const auto all = joiner.PairsAtTick(t);
+    const auto involving = joiner.PairsAtTickInvolving(t, probes);
+    // Exactly the pairs of `all` touching a probe.
+    std::vector<std::pair<ObjectId, ObjectId>> expected;
+    for (const auto& p : all) {
+      for (ObjectId probe : probes) {
+        if (p.first == probe || p.second == probe) {
+          expected.push_back(p);
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(involving, expected);
+  }
+}
+
+// ------------------------------------------------------- ContactExtractor
+
+TEST(ContactExtractorTest, PaperFigure1Network) {
+  // Reproduces Figure 1 of the paper: contacts c1={o1,o2}@[0,0],
+  // c2={o2,o4}@[1,1], c3={o3,o4}@[1,2], c4={o1,o2}@[2,3]. Objects are
+  // 0-indexed here (o1 -> 0, ...). Positions are crafted so exactly those
+  // pairs are within dT=1 at those ticks.
+  const double kFar = 100.0;
+  std::vector<std::vector<Point>> paths(4);
+  auto place = [&](int obj, int t, double x, double y) {
+    if (paths[static_cast<size_t>(obj)].size() <=
+        static_cast<size_t>(t)) {
+      paths[static_cast<size_t>(obj)].resize(static_cast<size_t>(t) + 1);
+    }
+    paths[static_cast<size_t>(obj)][static_cast<size_t>(t)] = Point(x, y);
+  };
+  // t=0: o1-o2 in contact, others far apart.
+  place(0, 0, 0, 0);
+  place(1, 0, 0.5, 0);
+  place(2, 0, kFar, 0);
+  place(3, 0, 2 * kFar, 0);
+  // t=1: o2-o4 and o3-o4 in contact. o4 sits between o2 and o3 but o2-o3
+  // are > dT apart.
+  place(0, 1, -kFar, 0);
+  place(1, 1, 10.0, 0);
+  place(2, 1, 11.4, 0);
+  place(3, 1, 10.7, 0);
+  // t=2: o3-o4 still in contact, o1-o2 reconnect elsewhere.
+  place(0, 2, 30, 5);
+  place(1, 2, 30.5, 5);
+  place(2, 2, 50, 0);
+  place(3, 2, 50.5, 0);
+  // t=3: o1-o2 still in contact, o3-o4 split.
+  place(0, 3, 31, 5);
+  place(1, 3, 31.5, 5);
+  place(2, 3, 70, 0);
+  place(3, 3, 3 * kFar, 0);
+
+  auto store = StoreFromPaths(paths);
+  const auto contacts = ExtractContacts(store, 1.0);
+  const std::vector<Contact> expected = {
+      Contact(0, 1, TimeInterval(0, 0)),
+      Contact(1, 3, TimeInterval(1, 1)),
+      Contact(2, 3, TimeInterval(1, 2)),
+      Contact(0, 1, TimeInterval(2, 3)),
+  };
+  EXPECT_EQ(contacts, expected);
+}
+
+TEST(ContactExtractorTest, ReenteringPairYieldsTwoContacts) {
+  // Pair together at ticks 0-1, apart at 2, together again at 3-4.
+  std::vector<std::vector<Point>> paths(2);
+  paths[0] = {Point(0, 0), Point(0, 0), Point(0, 0), Point(0, 0), Point(0, 0)};
+  paths[1] = {Point(1, 0), Point(1, 0), Point(50, 0), Point(1, 0),
+              Point(1, 0)};
+  auto store = StoreFromPaths(paths);
+  const auto contacts = ExtractContacts(store, 2.0);
+  ASSERT_EQ(contacts.size(), 2u);
+  EXPECT_EQ(contacts[0].validity, TimeInterval(0, 1));
+  EXPECT_EQ(contacts[1].validity, TimeInterval(3, 4));
+}
+
+TEST(ContactExtractorTest, ContactSpanningFullWindowClosedAtEnd) {
+  std::vector<std::vector<Point>> paths(2);
+  paths[0] = {Point(0, 0), Point(0, 0), Point(0, 0)};
+  paths[1] = {Point(1, 0), Point(1, 0), Point(1, 0)};
+  auto store = StoreFromPaths(paths);
+  const auto contacts = ExtractContacts(store, 2.0);
+  ASSERT_EQ(contacts.size(), 1u);
+  EXPECT_EQ(contacts[0].validity, TimeInterval(0, 2));
+}
+
+TEST(ContactExtractorTest, WindowRestrictsExtraction) {
+  std::vector<std::vector<Point>> paths(2);
+  paths[0] = {Point(0, 0), Point(0, 0), Point(0, 0), Point(0, 0)};
+  paths[1] = {Point(1, 0), Point(50, 0), Point(1, 0), Point(1, 0)};
+  auto store = StoreFromPaths(paths);
+  const auto contacts = ExtractContacts(store, 2.0, TimeInterval(2, 3));
+  ASSERT_EQ(contacts.size(), 1u);
+  EXPECT_EQ(contacts[0].validity, TimeInterval(2, 3));
+}
+
+TEST(ContactExtractorTest, CoalescingMatchesPerTickPairsProperty) {
+  // Property: expanding the extracted contacts back to (pair, tick)
+  // incidences reproduces exactly the per-tick join results.
+  Rng rng(47);
+  for (int round = 0; round < 10; ++round) {
+    auto store = RandomStore(&rng, 40, 20, 120.0, 8.0);
+    const double dt = 15.0;
+    const auto contacts = ExtractContacts(store, dt);
+    // Validity intervals are maximal: never empty, within span.
+    std::vector<std::vector<std::pair<ObjectId, ObjectId>>> by_tick(20);
+    for (const Contact& c : contacts) {
+      EXPECT_FALSE(c.validity.empty());
+      EXPECT_TRUE(store.span().Contains(c.validity));
+      for (Timestamp t = c.validity.start; t <= c.validity.end; ++t) {
+        by_tick[static_cast<size_t>(t)].emplace_back(c.a, c.b);
+      }
+    }
+    ProximityJoiner joiner(&store, dt);
+    for (Timestamp t = 0; t < 20; ++t) {
+      auto& got = by_tick[static_cast<size_t>(t)];
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, joiner.PairsAtTick(t)) << "round " << round;
+    }
+    // Maximality: no two contacts of the same pair are adjacent in time.
+    for (size_t i = 0; i < contacts.size(); ++i) {
+      for (size_t j = i + 1; j < contacts.size(); ++j) {
+        if (contacts[i].a == contacts[j].a && contacts[i].b == contacts[j].b) {
+          const auto& u = contacts[i].validity;
+          const auto& v = contacts[j].validity;
+          EXPECT_TRUE(u.end + 1 < v.start || v.end + 1 < u.start)
+              << "contacts of one pair must be separated by a gap";
+        }
+      }
+    }
+  }
+}
+
+TEST(ContactExtractorTest, NoObjectsNoContacts) {
+  TrajectoryStore store;
+  EXPECT_TRUE(ExtractContacts(store, 10.0, TimeInterval(0, 5)).empty());
+}
+
+}  // namespace
+}  // namespace streach

@@ -1,0 +1,193 @@
+// Unit and property tests for src/spatial: Point, Rect, UniformGrid2D.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "spatial/grid2d.h"
+#include "spatial/point.h"
+#include "spatial/rect.h"
+
+namespace streach {
+namespace {
+
+// ------------------------------------------------------------------ Point
+
+TEST(PointTest, Arithmetic) {
+  const Point a(1, 2), b(3, 5);
+  EXPECT_EQ(a + b, Point(4, 7));
+  EXPECT_EQ(b - a, Point(2, 3));
+  EXPECT_EQ(a * 2, Point(2, 4));
+}
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Point::Distance(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(Point::DistanceSquared(Point(0, 0), Point(3, 4)), 25.0);
+  EXPECT_DOUBLE_EQ(Point::Distance(Point(1, 1), Point(1, 1)), 0.0);
+}
+
+TEST(PointTest, Lerp) {
+  const Point a(0, 0), b(10, 20);
+  EXPECT_EQ(Point::Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Point::Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Point::Lerp(a, b, 0.5), Point(5, 10));
+}
+
+// ------------------------------------------------------------------- Rect
+
+TEST(RectTest, EmptyByDefault) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+}
+
+TEST(RectTest, ExpandToInclude) {
+  Rect r;
+  r.ExpandToInclude(Point(2, 3));
+  EXPECT_FALSE(r.empty());
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);  // Degenerate but non-empty.
+  r.ExpandToInclude(Point(5, 7));
+  EXPECT_EQ(r, Rect(2, 3, 5, 7));
+  r.ExpandToInclude(Rect(0, 0, 1, 1));
+  EXPECT_EQ(r, Rect(0, 0, 5, 7));
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect r(0, 0, 10, 10);
+  EXPECT_TRUE(r.Contains(Point(0, 0)));
+  EXPECT_TRUE(r.Contains(Point(10, 10)));
+  EXPECT_FALSE(r.Contains(Point(10.01, 5)));
+  EXPECT_TRUE(r.Intersects(Rect(9, 9, 20, 20)));
+  EXPECT_FALSE(r.Intersects(Rect(11, 11, 20, 20)));
+  EXPECT_TRUE(r.Contains(Rect(1, 1, 9, 9)));
+  EXPECT_FALSE(r.Contains(Rect(1, 1, 11, 9)));
+  EXPECT_FALSE(r.Intersects(Rect()));  // Empty rect intersects nothing.
+}
+
+TEST(RectTest, PaddedGrowsAllSides) {
+  const Rect r = Rect(2, 3, 4, 5).Padded(1.5);
+  EXPECT_EQ(r, Rect(0.5, 1.5, 5.5, 6.5));
+}
+
+TEST(RectTest, DistanceToPoint) {
+  const Rect r(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(r.DistanceTo(Point(5, 5)), 0.0);
+  EXPECT_DOUBLE_EQ(r.DistanceTo(Point(13, 14)), 5.0);
+  EXPECT_DOUBLE_EQ(r.DistanceTo(Point(-3, 5)), 3.0);
+}
+
+TEST(RectTest, DistanceToRect) {
+  const Rect r(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(r.DistanceTo(Rect(5, 5, 6, 6)), 0.0);
+  EXPECT_DOUBLE_EQ(r.DistanceTo(Rect(13, 0, 14, 10)), 3.0);
+  EXPECT_DOUBLE_EQ(r.DistanceTo(Rect(13, 14, 20, 20)), 5.0);
+}
+
+// ----------------------------------------------------------- UniformGrid2D
+
+TEST(GridTest, Dimensions) {
+  UniformGrid2D grid(Rect(0, 0, 100, 50), 10);
+  EXPECT_EQ(grid.cols(), 10);
+  EXPECT_EQ(grid.rows(), 5);
+  EXPECT_EQ(grid.num_cells(), 50u);
+}
+
+TEST(GridTest, NonDivisibleExtentRoundsUp) {
+  UniformGrid2D grid(Rect(0, 0, 105, 41), 10);
+  EXPECT_EQ(grid.cols(), 11);
+  EXPECT_EQ(grid.rows(), 5);
+}
+
+TEST(GridTest, CellOfMapsIntoBounds) {
+  UniformGrid2D grid(Rect(0, 0, 100, 100), 10);
+  EXPECT_EQ(grid.CellOf(Point(0, 0)), grid.CellAt(0, 0));
+  EXPECT_EQ(grid.CellOf(Point(99, 99)), grid.CellAt(9, 9));
+  // Clamping of out-of-extent points.
+  EXPECT_EQ(grid.CellOf(Point(-5, -5)), grid.CellAt(0, 0));
+  EXPECT_EQ(grid.CellOf(Point(500, 500)), grid.CellAt(9, 9));
+}
+
+TEST(GridTest, CellBoundsContainsItsPoints) {
+  // Property: a point maps to a cell whose bounds contain it.
+  UniformGrid2D grid(Rect(-50, -20, 130, 77), 13.7);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Point p(rng.UniformDouble(-50, 130), rng.UniformDouble(-20, 77));
+    const CellId c = grid.CellOf(p);
+    EXPECT_TRUE(grid.CellBounds(c).Contains(p))
+        << p.ToString() << " not in " << grid.CellBounds(c).ToString();
+  }
+}
+
+TEST(GridTest, CellsTileTheExtentWithoutOverlap) {
+  UniformGrid2D grid(Rect(0, 0, 40, 30), 10);
+  double total_area = 0;
+  for (CellId c = 0; c < grid.num_cells(); ++c) {
+    total_area += grid.CellBounds(c).Area();
+    for (CellId d = c + 1; d < grid.num_cells(); ++d) {
+      const Rect rc = grid.CellBounds(c);
+      const Rect rd = grid.CellBounds(d);
+      // Closed rects share edges; interiors must be disjoint.
+      const double overlap_w =
+          std::min(rc.max.x, rd.max.x) - std::max(rc.min.x, rd.min.x);
+      const double overlap_h =
+          std::min(rc.max.y, rd.max.y) - std::max(rc.min.y, rd.min.y);
+      EXPECT_FALSE(overlap_w > 1e-9 && overlap_h > 1e-9);
+    }
+  }
+  EXPECT_GE(total_area, 40 * 30 - 1e-6);
+}
+
+TEST(GridTest, CellsIntersectingCoversQueryRect) {
+  // Property: every cell containing a random point of the query rect is
+  // returned by CellsIntersecting.
+  UniformGrid2D grid(Rect(0, 0, 200, 200), 17);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const double x0 = rng.UniformDouble(0, 180);
+    const double y0 = rng.UniformDouble(0, 180);
+    const Rect q(x0, y0, x0 + rng.UniformDouble(0, 20),
+                 y0 + rng.UniformDouble(0, 20));
+    const auto cells = grid.CellsIntersecting(q);
+    for (int j = 0; j < 20; ++j) {
+      const Point p(rng.UniformDouble(q.min.x, q.max.x),
+                    rng.UniformDouble(q.min.y, q.max.y));
+      const CellId c = grid.CellOf(p);
+      EXPECT_NE(std::find(cells.begin(), cells.end(), c), cells.end());
+    }
+  }
+}
+
+TEST(GridTest, CellsIntersectingClampsToExtent) {
+  UniformGrid2D grid(Rect(0, 0, 100, 100), 10);
+  const auto all = grid.CellsIntersecting(Rect(-1000, -1000, 1000, 1000));
+  EXPECT_EQ(all.size(), grid.num_cells());
+  EXPECT_TRUE(grid.CellsIntersecting(Rect(200, 200, 300, 300)).empty());
+  EXPECT_TRUE(grid.CellsIntersecting(Rect()).empty());
+}
+
+TEST(GridTest, NeighborhoodRings) {
+  UniformGrid2D grid(Rect(0, 0, 100, 100), 10);
+  const CellId center = grid.CellAt(5, 5);
+  EXPECT_EQ(grid.Neighborhood(center, 0).size(), 1u);
+  EXPECT_EQ(grid.Neighborhood(center, 1).size(), 9u);
+  EXPECT_EQ(grid.Neighborhood(center, 2).size(), 25u);
+  // Corner clips.
+  EXPECT_EQ(grid.Neighborhood(grid.CellAt(0, 0), 1).size(), 4u);
+  EXPECT_EQ(grid.Neighborhood(grid.CellAt(0, 5), 1).size(), 6u);
+}
+
+TEST(GridTest, RowColRoundTrip) {
+  UniformGrid2D grid(Rect(0, 0, 70, 90), 7);
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      const CellId id = grid.CellAt(r, c);
+      EXPECT_EQ(grid.RowOfCell(id), r);
+      EXPECT_EQ(grid.ColOfCell(id), c);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streach

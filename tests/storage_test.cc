@@ -1,0 +1,264 @@
+// Unit and property tests for src/storage: the simulated block device's
+// random/sequential accounting, the LRU buffer pool, and extent IO.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "storage/block_device.h"
+#include "storage/block_file.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+
+namespace streach {
+namespace {
+
+// ---------------------------------------------------------------- IoStats
+
+TEST(IoStatsTest, NormalizedCostUses20To1) {
+  IoStats s;
+  s.random_reads = 3;
+  s.sequential_reads = 40;
+  EXPECT_DOUBLE_EQ(s.NormalizedReadCost(), 3 + 40 / 20.0);
+  s.random_writes = 1;
+  s.sequential_writes = 20;
+  EXPECT_DOUBLE_EQ(s.NormalizedCost(), 3 + 2.0 + 1 + 1.0);
+}
+
+TEST(IoStatsTest, Difference) {
+  IoStats a, b;
+  a.random_reads = 10;
+  a.sequential_reads = 5;
+  b.random_reads = 4;
+  b.sequential_reads = 2;
+  const IoStats d = a - b;
+  EXPECT_EQ(d.random_reads, 6u);
+  EXPECT_EQ(d.sequential_reads, 3u);
+}
+
+// ------------------------------------------------------------ BlockDevice
+
+TEST(BlockDeviceTest, AllocateAndRoundTrip) {
+  BlockDevice dev(128);
+  const PageId p = dev.AllocatePage();
+  EXPECT_EQ(p, 0u);
+  ASSERT_TRUE(dev.WritePage(p, "hello").ok());
+  auto r = dev.ReadPage(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->substr(0, 5), "hello");
+  EXPECT_EQ(r->size(), 128u);  // Zero padded.
+}
+
+TEST(BlockDeviceTest, OutOfRangeAccess) {
+  BlockDevice dev(128);
+  EXPECT_TRUE(dev.ReadPage(0).status().IsOutOfRange());
+  EXPECT_TRUE(dev.WritePage(7, "x").IsOutOfRange());
+}
+
+TEST(BlockDeviceTest, OversizedWriteRejected) {
+  BlockDevice dev(4);
+  const PageId p = dev.AllocatePage();
+  EXPECT_TRUE(dev.WritePage(p, "too long").IsInvalidArgument());
+}
+
+TEST(BlockDeviceTest, SequentialReadsDetected) {
+  BlockDevice dev(64);
+  dev.AllocatePages(10);
+  dev.ResetStats();
+  for (PageId p = 0; p < 10; ++p) ASSERT_TRUE(dev.ReadPage(p).ok());
+  // First access is a seek, the following 9 are sequential.
+  EXPECT_EQ(dev.stats().random_reads, 1u);
+  EXPECT_EQ(dev.stats().sequential_reads, 9u);
+}
+
+TEST(BlockDeviceTest, BackwardAndSkippingReadsAreRandom) {
+  BlockDevice dev(64);
+  dev.AllocatePages(10);
+  dev.ResetStats();
+  ASSERT_TRUE(dev.ReadPage(5).ok());
+  ASSERT_TRUE(dev.ReadPage(4).ok());  // Backward: random.
+  ASSERT_TRUE(dev.ReadPage(6).ok());  // Skip: random.
+  ASSERT_TRUE(dev.ReadPage(7).ok());  // Sequential.
+  ASSERT_TRUE(dev.ReadPage(7).ok());  // Same page again: random (seek).
+  EXPECT_EQ(dev.stats().random_reads, 4u);
+  EXPECT_EQ(dev.stats().sequential_reads, 1u);
+}
+
+TEST(BlockDeviceTest, WritesTrackedSeparately) {
+  BlockDevice dev(64);
+  dev.AllocatePages(3);
+  dev.ResetStats();
+  ASSERT_TRUE(dev.WritePage(0, "a").ok());
+  ASSERT_TRUE(dev.WritePage(1, "b").ok());
+  ASSERT_TRUE(dev.WritePage(2, "c").ok());
+  EXPECT_EQ(dev.stats().random_writes, 1u);
+  EXPECT_EQ(dev.stats().sequential_writes, 2u);
+  EXPECT_EQ(dev.stats().total_reads(), 0u);
+}
+
+TEST(BlockDeviceTest, ReadAfterAdjacentWriteIsSequential) {
+  BlockDevice dev(64);
+  dev.AllocatePages(3);
+  dev.ResetStats();
+  ASSERT_TRUE(dev.WritePage(0, "a").ok());
+  ASSERT_TRUE(dev.ReadPage(1).ok());  // Head is just past page 0.
+  EXPECT_EQ(dev.stats().sequential_reads, 1u);
+}
+
+// ------------------------------------------------------------- BufferPool
+
+TEST(BufferPoolTest, HitAvoidsDeviceRead) {
+  BlockDevice dev(64);
+  dev.AllocatePages(4);
+  BufferPool pool(&dev, 4);
+  ASSERT_TRUE(pool.Fetch(2).ok());
+  const uint64_t reads_before = dev.stats().total_reads();
+  ASSERT_TRUE(pool.Fetch(2).ok());
+  EXPECT_EQ(dev.stats().total_reads(), reads_before);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BlockDevice dev(64);
+  dev.AllocatePages(4);
+  BufferPool pool(&dev, 2);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());  // Touch 0 -> 1 becomes LRU.
+  ASSERT_TRUE(pool.Fetch(2).ok());  // Evicts 1.
+  EXPECT_EQ(pool.resident(), 2u);
+  const uint64_t misses_before = pool.misses();
+  ASSERT_TRUE(pool.Fetch(0).ok());  // Still resident.
+  EXPECT_EQ(pool.misses(), misses_before);
+  ASSERT_TRUE(pool.Fetch(1).ok());  // Was evicted -> miss.
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+}
+
+TEST(BufferPoolTest, ClearDropsEverything) {
+  BlockDevice dev(64);
+  dev.AllocatePages(2);
+  BufferPool pool(&dev, 2);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  pool.Clear();
+  EXPECT_EQ(pool.resident(), 0u);
+  const uint64_t misses_before = pool.misses();
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+}
+
+TEST(BufferPoolTest, ReturnsPageContents) {
+  BlockDevice dev(8);
+  const PageId p = dev.AllocatePage();
+  ASSERT_TRUE(dev.WritePage(p, "abcd").ok());
+  BufferPool pool(&dev, 1);
+  auto data = pool.Fetch(p);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->substr(0, 4), "abcd");
+}
+
+// ------------------------------------------------------------ ExtentWriter
+
+TEST(ExtentWriterTest, PacksBlobsAcrossPages) {
+  BlockDevice dev(16);
+  ExtentWriter writer(&dev);
+  auto e1 = writer.Append("0123456789");  // 10 bytes.
+  auto e2 = writer.Append("abcdefghij");  // Crosses into page 1.
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(e1->first_page, 0u);
+  EXPECT_EQ(e1->offset_in_page, 0u);
+  EXPECT_EQ(e2->first_page, 0u);
+  EXPECT_EQ(e2->offset_in_page, 10u);
+  EXPECT_EQ(e2->PageSpan(16), 2u);
+
+  BufferPool pool(&dev, 4);
+  EXPECT_EQ(*ReadExtent(&pool, *e1, 16), "0123456789");
+  EXPECT_EQ(*ReadExtent(&pool, *e2, 16), "abcdefghij");
+}
+
+TEST(ExtentWriterTest, AlignToPageStartsFreshPage) {
+  BlockDevice dev(16);
+  ExtentWriter writer(&dev);
+  ASSERT_TRUE(writer.Append("xxx").ok());
+  ASSERT_TRUE(writer.AlignToPage().ok());
+  auto e = writer.Append("yyy");
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(e->first_page, 1u);
+  EXPECT_EQ(e->offset_in_page, 0u);
+}
+
+TEST(ExtentWriterTest, LargeBlobSpansManyPages) {
+  BlockDevice dev(32);
+  ExtentWriter writer(&dev);
+  const std::string blob(300, 'z');
+  auto e = writer.Append(blob);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(e->PageSpan(32), (300 + 31) / 32u);
+  BufferPool pool(&dev, 16);
+  EXPECT_EQ(*ReadExtent(&pool, *e, 32), blob);
+}
+
+TEST(ExtentWriterTest, SequentialReadOfConsecutiveBlobs) {
+  // The disk-placement property both indexes rely on: blobs appended in
+  // order occupy consecutive pages, so scanning them in order is
+  // (almost entirely) sequential IO.
+  BlockDevice dev(64);
+  ExtentWriter writer(&dev);
+  std::vector<Extent> extents;
+  for (int i = 0; i < 50; ++i) {
+    auto e = writer.Append(std::string(40, static_cast<char>('a' + i % 26)));
+    ASSERT_TRUE(e.ok());
+    extents.push_back(*e);
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+  dev.ResetStats();
+  BufferPool pool(&dev, 64);
+  for (const Extent& e : extents) {
+    ASSERT_TRUE(ReadExtent(&pool, e, 64).ok());
+  }
+  // One seek at the start; everything else sequential or buffered.
+  EXPECT_EQ(dev.stats().random_reads, 1u);
+  EXPECT_GT(dev.stats().sequential_reads, 0u);
+}
+
+TEST(ExtentWriterTest, RandomBlobsRoundTripProperty) {
+  Rng rng(31);
+  BlockDevice dev(128);
+  ExtentWriter writer(&dev);
+  std::vector<std::string> blobs;
+  std::vector<Extent> extents;
+  for (int i = 0; i < 200; ++i) {
+    std::string blob;
+    const size_t len = rng.Uniform(500);
+    blob.reserve(len);
+    for (size_t j = 0; j < len; ++j) {
+      blob.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto e = writer.Append(blob);
+    ASSERT_TRUE(e.ok());
+    blobs.push_back(std::move(blob));
+    extents.push_back(*e);
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+  BufferPool pool(&dev, 8);
+  // Read back in random order.
+  for (int i = 0; i < 400; ++i) {
+    const size_t k = rng.Uniform(extents.size());
+    auto data = ReadExtent(&pool, extents[k], 128);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, blobs[k]);
+  }
+}
+
+TEST(ReadExtentTest, InvalidExtentRejected) {
+  BlockDevice dev(64);
+  BufferPool pool(&dev, 2);
+  EXPECT_TRUE(ReadExtent(&pool, Extent{}, 64).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace streach

@@ -1,0 +1,152 @@
+// Unit tests for src/trajectory: Trajectory, resampling, TrajectoryStore.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "trajectory/trajectory.h"
+#include "trajectory/trajectory_store.h"
+
+namespace streach {
+namespace {
+
+Trajectory MakeLine(ObjectId id, Timestamp start, int n, Point from,
+                    Point step) {
+  std::vector<Point> samples;
+  for (int i = 0; i < n; ++i) samples.push_back(from + step * i);
+  return Trajectory(id, start, std::move(samples));
+}
+
+// ------------------------------------------------------------- Trajectory
+
+TEST(TrajectoryTest, SpanAndAccess) {
+  const Trajectory tr = MakeLine(0, 5, 4, Point(0, 0), Point(1, 2));
+  EXPECT_EQ(tr.span(), TimeInterval(5, 8));
+  EXPECT_EQ(tr.num_samples(), 4u);
+  EXPECT_EQ(tr.At(5), Point(0, 0));
+  EXPECT_EQ(tr.At(7), Point(2, 4));
+  EXPECT_TRUE(tr.Covers(8));
+  EXPECT_FALSE(tr.Covers(9));
+  EXPECT_FALSE(tr.Covers(4));
+}
+
+TEST(TrajectoryTest, SegmentMbr) {
+  const Trajectory tr = MakeLine(0, 0, 10, Point(0, 0), Point(1, -1));
+  const Rect mbr = tr.SegmentMbr(TimeInterval(2, 5));
+  EXPECT_EQ(mbr, Rect(2, -5, 5, -2));
+}
+
+TEST(TrajectoryTest, SegmentMbrClampsToSpan) {
+  const Trajectory tr = MakeLine(0, 0, 5, Point(0, 0), Point(1, 0));
+  const Rect mbr = tr.SegmentMbr(TimeInterval(3, 100));
+  EXPECT_EQ(mbr, Rect(3, 0, 4, 0));
+  EXPECT_TRUE(tr.SegmentMbr(TimeInterval(50, 60)).empty());
+}
+
+// --------------------------------------------------------- ResampleToTicks
+
+TEST(ResampleTest, DenseInputPassesThrough) {
+  std::vector<GpsFix> fixes = {{0, Point(0, 0)}, {1, Point(1, 1)},
+                               {2, Point(2, 2)}};
+  const auto samples = ResampleToTicks(fixes);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[1], Point(1, 1));
+}
+
+TEST(ResampleTest, LinearInterpolation) {
+  std::vector<GpsFix> fixes = {{0, Point(0, 0)}, {4, Point(8, 4)}};
+  const auto samples = ResampleToTicks(fixes);
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_EQ(samples[0], Point(0, 0));
+  EXPECT_EQ(samples[1], Point(2, 1));
+  EXPECT_EQ(samples[2], Point(4, 2));
+  EXPECT_EQ(samples[3], Point(6, 3));
+  EXPECT_EQ(samples[4], Point(8, 4));
+}
+
+TEST(ResampleTest, MultiSegment) {
+  std::vector<GpsFix> fixes = {{0, Point(0, 0)}, {2, Point(2, 0)},
+                               {6, Point(2, 8)}};
+  const auto samples = ResampleToTicks(fixes);
+  ASSERT_EQ(samples.size(), 7u);
+  EXPECT_EQ(samples[1], Point(1, 0));
+  EXPECT_EQ(samples[4], Point(2, 4));
+}
+
+TEST(ResampleTest, EmptyAndSingleton) {
+  EXPECT_TRUE(ResampleToTicks({}).empty());
+  const auto one = ResampleToTicks({{3, Point(7, 7)}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], Point(7, 7));
+}
+
+TEST(ResampleTest, EndpointsPreservedProperty) {
+  Rng rng(3);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<GpsFix> fixes;
+    Timestamp t = 0;
+    for (int i = 0; i < 10; ++i) {
+      fixes.push_back({t, Point(rng.UniformDouble(0, 100),
+                                rng.UniformDouble(0, 100))});
+      t += 1 + static_cast<Timestamp>(rng.Uniform(10));
+    }
+    const auto samples = ResampleToTicks(fixes);
+    ASSERT_EQ(samples.size(),
+              static_cast<size_t>(fixes.back().time - fixes.front().time + 1));
+    // Every original fix is reproduced exactly at its tick.
+    for (const GpsFix& f : fixes) {
+      const Point& p = samples[static_cast<size_t>(f.time)];
+      EXPECT_NEAR(p.x, f.position.x, 1e-9);
+      EXPECT_NEAR(p.y, f.position.y, 1e-9);
+    }
+  }
+}
+
+// -------------------------------------------------------- TrajectoryStore
+
+TEST(TrajectoryStoreTest, AddAndAccess) {
+  TrajectoryStore store;
+  ASSERT_TRUE(store.Add(MakeLine(0, 0, 5, Point(0, 0), Point(1, 0))).ok());
+  ASSERT_TRUE(store.Add(MakeLine(1, 0, 5, Point(0, 5), Point(1, 0))).ok());
+  EXPECT_EQ(store.num_objects(), 2u);
+  EXPECT_EQ(store.span(), TimeInterval(0, 4));
+  EXPECT_EQ(store.PositionAt(1, 2), Point(2, 5));
+}
+
+TEST(TrajectoryStoreTest, RejectsOutOfOrderIds) {
+  TrajectoryStore store;
+  EXPECT_TRUE(store.Add(MakeLine(1, 0, 5, Point(0, 0), Point(1, 0)))
+                  .IsInvalidArgument());
+}
+
+TEST(TrajectoryStoreTest, RejectsMismatchedSpans) {
+  TrajectoryStore store;
+  ASSERT_TRUE(store.Add(MakeLine(0, 0, 5, Point(0, 0), Point(1, 0))).ok());
+  EXPECT_TRUE(store.Add(MakeLine(1, 0, 6, Point(0, 0), Point(1, 0)))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(store.Add(MakeLine(1, 1, 5, Point(0, 0), Point(1, 0)))
+                  .IsInvalidArgument());
+}
+
+TEST(TrajectoryStoreTest, RejectsEmptyTrajectory) {
+  TrajectoryStore store;
+  EXPECT_TRUE(store.Add(Trajectory(0, 0, {})).IsInvalidArgument());
+}
+
+TEST(TrajectoryStoreTest, ComputeExtent) {
+  TrajectoryStore store;
+  ASSERT_TRUE(store.Add(MakeLine(0, 0, 3, Point(-1, 2), Point(1, 1))).ok());
+  ASSERT_TRUE(store.Add(MakeLine(1, 0, 3, Point(5, -3), Point(0, 0))).ok());
+  EXPECT_EQ(store.ComputeExtent(), Rect(-1, -3, 5, 4));
+}
+
+TEST(TrajectoryStoreTest, RawSizeBytes) {
+  TrajectoryStore store;
+  ASSERT_TRUE(store.Add(MakeLine(0, 0, 100, Point(0, 0), Point(1, 0))).ok());
+  ASSERT_TRUE(store.Add(MakeLine(1, 0, 100, Point(0, 0), Point(1, 0))).ok());
+  EXPECT_EQ(store.RawSizeBytes(), 2u * 100u * 16u);
+}
+
+}  // namespace
+}  // namespace streach
