@@ -15,6 +15,9 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "engine/backends.h"
+#include "engine/query_engine.h"
+#include "engine/reachability_index.h"
 #include "generators/datasets.h"
 #include "generators/workload.h"
 #include "join/contact_extractor.h"
@@ -68,6 +71,21 @@ inline BenchEnv MakeEnv(const std::string& which, DatasetScale scale,
     env.queries = GenerateWorkload(wl);
   }
   return env;
+}
+
+/// Runs `queries` against any `ReachabilityIndex` backend through the
+/// QueryEngine and returns the aggregated summary. `cold` clears the
+/// session's buffer pool before every query — the paper's per-query IO
+/// measurement protocol (each query starts with an empty buffer).
+inline WorkloadSummary RunThroughEngine(ReachabilityIndex* backend,
+                                        const std::vector<ReachQuery>& queries,
+                                        bool cold = true, int threads = 1) {
+  QueryEngineOptions options;
+  options.cold_cache = cold;
+  options.num_threads = threads;
+  auto report = QueryEngine(options).Run(backend, queries);
+  STREACH_CHECK(report.ok());
+  return report->summary;
 }
 
 /// Percentage improvement of `ours` over `baseline` (positive = better).

@@ -29,24 +29,17 @@ void Compare(benchmark::State& state, const std::string& which) {
                          /*num_queries=*/50);
   auto index = ReachGraphIndex::Build(*env.network, ReachGraphOptions{});
   STREACH_CHECK(index.ok());
+  // One backend session per traversal, all over the same shared index —
+  // the uniform interface every evaluator comparison goes through now.
+  std::shared_ptr<const ReachGraphIndex> shared = std::move(*index);
+  auto bm_backend = MakeReachGraphBackend(shared, ReachGraphTraversal::kBmBfs);
+  auto bb_backend = MakeReachGraphBackend(shared, ReachGraphTraversal::kBBfs);
+  auto ed_backend = MakeReachGraphBackend(shared, ReachGraphTraversal::kEDfs);
   double bm = 0, bb = 0, edfs = 0;
   for (auto _ : state) {
-    bm = bb = edfs = 0;
-    for (const ReachQuery& q : env.queries) {
-      (*index)->ClearCache();
-      STREACH_CHECK_OK((*index)->QueryBmBfs(q).status());
-      bm += (*index)->last_query_stats().io_cost;
-      (*index)->ClearCache();
-      STREACH_CHECK_OK((*index)->QueryBBfs(q).status());
-      bb += (*index)->last_query_stats().io_cost;
-      (*index)->ClearCache();
-      STREACH_CHECK_OK((*index)->QueryEDfs(q).status());
-      edfs += (*index)->last_query_stats().io_cost;
-    }
-    const auto n = static_cast<double>(env.queries.size());
-    bm /= n;
-    bb /= n;
-    edfs /= n;
+    bm = RunThroughEngine(bm_backend.get(), env.queries).mean_io_cost();
+    bb = RunThroughEngine(bb_backend.get(), env.queries).mean_io_cost();
+    edfs = RunThroughEngine(ed_backend.get(), env.queries).mean_io_cost();
   }
   state.counters["BM_BFS_io"] = bm;
   state.counters["B_BFS_io"] = bb;

@@ -17,8 +17,10 @@ namespace {
 
 struct Setup {
   BenchEnv env;
-  std::unique_ptr<ReachGridIndex> grid;
-  std::unique_ptr<ReachGraphIndex> graph;
+  // Both indexes behind the uniform backend interface: the benchmark
+  // body is index-agnostic from here on.
+  std::unique_ptr<ReachabilityIndex> grid;
+  std::unique_ptr<ReachabilityIndex> graph;
 };
 
 Setup& GetSetup(const std::string& which) {
@@ -34,11 +36,13 @@ Setup& GetSetup(const std::string& which) {
     grid_options.contact_range = setup->env.dataset.contact_range;
     auto grid = ReachGridIndex::Build(setup->env.dataset.store, grid_options);
     STREACH_CHECK(grid.ok());
-    setup->grid = std::move(grid).ValueUnsafe();
+    setup->grid =
+        MakeReachGridBackend(std::move(grid).ValueUnsafe());
     auto graph =
         ReachGraphIndex::Build(*setup->env.network, ReachGraphOptions{});
     STREACH_CHECK(graph.ok());
-    setup->graph = std::move(graph).ValueUnsafe();
+    setup->graph = MakeReachGraphBackend(std::move(graph).ValueUnsafe(),
+                                         ReachGraphTraversal::kBmBfs);
     it = cache.emplace(which, std::move(setup)).first;
   }
   return *it->second;
@@ -56,32 +60,30 @@ std::vector<Row>& Rows() {
 
 // google-benchmark measures the full query batch; we report per-query
 // CPU milliseconds from the indexes' own stopwatches as counters too.
+double CpuMsPerQuery(ReachabilityIndex* backend,
+                     const std::vector<ReachQuery>& queries) {
+  const WorkloadSummary summary =
+      RunThroughEngine(backend, queries, /*cold=*/false);
+  return summary.total_cpu_seconds * 1e3 /
+         static_cast<double>(summary.num_queries);
+}
+
 void GridCpu(benchmark::State& state, const std::string& which) {
   Setup& setup = GetSetup(which);
-  double cpu = 0;
+  double ms = 0;
   for (auto _ : state) {
-    cpu = 0;
-    for (const ReachQuery& q : setup.env.queries) {
-      STREACH_CHECK_OK(setup.grid->Query(q).status());
-      cpu += setup.grid->last_query_stats().cpu_seconds;
-    }
+    ms = CpuMsPerQuery(setup.grid.get(), setup.env.queries);
   }
-  const double ms = cpu * 1e3 / static_cast<double>(setup.env.queries.size());
   state.counters["cpu_ms_per_query"] = ms;
   Rows().push_back({setup.env.dataset.name + " ReachGrid", ms, 0});
 }
 
 void GraphCpu(benchmark::State& state, const std::string& which) {
   Setup& setup = GetSetup(which);
-  double cpu = 0;
+  double ms = 0;
   for (auto _ : state) {
-    cpu = 0;
-    for (const ReachQuery& q : setup.env.queries) {
-      STREACH_CHECK_OK(setup.graph->QueryBmBfs(q).status());
-      cpu += setup.graph->last_query_stats().cpu_seconds;
-    }
+    ms = CpuMsPerQuery(setup.graph.get(), setup.env.queries);
   }
-  const double ms = cpu * 1e3 / static_cast<double>(setup.env.queries.size());
   state.counters["cpu_ms_per_query"] = ms;
   Rows().push_back({setup.env.dataset.name + " ReachGraph", 0, ms});
 }

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/encoding.h"
+#include "common/query_scope.h"
 #include "common/stopwatch.h"
 
 namespace streach {
@@ -137,10 +138,10 @@ Status GrailIndex::PlaceOnDisk(const DnGraph& graph) {
 }
 
 Result<const GrailIndex::DiskVertex*> GrailIndex::FetchVertexRecord(
-    VertexId v) {
-  auto it = fetched_.find(v);
-  if (it != fetched_.end()) return &it->second;
-  auto blob = ReadExtent(&pool_, vertex_extents_[v], options_.page_size);
+    VertexId v, BufferPool* pool, FetchCache* cache) const {
+  auto it = cache->find(v);
+  if (it != cache->end()) return &it->second;
+  auto blob = ReadExtent(pool, vertex_extents_[v], options_.page_size);
   if (!blob.ok()) return blob.status();
   Decoder dec(*blob);
   DiskVertex record;
@@ -159,14 +160,15 @@ Result<const GrailIndex::DiskVertex*> GrailIndex::FetchVertexRecord(
     if (!w.ok()) return w.status();
     record.out.push_back(*w);
   }
-  return &fetched_.emplace(v, std::move(record)).first->second;
+  return &cache->emplace(v, std::move(record)).first->second;
 }
 
-Result<VertexId> GrailIndex::LookupVertexDisk(ObjectId object, Timestamp t) {
+Result<VertexId> GrailIndex::LookupVertexDisk(ObjectId object, Timestamp t,
+                                              BufferPool* pool) const {
   if (object >= timeline_extents_.size()) {
     return Status::NotFound("unknown object");
   }
-  auto blob = ReadExtent(&pool_, timeline_extents_[object], options_.page_size);
+  auto blob = ReadExtent(pool, timeline_extents_[object], options_.page_size);
   if (!blob.ok()) return blob.status();
   Decoder dec(*blob);
   auto count = dec.GetVarint();
@@ -183,7 +185,7 @@ Result<VertexId> GrailIndex::LookupVertexDisk(ObjectId object, Timestamp t) {
   return Status::NotFound("object has no vertex at requested time");
 }
 
-bool GrailIndex::ReachableMemory(VertexId from, VertexId to) {
+bool GrailIndex::ReachableMemory(VertexId from, VertexId to) const {
   if (from == to) return true;
   if (!Contains(from, to)) return false;
   // Label-pruned DFS.
@@ -218,13 +220,17 @@ VertexId TimelineLookup(const std::vector<DnGraph::TimelineEntry>& timeline,
 }  // namespace
 
 Result<ReachAnswer> GrailIndex::QueryMemory(const ReachQuery& query) {
-  Stopwatch watch;
+  return QueryMemory(query, &last_stats_);
+}
+
+Result<ReachAnswer> GrailIndex::QueryMemory(const ReachQuery& query,
+                                            QueryStats* stats) const {
+  QueryScope scope(/*pool=*/nullptr, stats);
   ReachAnswer answer;
   const TimeInterval w = query.interval.Intersect(span_);
   auto finish = [&](bool reachable) {
     answer.reachable = reachable;
-    last_stats_ = QueryStats{};
-    last_stats_.cpu_seconds = watch.ElapsedSeconds();
+    scope.Finish();
     return answer;
   };
   if (w.empty()) return finish(false);
@@ -243,19 +249,18 @@ Result<ReachAnswer> GrailIndex::QueryMemory(const ReachQuery& query) {
 }
 
 Result<ReachAnswer> GrailIndex::QueryDisk(const ReachQuery& query) {
-  fetched_.clear();
-  const IoStats io_before = device_.stats();
-  Stopwatch watch;
+  return QueryDisk(query, &pool_, &last_stats_);
+}
+
+Result<ReachAnswer> GrailIndex::QueryDisk(const ReachQuery& query,
+                                          BufferPool* pool,
+                                          QueryStats* stats) const {
+  QueryScope scope(pool, stats);
+  FetchCache fetched;
   ReachAnswer answer;
-  uint64_t visited_count = 0;
   auto finish = [&](bool reachable) {
     answer.reachable = reachable;
-    const IoStats delta = device_.stats() - io_before;
-    last_stats_ = QueryStats{};
-    last_stats_.io_cost = delta.NormalizedReadCost();
-    last_stats_.pages_fetched = delta.total_reads();
-    last_stats_.cpu_seconds = watch.ElapsedSeconds();
-    last_stats_.items_visited = visited_count;
+    scope.Finish();
     return answer;
   };
   const TimeInterval w = query.interval.Intersect(span_);
@@ -264,18 +269,18 @@ Result<ReachAnswer> GrailIndex::QueryDisk(const ReachQuery& query) {
     answer.arrival_time = w.start;
     return finish(true);
   }
-  auto v1 = LookupVertexDisk(query.source, w.start);
+  auto v1 = LookupVertexDisk(query.source, w.start, pool);
   if (!v1.ok()) return v1.status();
-  auto v2 = LookupVertexDisk(query.destination, w.end);
+  auto v2 = LookupVertexDisk(query.destination, w.end, pool);
   if (!v2.ok()) return v2.status();
   if (*v1 == *v2) return finish(true);
 
   // Labels live inside the on-disk vertex records: testing containment for
   // a vertex — even just to prune it — requires fetching its record.
-  auto target = FetchVertexRecord(*v2);
+  auto target = FetchVertexRecord(*v2, pool, &fetched);
   if (!target.ok()) return target.status();
   const std::vector<Label> target_labels = (*target)->labels;
-  auto start = FetchVertexRecord(*v1);
+  auto start = FetchVertexRecord(*v1, pool, &fetched);
   if (!start.ok()) return start.status();
   if (!LabelsContain((*start)->labels, target_labels)) return finish(false);
 
@@ -284,16 +289,16 @@ Result<ReachAnswer> GrailIndex::QueryDisk(const ReachQuery& query) {
   while (!stack.empty()) {
     const VertexId v = stack.back();
     stack.pop_back();
-    ++visited_count;
+    scope.AddItemsVisited(1);
     if (v == *v2) return finish(true);
-    auto record = FetchVertexRecord(v);
+    auto record = FetchVertexRecord(v, pool, &fetched);
     if (!record.ok()) return record.status();
-    // Copy the out-edges: fetching children below may rehash `fetched_`.
+    // Copy the out-edges: fetching children below may rehash the cache.
     const std::vector<VertexId> out = (*record)->out;
     for (VertexId next : out) {
       if (next == *v2) return finish(true);
       if (!visited.insert(next).second) continue;
-      auto child = FetchVertexRecord(next);
+      auto child = FetchVertexRecord(next, pool, &fetched);
       if (!child.ok()) return child.status();
       if (!LabelsContain((*child)->labels, target_labels)) continue;
       stack.push_back(next);

@@ -48,13 +48,27 @@ class GrailIndex {
                                                    const GrailOptions& options);
 
   /// Vertex-level reachability using in-memory labels + adjacency.
-  bool ReachableMemory(VertexId from, VertexId to);
+  bool ReachableMemory(VertexId from, VertexId to) const;
 
   /// Full query, memory-resident (Table 5a).
   Result<ReachAnswer> QueryMemory(const ReachQuery& query);
 
   /// Full query, disk-resident with IO accounting (Table 5b).
   Result<ReachAnswer> QueryDisk(const ReachQuery& query);
+
+  /// Re-entrant query paths: metrics go into `*stats` and (for the disk
+  /// mode) IO through the caller's pool. Safe to call concurrently from
+  /// many threads with distinct pools (see NewSessionPool).
+  Result<ReachAnswer> QueryMemory(const ReachQuery& query,
+                                  QueryStats* stats) const;
+  Result<ReachAnswer> QueryDisk(const ReachQuery& query, BufferPool* pool,
+                                QueryStats* stats) const;
+
+  /// A fresh buffer pool over this index's device, for one concurrent
+  /// query session (sized like the built-in pool).
+  std::unique_ptr<BufferPool> NewSessionPool() const {
+    return std::make_unique<BufferPool>(&device_, options_.buffer_pool_pages);
+  }
 
   const QueryStats& last_query_stats() const { return last_stats_; }
   double build_seconds() const { return build_seconds_; }
@@ -92,11 +106,16 @@ class GrailIndex {
     std::vector<Label> labels;
     std::vector<VertexId> out;
   };
+  /// Records fetched during one disk query (discarded when it ends).
+  using FetchCache = std::unordered_map<VertexId, DiskVertex>;
+
   /// Fetches (and per-query caches) a vertex record through the pool.
   /// Reading a record costs IO — including when it is read only to test
   /// label containment for pruning, the dominant cost of external GRAIL.
-  Result<const DiskVertex*> FetchVertexRecord(VertexId v);
-  Result<VertexId> LookupVertexDisk(ObjectId object, Timestamp t);
+  Result<const DiskVertex*> FetchVertexRecord(VertexId v, BufferPool* pool,
+                                              FetchCache* cache) const;
+  Result<VertexId> LookupVertexDisk(ObjectId object, Timestamp t,
+                                    BufferPool* pool) const;
 
   static bool LabelsContain(const std::vector<Label>& outer,
                             const std::vector<Label>& inner) {
@@ -107,9 +126,6 @@ class GrailIndex {
     }
     return true;
   }
-
-  // Records fetched during the current disk query (backed by pool pages).
-  std::unordered_map<VertexId, DiskVertex> fetched_;
 
   GrailOptions options_;
   BlockDevice device_;
@@ -126,8 +142,6 @@ class GrailIndex {
   // Disk directory.
   std::vector<Extent> vertex_extents_;
   std::vector<Extent> timeline_extents_;
-
-  IoStats io_at_query_start_;
 };
 
 }  // namespace streach

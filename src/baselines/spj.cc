@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/encoding.h"
+#include "common/query_scope.h"
 #include "common/stopwatch.h"
 #include "network/union_find.h"
 #include "spatial/grid2d.h"
@@ -59,20 +60,18 @@ Status SpjEvaluator::WriteSlabs(const TrajectoryStore& store) {
 }
 
 Result<ReachAnswer> SpjEvaluator::Query(const ReachQuery& query) {
-  const IoStats io_before = device_.stats();
-  const uint64_t misses_before = pool_.misses();
-  const uint64_t hits_before = pool_.hits();
-  Stopwatch watch;
+  return Query(query, &pool_, &last_stats_);
+}
+
+Result<ReachAnswer> SpjEvaluator::Query(const ReachQuery& query,
+                                        BufferPool* pool,
+                                        QueryStats* stats) const {
+  QueryScope scope(pool, stats);
   ReachAnswer answer;
   auto finish = [&](bool reachable, Timestamp arrival) {
     answer.reachable = reachable;
     answer.arrival_time = arrival;
-    const IoStats delta = device_.stats() - io_before;
-    last_stats_ = QueryStats{};
-    last_stats_.io_cost = delta.NormalizedReadCost();
-    last_stats_.pages_fetched = pool_.misses() - misses_before;
-    last_stats_.pool_hits = pool_.hits() - hits_before;
-    last_stats_.cpu_seconds = watch.ElapsedSeconds();
+    scope.Finish();
     return answer;
   };
 
@@ -100,7 +99,7 @@ Result<ReachAnswer> SpjEvaluator::Query(const ReachQuery& query) {
   std::vector<std::string> slabs;
   slabs.reserve(static_cast<size_t>(last_slab - first_slab + 1));
   for (int slab = first_slab; slab <= last_slab; ++slab) {
-    auto blob = ReadExtent(&pool_, slab_extents_[static_cast<size_t>(slab)],
+    auto blob = ReadExtent(pool, slab_extents_[static_cast<size_t>(slab)],
                            options_.page_size);
     if (!blob.ok()) return blob.status();
     slabs.push_back(std::move(*blob));

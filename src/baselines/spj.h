@@ -38,6 +38,18 @@ class SpjEvaluator {
 
   Result<ReachAnswer> Query(const ReachQuery& query);
 
+  /// Re-entrant query path: scans through the caller's buffer pool and
+  /// writes metrics into `*stats`. Safe to call concurrently from many
+  /// threads with distinct pools (see NewSessionPool).
+  Result<ReachAnswer> Query(const ReachQuery& query, BufferPool* pool,
+                            QueryStats* stats) const;
+
+  /// A fresh buffer pool over this evaluator's device, for one concurrent
+  /// query session (sized like the built-in pool).
+  std::unique_ptr<BufferPool> NewSessionPool() const {
+    return std::make_unique<BufferPool>(&device_, options_.buffer_pool_pages);
+  }
+
   const QueryStats& last_query_stats() const { return last_stats_; }
   void ClearCache() { pool_.Clear(); }
 

@@ -1,0 +1,136 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace streach {
+
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string WorkloadSummary::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s: %llu queries (%llu reachable) in %.3fs | %.0f q/s | "
+      "io/query=%.2f pages=%llu hits=%llu | latency mean=%.0fus "
+      "p50=%.0fus p95=%.0fus max=%.0fus",
+      backend.c_str(), static_cast<unsigned long long>(num_queries),
+      static_cast<unsigned long long>(num_reachable), wall_seconds,
+      queries_per_second, mean_io_cost(),
+      static_cast<unsigned long long>(total_pages_fetched),
+      static_cast<unsigned long long>(total_pool_hits), mean_latency * 1e6,
+      p50_latency * 1e6, p95_latency * 1e6, max_latency * 1e6);
+  return buf;
+}
+
+QueryEngine::QueryEngine(QueryEngineOptions options)
+    : options_(std::move(options)) {
+  STREACH_CHECK_GT(options_.num_threads, 0);
+}
+
+Result<WorkloadReport> QueryEngine::Run(
+    ReachabilityIndex* backend, const std::vector<ReachQuery>& queries) const {
+  STREACH_CHECK(backend != nullptr);
+  const size_t n = queries.size();
+  WorkloadReport report;
+  report.answers.resize(n);
+  report.per_query.resize(n);
+  std::vector<double> latencies(n, 0.0);
+
+  const int num_threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(options_.num_threads),
+                       std::max<size_t>(n, 1)));
+
+  // One session per worker. Worker 0 reuses the caller's session, so a
+  // single-threaded run behaves exactly like a hand-written query loop.
+  std::vector<std::unique_ptr<ReachabilityIndex>> extra_sessions;
+  std::vector<ReachabilityIndex*> sessions;
+  sessions.push_back(backend);
+  for (int i = 1; i < num_threads; ++i) {
+    extra_sessions.push_back(backend->NewSession());
+    sessions.push_back(extra_sessions.back().get());
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;  // Guards first_error only; never on the hot path.
+  Status first_error = Status::OK();
+
+  auto worker = [&](ReachabilityIndex* session) {
+    const bool cold = options_.cold_cache;
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      if (failed.load(std::memory_order_relaxed)) return;  // Stop early.
+      if (cold) session->ClearCache();
+      Stopwatch latency;
+      auto answer = session->Query(queries[i]);
+      latencies[i] = latency.ElapsedSeconds();
+      if (!answer.ok()) {
+        std::lock_guard<std::mutex> guard(error_mutex);
+        if (first_error.ok()) first_error = answer.status();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      report.answers[i] = *answer;
+      report.per_query[i] = session->last_query_stats();
+    }
+  };
+
+  Stopwatch wall;
+  if (num_threads == 1) {
+    worker(sessions[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      threads.emplace_back(worker, sessions[static_cast<size_t>(i)]);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  if (!first_error.ok()) return first_error;
+
+  WorkloadSummary& s = report.summary;
+  s.backend = backend->DescribeIndex();
+  s.num_queries = n;
+  s.wall_seconds = wall_seconds;
+  s.queries_per_second =
+      wall_seconds > 0 ? static_cast<double>(n) / wall_seconds : 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (report.answers[i].reachable) ++s.num_reachable;
+    const QueryStats& q = report.per_query[i];
+    s.total_io_cost += q.io_cost;
+    s.total_pages_fetched += q.pages_fetched;
+    s.total_pool_hits += q.pool_hits;
+    s.total_items_visited += q.items_visited;
+    s.total_cpu_seconds += q.cpu_seconds;
+    s.mean_latency += latencies[i];
+    s.max_latency = std::max(s.max_latency, latencies[i]);
+  }
+  if (n > 0) s.mean_latency /= static_cast<double>(n);
+  std::sort(latencies.begin(), latencies.end());
+  s.p50_latency = Percentile(latencies, 0.50);
+  s.p95_latency = Percentile(latencies, 0.95);
+  return report;
+}
+
+}  // namespace streach

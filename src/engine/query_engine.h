@@ -1,0 +1,87 @@
+#ifndef STREACH_ENGINE_QUERY_ENGINE_H_
+#define STREACH_ENGINE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/query_stats.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "engine/reachability_index.h"
+
+namespace streach {
+
+/// Execution parameters of a workload run.
+struct QueryEngineOptions {
+  /// Worker threads. 1 executes inline on the caller's session; N > 1
+  /// mints N sessions via `NewSession()` and stripes the workload across
+  /// them. Answers are deterministic regardless of thread count.
+  int num_threads = 1;
+
+  /// Clear each session's buffer pool before every query, so every query
+  /// is measured cold (the paper's per-query IO measurement protocol).
+  bool cold_cache = false;
+};
+
+/// Aggregated outcome of running one workload against one backend.
+struct WorkloadSummary {
+  std::string backend;
+  uint64_t num_queries = 0;
+  uint64_t num_reachable = 0;
+  /// Sums over all queries.
+  double total_io_cost = 0.0;
+  uint64_t total_pages_fetched = 0;
+  uint64_t total_pool_hits = 0;
+  uint64_t total_items_visited = 0;
+  double total_cpu_seconds = 0.0;
+  /// Wall-clock of the whole run and derived throughput.
+  double wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+  /// Per-query wall latency distribution (seconds).
+  double mean_latency = 0.0;
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+  double max_latency = 0.0;
+
+  double mean_io_cost() const {
+    return num_queries == 0 ? 0.0 : total_io_cost / num_queries;
+  }
+  std::string ToString() const;
+};
+
+/// Everything a workload run produces. `answers[i]` and `per_query[i]`
+/// correspond to the i-th input query independent of execution order.
+struct WorkloadReport {
+  std::vector<ReachAnswer> answers;
+  std::vector<QueryStats> per_query;
+  WorkloadSummary summary;
+};
+
+/// \brief Executes reachability workloads against any `ReachabilityIndex`
+/// backend, sequentially or across a thread pool.
+///
+/// Concurrency model: the backend's immutable structure (simulated disk
+/// pages, in-memory directories) is shared read-only; every worker thread
+/// owns a private session — buffer pool, IO cursor, stats slot — created
+/// with `NewSession()`. Threads claim queries from a shared atomic
+/// counter, and results land in pre-sized slots, so no locks are held on
+/// the query path and answers are byte-identical to a sequential run.
+class QueryEngine {
+ public:
+  explicit QueryEngine(QueryEngineOptions options = {});
+
+  /// Runs every query; returns per-query answers/stats plus the summary.
+  /// Fails with the first error any backend query reports.
+  Result<WorkloadReport> Run(ReachabilityIndex* backend,
+                             const std::vector<ReachQuery>& queries) const;
+
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  QueryEngineOptions options_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_ENGINE_QUERY_ENGINE_H_

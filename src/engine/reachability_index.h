@@ -1,0 +1,66 @@
+#ifndef STREACH_ENGINE_REACHABILITY_INDEX_H_
+#define STREACH_ENGINE_REACHABILITY_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/query_stats.h"
+#include "common/result.h"
+#include "common/types.h"
+
+namespace streach {
+
+/// \brief Uniform interface over every reachability evaluator.
+///
+/// The paper evaluates five evaluator families over identical workloads —
+/// ReachGrid (§4), ReachGraph's four traversals (§5), the SPJ scan-join
+/// baseline (§6.1.2), GRAIL (§6.4) and the brute-force oracle (§3.2).
+/// This interface is the seam that makes them interchangeable backends:
+/// benchmarks, examples and the concurrent `QueryEngine` all program
+/// against it, and every future backend (sharded, cached, async) plugs in
+/// here.
+///
+/// A `ReachabilityIndex` instance is a *session*: it bundles the shared
+/// immutable index structure with one private buffer pool and one
+/// `QueryStats` slot, so a single instance must only be used from one
+/// thread at a time. `NewSession()` mints additional sessions over the
+/// same underlying index — that is how the `QueryEngine` gives each worker
+/// thread its own buffer pool while sharing the (read-only) simulated
+/// disk.
+class ReachabilityIndex {
+ public:
+  virtual ~ReachabilityIndex() = default;
+
+  /// Evaluates one reachability query; updates `last_query_stats()`.
+  virtual Result<ReachAnswer> Query(const ReachQuery& query) = 0;
+
+  /// Infection time of every object reachable from `source` during
+  /// `interval` (kInvalidTime for unreached objects). Backends that only
+  /// answer point queries return NotSupported.
+  virtual Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
+                                                      TimeInterval interval) {
+    (void)source;
+    (void)interval;
+    return Status::NotSupported(DescribeIndex() +
+                                " does not enumerate reachable sets");
+  }
+
+  /// Cost metrics of the most recent Query/ReachableSet on this session.
+  virtual const QueryStats& last_query_stats() const = 0;
+
+  /// Evicts this session's buffered pages so the next query runs cold.
+  virtual void ClearCache() = 0;
+
+  /// Human-readable backend identifier, e.g. "ReachGraph(BM-BFS)".
+  virtual std::string DescribeIndex() const = 0;
+
+  /// A new independent session over the same immutable index: shares the
+  /// on-disk structure, owns a fresh buffer pool and stats slot. Sessions
+  /// may be queried concurrently with each other and with this instance.
+  virtual std::unique_ptr<ReachabilityIndex> NewSession() const = 0;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_ENGINE_REACHABILITY_INDEX_H_

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/encoding.h"
+#include "common/query_scope.h"
 #include "common/stopwatch.h"
 
 namespace streach {
@@ -143,15 +144,16 @@ Status ReachGraphIndex::PlaceOnDisk(const DnGraph& graph) {
 }
 
 Result<const ReachGraphIndex::StoredVertex*> ReachGraphIndex::GetVertex(
-    VertexId v) {
+    VertexId v, TraversalScratch* scratch) const {
   if (v >= vertex_partition_.size()) {
     return Status::OutOfRange("vertex id out of range");
   }
   const uint32_t partition = vertex_partition_[v];
-  auto it = parsed_.find(partition);
-  if (it == parsed_.end()) {
-    auto blob =
-        ReadExtent(&pool_, partition_extents_[partition], options_.page_size);
+  auto& parsed = scratch->parsed;
+  auto it = parsed.find(partition);
+  if (it == parsed.end()) {
+    auto blob = ReadExtent(scratch->pool, partition_extents_[partition],
+                           options_.page_size);
     if (!blob.ok()) return blob.status();
     Decoder dec(*blob);
     ParsedPartition vertices;
@@ -204,7 +206,7 @@ Result<const ReachGraphIndex::StoredVertex*> ReachGraphIndex::GetVertex(
       }
       vertices.emplace(*id, std::move(sv));
     }
-    it = parsed_.emplace(partition, std::move(vertices)).first;
+    it = parsed.emplace(partition, std::move(vertices)).first;
   }
   auto vit = it->second.find(v);
   if (vit == it->second.end()) {
@@ -213,11 +215,12 @@ Result<const ReachGraphIndex::StoredVertex*> ReachGraphIndex::GetVertex(
   return &vit->second;
 }
 
-Result<VertexId> ReachGraphIndex::LookupVertex(ObjectId object, Timestamp t) {
+Result<VertexId> ReachGraphIndex::LookupVertex(ObjectId object, Timestamp t,
+                                               BufferPool* pool) const {
   if (object >= timeline_extents_.size()) {
     return Status::NotFound("unknown object");
   }
-  auto blob = ReadExtent(&pool_, timeline_extents_[object], options_.page_size);
+  auto blob = ReadExtent(pool, timeline_extents_[object], options_.page_size);
   if (!blob.ok()) return blob.status();
   Decoder dec(*blob);
   auto count = dec.GetVarint();
@@ -234,40 +237,46 @@ Result<VertexId> ReachGraphIndex::LookupVertex(ObjectId object, Timestamp t) {
   return Status::NotFound("object has no vertex at requested time");
 }
 
-void ReachGraphIndex::BeginQuery() {
-  parsed_.clear();
-  io_at_query_start_ = device_.stats();
-  pool_hits_at_start_ = pool_.hits();
-  pool_misses_at_start_ = pool_.misses();
-}
-
-void ReachGraphIndex::EndQuery(uint64_t items_visited) {
-  const IoStats delta = device_.stats() - io_at_query_start_;
-  last_stats_.io_cost = delta.NormalizedReadCost();
-  last_stats_.pages_fetched = pool_.misses() - pool_misses_at_start_;
-  last_stats_.pool_hits = pool_.hits() - pool_hits_at_start_;
-  last_stats_.items_visited = items_visited;
-}
-
-void ReachGraphIndex::ClearCache() {
-  pool_.Clear();
-  parsed_.clear();
-}
+void ReachGraphIndex::ClearCache() { pool_.Clear(); }
 
 Result<ReachAnswer> ReachGraphIndex::QueryBmBfs(const ReachQuery& query) {
-  return RunBidirectional(query, /*use_long_edges=*/true);
+  return QueryBmBfs(query, &pool_, &last_stats_);
 }
 
 Result<ReachAnswer> ReachGraphIndex::QueryBBfs(const ReachQuery& query) {
-  return RunBidirectional(query, /*use_long_edges=*/false);
+  return QueryBBfs(query, &pool_, &last_stats_);
 }
 
 Result<ReachAnswer> ReachGraphIndex::QueryEBfs(const ReachQuery& query) {
-  return RunUnidirectional(query, /*dfs=*/false);
+  return QueryEBfs(query, &pool_, &last_stats_);
 }
 
 Result<ReachAnswer> ReachGraphIndex::QueryEDfs(const ReachQuery& query) {
-  return RunUnidirectional(query, /*dfs=*/true);
+  return QueryEDfs(query, &pool_, &last_stats_);
+}
+
+Result<ReachAnswer> ReachGraphIndex::QueryBmBfs(const ReachQuery& query,
+                                                BufferPool* pool,
+                                                QueryStats* stats) const {
+  return RunBidirectional(query, /*use_long_edges=*/true, pool, stats);
+}
+
+Result<ReachAnswer> ReachGraphIndex::QueryBBfs(const ReachQuery& query,
+                                               BufferPool* pool,
+                                               QueryStats* stats) const {
+  return RunBidirectional(query, /*use_long_edges=*/false, pool, stats);
+}
+
+Result<ReachAnswer> ReachGraphIndex::QueryEBfs(const ReachQuery& query,
+                                               BufferPool* pool,
+                                               QueryStats* stats) const {
+  return RunUnidirectional(query, /*dfs=*/false, pool, stats);
+}
+
+Result<ReachAnswer> ReachGraphIndex::QueryEDfs(const ReachQuery& query,
+                                               BufferPool* pool,
+                                               QueryStats* stats) const {
+  return RunUnidirectional(query, /*dfs=*/true, pool, stats);
 }
 
 namespace {
@@ -295,17 +304,18 @@ struct BwdEntry {
 }  // namespace
 
 Result<ReachAnswer> ReachGraphIndex::RunBidirectional(const ReachQuery& query,
-                                                      bool use_long_edges) {
-  BeginQuery();
-  Stopwatch watch;
+                                                      bool use_long_edges,
+                                                      BufferPool* pool,
+                                                      QueryStats* stats) const {
+  QueryScope scope(pool, stats);
+  TraversalScratch scratch;
+  scratch.pool = pool;
   ReachAnswer answer;
-  uint64_t visited_count = 0;
 
   const TimeInterval w = query.interval.Intersect(span_);
   auto finish = [&](bool reachable) {
     answer.reachable = reachable;
-    last_stats_.cpu_seconds = watch.ElapsedSeconds();
-    EndQuery(visited_count);
+    scope.Finish();
     return answer;
   };
   if (w.empty()) return finish(false);
@@ -317,9 +327,9 @@ Result<ReachAnswer> ReachGraphIndex::RunBidirectional(const ReachQuery& query,
   const Timestamp t2 = w.end;
   const Timestamp mid = t1 + (t2 - t1) / 2;
 
-  auto v1 = LookupVertex(query.source, t1);
+  auto v1 = LookupVertex(query.source, t1, pool);
   if (!v1.ok()) return v1.status();
-  auto v2 = LookupVertex(query.destination, t2);
+  auto v2 = LookupVertex(query.destination, t2, pool);
   if (!v2.ok()) return v2.status();
 
   std::priority_queue<FwdEntry, std::vector<FwdEntry>, std::greater<>> fwd;
@@ -336,8 +346,8 @@ Result<ReachAnswer> ReachGraphIndex::RunBidirectional(const ReachQuery& query,
     const FwdEntry entry = fwd.top();
     fwd.pop();
     if (!visited_fwd.insert(entry.vertex).second) return false;
-    ++visited_count;
-    auto sv = GetVertex(entry.vertex);
+    scope.AddItemsVisited(1);
+    auto sv = GetVertex(entry.vertex, &scratch);
     if (!sv.ok()) return sv.status();
     const StoredVertex& vx = **sv;
     for (ObjectId o : vx.members) {
@@ -378,8 +388,8 @@ Result<ReachAnswer> ReachGraphIndex::RunBidirectional(const ReachQuery& query,
     const BwdEntry entry = bwd.top();
     bwd.pop();
     if (!visited_bwd.insert(entry.vertex).second) return false;
-    ++visited_count;
-    auto sv = GetVertex(entry.vertex);
+    scope.AddItemsVisited(1);
+    auto sv = GetVertex(entry.vertex, &scratch);
     if (!sv.ok()) return sv.status();
     const StoredVertex& vx = **sv;
     for (ObjectId o : vx.members) {
@@ -411,17 +421,18 @@ Result<ReachAnswer> ReachGraphIndex::RunBidirectional(const ReachQuery& query,
 }
 
 Result<ReachAnswer> ReachGraphIndex::RunUnidirectional(const ReachQuery& query,
-                                                       bool dfs) {
-  BeginQuery();
-  Stopwatch watch;
+                                                       bool dfs,
+                                                       BufferPool* pool,
+                                                       QueryStats* stats) const {
+  QueryScope scope(pool, stats);
+  TraversalScratch scratch;
+  scratch.pool = pool;
   ReachAnswer answer;
-  uint64_t visited_count = 0;
 
   const TimeInterval w = query.interval.Intersect(span_);
   auto finish = [&](bool reachable) {
     answer.reachable = reachable;
-    last_stats_.cpu_seconds = watch.ElapsedSeconds();
-    EndQuery(visited_count);
+    scope.Finish();
     return answer;
   };
   if (w.empty()) return finish(false);
@@ -430,9 +441,9 @@ Result<ReachAnswer> ReachGraphIndex::RunUnidirectional(const ReachQuery& query,
     return finish(true);
   }
 
-  auto v1 = LookupVertex(query.source, w.start);
+  auto v1 = LookupVertex(query.source, w.start, pool);
   if (!v1.ok()) return v1.status();
-  auto v2 = LookupVertex(query.destination, w.end);
+  auto v2 = LookupVertex(query.destination, w.end, pool);
   if (!v2.ok()) return v2.status();
   if (*v1 == *v2) return finish(true);
 
@@ -450,9 +461,9 @@ Result<ReachAnswer> ReachGraphIndex::RunUnidirectional(const ReachQuery& query,
       v = work.front();
       work.pop_front();
     }
-    ++visited_count;
+    scope.AddItemsVisited(1);
     if (v == *v2) return finish(true);
-    auto sv = GetVertex(v);
+    auto sv = GetVertex(v, &scratch);
     if (!sv.ok()) return sv.status();
     const StoredVertex& vx = **sv;
     const Timestamp arrival = vx.span.end + 1;

@@ -76,6 +76,24 @@ class ReachGraphIndex {
   Result<ReachAnswer> QueryEBfs(const ReachQuery& query);
   Result<ReachAnswer> QueryEDfs(const ReachQuery& query);
 
+  /// Re-entrant query paths: traverse through the caller's buffer pool and
+  /// write metrics into `*stats`. Safe to call concurrently from many
+  /// threads with distinct pools (see NewSessionPool).
+  Result<ReachAnswer> QueryBmBfs(const ReachQuery& query, BufferPool* pool,
+                                 QueryStats* stats) const;
+  Result<ReachAnswer> QueryBBfs(const ReachQuery& query, BufferPool* pool,
+                                QueryStats* stats) const;
+  Result<ReachAnswer> QueryEBfs(const ReachQuery& query, BufferPool* pool,
+                                QueryStats* stats) const;
+  Result<ReachAnswer> QueryEDfs(const ReachQuery& query, BufferPool* pool,
+                                QueryStats* stats) const;
+
+  /// A fresh buffer pool over this index's device, for one concurrent
+  /// query session (sized like the built-in pool).
+  std::unique_ptr<BufferPool> NewSessionPool() const {
+    return std::make_unique<BufferPool>(&device_, options_.buffer_pool_pages);
+  }
+
   /// Metrics of the most recent query.
   const QueryStats& last_query_stats() const { return last_stats_; }
   const ReachGraphBuildStats& build_stats() const { return build_stats_; }
@@ -105,19 +123,30 @@ class ReachGraphIndex {
 
   Status PlaceOnDisk(const DnGraph& graph);
 
-  /// Loads (and caches) the vertex's partition; returns the vertex.
-  Result<const StoredVertex*> GetVertex(VertexId v);
+  /// Per-query traversal state: the caller's buffer pool plus the
+  /// partitions parsed so far (discarded when the query ends). Keeping it
+  /// on the query's stack — not in the index — is what makes the query
+  /// paths const and concurrently callable.
+  struct TraversalScratch {
+    BufferPool* pool = nullptr;
+    std::unordered_map<uint32_t, ParsedPartition> parsed;
+  };
+
+  /// Loads (and caches in `scratch`) the vertex's partition; returns the
+  /// vertex, valid for the lifetime of `scratch`.
+  Result<const StoredVertex*> GetVertex(VertexId v,
+                                        TraversalScratch* scratch) const;
 
   /// (object, t) -> vertex via the on-disk timeline (Ht lookup).
-  Result<VertexId> LookupVertex(ObjectId object, Timestamp t);
+  Result<VertexId> LookupVertex(ObjectId object, Timestamp t,
+                                BufferPool* pool) const;
 
-  struct TraversalScratch;
   Result<ReachAnswer> RunBidirectional(const ReachQuery& query,
-                                       bool use_long_edges);
-  Result<ReachAnswer> RunUnidirectional(const ReachQuery& query, bool dfs);
-
-  void BeginQuery();
-  void EndQuery(uint64_t items_visited);
+                                       bool use_long_edges, BufferPool* pool,
+                                       QueryStats* stats) const;
+  Result<ReachAnswer> RunUnidirectional(const ReachQuery& query, bool dfs,
+                                        BufferPool* pool,
+                                        QueryStats* stats) const;
 
   ReachGraphOptions options_;
   BlockDevice device_;
@@ -132,13 +161,6 @@ class ReachGraphIndex {
   std::vector<Extent> timeline_extents_;
   TimeInterval span_;
   size_t num_objects_ = 0;
-
-  // Partitions parsed during the current query (backed by pool pages).
-  std::unordered_map<uint32_t, ParsedPartition> parsed_;
-
-  IoStats io_at_query_start_;
-  uint64_t pool_hits_at_start_ = 0;
-  uint64_t pool_misses_at_start_ = 0;
 };
 
 }  // namespace streach

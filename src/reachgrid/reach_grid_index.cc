@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/encoding.h"
+#include "common/query_scope.h"
 #include "common/stopwatch.h"
 #include "spatial/rect.h"
 
@@ -114,7 +115,8 @@ Status ReachGridIndex::WriteIndex(const TrajectoryStore& store) {
   return writer.Flush();
 }
 
-Result<CellId> ReachGridIndex::LookupCell(int bucket, ObjectId object) {
+Result<CellId> ReachGridIndex::LookupCell(int bucket, ObjectId object,
+                                          BufferPool* pool) const {
   if (bucket < 0 || bucket >= num_buckets() || object >= num_objects_) {
     return Status::OutOfRange("locator lookup out of range");
   }
@@ -126,7 +128,7 @@ Result<CellId> ReachGridIndex::LookupCell(int bucket, ObjectId object) {
   for (int i = 0; i < 4; ++i) {
     const uint64_t off = byte_offset + static_cast<uint64_t>(i);
     const PageId page = extent.first_page + off / options_.page_size;
-    auto data = pool_.Fetch(page);
+    auto data = pool->Fetch(page);
     if (!data.ok()) return data.status();
     raw[i] = (*data)[off % options_.page_size];
   }
@@ -137,13 +139,14 @@ Result<CellId> ReachGridIndex::LookupCell(int bucket, ObjectId object) {
   return cell;
 }
 
-Status ReachGridIndex::FetchCell(int bucket, CellId cell, BucketContext* ctx) {
+Status ReachGridIndex::FetchCell(int bucket, CellId cell, BucketContext* ctx,
+                                 BufferPool* pool) const {
   auto [fetched_it, first_time] = ctx->fetched_cells.try_emplace(cell, true);
   if (!first_time) return Status::OK();
   const auto& cells = bucket_cells_[static_cast<size_t>(bucket)];
   auto it = cells.find(cell);
   if (it == cells.end()) return Status::OK();  // Empty cell.
-  auto blob = ReadExtent(&pool_, it->second, options_.page_size);
+  auto blob = ReadExtent(pool, it->second, options_.page_size);
   if (!blob.ok()) return blob.status();
   Decoder dec(*blob);
   auto count = dec.GetVarint();
@@ -166,48 +169,46 @@ Status ReachGridIndex::FetchCell(int bucket, CellId cell, BucketContext* ctx) {
   return Status::OK();
 }
 
-void ReachGridIndex::BeginQuery() {
-  io_at_query_start_ = device_.stats();
-  pool_hits_at_start_ = pool_.hits();
-  pool_misses_at_start_ = pool_.misses();
-}
-
-void ReachGridIndex::EndQuery(uint64_t cells_fetched) {
-  const IoStats delta = device_.stats() - io_at_query_start_;
-  last_stats_.io_cost = delta.NormalizedReadCost();
-  last_stats_.pages_fetched = pool_.misses() - pool_misses_at_start_;
-  last_stats_.pool_hits = pool_.hits() - pool_hits_at_start_;
-  last_stats_.items_visited = cells_fetched;
-}
-
 void ReachGridIndex::ClearCache() { pool_.Clear(); }
 
 Result<ReachAnswer> ReachGridIndex::Query(const ReachQuery& query) {
-  return Sweep(query.source, query.destination, query.interval, nullptr);
+  return Query(query, &pool_, &last_stats_);
+}
+
+Result<ReachAnswer> ReachGridIndex::Query(const ReachQuery& query,
+                                          BufferPool* pool,
+                                          QueryStats* stats) const {
+  return Sweep(query.source, query.destination, query.interval, nullptr, pool,
+               stats);
 }
 
 Result<std::vector<Timestamp>> ReachGridIndex::ReachableSet(
     ObjectId source, TimeInterval interval) {
+  return ReachableSet(source, interval, &pool_, &last_stats_);
+}
+
+Result<std::vector<Timestamp>> ReachGridIndex::ReachableSet(
+    ObjectId source, TimeInterval interval, BufferPool* pool,
+    QueryStats* stats) const {
   std::vector<Timestamp> infection_times(num_objects_, kInvalidTime);
-  auto answer = Sweep(source, kInvalidObject, interval, &infection_times);
+  auto answer =
+      Sweep(source, kInvalidObject, interval, &infection_times, pool, stats);
   if (!answer.ok()) return answer.status();
   return infection_times;
 }
 
 Result<ReachAnswer> ReachGridIndex::Sweep(
     ObjectId source, ObjectId destination, TimeInterval interval,
-    std::vector<Timestamp>* infection_times) {
-  BeginQuery();
-  Stopwatch watch;
+    std::vector<Timestamp>* infection_times, BufferPool* pool,
+    QueryStats* stats) const {
+  QueryScope scope(pool, stats);
   ReachAnswer answer;
-  uint64_t cells_fetched = 0;
 
   const TimeInterval w = interval.Intersect(span_);
   auto finish = [&](bool reachable, Timestamp arrival) {
     answer.reachable = reachable;
     answer.arrival_time = arrival;
-    last_stats_.cpu_seconds = watch.ElapsedSeconds();
-    EndQuery(cells_fetched);
+    scope.Finish();
     return answer;
   };
   if (w.empty() || source >= num_objects_) return finish(false, kInvalidTime);
@@ -242,8 +243,8 @@ Result<ReachAnswer> ReachGridIndex::Sweep(
       std::sort(cells.begin(), cells.end());
       cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
       for (CellId c : cells) {
-        STREACH_RETURN_NOT_OK(FetchCell(bucket, c, &ctx));
-        ++cells_fetched;
+        STREACH_RETURN_NOT_OK(FetchCell(bucket, c, &ctx, pool));
+        scope.AddItemsVisited(1);
       }
       return Status::OK();
     };
@@ -256,7 +257,7 @@ Result<ReachAnswer> ReachGridIndex::Sweep(
       std::vector<CellId> wanted;
       for (ObjectId s : batch) {
         if (ctx.objects.count(s) != 0) continue;
-        auto cell = LookupCell(bucket, s);
+        auto cell = LookupCell(bucket, s, pool);
         if (!cell.ok()) return cell.status();
         wanted.push_back(*cell);
       }

@@ -63,14 +63,31 @@ class ReachGridIndex {
       const TrajectoryStore& store, const ReachGridOptions& options);
 
   /// Evaluates a reachability query; returns the answer with the earliest
-  /// arrival tick when reachable.
+  /// arrival tick when reachable. Uses the index's built-in buffer pool
+  /// and records into `last_query_stats()` — single-threaded convenience.
   Result<ReachAnswer> Query(const ReachQuery& query);
+
+  /// Re-entrant query path: traverses through the caller's buffer pool
+  /// and writes metrics into `*stats`. Safe to call concurrently from
+  /// many threads with distinct pools (see NewSessionPool).
+  Result<ReachAnswer> Query(const ReachQuery& query, BufferPool* pool,
+                            QueryStats* stats) const;
 
   /// All objects reachable from `source` during `interval` with their
   /// infection times (same sweep without the destination early-exit);
   /// entry is kInvalidTime for unreached objects.
   Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
                                               TimeInterval interval);
+  Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
+                                              TimeInterval interval,
+                                              BufferPool* pool,
+                                              QueryStats* stats) const;
+
+  /// A fresh buffer pool over this index's device, for one concurrent
+  /// query session (sized like the built-in pool).
+  std::unique_ptr<BufferPool> NewSessionPool() const {
+    return std::make_unique<BufferPool>(&device_, options_.buffer_pool_pages);
+  }
 
   const QueryStats& last_query_stats() const { return last_stats_; }
   const ReachGridBuildStats& build_stats() const { return build_stats_; }
@@ -110,20 +127,21 @@ class ReachGridIndex {
   };
 
   /// Fetches a cell's record into `ctx` (no-op for empty/fetched cells).
-  Status FetchCell(int bucket, CellId cell, BucketContext* ctx);
+  Status FetchCell(int bucket, CellId cell, BucketContext* ctx,
+                   BufferPool* pool) const;
 
   /// Locator lookup: cell of `object` at the start of `bucket` (§4.2's
   /// constant-IO external hash).
-  Result<CellId> LookupCell(int bucket, ObjectId object);
+  Result<CellId> LookupCell(int bucket, ObjectId object,
+                            BufferPool* pool) const;
 
   /// Core sweep shared by Query and ReachableSet; stops early when
-  /// `destination` (if valid) is reached.
+  /// `destination` (if valid) is reached. All traversal state lives on
+  /// the stack or in the caller's pool — re-entrant and const.
   Result<ReachAnswer> Sweep(ObjectId source, ObjectId destination,
                             TimeInterval interval,
-                            std::vector<Timestamp>* infection_times);
-
-  void BeginQuery();
-  void EndQuery(uint64_t cells_fetched);
+                            std::vector<Timestamp>* infection_times,
+                            BufferPool* pool, QueryStats* stats) const;
 
   ReachGridOptions options_;
   BlockDevice device_;
@@ -138,10 +156,6 @@ class ReachGridIndex {
   std::vector<std::unordered_map<CellId, Extent>> bucket_cells_;
   // Locator tables: per bucket, extent of the object->cell array.
   std::vector<Extent> locator_extents_;
-
-  IoStats io_at_query_start_;
-  uint64_t pool_hits_at_start_ = 0;
-  uint64_t pool_misses_at_start_ = 0;
 };
 
 }  // namespace streach

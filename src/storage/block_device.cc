@@ -37,22 +37,37 @@ Result<std::string_view> BlockDevice::ReadPage(PageId id) {
   return std::string_view(pages_[id]);
 }
 
+Result<std::string_view> BlockDevice::ReadPage(PageId id,
+                                               ReadCursor* cursor) const {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  ClassifyAccess(id, /*is_write=*/false, &cursor->stats, &cursor->last_access);
+  return std::string_view(pages_[id]);
+}
+
 void BlockDevice::RecordAccess(PageId id, bool is_write) {
-  const bool sequential = last_access_ != kInvalidPage && id == last_access_ + 1;
+  ClassifyAccess(id, is_write, &stats_, &last_access_);
+}
+
+void BlockDevice::ClassifyAccess(PageId id, bool is_write, IoStats* stats,
+                                 PageId* last) {
+  const bool sequential = *last != kInvalidPage && id == *last + 1;
   if (is_write) {
     if (sequential) {
-      ++stats_.sequential_writes;
+      ++stats->sequential_writes;
     } else {
-      ++stats_.random_writes;
+      ++stats->random_writes;
     }
   } else {
     if (sequential) {
-      ++stats_.sequential_reads;
+      ++stats->sequential_reads;
     } else {
-      ++stats_.random_reads;
+      ++stats->random_reads;
     }
   }
-  last_access_ = id;
+  *last = id;
 }
 
 }  // namespace streach

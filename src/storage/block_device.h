@@ -17,6 +17,23 @@ using PageId = uint64_t;
 
 inline constexpr PageId kInvalidPage = static_cast<PageId>(-1);
 
+/// \brief Per-reader access state for the concurrent read path.
+///
+/// Sequential-vs-random classification needs the position of the previous
+/// access ("where the disk head is"). For concurrent readers each reader
+/// models its own head: a `ReadCursor` carries that position plus the
+/// reader's private `IoStats`, so `BlockDevice::ReadPage(id, cursor)` can
+/// stay `const` and data-race-free across threads.
+struct ReadCursor {
+  IoStats stats;
+  PageId last_access = kInvalidPage;
+
+  void Reset() {
+    stats.Reset();
+    last_access = kInvalidPage;
+  }
+};
+
 /// \brief Simulated paged disk.
 ///
 /// stReach targets *disk-resident* contact datasets; since the evaluation
@@ -33,6 +50,13 @@ inline constexpr PageId kInvalidPage = static_cast<PageId>(-1);
 ///
 /// The device itself has no cache; deduplication of repeated reads is the
 /// job of the `BufferPool`.
+///
+/// Thread safety: the cursor-based `ReadPage(id, cursor)` overload is safe
+/// for any number of concurrent readers (with distinct cursors) as long as
+/// no thread concurrently allocates or writes pages — the index build
+/// phase is single-threaded and indexes are immutable afterwards, which is
+/// exactly that regime. The legacy mutating members (`AllocatePage`,
+/// `WritePage`, the accounting `ReadPage(id)`) are single-threaded.
 class BlockDevice {
  public:
   static constexpr size_t kDefaultPageSize = 4096;  // 4 KB, Table 3.
@@ -58,7 +82,14 @@ class BlockDevice {
   Status WritePage(PageId id, std::string_view data);
 
   /// Reads a page; the returned view is valid until the next allocation.
+  /// Accounts the access against the device-global stats — single-threaded
+  /// callers only.
   Result<std::string_view> ReadPage(PageId id);
+
+  /// Concurrent-reader read path: accounts the access against `cursor`
+  /// instead of the device-global stats. Safe to call from many threads
+  /// with distinct cursors while no writes/allocations are in flight.
+  Result<std::string_view> ReadPage(PageId id, ReadCursor* cursor) const;
 
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
@@ -69,6 +100,11 @@ class BlockDevice {
 
  private:
   void RecordAccess(PageId id, bool is_write);
+
+  /// Shared random/sequential classification against an arbitrary head
+  /// position; updates `*last` to `id`.
+  static void ClassifyAccess(PageId id, bool is_write, IoStats* stats,
+                             PageId* last);
 
   size_t page_size_;
   std::vector<std::string> pages_;

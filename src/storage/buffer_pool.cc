@@ -4,34 +4,36 @@
 
 namespace streach {
 
-BufferPool::BufferPool(BlockDevice* device, size_t capacity_pages)
+BufferPool::BufferPool(const BlockDevice* device, size_t capacity_pages)
     : device_(device), capacity_(capacity_pages) {
   STREACH_CHECK(device != nullptr);
   STREACH_CHECK_GT(capacity_pages, 0u);
 }
 
-Result<std::string_view> BufferPool::Fetch(PageId id) {
+Result<PageRef> BufferPool::Fetch(PageId id) {
   auto it = entries_.find(id);
   if (it != entries_.end()) {
     ++hits_;
     lru_.erase(it->second.lru_it);
     lru_.push_front(id);
     it->second.lru_it = lru_.begin();
-    return std::string_view(it->second.data);
+    return PageRef(it->second.bytes);
   }
   ++misses_;
-  auto page = device_->ReadPage(id);
+  auto page = device_->ReadPage(id, &cursor_);
   if (!page.ok()) return page.status();
   if (entries_.size() >= capacity_) {
+    // Dropping the victim only releases the pool's reference; callers
+    // still holding a PageRef to it keep the bytes alive.
     const PageId victim = lru_.back();
     lru_.pop_back();
     entries_.erase(victim);
   }
   lru_.push_front(id);
-  Entry entry{std::string(*page), lru_.begin()};
+  Entry entry{std::make_shared<const std::string>(*page), lru_.begin()};
   auto [pos, inserted] = entries_.emplace(id, std::move(entry));
   STREACH_CHECK(inserted);
-  return std::string_view(pos->second.data);
+  return PageRef(pos->second.bytes);
 }
 
 void BufferPool::Clear() {

@@ -3,13 +3,40 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/result.h"
 #include "storage/block_device.h"
 
 namespace streach {
+
+/// \brief Stable handle to a fetched page.
+///
+/// A `PageRef` shares ownership of the page bytes with the pool, so the
+/// view stays valid even if a later fetch within the same traversal step
+/// evicts the page from the pool (the pool merely drops its own
+/// reference). Default-constructed refs are invalid.
+class PageRef {
+ public:
+  PageRef() = default;
+  explicit PageRef(std::shared_ptr<const std::string> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  bool valid() const { return bytes_ != nullptr; }
+  std::string_view view() const {
+    return bytes_ ? std::string_view(*bytes_) : std::string_view();
+  }
+  operator std::string_view() const { return view(); }  // NOLINT
+  const char* data() const { return bytes_ ? bytes_->data() : nullptr; }
+  size_t size() const { return bytes_ ? bytes_->size() : 0; }
+  char operator[](size_t i) const { return view()[i]; }
+
+ private:
+  std::shared_ptr<const std::string> bytes_;
+};
 
 /// \brief LRU page cache in front of a `BlockDevice`.
 ///
@@ -20,40 +47,54 @@ namespace streach {
 /// older partitions in memory can be discarded", §5.2). A hit costs no
 /// device IO; a miss reads through and may evict the least recently used
 /// page.
+///
+/// Each pool models its own disk head: device accesses are classified and
+/// counted against the pool's private `ReadCursor`, so independent pools
+/// (one per query thread) never contend on shared counters and the
+/// device's read path stays `const`. A `BufferPool` itself is NOT
+/// thread-safe — use one instance per thread.
 class BufferPool {
  public:
   /// `capacity_pages` bounds resident pages; must be positive.
-  BufferPool(BlockDevice* device, size_t capacity_pages);
+  BufferPool(const BlockDevice* device, size_t capacity_pages);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Returns the page contents, reading from the device on a miss. The
-  /// returned view is valid until the page is evicted.
-  Result<std::string_view> Fetch(PageId id);
+  /// Returns a stable handle to the page contents, reading from the device
+  /// on a miss. The handle remains valid after the page is evicted.
+  Result<PageRef> Fetch(PageId id);
 
   /// Drops all cached pages (e.g. between benchmark queries to make every
-  /// query cold).
+  /// query cold). Outstanding `PageRef`s stay valid.
   void Clear();
 
   size_t capacity() const { return capacity_; }
   size_t resident() const { return entries_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
-  void ResetCounters() { hits_ = misses_ = 0; }
+  void ResetCounters() {
+    hits_ = misses_ = 0;
+    cursor_.Reset();
+  }
 
-  BlockDevice* device() { return device_; }
+  /// Device accesses performed through this pool (the per-query IO metric
+  /// sources: random/sequential reads and their normalized cost).
+  const IoStats& io_stats() const { return cursor_.stats; }
+
+  const BlockDevice* device() const { return device_; }
 
  private:
   struct Entry {
-    std::string data;
+    std::shared_ptr<const std::string> bytes;
     std::list<PageId>::iterator lru_it;
   };
 
-  BlockDevice* device_;
+  const BlockDevice* device_;
   size_t capacity_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  ReadCursor cursor_;
   // Front of the list = most recently used.
   std::list<PageId> lru_;
   std::unordered_map<PageId, Entry> entries_;

@@ -1,0 +1,283 @@
+// Tests for the engine layer: the `ReachabilityIndex` interface, the
+// backend adapters over all five evaluator families, and the concurrent
+// `QueryEngine`.
+//
+// Ground rules verified here: (a) every backend answers exactly like the
+// brute-force oracle on a seeded random-waypoint dataset, both through a
+// plain sequential loop and through a 4-thread engine run; (b) a
+// multi-threaded engine run is byte-identical to the sequential run of
+// the same backend while still reporting aggregated QueryStats.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/grail.h"
+#include "baselines/spj.h"
+#include "engine/backends.h"
+#include "engine/query_engine.h"
+#include "engine/reachability_index.h"
+#include "generators/random_waypoint.h"
+#include "generators/workload.h"
+#include "join/contact_extractor.h"
+#include "network/brute_force.h"
+#include "network/contact_network.h"
+#include "reachgraph/dn_builder.h"
+#include "reachgraph/reach_graph_index.h"
+#include "reachgrid/reach_grid_index.h"
+
+namespace streach {
+namespace {
+
+constexpr double kContactRange = 25.0;
+
+/// One shared stack of indexes over a seeded RWP dataset, built once for
+/// the whole suite (index construction dominates the test runtime).
+class EngineTest : public ::testing::Test {
+ protected:
+  struct Stack {
+    TrajectoryStore store;
+    std::shared_ptr<const ContactNetwork> network;
+    std::shared_ptr<const ReachGridIndex> grid;
+    std::shared_ptr<const ReachGraphIndex> graph;
+    std::shared_ptr<const GrailIndex> grail;
+    std::shared_ptr<const SpjEvaluator> spj;
+  };
+
+  static void SetUpTestSuite() {
+    RandomWaypointParams params;
+    params.num_objects = 120;
+    params.area = Rect(0, 0, 1200, 1200);
+    params.duration = 400;
+    params.seed = 20120731;  // Fixed for replay.
+    auto store = GenerateRandomWaypoint(params);
+    ASSERT_TRUE(store.ok());
+    stack_ = new Stack();
+    stack_->store = std::move(*store);
+
+    stack_->network = std::make_shared<const ContactNetwork>(
+        stack_->store.num_objects(), stack_->store.span(),
+        ExtractContacts(stack_->store, kContactRange));
+
+    ReachGridOptions grid_options;
+    grid_options.temporal_resolution = 20;
+    grid_options.spatial_cell_size = 150.0;
+    grid_options.contact_range = kContactRange;
+    auto grid = ReachGridIndex::Build(stack_->store, grid_options);
+    ASSERT_TRUE(grid.ok());
+    stack_->grid = std::move(*grid);
+
+    auto graph = ReachGraphIndex::Build(*stack_->network, ReachGraphOptions{});
+    ASSERT_TRUE(graph.ok());
+    stack_->graph = std::move(*graph);
+
+    auto dn = BuildDnGraph(*stack_->network);
+    ASSERT_TRUE(dn.ok());
+    auto grail = GrailIndex::Build(*dn, GrailOptions{});
+    ASSERT_TRUE(grail.ok());
+    stack_->grail = std::move(*grail);
+
+    SpjOptions spj_options;
+    spj_options.contact_range = kContactRange;
+    auto spj = SpjEvaluator::Build(stack_->store, spj_options);
+    ASSERT_TRUE(spj.ok());
+    stack_->spj = std::move(*spj);
+  }
+
+  static void TearDownTestSuite() {
+    delete stack_;
+    stack_ = nullptr;
+  }
+
+  /// Sessions over every backend variant (the five evaluator families;
+  /// ReachGraph contributes one adapter per traversal, GRAIL per mode).
+  static std::vector<std::unique_ptr<ReachabilityIndex>> AllBackends() {
+    std::vector<std::unique_ptr<ReachabilityIndex>> backends;
+    backends.push_back(MakeReachGridBackend(stack_->grid));
+    backends.push_back(
+        MakeReachGraphBackend(stack_->graph, ReachGraphTraversal::kBmBfs));
+    backends.push_back(
+        MakeReachGraphBackend(stack_->graph, ReachGraphTraversal::kBBfs));
+    backends.push_back(
+        MakeReachGraphBackend(stack_->graph, ReachGraphTraversal::kEBfs));
+    backends.push_back(
+        MakeReachGraphBackend(stack_->graph, ReachGraphTraversal::kEDfs));
+    backends.push_back(MakeSpjBackend(stack_->spj));
+    backends.push_back(MakeGrailBackend(stack_->grail, GrailMode::kMemory));
+    backends.push_back(MakeGrailBackend(stack_->grail, GrailMode::kDisk));
+    backends.push_back(MakeBruteForceBackend(stack_->network));
+    return backends;
+  }
+
+  static std::vector<ReachQuery> MakeQueries(int n, uint64_t seed) {
+    WorkloadParams wl;
+    wl.num_queries = n;
+    wl.num_objects = stack_->store.num_objects();
+    wl.span = stack_->store.span();
+    wl.min_interval_len = 30;
+    wl.max_interval_len = 180;
+    wl.seed = seed;
+    return GenerateWorkload(wl);
+  }
+
+  static Stack* stack_;
+};
+
+EngineTest::Stack* EngineTest::stack_ = nullptr;
+
+TEST_F(EngineTest, AllBackendsAgreeWithBruteForceSequentially) {
+  const std::vector<ReachQuery> queries = MakeQueries(200, 77);
+  auto backends = AllBackends();
+  for (const ReachQuery& q : queries) {
+    const bool expected =
+        BruteForceReach(*stack_->network, q.source, q.destination, q.interval)
+            .reachable;
+    for (auto& backend : backends) {
+      auto answer = backend->Query(q);
+      ASSERT_TRUE(answer.ok())
+          << backend->DescribeIndex() << " failed on " << q.ToString() << ": "
+          << answer.status().ToString();
+      EXPECT_EQ(answer->reachable, expected)
+          << backend->DescribeIndex() << " disagrees on " << q.ToString();
+    }
+  }
+}
+
+TEST_F(EngineTest, AllBackendsAgreeWithBruteForceUnder4EngineThreads) {
+  const std::vector<ReachQuery> queries = MakeQueries(200, 78);
+
+  QueryEngineOptions options;
+  options.num_threads = 4;
+  const QueryEngine engine(options);
+
+  auto oracle = MakeBruteForceBackend(stack_->network);
+  auto expected = engine.Run(oracle.get(), queries);
+  ASSERT_TRUE(expected.ok());
+
+  for (auto& backend : AllBackends()) {
+    auto report = engine.Run(backend.get(), queries);
+    ASSERT_TRUE(report.ok()) << backend->DescribeIndex();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(report->answers[i].reachable, expected->answers[i].reachable)
+          << backend->DescribeIndex() << " disagrees on "
+          << queries[i].ToString();
+    }
+  }
+}
+
+TEST_F(EngineTest, ParallelRunIsByteIdenticalToSequentialRun) {
+  const std::vector<ReachQuery> queries = MakeQueries(500, 99);
+
+  std::vector<std::unique_ptr<ReachabilityIndex>> backends;
+  backends.push_back(MakeReachGridBackend(stack_->grid));
+  backends.push_back(
+      MakeReachGraphBackend(stack_->graph, ReachGraphTraversal::kBmBfs));
+  backends.push_back(MakeGrailBackend(stack_->grail, GrailMode::kDisk));
+
+  for (auto& backend : backends) {
+    const QueryEngine sequential(QueryEngineOptions{});  // 1 thread.
+    QueryEngineOptions parallel_options;
+    parallel_options.num_threads = 4;
+    const QueryEngine parallel(parallel_options);
+
+    auto seq = sequential.Run(backend.get(), queries);
+    ASSERT_TRUE(seq.ok()) << backend->DescribeIndex();
+    auto session = backend->NewSession();
+    auto par = parallel.Run(session.get(), queries);
+    ASSERT_TRUE(par.ok()) << backend->DescribeIndex();
+
+    ASSERT_EQ(seq->answers.size(), par->answers.size());
+    // Byte-identical answer streams: serialize without the struct's
+    // padding bytes (whose values are indeterminate) and compare.
+    auto serialize = [](const std::vector<ReachAnswer>& answers) {
+      std::string bytes;
+      bytes.reserve(answers.size() * (1 + sizeof(Timestamp)));
+      for (const ReachAnswer& a : answers) {
+        bytes.push_back(a.reachable ? 1 : 0);
+        bytes.append(reinterpret_cast<const char*>(&a.arrival_time),
+                     sizeof(Timestamp));
+      }
+      return bytes;
+    };
+    EXPECT_EQ(serialize(seq->answers), serialize(par->answers))
+        << backend->DescribeIndex()
+        << ": parallel answers differ from sequential";
+
+    // The parallel run still aggregates QueryStats across its sessions.
+    const WorkloadSummary& s = par->summary;
+    EXPECT_EQ(s.num_queries, queries.size());
+    EXPECT_EQ(s.num_reachable, seq->summary.num_reachable);
+    EXPECT_GT(s.total_pages_fetched, 0u);
+    EXPECT_GT(s.total_io_cost, 0.0);
+    EXPECT_GT(s.queries_per_second, 0.0);
+    EXPECT_GT(s.max_latency, 0.0);
+    EXPECT_GE(s.p95_latency, s.p50_latency);
+    EXPECT_EQ(par->per_query.size(), queries.size());
+    EXPECT_FALSE(s.ToString().empty());
+  }
+}
+
+TEST_F(EngineTest, ReachableSetMatchesBruteForceClosure) {
+  auto grid = MakeReachGridBackend(stack_->grid);
+  auto brute = MakeBruteForceBackend(stack_->network);
+  const TimeInterval interval(40, 160);
+  for (ObjectId source : {ObjectId{0}, ObjectId{17}, ObjectId{63}}) {
+    auto from_grid = grid->ReachableSet(source, interval);
+    auto from_brute = brute->ReachableSet(source, interval);
+    ASSERT_TRUE(from_grid.ok() && from_brute.ok());
+    ASSERT_EQ(from_grid->size(), from_brute->size());
+    for (size_t o = 0; o < from_grid->size(); ++o) {
+      EXPECT_EQ((*from_grid)[o], (*from_brute)[o])
+          << "object " << o << " from source " << source;
+    }
+  }
+}
+
+TEST_F(EngineTest, PointQueryBackendsRejectReachableSet) {
+  auto spj = MakeSpjBackend(stack_->spj);
+  auto result = spj->ReachableSet(0, TimeInterval(0, 50));
+  EXPECT_TRUE(result.status().IsNotSupported());
+}
+
+TEST_F(EngineTest, SessionsAreIndependent) {
+  auto backend = MakeReachGridBackend(stack_->grid);
+  auto session = backend->NewSession();
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->DescribeIndex(), backend->DescribeIndex());
+
+  const ReachQuery q = MakeQueries(1, 5)[0];
+  ASSERT_TRUE(backend->Query(q).ok());
+  const QueryStats backend_stats = backend->last_query_stats();
+  // Querying the session does not disturb the original session's stats.
+  ASSERT_TRUE(session->Query(q).ok());
+  EXPECT_EQ(backend->last_query_stats().pages_fetched,
+            backend_stats.pages_fetched);
+  // A fresh session has a cold pool: it pays at least as many page
+  // fetches as the warmed-up original.
+  EXPECT_GE(session->last_query_stats().pages_fetched,
+            backend_stats.pages_fetched);
+}
+
+TEST_F(EngineTest, ColdCacheModeRefetchesEveryQuery) {
+  auto backend = MakeGrailBackend(stack_->grail, GrailMode::kDisk);
+  const std::vector<ReachQuery> queries = MakeQueries(20, 123);
+
+  QueryEngineOptions cold;
+  cold.cold_cache = true;
+  auto cold_report = QueryEngine(cold).Run(backend.get(), queries);
+  ASSERT_TRUE(cold_report.ok());
+
+  auto warm_report =
+      QueryEngine(QueryEngineOptions{}).Run(backend.get(), queries);
+  ASSERT_TRUE(warm_report.ok());
+
+  // A warm pool can only reduce the pages fetched.
+  EXPECT_LE(warm_report->summary.total_pages_fetched,
+            cold_report->summary.total_pages_fetched);
+}
+
+}  // namespace
+}  // namespace streach

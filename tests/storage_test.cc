@@ -113,9 +113,9 @@ TEST(BufferPoolTest, HitAvoidsDeviceRead) {
   dev.AllocatePages(4);
   BufferPool pool(&dev, 4);
   ASSERT_TRUE(pool.Fetch(2).ok());
-  const uint64_t reads_before = dev.stats().total_reads();
+  const uint64_t reads_before = pool.io_stats().total_reads();
   ASSERT_TRUE(pool.Fetch(2).ok());
-  EXPECT_EQ(dev.stats().total_reads(), reads_before);
+  EXPECT_EQ(pool.io_stats().total_reads(), reads_before);
   EXPECT_EQ(pool.hits(), 1u);
   EXPECT_EQ(pool.misses(), 1u);
 }
@@ -155,7 +155,51 @@ TEST(BufferPoolTest, ReturnsPageContents) {
   BufferPool pool(&dev, 1);
   auto data = pool.Fetch(p);
   ASSERT_TRUE(data.ok());
-  EXPECT_EQ(data->substr(0, 4), "abcd");
+  EXPECT_EQ(data->view().substr(0, 4), "abcd");
+}
+
+TEST(BufferPoolTest, FetchedViewSurvivesEvictionOfItsPage) {
+  // Regression: a traversal step may hold the view of one page while a
+  // later fetch in the same step evicts it (capacity 1 forces this on
+  // every second fetch). The first view must remain readable.
+  BlockDevice dev(8);
+  const PageId a = dev.AllocatePage();
+  const PageId b = dev.AllocatePage();
+  ASSERT_TRUE(dev.WritePage(a, "aaaa").ok());
+  ASSERT_TRUE(dev.WritePage(b, "bbbb").ok());
+  BufferPool pool(&dev, 1);
+  auto first = pool.Fetch(a);
+  ASSERT_TRUE(first.ok());
+  auto second = pool.Fetch(b);  // Evicts page `a` from the pool.
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(pool.resident(), 1u);
+  EXPECT_EQ(first->view().substr(0, 4), "aaaa");  // Still valid.
+  EXPECT_EQ(second->view().substr(0, 4), "bbbb");
+  // And the pool serves fresh fetches of the evicted page correctly.
+  auto again = pool.Fetch(a);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->view().substr(0, 4), "aaaa");
+}
+
+TEST(BufferPoolTest, ConcurrentPoolsOverOneDeviceAgree) {
+  // The engine's concurrency model: one immutable device, one pool (and
+  // one IO cursor) per thread. Each pool's accounting is private.
+  BlockDevice dev(16);
+  dev.AllocatePages(8);
+  for (PageId p = 0; p < 8; ++p) {
+    ASSERT_TRUE(dev.WritePage(p, std::string(4, static_cast<char>('a' + p))).ok());
+  }
+  BufferPool pool_a(&dev, 2);
+  BufferPool pool_b(&dev, 2);
+  ASSERT_TRUE(pool_a.Fetch(0).ok());
+  ASSERT_TRUE(pool_b.Fetch(0).ok());
+  ASSERT_TRUE(pool_b.Fetch(1).ok());
+  EXPECT_EQ(pool_a.misses(), 1u);
+  EXPECT_EQ(pool_b.misses(), 2u);
+  EXPECT_EQ(pool_a.io_stats().total_reads(), 1u);
+  EXPECT_EQ(pool_b.io_stats().total_reads(), 2u);
+  // pool_b's second read followed its first: sequential on its own cursor.
+  EXPECT_EQ(pool_b.io_stats().sequential_reads, 1u);
 }
 
 // ------------------------------------------------------------ ExtentWriter
@@ -215,14 +259,13 @@ TEST(ExtentWriterTest, SequentialReadOfConsecutiveBlobs) {
     extents.push_back(*e);
   }
   ASSERT_TRUE(writer.Flush().ok());
-  dev.ResetStats();
   BufferPool pool(&dev, 64);
   for (const Extent& e : extents) {
     ASSERT_TRUE(ReadExtent(&pool, e, 64).ok());
   }
   // One seek at the start; everything else sequential or buffered.
-  EXPECT_EQ(dev.stats().random_reads, 1u);
-  EXPECT_GT(dev.stats().sequential_reads, 0u);
+  EXPECT_EQ(pool.io_stats().random_reads, 1u);
+  EXPECT_GT(pool.io_stats().sequential_reads, 0u);
 }
 
 TEST(ExtentWriterTest, RandomBlobsRoundTripProperty) {
