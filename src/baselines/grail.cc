@@ -34,7 +34,7 @@ Result<std::unique_ptr<GrailIndex>> GrailIndex::Build(
   }
   STREACH_RETURN_NOT_OK(index->PlaceOnDisk(graph));
   index->build_seconds_ = watch.ElapsedSeconds();
-  index->device_.ResetStats();
+  index->topology_.ResetStats();
   return index;
 }
 
@@ -103,7 +103,9 @@ void GrailIndex::BuildLabels(const DnGraph& graph, Rng* rng, int labeling) {
 Status GrailIndex::PlaceOnDisk(const DnGraph& graph) {
   // Vertices in generation (id) order — the naive placement the paper
   // assumes for GRAIL (§6.4) — each record holding labels + out-edges.
-  ExtentWriter writer(&device_);
+  // With S > 1 shards, records go round-robin (still in id order per
+  // shard) and timelines are routed by object hash.
+  ShardedExtentWriter writer(&topology_);
   Encoder enc;
   const size_t n = graph.num_vertices();
   vertex_extents_.reserve(n);
@@ -115,11 +117,11 @@ Status GrailIndex::PlaceOnDisk(const DnGraph& graph) {
     }
     enc.PutVarint(out_[v].size());
     for (VertexId w : out_[v]) enc.PutU32(w);
-    auto extent = writer.Append(enc.buffer());
+    auto extent = writer.Append(topology_.ShardForPartition(v), enc.buffer());
     if (!extent.ok()) return extent.status();
     vertex_extents_.push_back(*extent);
   }
-  STREACH_RETURN_NOT_OK(writer.AlignToPage());
+  STREACH_RETURN_NOT_OK(writer.AlignAllToPage());
   timeline_extents_.reserve(graph.num_objects());
   for (ObjectId o = 0; o < graph.num_objects(); ++o) {
     enc.Clear();
@@ -130,7 +132,7 @@ Status GrailIndex::PlaceOnDisk(const DnGraph& graph) {
       enc.PutI32(entry.span.end);
       enc.PutU32(entry.vertex);
     }
-    auto extent = writer.Append(enc.buffer());
+    auto extent = writer.Append(topology_.ShardForObject(o), enc.buffer());
     if (!extent.ok()) return extent.status();
     timeline_extents_.push_back(*extent);
   }

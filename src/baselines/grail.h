@@ -13,6 +13,7 @@
 #include "storage/block_device.h"
 #include "storage/block_file.h"
 #include "storage/buffer_pool.h"
+#include "storage/storage_topology.h"
 
 namespace streach {
 
@@ -22,6 +23,10 @@ struct GrailOptions {
   uint64_t seed = 99;
   size_t page_size = BlockDevice::kDefaultPageSize;
   size_t buffer_pool_pages = 64;
+  /// Storage shards for the disk mode: vertex records are routed
+  /// round-robin and object timelines by object hash. 1 reproduces the
+  /// paper's single-disk layout bit-for-bit.
+  int num_shards = 1;
 };
 
 /// \brief GRAIL reachability index of Yildirim, Chaoji & Zaki (VLDB'10),
@@ -64,11 +69,14 @@ class GrailIndex {
   Result<ReachAnswer> QueryDisk(const ReachQuery& query, BufferPool* pool,
                                 QueryStats* stats) const;
 
-  /// A fresh buffer pool over this index's device, for one concurrent
-  /// query session (sized like the built-in pool).
+  /// A fresh buffer pool over this index's storage topology, for one
+  /// concurrent query session (sized like the built-in pool).
   std::unique_ptr<BufferPool> NewSessionPool() const {
-    return std::make_unique<BufferPool>(&device_, options_.buffer_pool_pages);
+    return std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
   }
+
+  const StorageTopology& topology() const { return topology_; }
+  int num_shards() const { return topology_.num_shards(); }
 
   const QueryStats& last_query_stats() const { return last_stats_; }
   double build_seconds() const { return build_seconds_; }
@@ -79,8 +87,9 @@ class GrailIndex {
  private:
   explicit GrailIndex(const GrailOptions& options)
       : options_(options),
-        device_(options.page_size),
-        pool_(&device_, options.buffer_pool_pages) {}
+        topology_(StorageTopologyOptions{options.num_shards,
+                                         options.page_size}),
+        pool_(&topology_, options.buffer_pool_pages) {}
 
   /// One interval [min, post_rank] per labeling.
   struct Label {
@@ -128,7 +137,7 @@ class GrailIndex {
   }
 
   GrailOptions options_;
-  BlockDevice device_;
+  StorageTopology topology_;
   BufferPool pool_;
   QueryStats last_stats_;
   double build_seconds_ = 0.0;

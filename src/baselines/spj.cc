@@ -22,7 +22,7 @@ Result<std::unique_ptr<SpjEvaluator>> SpjEvaluator::Build(
   std::unique_ptr<SpjEvaluator> spj(
       new SpjEvaluator(options, store.span(), store.num_objects()));
   STREACH_RETURN_NOT_OK(spj->WriteSlabs(store));
-  spj->device_.ResetStats();
+  spj->topology_.ResetStats();
   return spj;
 }
 
@@ -37,7 +37,10 @@ TimeInterval SpjEvaluator::SlabInterval(int slab) const {
 Status SpjEvaluator::WriteSlabs(const TrajectoryStore& store) {
   const int num_slabs = static_cast<int>(
       (span_.length() + options_.slab_ticks - 1) / options_.slab_ticks);
-  ExtentWriter writer(&device_);
+  // Slabs are routed round-robin: with S > 1 shards, the slabs placed on
+  // the same shard stay in temporal order, so the baseline's sequential
+  // range scan remains sequential per shard head.
+  ShardedExtentWriter writer(&topology_);
   Encoder enc;
   slab_extents_.reserve(static_cast<size_t>(num_slabs));
   for (int slab = 0; slab < num_slabs; ++slab) {
@@ -52,7 +55,9 @@ Status SpjEvaluator::WriteSlabs(const TrajectoryStore& store) {
         enc.PutDouble(p.y);
       }
     }
-    auto extent = writer.Append(enc.buffer());
+    auto extent = writer.Append(
+        topology_.ShardForPartition(static_cast<uint64_t>(slab)),
+        enc.buffer());
     if (!extent.ok()) return extent.status();
     slab_extents_.push_back(*extent);
   }

@@ -10,6 +10,7 @@
 #include "storage/block_device.h"
 #include "storage/block_file.h"
 #include "storage/buffer_pool.h"
+#include "storage/storage_topology.h"
 #include "trajectory/trajectory_store.h"
 
 namespace streach {
@@ -21,6 +22,9 @@ struct SpjOptions {
   double contact_range = 25.0;
   size_t page_size = BlockDevice::kDefaultPageSize;
   size_t buffer_pool_pages = 256;
+  /// Storage shards: time slabs are routed round-robin across this many
+  /// per-shard devices. 1 reproduces the single-disk layout bit-for-bit.
+  int num_shards = 1;
 };
 
 /// \brief The naive scan-join-traverse evaluator of §6.1.2 ("SPJ").
@@ -44,11 +48,14 @@ class SpjEvaluator {
   Result<ReachAnswer> Query(const ReachQuery& query, BufferPool* pool,
                             QueryStats* stats) const;
 
-  /// A fresh buffer pool over this evaluator's device, for one concurrent
-  /// query session (sized like the built-in pool).
+  /// A fresh buffer pool over this evaluator's storage topology, for one
+  /// concurrent query session (sized like the built-in pool).
   std::unique_ptr<BufferPool> NewSessionPool() const {
-    return std::make_unique<BufferPool>(&device_, options_.buffer_pool_pages);
+    return std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
   }
+
+  const StorageTopology& topology() const { return topology_; }
+  int num_shards() const { return topology_.num_shards(); }
 
   const QueryStats& last_query_stats() const { return last_stats_; }
   void ClearCache() { pool_.Clear(); }
@@ -57,8 +64,9 @@ class SpjEvaluator {
   SpjEvaluator(const SpjOptions& options, TimeInterval span,
                size_t num_objects)
       : options_(options),
-        device_(options.page_size),
-        pool_(&device_, options.buffer_pool_pages),
+        topology_(StorageTopologyOptions{options.num_shards,
+                                         options.page_size}),
+        pool_(&topology_, options.buffer_pool_pages),
         span_(span),
         num_objects_(num_objects) {}
 
@@ -66,7 +74,7 @@ class SpjEvaluator {
   TimeInterval SlabInterval(int slab) const;
 
   SpjOptions options_;
-  BlockDevice device_;
+  StorageTopology topology_;
   BufferPool pool_;
   TimeInterval span_;
   size_t num_objects_;

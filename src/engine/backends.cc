@@ -71,6 +71,13 @@ class ReachGridBackend : public ReachabilityIndex {
 
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override { pool_->Clear(); }
+  int num_shards() const override { return pool_->num_shards(); }
+  std::vector<IoStats> shard_io_stats() const override {
+    return pool_->PerShardIoStats();
+  }
+  std::shared_ptr<const void> IndexIdentity() const override {
+    return index_;
+  }
 
   std::string DescribeIndex() const override {
     const ReachGridOptions& o = index_->options();
@@ -115,6 +122,14 @@ class ReachGraphBackend : public ReachabilityIndex {
 
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override { pool_->Clear(); }
+  int num_shards() const override { return pool_->num_shards(); }
+  std::vector<IoStats> shard_io_stats() const override {
+    return pool_->PerShardIoStats();
+  }
+
+  std::shared_ptr<const void> IndexIdentity() const override {
+    return index_;
+  }
 
   std::string DescribeIndex() const override {
     return std::string("ReachGraph(") + ToString(traversal_) + ")";
@@ -144,6 +159,13 @@ class SpjBackend : public ReachabilityIndex {
 
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override { pool_->Clear(); }
+  int num_shards() const override { return pool_->num_shards(); }
+  std::vector<IoStats> shard_io_stats() const override {
+    return pool_->PerShardIoStats();
+  }
+  std::shared_ptr<const void> IndexIdentity() const override {
+    return spj_;
+  }
   std::string DescribeIndex() const override { return "SPJ(scan-join)"; }
 
   std::unique_ptr<ReachabilityIndex> NewSession() const override {
@@ -175,6 +197,18 @@ class GrailBackend : public ReachabilityIndex {
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override {
     if (pool_ != nullptr) pool_->Clear();
+  }
+
+  int num_shards() const override {
+    return pool_ != nullptr ? pool_->num_shards() : 1;
+  }
+  std::vector<IoStats> shard_io_stats() const override {
+    return pool_ != nullptr ? pool_->PerShardIoStats()
+                            : std::vector<IoStats>{};
+  }
+
+  std::shared_ptr<const void> IndexIdentity() const override {
+    return grail_;
   }
 
   std::string DescribeIndex() const override {

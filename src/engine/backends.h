@@ -39,6 +39,9 @@ class BruteForceReachability : public ReachabilityIndex {
                                               TimeInterval interval) override;
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override {}
+  std::shared_ptr<const void> IndexIdentity() const override {
+    return network_;
+  }
   std::string DescribeIndex() const override;
   std::unique_ptr<ReachabilityIndex> NewSession() const override;
 

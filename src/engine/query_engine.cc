@@ -24,27 +24,49 @@ double Percentile(const std::vector<double>& sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+/// Point answer derived from a full reachable set: the set holds every
+/// object's infection time (kInvalidTime when unreached), which is
+/// exactly the earliest arrival a point query reports.
+ReachAnswer AnswerFromSet(const std::vector<Timestamp>& infection_times,
+                          ObjectId destination) {
+  ReachAnswer answer;
+  if (destination < infection_times.size() &&
+      infection_times[destination] != kInvalidTime) {
+    answer.reachable = true;
+    answer.arrival_time = infection_times[destination];
+  }
+  return answer;
+}
+
 }  // namespace
 
 std::string WorkloadSummary::ToString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "%s: %llu queries (%llu reachable) in %.3fs | %.0f q/s | "
-      "io/query=%.2f pages=%llu hits=%llu | latency mean=%.0fus "
-      "p50=%.0fus p95=%.0fus max=%.0fus",
+      "io/query=%.2f pages=%llu hits=%llu pool_hit_rate=%.1f%% | "
+      "latency mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus | "
+      "cache_hits=%llu shards=%zu",
       backend.c_str(), static_cast<unsigned long long>(num_queries),
       static_cast<unsigned long long>(num_reachable), wall_seconds,
       queries_per_second, mean_io_cost(),
       static_cast<unsigned long long>(total_pages_fetched),
-      static_cast<unsigned long long>(total_pool_hits), mean_latency * 1e6,
-      p50_latency * 1e6, p95_latency * 1e6, max_latency * 1e6);
+      static_cast<unsigned long long>(total_pool_hits),
+      100.0 * pool_hit_rate(), mean_latency * 1e6, p50_latency * 1e6,
+      p95_latency * 1e6, p99_latency * 1e6, max_latency * 1e6,
+      static_cast<unsigned long long>(result_cache_hits),
+      per_shard_io.empty() ? static_cast<size_t>(1) : per_shard_io.size());
   return buf;
 }
 
 QueryEngine::QueryEngine(QueryEngineOptions options)
     : options_(std::move(options)) {
   STREACH_CHECK_GT(options_.num_threads, 0);
+  if (options_.result_cache_capacity > 0) {
+    result_cache_ =
+        std::make_shared<ResultCache>(options_.result_cache_capacity);
+  }
 }
 
 Result<WorkloadReport> QueryEngine::Run(
@@ -70,6 +92,17 @@ Result<WorkloadReport> QueryEngine::Run(
     sessions.push_back(extra_sessions.back().get());
   }
 
+  // Per-shard IO is reported as the delta of each session's cumulative
+  // cursors around the run, so prior traffic on a reused session never
+  // leaks into this workload's breakdown.
+  std::vector<std::vector<IoStats>> shard_io_before;
+  shard_io_before.reserve(sessions.size());
+  for (ReachabilityIndex* session : sessions) {
+    shard_io_before.push_back(session->shard_io_stats());
+  }
+  const uint64_t cache_hits_before =
+      result_cache_ != nullptr ? result_cache_->hits() : 0;
+
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
   std::mutex error_mutex;  // Guards first_error only; never on the hot path.
@@ -77,20 +110,58 @@ Result<WorkloadReport> QueryEngine::Run(
 
   auto worker = [&](ReachabilityIndex* session) {
     const bool cold = options_.cold_cache;
+    // cold_cache wins over the result cache: the paper's protocol is
+    // "measure every query cold", and a memoized answer would defeat it.
+    ResultCache* cache = cold ? nullptr : result_cache_.get();
+    const std::shared_ptr<const void> identity = session->IndexIdentity();
+    // Cleared once a session reports NotSupported for ReachableSet, so
+    // the cache path is not re-probed on every query of such a backend.
+    // Backends without an index identity opt out of caching entirely.
+    bool cacheable = cache != nullptr && identity != nullptr;
     for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       if (failed.load(std::memory_order_relaxed)) return;  // Stop early.
       if (cold) session->ClearCache();
+      const ReachQuery& query = queries[i];
       Stopwatch latency;
-      auto answer = session->Query(queries[i]);
-      latencies[i] = latency.ElapsedSeconds();
-      if (!answer.ok()) {
-        std::lock_guard<std::mutex> guard(error_mutex);
-        if (first_error.ok()) first_error = answer.status();
-        failed.store(true, std::memory_order_relaxed);
-        return;
+      bool answered = false;
+      if (cacheable) {
+        if (ResultCache::SetPtr set =
+                cache->Lookup(identity, query.source, query.interval)) {
+          report.answers[i] = AnswerFromSet(*set, query.destination);
+          report.per_query[i] = QueryStats{};  // No backend work done.
+          answered = true;
+        } else {
+          auto set_result =
+              session->ReachableSet(query.source, query.interval);
+          if (set_result.ok()) {
+            auto shared = std::make_shared<const std::vector<Timestamp>>(
+                std::move(*set_result));
+            cache->Insert(identity, query.source, query.interval, shared);
+            report.answers[i] = AnswerFromSet(*shared, query.destination);
+            report.per_query[i] = session->last_query_stats();
+            answered = true;
+          } else if (set_result.status().IsNotSupported()) {
+            cacheable = false;  // Point-query-only backend.
+          } else {
+            std::lock_guard<std::mutex> guard(error_mutex);
+            if (first_error.ok()) first_error = set_result.status();
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
       }
-      report.answers[i] = *answer;
-      report.per_query[i] = session->last_query_stats();
+      if (!answered) {
+        auto answer = session->Query(query);
+        if (!answer.ok()) {
+          std::lock_guard<std::mutex> guard(error_mutex);
+          if (first_error.ok()) first_error = answer.status();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        report.answers[i] = *answer;
+        report.per_query[i] = session->last_query_stats();
+      }
+      latencies[i] = latency.ElapsedSeconds();
     }
   };
 
@@ -130,6 +201,25 @@ Result<WorkloadReport> QueryEngine::Run(
   std::sort(latencies.begin(), latencies.end());
   s.p50_latency = Percentile(latencies, 0.50);
   s.p95_latency = Percentile(latencies, 0.95);
+  s.p99_latency = Percentile(latencies, 0.99);
+  if (result_cache_ != nullptr) {
+    s.result_cache_hits = result_cache_->hits() - cache_hits_before;
+  }
+  // Per-shard breakdown: delta of every session's cumulative cursors over
+  // the run, summed shard-wise across sessions.
+  for (size_t k = 0; k < sessions.size(); ++k) {
+    const std::vector<IoStats> after = sessions[k]->shard_io_stats();
+    if (after.size() > s.per_shard_io.size()) {
+      s.per_shard_io.resize(after.size());
+    }
+    for (size_t shard = 0; shard < after.size(); ++shard) {
+      IoStats delta = after[shard];
+      if (shard < shard_io_before[k].size()) {
+        delta = delta - shard_io_before[k][shard];
+      }
+      s.per_shard_io[shard] += delta;
+    }
+  }
   return report;
 }
 

@@ -2,6 +2,7 @@
 #define STREACH_ENGINE_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "engine/reachability_index.h"
+#include "engine/result_cache.h"
+#include "storage/io_stats.h"
 
 namespace streach {
 
@@ -22,6 +25,22 @@ struct QueryEngineOptions {
   /// Clear each session's buffer pool before every query, so every query
   /// is measured cold (the paper's per-query IO measurement protocol).
   bool cold_cache = false;
+
+  /// Capacity (entries) of the engine's result cache memoizing
+  /// `(index, source, interval) -> reachable set`; 0 disables it. On a
+  /// cache hit a point query is answered by set lookup with zero backend
+  /// work; on a miss the engine materializes the full set via
+  /// `ReachableSet(source, interval)` and caches it (backends that only
+  /// answer point queries fall back to a plain `Query` and are never
+  /// cached). Answers are identical with the cache on or off, but the
+  /// cost profile shifts: a miss pays the full-set sweep (no
+  /// destination early-exit), so the cache wins on workloads that repeat
+  /// `(source, interval)` keys and loses on all-unique ones. The cache
+  /// persists across `Run` calls on one engine — indexes are immutable
+  /// and entries are keyed by `IndexIdentity()`, so they never
+  /// invalidate and never cross indexes. Ignored when `cold_cache` is
+  /// set: memoized answers would defeat cold per-query measurement.
+  size_t result_cache_capacity = 0;
 };
 
 /// Aggregated outcome of running one workload against one backend.
@@ -42,10 +61,24 @@ struct WorkloadSummary {
   double mean_latency = 0.0;
   double p50_latency = 0.0;
   double p95_latency = 0.0;
+  double p99_latency = 0.0;
   double max_latency = 0.0;
+  /// Point queries answered from the engine's result cache.
+  uint64_t result_cache_hits = 0;
+  /// Device IO per storage shard during this run (index = shard id;
+  /// empty for memory-resident backends). Sums to the workload totals.
+  std::vector<IoStats> per_shard_io;
 
   double mean_io_cost() const {
     return num_queries == 0 ? 0.0 : total_io_cost / num_queries;
+  }
+  /// Buffer-pool hit rate over all fetches of the run (hits / (hits +
+  /// misses)); 0 when the backend performs no IO.
+  double pool_hit_rate() const {
+    const uint64_t fetches = total_pool_hits + total_pages_fetched;
+    return fetches == 0
+               ? 0.0
+               : static_cast<double>(total_pool_hits) / fetches;
   }
   std::string ToString() const;
 };
@@ -78,8 +111,12 @@ class QueryEngine {
 
   const QueryEngineOptions& options() const { return options_; }
 
+  /// The engine's result cache; nullptr when disabled.
+  ResultCache* result_cache() const { return result_cache_.get(); }
+
  private:
   QueryEngineOptions options_;
+  std::shared_ptr<ResultCache> result_cache_;  // Shared by Run's workers.
 };
 
 }  // namespace streach

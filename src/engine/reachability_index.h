@@ -8,6 +8,7 @@
 #include "common/query_stats.h"
 #include "common/result.h"
 #include "common/types.h"
+#include "storage/io_stats.h"
 
 namespace streach {
 
@@ -51,6 +52,28 @@ class ReachabilityIndex {
 
   /// Evicts this session's buffered pages so the next query runs cold.
   virtual void ClearCache() = 0;
+
+  /// Stable identity of the underlying immutable index, shared by every
+  /// session minted from it via `NewSession()`. The engine's result cache
+  /// keys entries by this token so memoized sets are never served across
+  /// different indexes/datasets; returning shared ownership (rather than
+  /// a raw pointer) lets the cache detect a destroyed index whose address
+  /// was reused and drop its stale entries. The default (no identity)
+  /// is conservatively correct — it only opts the backend out of result
+  /// caching.
+  virtual std::shared_ptr<const void> IndexIdentity() const {
+    return nullptr;
+  }
+
+  /// Storage shards behind this session's index (1 when unsharded or
+  /// memory-resident).
+  virtual int num_shards() const { return 1; }
+
+  /// Cumulative device IO per shard performed through this session's
+  /// buffer pool since the session was created (index = shard id; empty
+  /// for memory-resident backends). The `QueryEngine` diffs these around
+  /// a workload run to report per-shard IO breakdowns.
+  virtual std::vector<IoStats> shard_io_stats() const { return {}; }
 
   /// Human-readable backend identifier, e.g. "ReachGraph(BM-BFS)".
   virtual std::string DescribeIndex() const = 0;

@@ -1,0 +1,82 @@
+#include "engine/result_cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace streach {
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {
+  STREACH_CHECK_GT(capacity, 0u);
+}
+
+ResultCache::SetPtr ResultCache::Lookup(
+    const std::shared_ptr<const void>& index, ObjectId source,
+    TimeInterval interval) {
+  const Key key{index.get(), source, interval.start, interval.end};
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  // Guard against address reuse: the entry must have been produced by
+  // this very index object, not an earlier one at the same address.
+  if (it->second.source.lock() != index) {
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  // splice: allocation-free refresh under the shared mutex; the stored
+  // iterator stays valid.
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.set;
+}
+
+void ResultCache::Insert(const std::shared_ptr<const void>& index,
+                         ObjectId source, TimeInterval interval, SetPtr set) {
+  const Key key{index.get(), source, interval.start, interval.end};
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Another worker raced us to the same key; the sets are identical by
+    // determinism — refresh recency (and the witness, covering the
+    // address-reuse case where the old entry is stale).
+    it->second.set = std::move(set);
+    it->second.source = index;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(set), index, lru_.begin()});
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  lru_.clear();
+  entries_.clear();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return entries_.size();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return misses_;
+}
+
+}  // namespace streach

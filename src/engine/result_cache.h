@@ -1,0 +1,101 @@
+#ifndef STREACH_ENGINE_RESULT_CACHE_H_
+#define STREACH_ENGINE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace streach {
+
+/// \brief Bounded LRU memoizing `(index, source, interval) -> reachable
+/// set`.
+///
+/// Indexes are immutable once built, so a reachable set computed for one
+/// query key is valid forever and invalidation is trivial (none). The
+/// engine answers a repeated point query `src ~I~> dst` by looking the
+/// triple `(index identity, src, I)` up here and reading `set[dst]` — no
+/// traversal, no IO. The identity token
+/// (`ReachabilityIndex::IndexIdentity`) scopes entries to the index that
+/// produced them, so one engine serving several backends/datasets never
+/// crosses answers. Sets are deterministic per key, so cache hits cannot
+/// change answers regardless of which worker thread populated the entry.
+///
+/// Thread safety: all operations take an internal mutex; the engine's
+/// workers share one instance. Values are handed out as shared_ptrs so a
+/// reader is never invalidated by a concurrent eviction.
+class ResultCache {
+ public:
+  using SetPtr = std::shared_ptr<const std::vector<Timestamp>>;
+
+  /// `capacity` bounds the number of cached sets; must be positive.
+  explicit ResultCache(size_t capacity);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached set for the key (recording a hit and refreshing
+  /// its LRU position) or nullptr (recording a miss). `index` is the
+  /// producing index's identity token
+  /// (`ReachabilityIndex::IndexIdentity`); an entry whose index has been
+  /// destroyed — even if a new index now lives at the same address — is
+  /// dropped and reported as a miss.
+  SetPtr Lookup(const std::shared_ptr<const void>& index, ObjectId source,
+                TimeInterval interval);
+
+  /// Inserts (or refreshes) the set for the key, evicting the least
+  /// recently used entry when full.
+  void Insert(const std::shared_ptr<const void>& index, ObjectId source,
+              TimeInterval interval, SetPtr set);
+
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Key {
+    const void* index;
+    ObjectId source;
+    Timestamp start;
+    Timestamp end;
+    bool operator==(const Key& o) const {
+      return index == o.index && source == o.source && start == o.start &&
+             end == o.end;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = reinterpret_cast<uintptr_t>(k.index);
+      h = h * 1000003u ^ k.source;
+      h = h * 1000003u ^ static_cast<uint32_t>(k.start);
+      h = h * 1000003u ^ static_cast<uint32_t>(k.end);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Entry {
+    SetPtr set;
+    /// Liveness witness for the producing index: if this expired, or a
+    /// different object now owns the key's address, the entry is stale.
+    std::weak_ptr<const void> source;
+    std::list<Key>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  // Front of the list = most recently used.
+  std::list<Key> lru_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_ENGINE_RESULT_CACHE_H_

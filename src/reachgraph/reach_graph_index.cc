@@ -70,9 +70,9 @@ Result<std::unique_ptr<ReachGraphIndex>> ReachGraphIndex::BuildFromDn(
   index->build_stats_.placement_seconds = watch.ElapsedSeconds();
   index->build_stats_.dn = dn.stats();
   index->build_stats_.num_partitions = index->partition_extents_.size();
-  index->build_stats_.index_pages = index->device_.num_pages();
-  index->build_stats_.index_bytes = index->device_.size_bytes();
-  index->device_.ResetStats();
+  index->build_stats_.index_pages = index->topology_.num_pages();
+  index->build_stats_.index_bytes = index->topology_.size_bytes();
+  index->topology_.ResetStats();
   return index;
 }
 
@@ -86,8 +86,11 @@ Status ReachGraphIndex::PlaceOnDisk(const DnGraph& graph) {
   // Partitioning (§5.1.3): vertices in topological (= id) order; from each
   // unassigned root, a BFS over DN_1 out-edges up to depth dp claims every
   // still-unassigned vertex it reaches. Long edges are ignored so each
-  // partition stays temporally local.
-  ExtentWriter writer(&device_);
+  // partition stays temporally local. With S > 1 shards, partitions are
+  // routed round-robin in creation (= temporal) order, so partitions
+  // placed on the same shard stay consecutive in that order and the
+  // §5.1.3 placement guarantee holds per shard head.
+  ShardedExtentWriter writer(&topology_);
   std::vector<VertexId> frontier;
   std::vector<VertexId> next;
   std::vector<VertexId> partition_members;
@@ -119,13 +122,15 @@ Status ReachGraphIndex::PlaceOnDisk(const DnGraph& graph) {
     for (VertexId v : partition_members) {
       EncodeVertex(v, graph.vertex(v), &enc);
     }
-    auto extent = writer.Append(enc.buffer());
+    auto extent = writer.Append(topology_.ShardForPartition(partition_id),
+                                enc.buffer());
     if (!extent.ok()) return extent.status();
     partition_extents_.push_back(*extent);
   }
 
-  // Object timelines (the Ht lookup structure), after the partitions.
-  STREACH_RETURN_NOT_OK(writer.AlignToPage());
+  // Object timelines (the Ht lookup structure), after the partitions;
+  // routed by object hash so Ht point lookups spread across shards.
+  STREACH_RETURN_NOT_OK(writer.AlignAllToPage());
   timeline_extents_.reserve(num_objects_);
   for (ObjectId o = 0; o < num_objects_; ++o) {
     enc.Clear();
@@ -136,7 +141,7 @@ Status ReachGraphIndex::PlaceOnDisk(const DnGraph& graph) {
       enc.PutI32(entry.span.end);
       enc.PutU32(entry.vertex);
     }
-    auto extent = writer.Append(enc.buffer());
+    auto extent = writer.Append(topology_.ShardForObject(o), enc.buffer());
     if (!extent.ok()) return extent.status();
     timeline_extents_.push_back(*extent);
   }

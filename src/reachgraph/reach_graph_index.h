@@ -15,6 +15,7 @@
 #include "storage/block_device.h"
 #include "storage/block_file.h"
 #include "storage/buffer_pool.h"
+#include "storage/storage_topology.h"
 
 namespace streach {
 
@@ -29,6 +30,10 @@ struct ReachGraphOptions {
   size_t buffer_pool_pages = 64;
   /// Reduction step 2 toggle (ablation).
   bool merge_identical_components = true;
+  /// Storage shards: DN partitions are routed round-robin and object
+  /// timelines by object hash across this many per-shard devices. 1
+  /// reproduces the paper's single-disk layout bit-for-bit.
+  int num_shards = 1;
 };
 
 /// Construction metrics (Figures 10, 11; Table 4 uses the DnStats).
@@ -88,11 +93,14 @@ class ReachGraphIndex {
   Result<ReachAnswer> QueryEDfs(const ReachQuery& query, BufferPool* pool,
                                 QueryStats* stats) const;
 
-  /// A fresh buffer pool over this index's device, for one concurrent
-  /// query session (sized like the built-in pool).
+  /// A fresh buffer pool over this index's storage topology, for one
+  /// concurrent query session (sized like the built-in pool).
   std::unique_ptr<BufferPool> NewSessionPool() const {
-    return std::make_unique<BufferPool>(&device_, options_.buffer_pool_pages);
+    return std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
   }
+
+  const StorageTopology& topology() const { return topology_; }
+  int num_shards() const { return topology_.num_shards(); }
 
   /// Metrics of the most recent query.
   const QueryStats& last_query_stats() const { return last_stats_; }
@@ -118,8 +126,9 @@ class ReachGraphIndex {
 
   ReachGraphIndex(const ReachGraphOptions& options)
       : options_(options),
-        device_(options.page_size),
-        pool_(&device_, options.buffer_pool_pages) {}
+        topology_(StorageTopologyOptions{options.num_shards,
+                                         options.page_size}),
+        pool_(&topology_, options.buffer_pool_pages) {}
 
   Status PlaceOnDisk(const DnGraph& graph);
 
@@ -149,7 +158,7 @@ class ReachGraphIndex {
                                         QueryStats* stats) const;
 
   ReachGraphOptions options_;
-  BlockDevice device_;
+  StorageTopology topology_;
   BufferPool pool_;
   ReachGraphBuildStats build_stats_;
   QueryStats last_stats_;

@@ -30,9 +30,9 @@ Result<std::unique_ptr<ReachGridIndex>> ReachGridIndex::Build(
       options, extent, store.span(), store.num_objects()));
   STREACH_RETURN_NOT_OK(index->WriteIndex(store));
   index->build_stats_.build_seconds = watch.ElapsedSeconds();
-  index->build_stats_.index_pages = index->device_.num_pages();
-  index->build_stats_.index_bytes = index->device_.size_bytes();
-  index->device_.ResetStats();
+  index->build_stats_.index_pages = index->topology_.num_pages();
+  index->build_stats_.index_bytes = index->topology_.size_bytes();
+  index->topology_.ResetStats();
   return index;
 }
 
@@ -49,14 +49,19 @@ Status ReachGridIndex::WriteIndex(const TrajectoryStore& store) {
   bucket_cells_.resize(static_cast<size_t>(num_buckets));
   build_stats_.num_buckets = static_cast<uint64_t>(num_buckets);
 
-  ExtentWriter writer(&device_);
+  ShardedExtentWriter writer(&topology_);
   Encoder enc;
   std::vector<CellId> scratch_cells;
 
   // Cells of bucket i are written before cells of bucket j > i; within a
   // bucket, cells in row-major CellId order; blobs packed back-to-back so
-  // a bucket's cells occupy consecutive pages (§4.1).
+  // a bucket's cells occupy consecutive pages (§4.1). With S > 1 shards a
+  // bucket is routed whole (cells + locator) to shard `bucket mod S`, so
+  // the consecutive-placement guarantee holds within every shard and a
+  // bucket-ordered sweep stays sequential per shard head.
   for (int bucket = 0; bucket < num_buckets; ++bucket) {
+    const uint32_t shard =
+        topology_.ShardForPartition(static_cast<uint64_t>(bucket));
     const TimeInterval bw = BucketInterval(bucket);
     // cell -> objects whose segment has a sample in the cell.
     std::unordered_map<CellId, std::vector<ObjectId>> cell_objects;
@@ -91,7 +96,7 @@ Status ReachGridIndex::WriteIndex(const TrajectoryStore& store) {
           enc.PutDouble(p.y);
         }
       }
-      auto extent = writer.Append(enc.buffer());
+      auto extent = writer.Append(shard, enc.buffer());
       if (!extent.ok()) return extent.status();
       bucket_cells_[static_cast<size_t>(bucket)].emplace(c, *extent);
       ++build_stats_.num_nonempty_cells;
@@ -99,8 +104,8 @@ Status ReachGridIndex::WriteIndex(const TrajectoryStore& store) {
   }
 
   // Locator tables (the external object->cell hash of §4.2), one per
-  // bucket, after the cell area.
-  STREACH_RETURN_NOT_OK(writer.AlignToPage());
+  // bucket, after the cell area — on the same shard as the bucket's cells.
+  STREACH_RETURN_NOT_OK(writer.AlignAllToPage());
   locator_extents_.reserve(static_cast<size_t>(num_buckets));
   for (int bucket = 0; bucket < num_buckets; ++bucket) {
     const TimeInterval bw = BucketInterval(bucket);
@@ -108,7 +113,9 @@ Status ReachGridIndex::WriteIndex(const TrajectoryStore& store) {
     for (ObjectId o = 0; o < store.num_objects(); ++o) {
       enc.PutU32(grid_.CellOf(store.Get(o).At(bw.start)));
     }
-    auto extent = writer.Append(enc.buffer());
+    auto extent = writer.Append(
+        topology_.ShardForPartition(static_cast<uint64_t>(bucket)),
+        enc.buffer());
     if (!extent.ok()) return extent.status();
     locator_extents_.push_back(*extent);
   }

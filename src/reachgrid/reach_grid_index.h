@@ -13,6 +13,7 @@
 #include "storage/block_device.h"
 #include "storage/block_file.h"
 #include "storage/buffer_pool.h"
+#include "storage/storage_topology.h"
 #include "trajectory/trajectory_store.h"
 
 namespace streach {
@@ -28,6 +29,10 @@ struct ReachGridOptions {
   double contact_range = 25.0;
   size_t page_size = BlockDevice::kDefaultPageSize;
   size_t buffer_pool_pages = 256;
+  /// Storage shards: temporal buckets (and their locator tables) are
+  /// routed round-robin across this many per-shard devices. 1 reproduces
+  /// the paper's single-disk layout bit-for-bit.
+  int num_shards = 1;
 };
 
 /// Construction metrics (Figure 9).
@@ -83,11 +88,14 @@ class ReachGridIndex {
                                               BufferPool* pool,
                                               QueryStats* stats) const;
 
-  /// A fresh buffer pool over this index's device, for one concurrent
-  /// query session (sized like the built-in pool).
+  /// A fresh buffer pool over this index's storage topology, for one
+  /// concurrent query session (sized like the built-in pool).
   std::unique_ptr<BufferPool> NewSessionPool() const {
-    return std::make_unique<BufferPool>(&device_, options_.buffer_pool_pages);
+    return std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
   }
+
+  const StorageTopology& topology() const { return topology_; }
+  int num_shards() const { return topology_.num_shards(); }
 
   const QueryStats& last_query_stats() const { return last_stats_; }
   const ReachGridBuildStats& build_stats() const { return build_stats_; }
@@ -103,8 +111,9 @@ class ReachGridIndex {
   explicit ReachGridIndex(const ReachGridOptions& options, Rect extent,
                           TimeInterval span, size_t num_objects)
       : options_(options),
-        device_(options.page_size),
-        pool_(&device_, options.buffer_pool_pages),
+        topology_(StorageTopologyOptions{options.num_shards,
+                                         options.page_size}),
+        pool_(&topology_, options.buffer_pool_pages),
         grid_(extent, options.spatial_cell_size),
         span_(span),
         num_objects_(num_objects) {}
@@ -144,7 +153,7 @@ class ReachGridIndex {
                             BufferPool* pool, QueryStats* stats) const;
 
   ReachGridOptions options_;
-  BlockDevice device_;
+  StorageTopology topology_;
   BufferPool pool_;
   UniformGrid2D grid_;
   TimeInterval span_;

@@ -17,6 +17,38 @@ using PageId = uint64_t;
 
 inline constexpr PageId kInvalidPage = static_cast<PageId>(-1);
 
+/// \name Routed page addresses
+///
+/// A `StorageTopology` splits an index's storage across several per-shard
+/// `BlockDevice`s. A routed page address packs the owning shard into the
+/// top bits of a `PageId` and the page's position on that shard's device
+/// (its *local* page) into the low bits, so `Extent`s, buffer-pool keys
+/// and the `++page` arithmetic of multi-page blobs keep working unchanged
+/// — consecutive local pages of one shard are consecutive addresses, and
+/// a blob never crosses shards. Shard 0 addresses are bit-identical to
+/// plain local page ids, which is what makes a 1-shard topology
+/// bit-compatible with the historical single-device layout.
+/// @{
+inline constexpr int kShardAddressBits = 10;
+inline constexpr int kLocalPageBits = 64 - kShardAddressBits;
+inline constexpr uint32_t kMaxShards = 1u << kShardAddressBits;
+inline constexpr PageId kLocalPageMask =
+    (static_cast<PageId>(1) << kLocalPageBits) - 1;
+
+constexpr PageId MakePageAddress(uint32_t shard, PageId local_page) {
+  return (static_cast<PageId>(shard) << kLocalPageBits) |
+         (local_page & kLocalPageMask);
+}
+
+constexpr uint32_t ShardOfPage(PageId address) {
+  return static_cast<uint32_t>(address >> kLocalPageBits);
+}
+
+constexpr PageId LocalPageOf(PageId address) {
+  return address & kLocalPageMask;
+}
+/// @}
+
 /// \brief Per-reader access state for the concurrent read path.
 ///
 /// Sequential-vs-random classification needs the position of the previous

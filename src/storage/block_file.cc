@@ -4,8 +4,10 @@
 
 namespace streach {
 
-ExtentWriter::ExtentWriter(BlockDevice* device) : device_(device) {
+ExtentWriter::ExtentWriter(BlockDevice* device, uint32_t shard_id)
+    : device_(device), shard_id_(shard_id) {
   STREACH_CHECK(device != nullptr);
+  STREACH_CHECK_LT(shard_id, kMaxShards);
 }
 
 Result<Extent> ExtentWriter::Append(std::string_view blob) {
@@ -14,7 +16,7 @@ Result<Extent> ExtentWriter::Append(std::string_view blob) {
     current_.clear();
   }
   Extent extent;
-  extent.first_page = current_page_;
+  extent.first_page = MakePageAddress(shard_id_, current_page_);
   extent.offset_in_page = current_.size();
   extent.length = blob.size();
 
@@ -53,6 +55,45 @@ Status ExtentWriter::Flush() {
 
 Status ExtentWriter::FlushCurrentPage() {
   return device_->WritePage(current_page_, current_);
+}
+
+ShardedExtentWriter::ShardedExtentWriter(StorageTopology* topology) {
+  STREACH_CHECK(topology != nullptr);
+  writers_.reserve(static_cast<size_t>(topology->num_shards()));
+  for (int s = 0; s < topology->num_shards(); ++s) {
+    writers_.emplace_back(topology->shard(s), static_cast<uint32_t>(s));
+  }
+}
+
+Result<Extent> ShardedExtentWriter::Append(uint32_t shard,
+                                           std::string_view blob) {
+  STREACH_CHECK_LT(shard, writers_.size());
+  return writers_[shard].Append(blob);
+}
+
+Status ShardedExtentWriter::AlignToPage(uint32_t shard) {
+  STREACH_CHECK_LT(shard, writers_.size());
+  return writers_[shard].AlignToPage();
+}
+
+Status ShardedExtentWriter::AlignAllToPage() {
+  for (ExtentWriter& writer : writers_) {
+    STREACH_RETURN_NOT_OK(writer.AlignToPage());
+  }
+  return Status::OK();
+}
+
+Status ShardedExtentWriter::Flush() {
+  for (ExtentWriter& writer : writers_) {
+    STREACH_RETURN_NOT_OK(writer.Flush());
+  }
+  return Status::OK();
+}
+
+uint64_t ShardedExtentWriter::bytes_written() const {
+  uint64_t total = 0;
+  for (const ExtentWriter& writer : writers_) total += writer.bytes_written();
+  return total;
 }
 
 Result<std::string> ReadExtent(BufferPool* pool, const Extent& extent,

@@ -5,10 +5,13 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/block_device.h"
 #include "storage/buffer_pool.h"
+#include "storage/storage_topology.h"
 
 namespace streach {
 
@@ -37,7 +40,9 @@ struct Extent {
 /// consecutive pages — the property that turns traversal IO sequential.
 class ExtentWriter {
  public:
-  explicit ExtentWriter(BlockDevice* device);
+  /// Writes onto `device`; extents are addressed as shard `shard_id`
+  /// pages (shard 0 — the default — yields plain local page ids).
+  explicit ExtentWriter(BlockDevice* device, uint32_t shard_id = 0);
 
   /// Appends `blob` after the previous one; returns where it landed.
   Result<Extent> Append(std::string_view blob);
@@ -57,9 +62,41 @@ class ExtentWriter {
   Status FlushCurrentPage();
 
   BlockDevice* device_;
+  uint32_t shard_id_;
   std::string current_;    // Buffered bytes of the page being filled.
-  PageId current_page_ = kInvalidPage;
+  PageId current_page_ = kInvalidPage;  // Local page on `device_`.
   uint64_t bytes_written_ = 0;
+};
+
+/// \brief One `ExtentWriter` per shard of a topology.
+///
+/// Index builders place each structure by routing its placement unit to a
+/// shard (`StorageTopology::ShardForPartition` / `ShardForObject`) and
+/// appending its blobs to that shard's writer; blobs appended to the same
+/// shard pack back-to-back exactly like on a single device, so the
+/// within-shard sequential-placement guarantees are preserved no matter
+/// how the units interleave across shards. All extents come back with
+/// routed page addresses.
+class ShardedExtentWriter {
+ public:
+  explicit ShardedExtentWriter(StorageTopology* topology);
+
+  /// Appends `blob` to `shard`'s device after that shard's previous blob.
+  Result<Extent> Append(uint32_t shard, std::string_view blob);
+
+  /// Pads `shard` to its next page boundary.
+  Status AlignToPage(uint32_t shard);
+
+  /// Pads every shard to its next page boundary (section breaks).
+  Status AlignAllToPage();
+
+  /// Flushes the trailing partial page of every shard.
+  Status Flush();
+
+  uint64_t bytes_written() const;
+
+ private:
+  std::vector<ExtentWriter> writers_;
 };
 
 /// \brief Reads a blob back from an `Extent` through a buffer pool,

@@ -5,9 +5,17 @@
 namespace streach {
 
 BufferPool::BufferPool(const BlockDevice* device, size_t capacity_pages)
-    : device_(device), capacity_(capacity_pages) {
+    : device_(device), topology_(nullptr), capacity_(capacity_pages),
+      cursors_(1) {
   STREACH_CHECK(device != nullptr);
   STREACH_CHECK_GT(capacity_pages, 0u);
+}
+
+BufferPool::BufferPool(const StorageTopology* topology, size_t capacity_pages)
+    : device_(nullptr), topology_(topology), capacity_(capacity_pages) {
+  STREACH_CHECK(topology != nullptr);
+  STREACH_CHECK_GT(capacity_pages, 0u);
+  cursors_.resize(static_cast<size_t>(topology->num_shards()));
 }
 
 Result<PageRef> BufferPool::Fetch(PageId id) {
@@ -20,7 +28,18 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
     return PageRef(it->second.bytes);
   }
   ++misses_;
-  auto page = device_->ReadPage(id, &cursor_);
+  // A bare-device pool only serves shard-0 addresses; stripping the
+  // shard bits there would silently alias a routed address to a low
+  // local page.
+  const uint32_t shard = ShardOfPage(id);
+  if (shard >= cursors_.size()) {
+    return Status::OutOfRange("page address routes to unknown shard " +
+                              std::to_string(shard));
+  }
+  const BlockDevice* dev =
+      topology_ != nullptr ? &topology_->shard(static_cast<int>(shard))
+                           : device_;
+  auto page = dev->ReadPage(LocalPageOf(id), &cursors_[shard]);
   if (!page.ok()) return page.status();
   if (entries_.size() >= capacity_) {
     // Dropping the victim only releases the pool's reference; callers

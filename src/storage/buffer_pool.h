@@ -8,8 +8,11 @@
 #include <string_view>
 #include <unordered_map>
 
+#include <vector>
+
 #include "common/result.h"
 #include "storage/block_device.h"
+#include "storage/storage_topology.h"
 
 namespace streach {
 
@@ -48,21 +51,29 @@ class PageRef {
 /// device IO; a miss reads through and may evict the least recently used
 /// page.
 ///
-/// Each pool models its own disk head: device accesses are classified and
-/// counted against the pool's private `ReadCursor`, so independent pools
-/// (one per query thread) never contend on shared counters and the
-/// device's read path stays `const`. A `BufferPool` itself is NOT
-/// thread-safe — use one instance per thread.
+/// Each pool models its own set of disk heads — one `ReadCursor` per
+/// shard of the underlying topology (a single cursor over a bare device).
+/// Device accesses are classified per shard and counted against those
+/// private cursors, so independent pools (one per query thread) never
+/// contend on shared counters, accesses to different shards never disturb
+/// each other's sequentiality, and the device read path stays `const`. A
+/// `BufferPool` itself is NOT thread-safe — use one instance per thread.
 class BufferPool {
  public:
+  /// Pool over a single bare device (shard-0 addresses only).
   /// `capacity_pages` bounds resident pages; must be positive.
   BufferPool(const BlockDevice* device, size_t capacity_pages);
+
+  /// Pool over a sharded topology: fetches route by the page address's
+  /// shard bits. `capacity_pages` bounds resident pages across all shards.
+  BufferPool(const StorageTopology* topology, size_t capacity_pages);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Returns a stable handle to the page contents, reading from the device
-  /// on a miss. The handle remains valid after the page is evicted.
+  /// Returns a stable handle to the page contents, reading from the
+  /// owning shard's device on a miss. The handle remains valid after the
+  /// page is evicted.
   Result<PageRef> Fetch(PageId id);
 
   /// Drops all cached pages (e.g. between benchmark queries to make every
@@ -75,14 +86,36 @@ class BufferPool {
   uint64_t misses() const { return misses_; }
   void ResetCounters() {
     hits_ = misses_ = 0;
-    cursor_.Reset();
+    for (ReadCursor& cursor : cursors_) cursor.Reset();
   }
 
-  /// Device accesses performed through this pool (the per-query IO metric
-  /// sources: random/sequential reads and their normalized cost).
-  const IoStats& io_stats() const { return cursor_.stats; }
+  /// Device accesses performed through this pool, summed across shards
+  /// (the per-query IO metric sources: random/sequential reads and their
+  /// normalized cost).
+  IoStats io_stats() const {
+    IoStats total;
+    for (const ReadCursor& cursor : cursors_) total += cursor.stats;
+    return total;
+  }
+
+  /// Shards behind this pool (1 over a bare device).
+  int num_shards() const { return static_cast<int>(cursors_.size()); }
+
+  /// Device accesses performed through this pool against one shard.
+  const IoStats& shard_io_stats(int shard) const {
+    return cursors_[static_cast<size_t>(shard)].stats;
+  }
+
+  /// Per-shard accesses for all shards (index = shard id).
+  std::vector<IoStats> PerShardIoStats() const {
+    std::vector<IoStats> stats;
+    stats.reserve(cursors_.size());
+    for (const ReadCursor& cursor : cursors_) stats.push_back(cursor.stats);
+    return stats;
+  }
 
   const BlockDevice* device() const { return device_; }
+  const StorageTopology* topology() const { return topology_; }
 
  private:
   struct Entry {
@@ -90,11 +123,12 @@ class BufferPool {
     std::list<PageId>::iterator lru_it;
   };
 
-  const BlockDevice* device_;
+  const BlockDevice* device_;          // Bare-device mode; else nullptr.
+  const StorageTopology* topology_;    // Topology mode; else nullptr.
   size_t capacity_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
-  ReadCursor cursor_;
+  std::vector<ReadCursor> cursors_;  // One per shard.
   // Front of the list = most recently used.
   std::list<PageId> lru_;
   std::unordered_map<PageId, Entry> entries_;

@@ -1,0 +1,40 @@
+#include "storage/storage_topology.h"
+
+#include "common/check.h"
+
+namespace streach {
+
+StorageTopology::StorageTopology(const StorageTopologyOptions& options)
+    : page_size_(options.page_size) {
+  STREACH_CHECK_GT(options.num_shards, 0);
+  // Shard ids 0..kMaxShards-1 are addressable, so kMaxShards shards fit.
+  STREACH_CHECK_LE(static_cast<uint32_t>(options.num_shards), kMaxShards);
+  shards_.reserve(static_cast<size_t>(options.num_shards));
+  for (int s = 0; s < options.num_shards; ++s) {
+    shards_.push_back(std::make_unique<BlockDevice>(page_size_));
+  }
+}
+
+PageId StorageTopology::num_pages() const {
+  PageId total = 0;
+  for (const auto& shard : shards_) total += shard->num_pages();
+  return total;
+}
+
+uint64_t StorageTopology::size_bytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->size_bytes();
+  return total;
+}
+
+IoStats StorageTopology::device_stats() const {
+  IoStats total;
+  for (const auto& shard : shards_) total += shard->stats();
+  return total;
+}
+
+void StorageTopology::ResetStats() {
+  for (const auto& shard : shards_) shard->ResetStats();
+}
+
+}  // namespace streach

@@ -1,0 +1,95 @@
+#ifndef STREACH_STORAGE_STORAGE_TOPOLOGY_H_
+#define STREACH_STORAGE_STORAGE_TOPOLOGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/block_device.h"
+#include "storage/io_stats.h"
+
+namespace streach {
+
+/// How an index's build phase assigns its placement units (temporal
+/// buckets with their locator tables, DN partitions, vertex records,
+/// time slabs) and per-object structures (Ht timelines) to shards.
+///
+///  * Placement units go round-robin by ordinal: unit `k` lands on shard
+///    `k mod S`. Units are created in temporal order, so each shard
+///    receives an interleaved-but-ordered subsequence and the §4.1/§5.1.3
+///    guarantee — structures appended in traversal order occupy
+///    consecutive pages — still holds *within* every shard; each shard
+///    models its own disk head, so an ordered sweep across units costs one
+///    seek per shard switch instead of scrambling a single head.
+///  * Per-object structures are routed by a deterministic hash of the
+///    object id so point lookups spread across shards.
+struct StorageTopologyOptions {
+  int num_shards = 1;
+  size_t page_size = BlockDevice::kDefaultPageSize;
+};
+
+/// \brief A group of per-shard simulated disks behind routed page
+/// addresses.
+///
+/// The paper's cost model is page accesses on one simulated disk; a
+/// production deployment spreads an index over `S` storage units so
+/// builds and concurrent queries scale past a single device (and a single
+/// disk-head model). The topology owns `S` `BlockDevice`s; everything
+/// above it (buffer pools, extent IO, the index builders) addresses pages
+/// with routed `PageId`s (see MakePageAddress) and never touches a device
+/// directly. A 1-shard topology is bit-compatible with the historical
+/// single-`BlockDevice` layout: same pages, same addresses, same
+/// accounting.
+///
+/// Thread safety mirrors `BlockDevice`: builds (allocations/writes) are
+/// single-threaded; afterwards any number of readers may fetch pages
+/// concurrently through distinct cursors/pools.
+class StorageTopology {
+ public:
+  explicit StorageTopology(const StorageTopologyOptions& options);
+
+  StorageTopology(const StorageTopology&) = delete;
+  StorageTopology& operator=(const StorageTopology&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  size_t page_size() const { return page_size_; }
+
+  BlockDevice* shard(int s) { return shards_[static_cast<size_t>(s)].get(); }
+  const BlockDevice& shard(int s) const {
+    return *shards_[static_cast<size_t>(s)];
+  }
+
+  /// Shard of the `ordinal`-th placement unit (temporal bucket, DN
+  /// partition, vertex record, time slab): round-robin.
+  uint32_t ShardForPartition(uint64_t ordinal) const {
+    return static_cast<uint32_t>(ordinal % shards_.size());
+  }
+
+  /// Shard of a per-object structure (e.g. an Ht timeline): hashed.
+  uint32_t ShardForObject(ObjectId object) const {
+    // Fibonacci mix, taking the HIGH bits: a multiplicative constant's
+    // low bits survive `% S` for power-of-two S (the common shard
+    // counts), which would degenerate to plain `object % S`. Any
+    // deterministic spread works — with one shard everything maps to 0.
+    const uint64_t mixed =
+        (static_cast<uint64_t>(object) * 0x9E3779B97F4A7C15ull) >> 33;
+    return static_cast<uint32_t>(mixed % shards_.size());
+  }
+
+  /// Pages/bytes allocated across all shards.
+  PageId num_pages() const;
+  uint64_t size_bytes() const;
+
+  /// Sum of the per-shard device-global stats (build-phase accounting).
+  IoStats device_stats() const;
+  void ResetStats();
+
+ private:
+  size_t page_size_;
+  std::vector<std::unique_ptr<BlockDevice>> shards_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_STORAGE_STORAGE_TOPOLOGY_H_

@@ -20,6 +20,7 @@
 #include "engine/backends.h"
 #include "engine/query_engine.h"
 #include "engine/reachability_index.h"
+#include "engine/result_cache.h"
 #include "generators/random_waypoint.h"
 #include "generators/workload.h"
 #include "join/contact_extractor.h"
@@ -28,6 +29,7 @@
 #include "reachgraph/dn_builder.h"
 #include "reachgraph/reach_graph_index.h"
 #include "reachgrid/reach_grid_index.h"
+#include "test_util.h"
 
 namespace streach {
 namespace {
@@ -190,19 +192,8 @@ TEST_F(EngineTest, ParallelRunIsByteIdenticalToSequentialRun) {
     ASSERT_TRUE(par.ok()) << backend->DescribeIndex();
 
     ASSERT_EQ(seq->answers.size(), par->answers.size());
-    // Byte-identical answer streams: serialize without the struct's
-    // padding bytes (whose values are indeterminate) and compare.
-    auto serialize = [](const std::vector<ReachAnswer>& answers) {
-      std::string bytes;
-      bytes.reserve(answers.size() * (1 + sizeof(Timestamp)));
-      for (const ReachAnswer& a : answers) {
-        bytes.push_back(a.reachable ? 1 : 0);
-        bytes.append(reinterpret_cast<const char*>(&a.arrival_time),
-                     sizeof(Timestamp));
-      }
-      return bytes;
-    };
-    EXPECT_EQ(serialize(seq->answers), serialize(par->answers))
+    // Byte-identical answer streams (field-serialized, padding excluded).
+    EXPECT_EQ(SerializeAnswers(seq->answers), SerializeAnswers(par->answers))
         << backend->DescribeIndex()
         << ": parallel answers differ from sequential";
 
@@ -259,6 +250,212 @@ TEST_F(EngineTest, SessionsAreIndependent) {
   // fetches as the warmed-up original.
   EXPECT_GE(session->last_query_stats().pages_fetched,
             backend_stats.pages_fetched);
+}
+
+TEST_F(EngineTest, ClearCacheMakesNextIdenticalQueryRefetchSequentially) {
+  // The ClearCache contract: after ClearCache(), the next identical query
+  // must refetch its pages — cold IO is at least the warm IO. Memory
+  // backends hold trivially (0 >= 0).
+  const ReachQuery q = MakeQueries(1, 321)[0];
+  for (auto& backend : AllBackends()) {
+    ASSERT_TRUE(backend->Query(q).ok()) << backend->DescribeIndex();
+    ASSERT_TRUE(backend->Query(q).ok()) << backend->DescribeIndex();
+    const uint64_t warm_pages = backend->last_query_stats().pages_fetched;
+    const double warm_io = backend->last_query_stats().io_cost;
+    backend->ClearCache();
+    ASSERT_TRUE(backend->Query(q).ok()) << backend->DescribeIndex();
+    EXPECT_GE(backend->last_query_stats().pages_fetched, warm_pages)
+        << backend->DescribeIndex();
+    EXPECT_GE(backend->last_query_stats().io_cost, warm_io)
+        << backend->DescribeIndex();
+  }
+}
+
+TEST_F(EngineTest, ClearCacheContractHoldsUnder4EngineThreads) {
+  // Same contract through the engine: a cold_cache run (ClearCache before
+  // every query, on every worker session) costs at least as much IO as a
+  // warm run of the same workload, for every backend.
+  std::vector<ReachQuery> queries;
+  for (const ReachQuery& q : MakeQueries(10, 322)) {
+    for (int rep = 0; rep < 4; ++rep) queries.push_back(q);
+  }
+  QueryEngineOptions warm_options;
+  warm_options.num_threads = 4;
+  QueryEngineOptions cold_options = warm_options;
+  cold_options.cold_cache = true;
+  for (auto& backend : AllBackends()) {
+    auto cold = QueryEngine(cold_options).Run(backend.get(), queries);
+    ASSERT_TRUE(cold.ok()) << backend->DescribeIndex();
+    auto warm_session = backend->NewSession();
+    auto warm = QueryEngine(warm_options).Run(warm_session.get(), queries);
+    ASSERT_TRUE(warm.ok()) << backend->DescribeIndex();
+    EXPECT_GE(cold->summary.total_pages_fetched,
+              warm->summary.total_pages_fetched)
+        << backend->DescribeIndex();
+    EXPECT_GE(cold->summary.total_io_cost, warm->summary.total_io_cost)
+        << backend->DescribeIndex();
+  }
+}
+
+TEST_F(EngineTest, ResultCacheAnswersAreDeterministicAndHit) {
+  // A workload with each query repeated 4x. With the result cache on,
+  // answers must be byte-identical to the uncached run — sequentially and
+  // under 4 threads — while repeated point queries hit the cache.
+  std::vector<ReachQuery> queries;
+  for (const ReachQuery& q : MakeQueries(40, 323)) {
+    for (int rep = 0; rep < 4; ++rep) queries.push_back(q);
+  }
+  // ReachGrid enumerates reachable sets (cacheable); brute force is the
+  // oracle cross-check.
+  std::vector<std::unique_ptr<ReachabilityIndex>> backends;
+  backends.push_back(MakeReachGridBackend(stack_->grid));
+  backends.push_back(MakeBruteForceBackend(stack_->network));
+  for (auto& backend : backends) {
+    auto baseline =
+        QueryEngine(QueryEngineOptions{}).Run(backend.get(), queries);
+    ASSERT_TRUE(baseline.ok()) << backend->DescribeIndex();
+    EXPECT_EQ(baseline->summary.result_cache_hits, 0u);
+
+    for (int threads : {1, 4}) {
+      QueryEngineOptions options;
+      options.num_threads = threads;
+      options.result_cache_capacity = 128;
+      const QueryEngine engine(options);
+      auto session = backend->NewSession();
+      auto cached = engine.Run(session.get(), queries);
+      ASSERT_TRUE(cached.ok()) << backend->DescribeIndex();
+      EXPECT_EQ(SerializeAnswers(baseline->answers), SerializeAnswers(cached->answers))
+          << backend->DescribeIndex() << " threads=" << threads
+          << ": cached answers differ from uncached";
+      // A second run on the same engine finds every key already cached
+      // (the first run inserted all 40; racing workers could in theory
+      // make the FIRST run's hit count zero, so assert on the rerun).
+      auto rerun = engine.Run(session.get(), queries);
+      ASSERT_TRUE(rerun.ok()) << backend->DescribeIndex();
+      EXPECT_EQ(SerializeAnswers(baseline->answers), SerializeAnswers(rerun->answers))
+          << backend->DescribeIndex() << " threads=" << threads;
+      EXPECT_EQ(rerun->summary.result_cache_hits, queries.size())
+          << backend->DescribeIndex() << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ResultCacheTest, StaleEntriesFromDestroyedIndexAreDropped) {
+  // Address-reuse (ABA) guard: an entry whose producing index died must
+  // not be served to a new index that the allocator placed at the same
+  // address. Simulated with an aliasing shared_ptr carrying the old raw
+  // address under a new owner.
+  ResultCache cache(4);
+  const TimeInterval interval(0, 10);
+  auto set = std::make_shared<const std::vector<Timestamp>>(
+      std::vector<Timestamp>{0, 5, kInvalidTime});
+
+  auto address = std::make_shared<int>(1);  // The reused "index address".
+  {
+    auto old_index = std::make_shared<int>(2);
+    std::shared_ptr<const void> old_token(old_index, address.get());
+    cache.Insert(old_token, 7, interval, set);
+    EXPECT_NE(cache.Lookup(old_token, 7, interval), nullptr);
+  }  // Old index destroyed; the entry's liveness witness expires.
+
+  std::shared_ptr<const void> new_token = address;  // New index, same key.
+  EXPECT_EQ(cache.Lookup(new_token, 7, interval), nullptr);
+  // The new index can populate and then hit the very same key.
+  cache.Insert(new_token, 7, interval, set);
+  EXPECT_NE(cache.Lookup(new_token, 7, interval), nullptr);
+}
+
+TEST_F(EngineTest, ResultCacheNeverCrossesIndexes) {
+  // One engine serving two different indexes must not serve index A's
+  // memoized sets to index B: entries are keyed by IndexIdentity().
+  RandomWaypointParams params;
+  params.num_objects = stack_->store.num_objects();
+  params.area = Rect(0, 0, 1200, 1200);
+  params.duration = 400;
+  params.seed = 777;  // Different dataset, same id space.
+  auto other_store = GenerateRandomWaypoint(params);
+  ASSERT_TRUE(other_store.ok());
+  auto other_network = std::make_shared<const ContactNetwork>(
+      other_store->num_objects(), other_store->span(),
+      ExtractContacts(*other_store, kContactRange));
+
+  auto a = MakeBruteForceBackend(stack_->network);
+  auto b = MakeBruteForceBackend(other_network);
+  ASSERT_NE(a->IndexIdentity(), b->IndexIdentity());
+
+  const std::vector<ReachQuery> queries = MakeQueries(60, 326);
+  auto baseline_b = QueryEngine(QueryEngineOptions{}).Run(b.get(), queries);
+  ASSERT_TRUE(baseline_b.ok());
+
+  QueryEngineOptions options;
+  options.result_cache_capacity = 256;
+  const QueryEngine engine(options);
+  ASSERT_TRUE(engine.Run(a.get(), queries).ok());  // Warms A's entries.
+  auto cached_b = engine.Run(b.get(), queries);
+  ASSERT_TRUE(cached_b.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(cached_b->answers[i].reachable,
+              baseline_b->answers[i].reachable)
+        << "cache crossed indexes on " << queries[i].ToString();
+  }
+  // And sessions of one backend share the identity (and thus entries).
+  EXPECT_EQ(a->NewSession()->IndexIdentity(), a->IndexIdentity());
+}
+
+TEST_F(EngineTest, ColdCacheModeDisablesResultCache) {
+  // cold_cache measures every query cold; memoized answers would defeat
+  // that, so the result cache must be ignored when both are requested.
+  std::vector<ReachQuery> queries;
+  for (const ReachQuery& q : MakeQueries(10, 327)) {
+    queries.push_back(q);
+    queries.push_back(q);  // Guaranteed repeats.
+  }
+  auto backend = MakeReachGridBackend(stack_->grid);
+  QueryEngineOptions plain_cold;
+  plain_cold.cold_cache = true;
+  auto expected = QueryEngine(plain_cold).Run(backend.get(), queries);
+  ASSERT_TRUE(expected.ok());
+
+  QueryEngineOptions cold_with_cache = plain_cold;
+  cold_with_cache.result_cache_capacity = 64;
+  auto session = backend->NewSession();
+  auto actual = QueryEngine(cold_with_cache).Run(session.get(), queries);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(actual->summary.result_cache_hits, 0u);
+  EXPECT_EQ(actual->summary.total_pages_fetched,
+            expected->summary.total_pages_fetched);
+}
+
+TEST_F(EngineTest, ResultCacheFallsBackForPointQueryOnlyBackends) {
+  // SPJ cannot enumerate reachable sets; with the cache enabled it must
+  // silently fall back to plain point queries and still agree.
+  const std::vector<ReachQuery> queries = MakeQueries(40, 324);
+  auto spj = MakeSpjBackend(stack_->spj);
+  auto baseline = QueryEngine(QueryEngineOptions{}).Run(spj.get(), queries);
+  ASSERT_TRUE(baseline.ok());
+  QueryEngineOptions options;
+  options.result_cache_capacity = 64;
+  auto session = spj->NewSession();
+  auto cached = QueryEngine(options).Run(session.get(), queries);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->summary.result_cache_hits, 0u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(cached->answers[i].reachable, baseline->answers[i].reachable);
+  }
+}
+
+TEST_F(EngineTest, SummaryReportsP99AndPoolHitRate) {
+  auto backend = MakeReachGridBackend(stack_->grid);
+  const std::vector<ReachQuery> queries = MakeQueries(50, 325);
+  auto report = QueryEngine(QueryEngineOptions{}).Run(backend.get(), queries);
+  ASSERT_TRUE(report.ok());
+  const WorkloadSummary& s = report->summary;
+  EXPECT_GE(s.p99_latency, s.p95_latency);
+  EXPECT_GE(s.max_latency, s.p99_latency);
+  EXPECT_GT(s.pool_hit_rate(), 0.0);
+  EXPECT_LE(s.pool_hit_rate(), 1.0);
+  EXPECT_NE(s.ToString().find("p99="), std::string::npos);
+  EXPECT_NE(s.ToString().find("pool_hit_rate="), std::string::npos);
 }
 
 TEST_F(EngineTest, ColdCacheModeRefetchesEveryQuery) {

@@ -1,0 +1,250 @@
+// Sharded-equivalence tests for the storage topology refactor.
+//
+// The contract of `StorageTopology`: sharding is an IO-accounting /
+// placement concern only. For any shard count S, every disk-resident
+// backend must return byte-identical answers to the unsharded (S=1)
+// baseline over a randomized workload — sequentially and under a
+// multi-threaded engine — and the engine's per-shard IoStats breakdown
+// must sum to the workload totals.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/grail.h"
+#include "baselines/spj.h"
+#include "common/check.h"
+#include "engine/backends.h"
+#include "engine/query_engine.h"
+#include "engine/reachability_index.h"
+#include "generators/random_waypoint.h"
+#include "generators/workload.h"
+#include "join/contact_extractor.h"
+#include "network/contact_network.h"
+#include "reachgraph/dn_builder.h"
+#include "reachgraph/reach_graph_index.h"
+#include "reachgrid/reach_grid_index.h"
+#include "test_util.h"
+
+namespace streach {
+namespace {
+
+constexpr double kContactRange = 25.0;
+constexpr int kShardedS = 4;
+
+class ShardingTest : public ::testing::Test {
+ protected:
+  /// Every disk-resident structure built at one shard count.
+  struct Stack {
+    std::shared_ptr<const ReachGridIndex> grid;
+    std::shared_ptr<const ReachGraphIndex> graph;
+    std::shared_ptr<const GrailIndex> grail;
+    std::shared_ptr<const SpjEvaluator> spj;
+  };
+
+  static void SetUpTestSuite() {
+    RandomWaypointParams params;
+    params.num_objects = 120;
+    params.area = Rect(0, 0, 1200, 1200);
+    params.duration = 400;
+    params.seed = 20260728;  // Fixed for replay.
+    auto store = GenerateRandomWaypoint(params);
+    ASSERT_TRUE(store.ok());
+    store_ = new TrajectoryStore(std::move(*store));
+    network_ = new std::shared_ptr<const ContactNetwork>(
+        std::make_shared<const ContactNetwork>(
+            store_->num_objects(), store_->span(),
+            ExtractContacts(*store_, kContactRange)));
+
+    unsharded_ = new Stack(BuildStack(1));
+    sharded_ = new Stack(BuildStack(kShardedS));
+  }
+
+  static void TearDownTestSuite() {
+    delete sharded_;
+    delete unsharded_;
+    delete network_;
+    delete store_;
+    sharded_ = nullptr;
+    unsharded_ = nullptr;
+    network_ = nullptr;
+    store_ = nullptr;
+  }
+
+  static Stack BuildStack(int num_shards) {
+    Stack stack;
+
+    ReachGridOptions grid_options;
+    grid_options.temporal_resolution = 20;
+    grid_options.spatial_cell_size = 150.0;
+    grid_options.contact_range = kContactRange;
+    grid_options.num_shards = num_shards;
+    auto grid = ReachGridIndex::Build(*store_, grid_options);
+    STREACH_CHECK(grid.ok());
+    stack.grid = std::move(*grid);
+
+    ReachGraphOptions graph_options;
+    graph_options.num_shards = num_shards;
+    auto graph = ReachGraphIndex::Build(**network_, graph_options);
+    STREACH_CHECK(graph.ok());
+    stack.graph = std::move(*graph);
+
+    auto dn = BuildDnGraph(**network_);
+    STREACH_CHECK(dn.ok());
+    GrailOptions grail_options;
+    grail_options.num_shards = num_shards;
+    auto grail = GrailIndex::Build(*dn, grail_options);
+    STREACH_CHECK(grail.ok());
+    stack.grail = std::move(*grail);
+
+    SpjOptions spj_options;
+    spj_options.contact_range = kContactRange;
+    spj_options.num_shards = num_shards;
+    auto spj = SpjEvaluator::Build(*store_, spj_options);
+    STREACH_CHECK(spj.ok());
+    stack.spj = std::move(*spj);
+
+    return stack;
+  }
+
+  /// One session per disk-resident backend family over `stack`.
+  static std::vector<std::unique_ptr<ReachabilityIndex>> DiskBackends(
+      const Stack& stack) {
+    std::vector<std::unique_ptr<ReachabilityIndex>> backends;
+    backends.push_back(MakeReachGridBackend(stack.grid));
+    backends.push_back(
+        MakeReachGraphBackend(stack.graph, ReachGraphTraversal::kBmBfs));
+    backends.push_back(
+        MakeReachGraphBackend(stack.graph, ReachGraphTraversal::kBBfs));
+    backends.push_back(
+        MakeReachGraphBackend(stack.graph, ReachGraphTraversal::kEBfs));
+    backends.push_back(
+        MakeReachGraphBackend(stack.graph, ReachGraphTraversal::kEDfs));
+    backends.push_back(MakeSpjBackend(stack.spj));
+    backends.push_back(MakeGrailBackend(stack.grail, GrailMode::kDisk));
+    return backends;
+  }
+
+  static std::vector<ReachQuery> MakeQueries(int n, uint64_t seed) {
+    WorkloadParams wl;
+    wl.num_queries = n;
+    wl.num_objects = store_->num_objects();
+    wl.span = store_->span();
+    wl.min_interval_len = 30;
+    wl.max_interval_len = 180;
+    wl.seed = seed;
+    return GenerateWorkload(wl);
+  }
+
+  static TrajectoryStore* store_;
+  static std::shared_ptr<const ContactNetwork>* network_;
+  static Stack* unsharded_;
+  static Stack* sharded_;
+};
+
+TrajectoryStore* ShardingTest::store_ = nullptr;
+std::shared_ptr<const ContactNetwork>* ShardingTest::network_ = nullptr;
+ShardingTest::Stack* ShardingTest::unsharded_ = nullptr;
+ShardingTest::Stack* ShardingTest::sharded_ = nullptr;
+
+TEST_F(ShardingTest, ShardCountsAreAsBuilt) {
+  EXPECT_EQ(unsharded_->grid->num_shards(), 1);
+  EXPECT_EQ(sharded_->grid->num_shards(), kShardedS);
+  EXPECT_EQ(sharded_->graph->num_shards(), kShardedS);
+  EXPECT_EQ(sharded_->grail->num_shards(), kShardedS);
+  EXPECT_EQ(sharded_->spj->num_shards(), kShardedS);
+  // The interface reports the topology width too.
+  auto backends = DiskBackends(*sharded_);
+  for (auto& backend : backends) {
+    EXPECT_EQ(backend->num_shards(), kShardedS) << backend->DescribeIndex();
+    EXPECT_EQ(backend->shard_io_stats().size(),
+              static_cast<size_t>(kShardedS))
+        << backend->DescribeIndex();
+  }
+}
+
+TEST_F(ShardingTest, ShardedAnswersMatchUnshardedSequentially) {
+  const std::vector<ReachQuery> queries = MakeQueries(240, 31);
+  auto base = DiskBackends(*unsharded_);
+  auto test = DiskBackends(*sharded_);
+  ASSERT_EQ(base.size(), test.size());
+  for (size_t b = 0; b < base.size(); ++b) {
+    std::vector<ReachAnswer> expected, actual;
+    expected.reserve(queries.size());
+    actual.reserve(queries.size());
+    for (const ReachQuery& q : queries) {
+      auto e = base[b]->Query(q);
+      auto a = test[b]->Query(q);
+      ASSERT_TRUE(e.ok() && a.ok())
+          << base[b]->DescribeIndex() << " on " << q.ToString();
+      expected.push_back(*e);
+      actual.push_back(*a);
+    }
+    EXPECT_EQ(SerializeAnswers(expected), SerializeAnswers(actual))
+        << base[b]->DescribeIndex()
+        << ": sharded answers differ from unsharded baseline";
+  }
+}
+
+TEST_F(ShardingTest, ShardedAnswersMatchUnshardedUnder4EngineThreads) {
+  const std::vector<ReachQuery> queries = MakeQueries(240, 32);
+  QueryEngineOptions options;
+  options.num_threads = 4;
+  const QueryEngine engine(options);
+
+  auto base = DiskBackends(*unsharded_);
+  auto test = DiskBackends(*sharded_);
+  for (size_t b = 0; b < base.size(); ++b) {
+    auto expected = engine.Run(base[b].get(), queries);
+    auto actual = engine.Run(test[b].get(), queries);
+    ASSERT_TRUE(expected.ok() && actual.ok()) << base[b]->DescribeIndex();
+    EXPECT_EQ(SerializeAnswers(expected->answers), SerializeAnswers(actual->answers))
+        << base[b]->DescribeIndex();
+  }
+}
+
+TEST_F(ShardingTest, PerShardIoSumsToWorkloadTotals) {
+  const std::vector<ReachQuery> queries = MakeQueries(200, 33);
+  for (int threads : {1, 4}) {
+    QueryEngineOptions options;
+    options.num_threads = threads;
+    const QueryEngine engine(options);
+    auto backends = DiskBackends(*sharded_);
+    for (auto& backend : backends) {
+      auto report = engine.Run(backend.get(), queries);
+      ASSERT_TRUE(report.ok()) << backend->DescribeIndex();
+      const WorkloadSummary& s = report->summary;
+      ASSERT_EQ(s.per_shard_io.size(), static_cast<size_t>(kShardedS))
+          << backend->DescribeIndex();
+      IoStats total;
+      int nonzero_shards = 0;
+      for (const IoStats& shard : s.per_shard_io) {
+        total += shard;
+        if (shard.total_reads() > 0) ++nonzero_shards;
+      }
+      EXPECT_EQ(total.total_reads(), s.total_pages_fetched)
+          << backend->DescribeIndex() << " threads=" << threads;
+      EXPECT_NEAR(total.NormalizedReadCost(), s.total_io_cost, 1e-6)
+          << backend->DescribeIndex() << " threads=" << threads;
+      // A 4-shard topology actually spreads the workload's IO.
+      EXPECT_GE(nonzero_shards, 2) << backend->DescribeIndex();
+    }
+  }
+}
+
+TEST_F(ShardingTest, UnshardedTopologyReportsOneShardMatchingTotals) {
+  const std::vector<ReachQuery> queries = MakeQueries(100, 34);
+  auto backend = MakeReachGridBackend(unsharded_->grid);
+  auto report = QueryEngine(QueryEngineOptions{}).Run(backend.get(), queries);
+  ASSERT_TRUE(report.ok());
+  const WorkloadSummary& s = report->summary;
+  ASSERT_EQ(s.per_shard_io.size(), 1u);
+  EXPECT_EQ(s.per_shard_io[0].total_reads(), s.total_pages_fetched);
+  EXPECT_NEAR(s.per_shard_io[0].NormalizedReadCost(), s.total_io_cost, 1e-6);
+}
+
+}  // namespace
+}  // namespace streach

@@ -1,0 +1,30 @@
+#ifndef STREACH_TESTS_TEST_UTIL_H_
+#define STREACH_TESTS_TEST_UTIL_H_
+
+// Helpers shared across test suites.
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace streach {
+
+/// Byte-serializes an answer stream for exact comparison, field by field
+/// (never memcmp the structs: ReachAnswer has indeterminate padding).
+/// Used by the determinism tests — parallel vs sequential, sharded vs
+/// unsharded, cached vs uncached.
+inline std::string SerializeAnswers(const std::vector<ReachAnswer>& answers) {
+  std::string bytes;
+  bytes.reserve(answers.size() * (1 + sizeof(Timestamp)));
+  for (const ReachAnswer& a : answers) {
+    bytes.push_back(a.reachable ? 1 : 0);
+    bytes.append(reinterpret_cast<const char*>(&a.arrival_time),
+                 sizeof(Timestamp));
+  }
+  return bytes;
+}
+
+}  // namespace streach
+
+#endif  // STREACH_TESTS_TEST_UTIL_H_
