@@ -77,12 +77,15 @@ inline BenchEnv MakeEnv(const std::string& which, DatasetScale scale,
 /// QueryEngine and returns the aggregated summary. `cold` clears the
 /// session's buffer pool before every query — the paper's per-query IO
 /// measurement protocol (each query starts with an empty buffer).
+/// `io_queue_depth` > 1 turns on the batched async read path.
 inline WorkloadSummary RunThroughEngine(ReachabilityIndex* backend,
                                         const std::vector<ReachQuery>& queries,
-                                        bool cold = true, int threads = 1) {
+                                        bool cold = true, int threads = 1,
+                                        int io_queue_depth = 1) {
   QueryEngineOptions options;
   options.cold_cache = cold;
   options.num_threads = threads;
+  options.io_queue_depth = io_queue_depth;
   auto report = QueryEngine(options).Run(backend, queries);
   STREACH_CHECK(report.ok());
   return report->summary;

@@ -1,18 +1,26 @@
 // Engine scaling sweep: throughput of the disk-resident backends under
-// num_threads x num_shards, through the concurrent QueryEngine.
+// num_threads x num_shards x io_queue_depth, through the concurrent
+// QueryEngine.
 //
 // Not a paper experiment — this charts the perf trajectory of the
 // production engine: per-thread buffer-pool sessions over a shared
-// immutable index (PR 1) plus the sharded storage topology (this PR).
-// Each (threads, shards) cell runs the same warm workload; results land
-// in BENCH_engine_scaling.json for trend tracking. Thread scaling is
-// wall-clock: on a single-core host the threads axis is flat (the
-// workload is compute-bound once the simulated disk is in memory) —
-// run on a multi-core box to see the parallel speedup.
+// immutable index (PR 1), the sharded storage topology (PR 2), and the
+// batched async read path (PR 3). Each cell runs the same warm workload;
+// results land in BENCH_engine_scaling.json for trend tracking. Thread
+// scaling is wall-clock: on a single-core host the threads axis is flat
+// (the workload is compute-bound once the simulated disk is in memory) —
+// run on a multi-core box to see the parallel speedup. The depth axis is
+// about the simulated IO cost model: at depth 8 the per-shard submission
+// queues overlap and reorder a step's reads (mean_inflight > 1), which
+// is what the `inflight` column certifies.
+//
+// Set STREACH_BENCH_TINY=1 to run a reduced dataset/workload — the CI
+// bench-smoke configuration.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "bench_common.h"
@@ -23,13 +31,21 @@ namespace streach {
 namespace bench {
 namespace {
 
-constexpr Timestamp kDuration = 1000;
-constexpr int kNumQueries = 400;
+bool TinyMode() {
+  const char* tiny = std::getenv("STREACH_BENCH_TINY");
+  return tiny != nullptr && tiny[0] != '\0' && tiny[0] != '0';
+}
 
 BenchEnv& Env() {
-  static BenchEnv env = MakeEnv("RWP", DatasetScale::kMedium, kDuration,
-                                kNumQueries, /*min_interval=*/100,
-                                /*max_interval=*/300);
+  static BenchEnv env = TinyMode()
+                            ? MakeEnv("RWP", DatasetScale::kSmall,
+                                      /*duration=*/300, /*num_queries=*/60,
+                                      /*min_interval=*/50,
+                                      /*max_interval=*/150)
+                            : MakeEnv("RWP", DatasetScale::kMedium,
+                                      /*duration=*/1000, /*num_queries=*/400,
+                                      /*min_interval=*/100,
+                                      /*max_interval=*/300);
   return env;
 }
 
@@ -66,11 +82,14 @@ struct Row {
   std::string backend;
   int threads;
   int shards;
+  int depth;
   double qps;
   double mean_io;
   double p95_us;
   double p99_us;
   double pool_hit_rate;
+  double mean_inflight;
+  uint64_t batched_reads;
 };
 std::vector<Row>& Rows() {
   static std::vector<Row> rows;
@@ -81,19 +100,24 @@ void RunCell(benchmark::State& state, const std::string& name,
              std::unique_ptr<ReachabilityIndex> backend) {
   const int threads = static_cast<int>(state.range(0));
   const int shards = static_cast<int>(state.range(1));
+  const int depth = static_cast<int>(state.range(2));
   WorkloadSummary summary;
   for (auto _ : state) {
     // Warm cache: the scaling story is parallel serving over a shared
     // immutable index, not the paper's cold per-query IO protocol.
     summary = RunThroughEngine(backend.get(), Env().queries, /*cold=*/false,
-                               threads);
+                               threads, depth);
   }
   state.counters["qps"] = summary.queries_per_second;
   state.counters["io_per_query"] = summary.mean_io_cost();
   state.counters["p99_us"] = summary.p99_latency * 1e6;
-  Rows().push_back({name, threads, shards, summary.queries_per_second,
-                    summary.mean_io_cost(), summary.p95_latency * 1e6,
-                    summary.p99_latency * 1e6, summary.pool_hit_rate()});
+  state.counters["inflight"] = summary.mean_inflight_requests();
+  Rows().push_back({name, threads, shards, depth,
+                    summary.queries_per_second, summary.mean_io_cost(),
+                    summary.p95_latency * 1e6, summary.p99_latency * 1e6,
+                    summary.pool_hit_rate(),
+                    summary.mean_inflight_requests(),
+                    summary.total_batched_reads()});
 }
 
 void GridScaling(benchmark::State& state) {
@@ -108,13 +132,13 @@ void GraphScaling(benchmark::State& state) {
 }
 
 BENCHMARK(GridScaling)
-    ->ArgsProduct({{1, 2, 4, 8}, {1, 2, 4}})
-    ->ArgNames({"threads", "shards"})
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 2, 4}, {1, 8}})
+    ->ArgNames({"threads", "shards", "depth"})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(GraphScaling)
-    ->ArgsProduct({{1, 2, 4, 8}, {1, 2, 4}})
-    ->ArgNames({"threads", "shards"})
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 2, 4}, {1, 8}})
+    ->ArgNames({"threads", "shards", "depth"})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
@@ -128,13 +152,16 @@ void WriteJson(const char* path) {
   const auto& rows = Rows();
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    std::fprintf(f,
-                 "  {\"backend\": \"%s\", \"threads\": %d, \"shards\": %d, "
-                 "\"qps\": %.1f, \"io_per_query\": %.2f, \"p95_us\": %.1f, "
-                 "\"p99_us\": %.1f, \"pool_hit_rate\": %.4f}%s\n",
-                 r.backend.c_str(), r.threads, r.shards, r.qps, r.mean_io,
-                 r.p95_us, r.p99_us, r.pool_hit_rate,
-                 i + 1 < rows.size() ? "," : "");
+    std::fprintf(
+        f,
+        "  {\"backend\": \"%s\", \"threads\": %d, \"shards\": %d, "
+        "\"depth\": %d, \"qps\": %.1f, \"io_per_query\": %.2f, "
+        "\"p95_us\": %.1f, \"p99_us\": %.1f, \"pool_hit_rate\": %.4f, "
+        "\"mean_inflight\": %.3f, \"batched_reads\": %llu}%s\n",
+        r.backend.c_str(), r.threads, r.shards, r.depth, r.qps, r.mean_io,
+        r.p95_us, r.p99_us, r.pool_hit_rate, r.mean_inflight,
+        static_cast<unsigned long long>(r.batched_reads),
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -143,13 +170,15 @@ void WriteJson(const char* path) {
 }  // namespace
 
 void PrintScalingTable() {
-  std::printf("\n%-20s %8s %7s %10s %12s %10s %10s\n", "Backend", "Threads",
-              "Shards", "q/s", "io/query", "p99(us)", "hit-rate");
+  std::printf("\n%-20s %8s %7s %6s %10s %12s %10s %10s %9s\n", "Backend",
+              "Threads", "Shards", "Depth", "q/s", "io/query", "p99(us)",
+              "hit-rate", "inflight");
   double best_multi = 0, best_single = 0;
   for (const Row& r : Rows()) {
-    std::printf("%-20s %8d %7d %10.0f %12.2f %10.0f %9.1f%%\n",
-                r.backend.c_str(), r.threads, r.shards, r.qps, r.mean_io,
-                r.p99_us, 100.0 * r.pool_hit_rate);
+    std::printf("%-20s %8d %7d %6d %10.0f %12.2f %10.0f %9.1f%% %9.2f\n",
+                r.backend.c_str(), r.threads, r.shards, r.depth, r.qps,
+                r.mean_io, r.p99_us, 100.0 * r.pool_hit_rate,
+                r.mean_inflight);
     if (r.threads == 1) {
       if (r.qps > best_single) best_single = r.qps;
     } else if (r.qps > best_multi) {
@@ -169,9 +198,11 @@ void PrintScalingTable() {
 
 int main(int argc, char** argv) {
   streach::bench::PrintHeader(
-      "Engine scaling — throughput under num_threads x num_shards",
+      "Engine scaling — throughput under num_threads x num_shards x "
+      "io_queue_depth",
       "(beyond the paper) multi-thread throughput exceeds single-thread "
-      "for the disk-resident backends");
+      "for the disk-resident backends; depth-8 submission queues overlap "
+      "per-shard reads (mean inflight > 1)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   streach::bench::PrintScalingTable();

@@ -2,11 +2,14 @@
 // contact scenario and evaluate the reachability queries discussed in the
 // introduction.
 //
-//   build/quickstart [--num_shards=N]
+//   build/quickstart [--num_shards=N] [--io_queue_depth=D]
 //
 // --num_shards splits each index's simulated disk into N per-shard
 // devices (default 1, the paper's single-disk layout); answers are
 // identical, only the per-shard IO distribution changes.
+// --io_queue_depth lets each worker session keep D page reads in flight
+// per shard (default 1, the synchronous paper model); answers are again
+// identical — watch the `inflight` figure in the engine summary move.
 //
 // Objects o1..o4 (0-indexed o0..o3 here) move over T=[0,3]; the contacts
 // are c1={o1,o2}@[0,0], c2={o2,o4}@[1,1], c3={o3,o4}@[1,2],
@@ -70,16 +73,20 @@ void Show(const char* index, const ReachQuery& q, const ReachAnswer& a) {
 
 int main(int argc, char** argv) {
   int num_shards = 1;
+  int io_queue_depth = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--num_shards=", 13) == 0) {
       num_shards = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--io_queue_depth=", 17) == 0) {
+      io_queue_depth = std::atoi(argv[i] + 17);
     }
   }
   if (num_shards < 1) num_shards = 1;
+  if (io_queue_depth < 1) io_queue_depth = 1;
 
   std::printf("stReach quickstart — the paper's Figure 1 scenario "
-              "(%d storage shard%s)\n\n",
-              num_shards, num_shards == 1 ? "" : "s");
+              "(%d storage shard%s, IO queue depth %d)\n\n",
+              num_shards, num_shards == 1 ? "" : "s", io_queue_depth);
   TrajectoryStore store = Figure1Trajectories();
   const double dt = 1.0;  // Contact threshold dT in meters.
 
@@ -148,6 +155,7 @@ int main(int argc, char** argv) {
   //    backend runs the batch and reports an aggregated summary.
   QueryEngineOptions engine_options;
   engine_options.num_threads = 2;
+  engine_options.io_queue_depth = io_queue_depth;
   const QueryEngine engine(engine_options);
   std::printf("\nBatch execution through the QueryEngine (2 threads):\n");
   for (auto& backend : backends) {

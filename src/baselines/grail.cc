@@ -139,13 +139,9 @@ Status GrailIndex::PlaceOnDisk(const DnGraph& graph) {
   return writer.Flush();
 }
 
-Result<const GrailIndex::DiskVertex*> GrailIndex::FetchVertexRecord(
-    VertexId v, BufferPool* pool, FetchCache* cache) const {
-  auto it = cache->find(v);
-  if (it != cache->end()) return &it->second;
-  auto blob = ReadExtent(pool, vertex_extents_[v], options_.page_size);
-  if (!blob.ok()) return blob.status();
-  Decoder dec(*blob);
+Result<GrailIndex::DiskVertex> GrailIndex::ParseVertexRecord(
+    const std::string& blob) const {
+  Decoder dec(blob);
   DiskVertex record;
   record.labels.reserve(static_cast<size_t>(options_.num_labelings));
   for (int i = 0; i < options_.num_labelings; ++i) {
@@ -162,7 +158,39 @@ Result<const GrailIndex::DiskVertex*> GrailIndex::FetchVertexRecord(
     if (!w.ok()) return w.status();
     record.out.push_back(*w);
   }
-  return &cache->emplace(v, std::move(record)).first->second;
+  return record;
+}
+
+Result<const GrailIndex::DiskVertex*> GrailIndex::FetchVertexRecord(
+    VertexId v, BufferPool* pool, FetchCache* cache) const {
+  auto it = cache->find(v);
+  if (it != cache->end()) return &it->second;
+  auto blob = ReadExtent(pool, vertex_extents_[v], options_.page_size);
+  if (!blob.ok()) return blob.status();
+  auto record = ParseVertexRecord(*blob);
+  if (!record.ok()) return record.status();
+  return &cache->emplace(v, std::move(*record)).first->second;
+}
+
+Status GrailIndex::FetchVertexRecords(const std::vector<VertexId>& vs,
+                                      BufferPool* pool,
+                                      FetchCache* cache) const {
+  std::vector<VertexId> fresh;
+  std::vector<Extent> extents;
+  for (VertexId v : vs) {
+    if (cache->count(v) != 0) continue;
+    fresh.push_back(v);
+    extents.push_back(vertex_extents_[v]);
+  }
+  if (extents.empty()) return Status::OK();
+  auto blobs = ReadExtentsBatched(pool, extents, options_.page_size);
+  if (!blobs.ok()) return blobs.status();
+  for (size_t k = 0; k < fresh.size(); ++k) {
+    auto record = ParseVertexRecord((*blobs)[k]);
+    if (!record.ok()) return record.status();
+    cache->emplace(fresh[k], std::move(*record));
+  }
+  return Status::OK();
 }
 
 Result<VertexId> GrailIndex::LookupVertexDisk(ObjectId object, Timestamp t,
@@ -286,7 +314,9 @@ Result<ReachAnswer> GrailIndex::QueryDisk(const ReachQuery& query,
   if (!start.ok()) return start.status();
   if (!LabelsContain((*start)->labels, target_labels)) return finish(false);
 
+  const bool batched = pool->io_queue_depth() > 1;
   std::vector<VertexId> stack{*v1};
+  std::vector<VertexId> probes;
   std::unordered_set<VertexId> visited{*v1};
   while (!stack.empty()) {
     const VertexId v = stack.back();
@@ -297,6 +327,17 @@ Result<ReachAnswer> GrailIndex::QueryDisk(const ReachQuery& query,
     if (!record.ok()) return record.status();
     // Copy the out-edges: fetching children below may rehash the cache.
     const std::vector<VertexId> out = (*record)->out;
+    if (batched) {
+      // The step's whole probe set — every not-yet-visited child needs
+      // its record read just to test containment — goes out as one
+      // batch. (The destination never needs a probe: the hit is decided
+      // before its record would be read.)
+      probes.clear();
+      for (VertexId next : out) {
+        if (next != *v2 && visited.count(next) == 0) probes.push_back(next);
+      }
+      STREACH_RETURN_NOT_OK(FetchVertexRecords(probes, pool, &fetched));
+    }
     for (VertexId next : out) {
       if (next == *v2) return finish(true);
       if (!visited.insert(next).second) continue;

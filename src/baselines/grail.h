@@ -123,6 +123,16 @@ class GrailIndex {
   /// label containment for pruning, the dominant cost of external GRAIL.
   Result<const DiskVertex*> FetchVertexRecord(VertexId v, BufferPool* pool,
                                               FetchCache* cache) const;
+
+  /// Batched variant: the records of every id not already in `cache` are
+  /// read through one `ReadExtentsBatched` call — a DFS step's whole
+  /// probe set (every child inspected for label containment) hits the
+  /// per-shard queues together. Parses into `cache`.
+  Status FetchVertexRecords(const std::vector<VertexId>& vs, BufferPool* pool,
+                            FetchCache* cache) const;
+
+  /// Decodes one on-disk vertex record.
+  Result<DiskVertex> ParseVertexRecord(const std::string& blob) const;
   Result<VertexId> LookupVertexDisk(ObjectId object, Timestamp t,
                                     BufferPool* pool) const;
 

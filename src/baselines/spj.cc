@@ -99,16 +99,16 @@ Result<ReachAnswer> SpjEvaluator::Query(const ReachQuery& query,
 
   // Phase 1 — materialize C': SPJ first "retrieves all the trajectories
   // segments which overlap with the query interval" (§6.1.2). The whole
-  // overlapping range is read up front — the naive baseline has no
-  // early-termination or spatial pruning at the IO level.
-  std::vector<std::string> slabs;
-  slabs.reserve(static_cast<size_t>(last_slab - first_slab + 1));
-  for (int slab = first_slab; slab <= last_slab; ++slab) {
-    auto blob = ReadExtent(pool, slab_extents_[static_cast<size_t>(slab)],
-                           options_.page_size);
-    if (!blob.ok()) return blob.status();
-    slabs.push_back(std::move(*blob));
-  }
+  // overlapping range is known up front, so it goes out as one batch:
+  // with a queue depth of 1 the slabs stream in order exactly as before;
+  // deeper queues overlap the reads across every shard's queue at once —
+  // the scan is the deepest batch any evaluator issues.
+  const std::vector<Extent> wanted(
+      slab_extents_.begin() + first_slab,
+      slab_extents_.begin() + last_slab + 1);
+  auto slabs_result = ReadExtentsBatched(pool, wanted, options_.page_size);
+  if (!slabs_result.ok()) return slabs_result.status();
+  std::vector<std::string> slabs = std::move(*slabs_result);
 
   // Phase 2 — join + traverse in memory (CPU-side early exit is allowed;
   // the IO is already spent).

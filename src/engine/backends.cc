@@ -71,6 +71,9 @@ class ReachGridBackend : public ReachabilityIndex {
 
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override { pool_->Clear(); }
+  void SetIoQueueDepth(int depth) override {
+    pool_->set_io_queue_depth(depth);
+  }
   int num_shards() const override { return pool_->num_shards(); }
   std::vector<IoStats> shard_io_stats() const override {
     return pool_->PerShardIoStats();
@@ -87,7 +90,9 @@ class ReachGridBackend : public ReachabilityIndex {
   }
 
   std::unique_ptr<ReachabilityIndex> NewSession() const override {
-    return std::make_unique<ReachGridBackend>(index_);
+    auto session = std::make_unique<ReachGridBackend>(index_);
+    session->SetIoQueueDepth(pool_->io_queue_depth());
+    return session;
   }
 
  private:
@@ -122,6 +127,9 @@ class ReachGraphBackend : public ReachabilityIndex {
 
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override { pool_->Clear(); }
+  void SetIoQueueDepth(int depth) override {
+    pool_->set_io_queue_depth(depth);
+  }
   int num_shards() const override { return pool_->num_shards(); }
   std::vector<IoStats> shard_io_stats() const override {
     return pool_->PerShardIoStats();
@@ -136,7 +144,9 @@ class ReachGraphBackend : public ReachabilityIndex {
   }
 
   std::unique_ptr<ReachabilityIndex> NewSession() const override {
-    return std::make_unique<ReachGraphBackend>(index_, traversal_);
+    auto session = std::make_unique<ReachGraphBackend>(index_, traversal_);
+    session->SetIoQueueDepth(pool_->io_queue_depth());
+    return session;
   }
 
  private:
@@ -159,6 +169,9 @@ class SpjBackend : public ReachabilityIndex {
 
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override { pool_->Clear(); }
+  void SetIoQueueDepth(int depth) override {
+    pool_->set_io_queue_depth(depth);
+  }
   int num_shards() const override { return pool_->num_shards(); }
   std::vector<IoStats> shard_io_stats() const override {
     return pool_->PerShardIoStats();
@@ -169,7 +182,9 @@ class SpjBackend : public ReachabilityIndex {
   std::string DescribeIndex() const override { return "SPJ(scan-join)"; }
 
   std::unique_ptr<ReachabilityIndex> NewSession() const override {
-    return std::make_unique<SpjBackend>(spj_);
+    auto session = std::make_unique<SpjBackend>(spj_);
+    session->SetIoQueueDepth(pool_->io_queue_depth());
+    return session;
   }
 
  private:
@@ -198,6 +213,9 @@ class GrailBackend : public ReachabilityIndex {
   void ClearCache() override {
     if (pool_ != nullptr) pool_->Clear();
   }
+  void SetIoQueueDepth(int depth) override {
+    if (pool_ != nullptr) pool_->set_io_queue_depth(depth);
+  }
 
   int num_shards() const override {
     return pool_ != nullptr ? pool_->num_shards() : 1;
@@ -216,7 +234,9 @@ class GrailBackend : public ReachabilityIndex {
   }
 
   std::unique_ptr<ReachabilityIndex> NewSession() const override {
-    return std::make_unique<GrailBackend>(grail_, mode_);
+    auto session = std::make_unique<GrailBackend>(grail_, mode_);
+    if (pool_ != nullptr) session->SetIoQueueDepth(pool_->io_queue_depth());
+    return session;
   }
 
  private:

@@ -47,7 +47,7 @@ std::string WorkloadSummary::ToString() const {
       "%s: %llu queries (%llu reachable) in %.3fs | %.0f q/s | "
       "io/query=%.2f pages=%llu hits=%llu pool_hit_rate=%.1f%% | "
       "latency mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus | "
-      "cache_hits=%llu shards=%zu",
+      "cache_hits=%llu shards=%zu qd=%d inflight=%.2f",
       backend.c_str(), static_cast<unsigned long long>(num_queries),
       static_cast<unsigned long long>(num_reachable), wall_seconds,
       queries_per_second, mean_io_cost(),
@@ -56,13 +56,15 @@ std::string WorkloadSummary::ToString() const {
       100.0 * pool_hit_rate(), mean_latency * 1e6, p50_latency * 1e6,
       p95_latency * 1e6, p99_latency * 1e6, max_latency * 1e6,
       static_cast<unsigned long long>(result_cache_hits),
-      per_shard_io.empty() ? static_cast<size_t>(1) : per_shard_io.size());
+      per_shard_io.empty() ? static_cast<size_t>(1) : per_shard_io.size(),
+      io_queue_depth, mean_inflight_requests());
   return buf;
 }
 
 QueryEngine::QueryEngine(QueryEngineOptions options)
     : options_(std::move(options)) {
   STREACH_CHECK_GT(options_.num_threads, 0);
+  STREACH_CHECK_GT(options_.io_queue_depth, 0);
   if (options_.result_cache_capacity > 0) {
     result_cache_ =
         std::make_shared<ResultCache>(options_.result_cache_capacity);
@@ -90,6 +92,9 @@ Result<WorkloadReport> QueryEngine::Run(
   for (int i = 1; i < num_threads; ++i) {
     extra_sessions.push_back(backend->NewSession());
     sessions.push_back(extra_sessions.back().get());
+  }
+  for (ReachabilityIndex* session : sessions) {
+    session->SetIoQueueDepth(options_.io_queue_depth);
   }
 
   // Per-shard IO is reported as the delta of each session's cumulative
@@ -183,6 +188,7 @@ Result<WorkloadReport> QueryEngine::Run(
   WorkloadSummary& s = report.summary;
   s.backend = backend->DescribeIndex();
   s.num_queries = n;
+  s.io_queue_depth = options_.io_queue_depth;
   s.wall_seconds = wall_seconds;
   s.queries_per_second =
       wall_seconds > 0 ? static_cast<double>(n) / wall_seconds : 0.0;

@@ -26,6 +26,16 @@ struct QueryEngineOptions {
   /// is measured cold (the paper's per-query IO measurement protocol).
   bool cold_cache = false;
 
+  /// IO submission-queue depth per storage shard, applied to every worker
+  /// session before the run (`ReachabilityIndex::SetIoQueueDepth`). At 1
+  /// (default) every backend reads pages synchronously in traversal
+  /// order — the paper's single-outstanding-request cost model. At N > 1
+  /// the backends batch each traversal step's page needs and the
+  /// simulated per-shard devices keep up to N reads in flight, reordering
+  /// service seek-aware — answers are identical, the IO cost profile
+  /// (and `WorkloadSummary::mean_inflight_requests()`) changes.
+  int io_queue_depth = 1;
+
   /// Capacity (entries) of the engine's result cache memoizing
   /// `(index, source, interval) -> reachable set`; 0 disables it. On a
   /// cache hit a point query is answered by set lookup with zero backend
@@ -65,12 +75,37 @@ struct WorkloadSummary {
   double max_latency = 0.0;
   /// Point queries answered from the engine's result cache.
   uint64_t result_cache_hits = 0;
+  /// IO submission-queue depth the run executed at (echo of the engine
+  /// option actually applied to the sessions).
+  int io_queue_depth = 1;
   /// Device IO per storage shard during this run (index = shard id;
   /// empty for memory-resident backends). Sums to the workload totals.
+  /// Each entry also carries the shard's queue stats: `batched_reads`
+  /// and `mean_inflight()` say how much overlap that shard's submission
+  /// queue actually saw.
   std::vector<IoStats> per_shard_io;
 
   double mean_io_cost() const {
     return num_queries == 0 ? 0.0 : total_io_cost / num_queries;
+  }
+  /// Device reads serviced through the batched async path, all shards.
+  uint64_t total_batched_reads() const {
+    uint64_t total = 0;
+    for (const IoStats& shard : per_shard_io) total += shard.batched_reads;
+    return total;
+  }
+  /// Mean in-flight requests over all batched reads of the run (0 when
+  /// nothing went through the batch path; > 1 means reads overlapped).
+  double mean_inflight_requests() const {
+    uint64_t reads = 0;
+    uint64_t accum = 0;
+    for (const IoStats& shard : per_shard_io) {
+      reads += shard.batched_reads;
+      accum += shard.inflight_accum;
+    }
+    return reads == 0
+               ? 0.0
+               : static_cast<double>(accum) / static_cast<double>(reads);
   }
   /// Buffer-pool hit rate over all fetches of the run (hits / (hits +
   /// misses)); 0 when the backend performs no IO.

@@ -53,6 +53,15 @@ class ReachabilityIndex {
   /// Evicts this session's buffered pages so the next query runs cold.
   virtual void ClearCache() = 0;
 
+  /// Sets this session's IO submission-queue depth: how many page reads
+  /// the session's buffer pool may keep in flight per storage shard when
+  /// a traversal step batches its page needs (`BufferPool::FetchBatch`).
+  /// 1 — the default everywhere — keeps the session byte-identical to the
+  /// historical synchronous read path; memory-resident backends ignore
+  /// it. Answers never depend on the depth, only the IO cost profile
+  /// does. Sessions minted by `NewSession()` inherit the current depth.
+  virtual void SetIoQueueDepth(int depth) { (void)depth; }
+
   /// Stable identity of the underlying immutable index, shared by every
   /// session minted from it via `NewSession()`. The engine's result cache
   /// keys entries by this token so memoized sets are never served across

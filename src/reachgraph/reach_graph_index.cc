@@ -148,6 +148,62 @@ Status ReachGraphIndex::PlaceOnDisk(const DnGraph& graph) {
   return writer.Flush();
 }
 
+Result<ReachGraphIndex::ParsedPartition> ReachGraphIndex::ParsePartition(
+    const std::string& blob) const {
+  Decoder dec(blob);
+  ParsedPartition vertices;
+  auto count = dec.GetVarint();
+  if (!count.ok()) return count.status();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto id = dec.GetU32();
+    if (!id.ok()) return id.status();
+    StoredVertex sv;
+    auto ts = dec.GetI32();
+    auto te = dec.GetI32();
+    if (!ts.ok() || !te.ok()) return Status::Corruption("vertex span");
+    sv.span = TimeInterval(*ts, *te);
+    auto nm = dec.GetVarint();
+    if (!nm.ok()) return nm.status();
+    sv.members.reserve(*nm);
+    for (uint64_t j = 0; j < *nm; ++j) {
+      auto o = dec.GetU32();
+      if (!o.ok()) return o.status();
+      sv.members.push_back(*o);
+    }
+    auto nout = dec.GetVarint();
+    if (!nout.ok()) return nout.status();
+    sv.out.reserve(*nout);
+    for (uint64_t j = 0; j < *nout; ++j) {
+      auto w = dec.GetU32();
+      if (!w.ok()) return w.status();
+      sv.out.push_back(*w);
+    }
+    auto nin = dec.GetVarint();
+    if (!nin.ok()) return nin.status();
+    sv.in.reserve(*nin);
+    for (uint64_t j = 0; j < *nin; ++j) {
+      auto w = dec.GetU32();
+      if (!w.ok()) return w.status();
+      sv.in.push_back(*w);
+    }
+    auto nlong = dec.GetVarint();
+    if (!nlong.ok()) return nlong.status();
+    sv.long_out.reserve(*nlong);
+    for (uint64_t j = 0; j < *nlong; ++j) {
+      auto anchor = dec.GetI32();
+      auto length = dec.GetVarint();
+      auto target = dec.GetU32();
+      if (!anchor.ok() || !length.ok() || !target.ok()) {
+        return Status::Corruption("long edge");
+      }
+      sv.long_out.push_back(LongEdge{
+          *target, *anchor, static_cast<int32_t>(*length)});
+    }
+    vertices.emplace(*id, std::move(sv));
+  }
+  return vertices;
+}
+
 Result<const ReachGraphIndex::StoredVertex*> ReachGraphIndex::GetVertex(
     VertexId v, TraversalScratch* scratch) const {
   if (v >= vertex_partition_.size()) {
@@ -160,64 +216,51 @@ Result<const ReachGraphIndex::StoredVertex*> ReachGraphIndex::GetVertex(
     auto blob = ReadExtent(scratch->pool, partition_extents_[partition],
                            options_.page_size);
     if (!blob.ok()) return blob.status();
-    Decoder dec(*blob);
-    ParsedPartition vertices;
-    auto count = dec.GetVarint();
-    if (!count.ok()) return count.status();
-    for (uint64_t i = 0; i < *count; ++i) {
-      auto id = dec.GetU32();
-      if (!id.ok()) return id.status();
-      StoredVertex sv;
-      auto ts = dec.GetI32();
-      auto te = dec.GetI32();
-      if (!ts.ok() || !te.ok()) return Status::Corruption("vertex span");
-      sv.span = TimeInterval(*ts, *te);
-      auto nm = dec.GetVarint();
-      if (!nm.ok()) return nm.status();
-      sv.members.reserve(*nm);
-      for (uint64_t j = 0; j < *nm; ++j) {
-        auto o = dec.GetU32();
-        if (!o.ok()) return o.status();
-        sv.members.push_back(*o);
-      }
-      auto nout = dec.GetVarint();
-      if (!nout.ok()) return nout.status();
-      sv.out.reserve(*nout);
-      for (uint64_t j = 0; j < *nout; ++j) {
-        auto w = dec.GetU32();
-        if (!w.ok()) return w.status();
-        sv.out.push_back(*w);
-      }
-      auto nin = dec.GetVarint();
-      if (!nin.ok()) return nin.status();
-      sv.in.reserve(*nin);
-      for (uint64_t j = 0; j < *nin; ++j) {
-        auto w = dec.GetU32();
-        if (!w.ok()) return w.status();
-        sv.in.push_back(*w);
-      }
-      auto nlong = dec.GetVarint();
-      if (!nlong.ok()) return nlong.status();
-      sv.long_out.reserve(*nlong);
-      for (uint64_t j = 0; j < *nlong; ++j) {
-        auto anchor = dec.GetI32();
-        auto length = dec.GetVarint();
-        auto target = dec.GetU32();
-        if (!anchor.ok() || !length.ok() || !target.ok()) {
-          return Status::Corruption("long edge");
-        }
-        sv.long_out.push_back(LongEdge{
-            *target, *anchor, static_cast<int32_t>(*length)});
-      }
-      vertices.emplace(*id, std::move(sv));
-    }
-    it = parsed.emplace(partition, std::move(vertices)).first;
+    auto vertices = ParsePartition(*blob);
+    if (!vertices.ok()) return vertices.status();
+    it = parsed.emplace(partition, std::move(*vertices)).first;
   }
   auto vit = it->second.find(v);
   if (vit == it->second.end()) {
     return Status::Corruption("vertex missing from its partition");
   }
   return &vit->second;
+}
+
+Status ReachGraphIndex::PrefetchVertices(const std::vector<VertexId>& vs,
+                                         TraversalScratch* scratch) const {
+  if (scratch->pool->io_queue_depth() == 1 || vs.empty()) return Status::OK();
+  // Distinct partitions the frontier needs, first-appearance order (the
+  // frontier's expansion order, so depth-1-per-shard service would still
+  // walk them as the synchronous traversal would have).
+  std::vector<uint32_t> partitions;
+  std::vector<Extent> extents;
+  for (VertexId v : vs) {
+    if (v >= vertex_partition_.size()) {
+      return Status::OutOfRange("vertex id out of range");
+    }
+    const uint32_t partition = vertex_partition_[v];
+    if (scratch->parsed.count(partition) != 0) continue;
+    bool queued = false;
+    for (uint32_t p : partitions) {
+      if (p == partition) {
+        queued = true;
+        break;
+      }
+    }
+    if (queued) continue;
+    partitions.push_back(partition);
+    extents.push_back(partition_extents_[partition]);
+  }
+  if (extents.empty()) return Status::OK();
+  auto blobs = ReadExtentsBatched(scratch->pool, extents, options_.page_size);
+  if (!blobs.ok()) return blobs.status();
+  for (size_t k = 0; k < partitions.size(); ++k) {
+    auto vertices = ParsePartition((*blobs)[k]);
+    if (!vertices.ok()) return vertices.status();
+    scratch->parsed.emplace(partitions[k], std::move(*vertices));
+  }
+  return Status::OK();
 }
 
 Result<VertexId> ReachGraphIndex::LookupVertex(ObjectId object, Timestamp t,
@@ -345,6 +388,13 @@ Result<ReachAnswer> ReachGraphIndex::RunBidirectional(const ReachQuery& query,
   std::unordered_set<ObjectId> objects_bwd;
   fwd.push({t1, *v1});
   bwd.push({t2, *v2});
+  // Both roots will be expanded; batch their partitions up front (no-op
+  // at queue depth 1).
+  STREACH_RETURN_NOT_OK(PrefetchVertices({*v1, *v2}, &scratch));
+
+  // Partitions the entries a step just pushed will need — batched to the
+  // per-shard queues before those entries are popped.
+  std::vector<VertexId> pushed;
 
   // Expands one forward entry; returns true when the object sets meet.
   auto step_forward = [&]() -> Result<bool> {
@@ -359,6 +409,7 @@ Result<ReachAnswer> ReachGraphIndex::RunBidirectional(const ReachQuery& query,
       if (objects_bwd.count(o) != 0) return true;
       objects_fwd.insert(o);
     }
+    pushed.clear();
     bool took_long = false;
     if (use_long_edges) {
       // Resolution cascade: edges are sorted by (length desc, anchor asc);
@@ -374,6 +425,7 @@ Result<ReachAnswer> ReachGraphIndex::RunBidirectional(const ReachQuery& query,
         took_long = true;
         if (visited_fwd.count(e.target) == 0) {
           fwd.push({static_cast<Timestamp>(e.anchor + e.length), e.target});
+          pushed.push_back(e.target);
         }
       }
     }
@@ -381,10 +433,14 @@ Result<ReachAnswer> ReachGraphIndex::RunBidirectional(const ReachQuery& query,
       const Timestamp arrival = vx.span.end + 1;
       if (arrival <= mid) {
         for (VertexId t : vx.out) {
-          if (visited_fwd.count(t) == 0) fwd.push({arrival, t});
+          if (visited_fwd.count(t) == 0) {
+            fwd.push({arrival, t});
+            pushed.push_back(t);
+          }
         }
       }
     }
+    STREACH_RETURN_NOT_OK(PrefetchVertices(pushed, &scratch));
     return false;
   };
 
@@ -401,12 +457,17 @@ Result<ReachAnswer> ReachGraphIndex::RunBidirectional(const ReachQuery& query,
       if (objects_fwd.count(o) != 0) return true;
       objects_bwd.insert(o);
     }
+    pushed.clear();
     const Timestamp theta = vx.span.start - 1;  // Predecessors end here.
     if (theta >= mid) {
       for (VertexId t : vx.in) {
-        if (visited_bwd.count(t) == 0) bwd.push({theta, t});
+        if (visited_bwd.count(t) == 0) {
+          bwd.push({theta, t});
+          pushed.push_back(t);
+        }
       }
     }
+    STREACH_RETURN_NOT_OK(PrefetchVertices(pushed, &scratch));
     return false;
   };
 
@@ -457,6 +518,10 @@ Result<ReachAnswer> ReachGraphIndex::RunUnidirectional(const ReachQuery& query,
   std::unordered_set<VertexId> visited;
   work.push_back(*v1);
   visited.insert(*v1);
+  // The root is expanded first; its partition (with the destination's —
+  // the traversal heads there) goes out as one batch. No-op at depth 1.
+  STREACH_RETURN_NOT_OK(PrefetchVertices({*v1, *v2}, &scratch));
+  std::vector<VertexId> pushed;
   while (!work.empty()) {
     VertexId v;
     if (dfs) {
@@ -473,9 +538,16 @@ Result<ReachAnswer> ReachGraphIndex::RunUnidirectional(const ReachQuery& query,
     const StoredVertex& vx = **sv;
     const Timestamp arrival = vx.span.end + 1;
     if (arrival > w.end) continue;
+    pushed.clear();
     for (VertexId t : vx.out) {
-      if (visited.insert(t).second) work.push_back(t);
+      if (visited.insert(t).second) {
+        work.push_back(t);
+        pushed.push_back(t);
+      }
     }
+    // The frontier just grew by `pushed` — batch their partitions while
+    // the step's demand is known (no-op at depth 1).
+    STREACH_RETURN_NOT_OK(PrefetchVertices(pushed, &scratch));
   }
   return finish(false);
 }

@@ -146,6 +146,17 @@ class ReachGraphIndex {
   Result<const StoredVertex*> GetVertex(VertexId v,
                                         TraversalScratch* scratch) const;
 
+  /// Prefetches the partitions of `vs` into `scratch` as one batched read
+  /// when the session's queue depth exceeds 1 — the frontier's partition
+  /// demand goes to the per-shard queues together instead of one
+  /// partition per expansion. No-op at depth 1, so the default path
+  /// touches exactly the pages the synchronous traversal did.
+  Status PrefetchVertices(const std::vector<VertexId>& vs,
+                          TraversalScratch* scratch) const;
+
+  /// Decodes one partition blob into its vertex table.
+  Result<ParsedPartition> ParsePartition(const std::string& blob) const;
+
   /// (object, t) -> vertex via the on-disk timeline (Ht lookup).
   Result<VertexId> LookupVertex(ObjectId object, Timestamp t,
                                 BufferPool* pool) const;

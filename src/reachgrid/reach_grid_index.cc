@@ -10,6 +10,35 @@
 
 namespace streach {
 
+namespace {
+
+/// \name On-disk locator-entry format (§4.2's external hash)
+///
+/// One 4-byte little-endian cell id per object, packed back-to-back in
+/// the bucket's locator table; an entry may straddle a page edge. Both
+/// lookup paths (single and batched) share these helpers so the format
+/// lives in exactly one place.
+/// @{
+uint64_t LocatorEntryOffset(const Extent& extent, ObjectId object) {
+  return extent.offset_in_page + static_cast<uint64_t>(object) * 4;
+}
+
+PageId LocatorBytePage(const Extent& extent, uint64_t byte_offset,
+                       size_t page_size) {
+  return extent.first_page + byte_offset / page_size;
+}
+
+CellId DecodeLocatorEntry(const char raw[4]) {
+  CellId cell = 0;
+  for (int i = 3; i >= 0; --i) {
+    cell = (cell << 8) | static_cast<uint8_t>(raw[i]);
+  }
+  return cell;
+}
+/// @}
+
+}  // namespace
+
 Result<std::unique_ptr<ReachGridIndex>> ReachGridIndex::Build(
     const TrajectoryStore& store, const ReachGridOptions& options) {
   if (store.num_objects() == 0) {
@@ -128,22 +157,62 @@ Result<CellId> ReachGridIndex::LookupCell(int bucket, ObjectId object,
     return Status::OutOfRange("locator lookup out of range");
   }
   const Extent& extent = locator_extents_[static_cast<size_t>(bucket)];
-  // Direct single-entry read: the 4-byte entry may straddle a page edge.
-  const uint64_t byte_offset =
-      extent.offset_in_page + static_cast<uint64_t>(object) * 4;
+  // Direct single-entry read of the entry's (possibly two) pages.
+  const uint64_t byte_offset = LocatorEntryOffset(extent, object);
   char raw[4];
   for (int i = 0; i < 4; ++i) {
     const uint64_t off = byte_offset + static_cast<uint64_t>(i);
-    const PageId page = extent.first_page + off / options_.page_size;
-    auto data = pool->Fetch(page);
+    auto data = pool->Fetch(LocatorBytePage(extent, off, options_.page_size));
     if (!data.ok()) return data.status();
     raw[i] = (*data)[off % options_.page_size];
   }
-  CellId cell = 0;
-  for (int i = 3; i >= 0; --i) {
-    cell = (cell << 8) | static_cast<uint8_t>(raw[i]);
+  return DecodeLocatorEntry(raw);
+}
+
+Result<std::vector<CellId>> ReachGridIndex::LookupCells(
+    int bucket, const std::vector<ObjectId>& objects, BufferPool* pool) const {
+  std::vector<CellId> cells;
+  cells.reserve(objects.size());
+  if (pool->io_queue_depth() == 1) {
+    for (ObjectId object : objects) {
+      auto cell = LookupCell(bucket, object, pool);
+      if (!cell.ok()) return cell.status();
+      cells.push_back(*cell);
+    }
+    return cells;
   }
-  return cell;
+  if (bucket < 0 || bucket >= num_buckets()) {
+    return Status::OutOfRange("locator lookup out of range");
+  }
+  const Extent& extent = locator_extents_[static_cast<size_t>(bucket)];
+  // One batched fetch for every byte's page (4 per object, mostly the
+  // same page — FetchBatch dedups repeats into pool hits).
+  std::vector<PageId> ids;
+  ids.reserve(objects.size() * 4);
+  for (ObjectId object : objects) {
+    if (object >= num_objects_) {
+      return Status::OutOfRange("locator lookup out of range");
+    }
+    const uint64_t byte_offset = LocatorEntryOffset(extent, object);
+    for (int i = 0; i < 4; ++i) {
+      ids.push_back(LocatorBytePage(
+          extent, byte_offset + static_cast<uint64_t>(i),
+          options_.page_size));
+    }
+  }
+  auto refs = pool->FetchBatch(ids);
+  if (!refs.ok()) return refs.status();
+  for (size_t k = 0; k < objects.size(); ++k) {
+    const uint64_t byte_offset = LocatorEntryOffset(extent, objects[k]);
+    char raw[4];
+    for (int i = 0; i < 4; ++i) {
+      const uint64_t off = byte_offset + static_cast<uint64_t>(i);
+      raw[i] =
+          (*refs)[k * 4 + static_cast<size_t>(i)][off % options_.page_size];
+    }
+    cells.push_back(DecodeLocatorEntry(raw));
+  }
+  return cells;
 }
 
 Status ReachGridIndex::FetchCell(int bucket, CellId cell, BucketContext* ctx,
@@ -155,7 +224,41 @@ Status ReachGridIndex::FetchCell(int bucket, CellId cell, BucketContext* ctx,
   if (it == cells.end()) return Status::OK();  // Empty cell.
   auto blob = ReadExtent(pool, it->second, options_.page_size);
   if (!blob.ok()) return blob.status();
-  Decoder dec(*blob);
+  return ParseCellBlob(*blob, ctx);
+}
+
+Status ReachGridIndex::FetchCells(int bucket, const std::vector<CellId>& cells,
+                                  BucketContext* ctx, BufferPool* pool) const {
+  if (pool->io_queue_depth() == 1) {
+    for (CellId cell : cells) {
+      STREACH_RETURN_NOT_OK(FetchCell(bucket, cell, ctx, pool));
+    }
+    return Status::OK();
+  }
+  // Collect the extents of every cell this step still needs and read them
+  // as one batch — the bucket-expansion demand the per-shard queues
+  // overlap. Cells stay in ascending-id order (the §4.1 on-disk order),
+  // so within each shard most of the batch services sequentially.
+  const auto& directory = bucket_cells_[static_cast<size_t>(bucket)];
+  std::vector<Extent> extents;
+  for (CellId cell : cells) {
+    auto [fetched_it, first_time] = ctx->fetched_cells.try_emplace(cell, true);
+    if (!first_time) continue;
+    auto it = directory.find(cell);
+    if (it == directory.end()) continue;  // Empty cell.
+    extents.push_back(it->second);
+  }
+  auto blobs = ReadExtentsBatched(pool, extents, options_.page_size);
+  if (!blobs.ok()) return blobs.status();
+  for (const std::string& blob : *blobs) {
+    STREACH_RETURN_NOT_OK(ParseCellBlob(blob, ctx));
+  }
+  return Status::OK();
+}
+
+Status ReachGridIndex::ParseCellBlob(const std::string& blob,
+                                     BucketContext* ctx) const {
+  Decoder dec(blob);
   auto count = dec.GetVarint();
   if (!count.ok()) return count.status();
   const auto ticks = static_cast<size_t>(ctx->interval.length());
@@ -245,31 +348,30 @@ Result<ReachAnswer> ReachGridIndex::Sweep(
 
     // Fetches a batch of cells in ascending id order: cells of one bucket
     // are placed on disk in that order (§4.1), so a sorted fetch turns
-    // most of the batch into sequential page reads.
+    // most of the batch into sequential page reads — and, beyond depth 1,
+    // goes out as one submission batch per expansion step.
     auto fetch_sorted = [&](std::vector<CellId> cells) -> Status {
       std::sort(cells.begin(), cells.end());
       cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
-      for (CellId c : cells) {
-        STREACH_RETURN_NOT_OK(FetchCell(bucket, c, &ctx, pool));
-        scope.AddItemsVisited(1);
-      }
+      STREACH_RETURN_NOT_OK(FetchCells(bucket, cells, &ctx, pool));
+      scope.AddItemsVisited(cells.size());
       return Status::OK();
     };
 
-    // Brings seeds into the bucket: locate their cells (locator IO), fetch
-    // the records, then fetch the candidate cells around their remaining
-    // segments (the potential-seed cells Ni of §4.2).
+    // Brings seeds into the bucket: locate their cells (locator IO, one
+    // batch for the whole seed set), fetch the records, then fetch the
+    // candidate cells around their remaining segments (the potential-seed
+    // cells Ni of §4.2).
     auto admit_seeds = [&](const std::vector<ObjectId>& batch,
                            Timestamp from) -> Status {
-      std::vector<CellId> wanted;
+      std::vector<ObjectId> unknown;
       for (ObjectId s : batch) {
-        if (ctx.objects.count(s) != 0) continue;
-        auto cell = LookupCell(bucket, s, pool);
-        if (!cell.ok()) return cell.status();
-        wanted.push_back(*cell);
+        if (ctx.objects.count(s) == 0) unknown.push_back(s);
       }
-      STREACH_RETURN_NOT_OK(fetch_sorted(std::move(wanted)));
-      wanted.clear();
+      auto located = LookupCells(bucket, unknown, pool);
+      if (!located.ok()) return located.status();
+      STREACH_RETURN_NOT_OK(fetch_sorted(std::move(*located)));
+      std::vector<CellId> wanted;
       for (ObjectId s : batch) {
         if (ctx.objects.count(s) == 0) {
           return Status::Corruption("seed missing from its located cell");
@@ -303,7 +405,9 @@ Result<ReachAnswer> ReachGridIndex::Sweep(
     auto seed_cell_key = [&](const Point& p) {
       const auto cx = static_cast<int64_t>(std::floor(p.x / dt));
       const auto cy = static_cast<int64_t>(std::floor(p.y / dt));
-      return (cx << 32) ^ (cy & 0xFFFFFFFFLL);
+      // Shift in the unsigned domain: left-shifting a negative cx is UB.
+      return static_cast<int64_t>((static_cast<uint64_t>(cx) << 32) ^
+                                  (static_cast<uint64_t>(cy) & 0xFFFFFFFFu));
     };
     std::unordered_map<int64_t, std::vector<Point>> seed_hash;
     std::vector<ObjectId> new_seeds;

@@ -139,10 +139,26 @@ class ReachGridIndex {
   Status FetchCell(int bucket, CellId cell, BucketContext* ctx,
                    BufferPool* pool) const;
 
+  /// Fetches a whole batch of cells into `ctx`: the extents of every
+  /// not-yet-fetched non-empty cell are read through one
+  /// `ReadExtentsBatched` call, so the per-shard queues see the full
+  /// expansion step. At queue depth 1 this is a loop of `FetchCell`.
+  Status FetchCells(int bucket, const std::vector<CellId>& cells,
+                    BucketContext* ctx, BufferPool* pool) const;
+
+  /// Decodes one cell record into `ctx`'s per-bucket position table.
+  Status ParseCellBlob(const std::string& blob, BucketContext* ctx) const;
+
   /// Locator lookup: cell of `object` at the start of `bucket` (§4.2's
   /// constant-IO external hash).
   Result<CellId> LookupCell(int bucket, ObjectId object,
                             BufferPool* pool) const;
+
+  /// Batched locator lookups: the locator pages of all `objects` go out
+  /// as one fetch batch. At queue depth 1 this is a loop of `LookupCell`.
+  Result<std::vector<CellId>> LookupCells(int bucket,
+                                          const std::vector<ObjectId>& objects,
+                                          BufferPool* pool) const;
 
   /// Core sweep shared by Query and ReachableSet; stops early when
   /// `destination` (if valid) is reached. All traversal state lives on

@@ -1,5 +1,7 @@
 #include "storage/block_device.h"
 
+#include <cstddef>
+
 namespace streach {
 
 PageId BlockDevice::AllocatePage() {
@@ -45,6 +47,63 @@ Result<std::string_view> BlockDevice::ReadPage(PageId id,
   }
   ClassifyAccess(id, /*is_write=*/false, &cursor->stats, &cursor->last_access);
   return std::string_view(pages_[id]);
+}
+
+Status BlockDevice::SubmitBatch(
+    const std::vector<AsyncReadRequest>& requests, int queue_depth,
+    ReadCursor* cursor, std::vector<AsyncReadCompletion>* completions) const {
+  if (queue_depth < 1) {
+    return Status::InvalidArgument("queue_depth must be >= 1");
+  }
+  for (const AsyncReadRequest& request : requests) {
+    if (request.page >= pages_.size()) {
+      return Status::OutOfRange("batched read of unallocated page " +
+                                std::to_string(request.page));
+    }
+  }
+  completions->reserve(completions->size() + requests.size());
+  const auto depth = static_cast<size_t>(queue_depth);
+  std::vector<size_t> inflight;  // Indices into `requests`, oldest first.
+  inflight.reserve(depth);
+  size_t next_submit = 0;
+  while (next_submit < requests.size() || !inflight.empty()) {
+    while (inflight.size() < depth && next_submit < requests.size()) {
+      inflight.push_back(next_submit++);
+    }
+    // Service selection: the head is past `last_access`, so a request for
+    // `last_access + 1` continues sequentially and wins outright; failing
+    // that, the shortest seek wins, FIFO on equal distance. An idle head
+    // (no access yet) has no position — first submitted goes first.
+    size_t best = 0;
+    if (cursor->last_access != kInvalidPage) {
+      const PageId want = cursor->last_access + 1;
+      auto seek_of = [&](size_t slot) {
+        const PageId page = requests[inflight[slot]].page;
+        return page >= want ? page - want : want - page;
+      };
+      uint64_t best_seek = seek_of(0);
+      for (size_t slot = 1; slot < inflight.size() && best_seek > 0; ++slot) {
+        const uint64_t seek = seek_of(slot);
+        if (seek < best_seek) {
+          best_seek = seek;
+          best = slot;
+        }
+      }
+    }
+    const AsyncReadRequest& serviced = requests[inflight[best]];
+    AsyncReadCompletion completion;
+    completion.tag = serviced.tag;
+    completion.page = serviced.page;
+    completion.data = std::string_view(pages_[serviced.page]);
+    completion.inflight = static_cast<uint32_t>(inflight.size());
+    ClassifyAccess(serviced.page, /*is_write=*/false, &cursor->stats,
+                   &cursor->last_access);
+    ++cursor->stats.batched_reads;
+    cursor->stats.inflight_accum += inflight.size();
+    completions->push_back(completion);
+    inflight.erase(inflight.begin() + static_cast<ptrdiff_t>(best));
+  }
+  return Status::OK();
 }
 
 void BlockDevice::RecordAccess(PageId id, bool is_write) {

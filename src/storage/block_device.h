@@ -66,6 +66,41 @@ struct ReadCursor {
   }
 };
 
+/// \name Batched async read path
+///
+/// The synchronous `ReadPage` services one request at a time, so a
+/// traversal that needs k pages pays k head movements in request order —
+/// the simulated queue never sees depth. `SubmitBatch` models an
+/// io_uring-style submission queue instead: the caller submits a batch of
+/// page reads, up to `queue_depth` of them are outstanding at once, and
+/// the device services whichever outstanding request is cheapest for the
+/// head (a sequential continuation wins outright, otherwise the shortest
+/// seek, FIFO on ties — deterministic). Completions are delivered in
+/// service order and carry the caller's tag, so the caller can reassemble
+/// results in request order. With `queue_depth == 1` exactly one request
+/// is outstanding and the device degenerates to the synchronous path:
+/// same service order, same accounting.
+/// @{
+
+/// One entry of an async read batch: a page plus a caller-chosen tag that
+/// survives completion reordering.
+struct AsyncReadRequest {
+  PageId page = kInvalidPage;
+  uint64_t tag = 0;
+};
+
+/// A serviced async read. `data` points into the device page (valid until
+/// the next allocation); `inflight` is the submission-queue occupancy at
+/// the moment this request was serviced, including itself — the overlap
+/// signal aggregated into `IoStats::mean_inflight()`.
+struct AsyncReadCompletion {
+  uint64_t tag = 0;
+  PageId page = kInvalidPage;
+  std::string_view data;
+  uint32_t inflight = 0;
+};
+/// @}
+
 /// \brief Simulated paged disk.
 ///
 /// stReach targets *disk-resident* contact datasets; since the evaluation
@@ -122,6 +157,17 @@ class BlockDevice {
   /// instead of the device-global stats. Safe to call from many threads
   /// with distinct cursors while no writes/allocations are in flight.
   Result<std::string_view> ReadPage(PageId id, ReadCursor* cursor) const;
+
+  /// Batched async read path (see the AsyncReadRequest block comment):
+  /// services `requests` through a simulated submission queue holding up
+  /// to `queue_depth` outstanding requests, appending completions to
+  /// `*completions` in service order and accounting every access (plus
+  /// queue-occupancy stats) against `cursor`. Requests are validated
+  /// before any is serviced, so a failed call performs no accounting.
+  /// Thread safety matches `ReadPage(id, cursor)`.
+  Status SubmitBatch(const std::vector<AsyncReadRequest>& requests,
+                     int queue_depth, ReadCursor* cursor,
+                     std::vector<AsyncReadCompletion>* completions) const;
 
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }

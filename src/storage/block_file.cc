@@ -96,8 +96,16 @@ uint64_t ShardedExtentWriter::bytes_written() const {
   return total;
 }
 
-Result<std::string> ReadExtent(BufferPool* pool, const Extent& extent,
-                               size_t page_size) {
+namespace {
+
+/// Stitches one extent's bytes out of its spanned pages: `next_page` is
+/// called once per page, in ascending page order, and must yield that
+/// page's contents. The single place that knows how a blob maps onto
+/// page-sized pieces — both the synchronous and the batched read path
+/// assemble through it.
+template <typename NextPage>
+Result<std::string> StitchExtent(const Extent& extent, size_t page_size,
+                                 NextPage&& next_page) {
   if (!extent.valid()) {
     return Status::InvalidArgument("reading invalid extent");
   }
@@ -105,17 +113,57 @@ Result<std::string> ReadExtent(BufferPool* pool, const Extent& extent,
   out.reserve(extent.length);
   uint64_t remaining = extent.length;
   uint64_t offset = extent.offset_in_page;
-  PageId page = extent.first_page;
   while (remaining > 0) {
-    auto data = pool->Fetch(page);
-    if (!data.ok()) return data.status();
+    auto page = next_page();
+    if (!page.ok()) return page.status();
     const uint64_t take = std::min<uint64_t>(remaining, page_size - offset);
-    out.append(data->data() + offset, take);
+    out.append(page->data() + offset, take);
     remaining -= take;
     offset = 0;
-    ++page;
   }
   return out;
+}
+
+}  // namespace
+
+Result<std::string> ReadExtent(BufferPool* pool, const Extent& extent,
+                               size_t page_size) {
+  PageId page = extent.first_page;
+  return StitchExtent(extent, page_size,
+                      [&]() { return pool->Fetch(page++); });
+}
+
+Result<std::vector<std::string>> ReadExtentsBatched(
+    BufferPool* pool, const std::vector<Extent>& extents, size_t page_size) {
+  std::vector<std::string> blobs;
+  blobs.reserve(extents.size());
+  if (pool->io_queue_depth() == 1) {
+    for (const Extent& extent : extents) {
+      auto blob = ReadExtent(pool, extent, page_size);
+      if (!blob.ok()) return blob.status();
+      blobs.push_back(std::move(*blob));
+    }
+    return blobs;
+  }
+  std::vector<PageId> ids;
+  for (const Extent& extent : extents) {
+    if (!extent.valid()) {
+      return Status::InvalidArgument("reading invalid extent");
+    }
+    const uint64_t span = extent.PageSpan(page_size);
+    for (uint64_t k = 0; k < span; ++k) ids.push_back(extent.first_page + k);
+  }
+  auto refs = pool->FetchBatch(ids);
+  if (!refs.ok()) return refs.status();
+  size_t next = 0;
+  for (const Extent& extent : extents) {
+    auto blob = StitchExtent(extent, page_size, [&]() {
+      return Result<PageRef>((*refs)[next++]);
+    });
+    if (!blob.ok()) return blob.status();
+    blobs.push_back(std::move(*blob));
+  }
+  return blobs;
 }
 
 }  // namespace streach

@@ -104,6 +104,17 @@ class ShardedExtentWriter {
 Result<std::string> ReadExtent(BufferPool* pool, const Extent& extent,
                                size_t page_size);
 
+/// \brief Reads several blobs through one batched fetch.
+///
+/// Collects every page the extents span — extents in input order, pages
+/// ascending within each — and issues a single `BufferPool::FetchBatch`,
+/// so the per-shard submission queues see the whole traversal step's
+/// demand at once instead of one page at a time. `result[i]` is the blob
+/// of `extents[i]`. At a queue depth of 1 this is exactly a loop of
+/// `ReadExtent` calls.
+Result<std::vector<std::string>> ReadExtentsBatched(
+    BufferPool* pool, const std::vector<Extent>& extents, size_t page_size);
+
 }  // namespace streach
 
 #endif  // STREACH_STORAGE_BLOCK_FILE_H_

@@ -41,6 +41,88 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
                            : device_;
   auto page = dev->ReadPage(LocalPageOf(id), &cursors_[shard]);
   if (!page.ok()) return page.status();
+  auto bytes = std::make_shared<const std::string>(*page);
+  PageRef ref(bytes);
+  Install(id, std::move(bytes));
+  return ref;
+}
+
+Result<std::vector<PageRef>> BufferPool::FetchBatch(
+    const std::vector<PageId>& ids) {
+  std::vector<PageRef> refs(ids.size());
+  if (io_queue_depth_ == 1) {
+    // Degenerate path: exactly the synchronous loop, access by access.
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto ref = Fetch(ids[i]);
+      if (!ref.ok()) return ref.status();
+      refs[i] = *ref;
+    }
+    return refs;
+  }
+  // Pass 1 — serve hits and dedup the misses. A repeated missing id
+  // counts one miss plus hits, mirroring what the Fetch loop would have
+  // accounted once the first occurrence brought the page in.
+  std::vector<PageId> missing;  // Unique, first-occurrence order.
+  std::unordered_map<PageId, std::vector<size_t>> waiters;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const PageId id = ids[i];
+    auto it = entries_.find(id);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(id);
+      it->second.lru_it = lru_.begin();
+      refs[i] = PageRef(it->second.bytes);
+      continue;
+    }
+    auto [wit, inserted] = waiters.try_emplace(id);
+    if (inserted) {
+      ++misses_;
+      missing.push_back(id);
+    } else {
+      ++hits_;
+    }
+    wit->second.push_back(i);
+  }
+  if (missing.empty()) return refs;
+
+  // Pass 2 — one submission batch; the topology splits it into per-shard
+  // queues serviced at io_queue_depth_.
+  std::vector<AsyncReadRequest> requests;
+  requests.reserve(missing.size());
+  for (size_t k = 0; k < missing.size(); ++k) {
+    const uint32_t shard = ShardOfPage(missing[k]);
+    if (shard >= cursors_.size()) {
+      return Status::OutOfRange("page address routes to unknown shard " +
+                                std::to_string(shard));
+    }
+    requests.push_back(AsyncReadRequest{missing[k], k});
+  }
+  std::vector<AsyncReadCompletion> completions;
+  if (topology_ != nullptr) {
+    STREACH_RETURN_NOT_OK(topology_->SubmitBatch(requests, io_queue_depth_,
+                                                 &cursors_, &completions));
+  } else {
+    STREACH_RETURN_NOT_OK(device_->SubmitBatch(requests, io_queue_depth_,
+                                               &cursors_[0], &completions));
+  }
+
+  // Pass 3 — install in request order (eviction stays deterministic no
+  // matter how the device reordered service) and resolve every waiter.
+  std::vector<std::shared_ptr<const std::string>> bytes(missing.size());
+  for (const AsyncReadCompletion& completion : completions) {
+    bytes[completion.tag] =
+        std::make_shared<const std::string>(completion.data);
+  }
+  for (size_t k = 0; k < missing.size(); ++k) {
+    STREACH_CHECK(bytes[k] != nullptr);
+    for (size_t slot : waiters[missing[k]]) refs[slot] = PageRef(bytes[k]);
+    Install(missing[k], std::move(bytes[k]));
+  }
+  return refs;
+}
+
+void BufferPool::Install(PageId id, std::shared_ptr<const std::string> bytes) {
   if (entries_.size() >= capacity_) {
     // Dropping the victim only releases the pool's reference; callers
     // still holding a PageRef to it keep the bytes alive.
@@ -49,10 +131,15 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
     entries_.erase(victim);
   }
   lru_.push_front(id);
-  Entry entry{std::make_shared<const std::string>(*page), lru_.begin()};
+  Entry entry{std::move(bytes), lru_.begin()};
   auto [pos, inserted] = entries_.emplace(id, std::move(entry));
   STREACH_CHECK(inserted);
-  return PageRef(pos->second.bytes);
+  (void)pos;
+}
+
+void BufferPool::set_io_queue_depth(int depth) {
+  STREACH_CHECK_GT(depth, 0);
+  io_queue_depth_ = depth;
 }
 
 void BufferPool::Clear() {

@@ -76,6 +76,23 @@ class BufferPool {
   /// page is evicted.
   Result<PageRef> Fetch(PageId id);
 
+  /// Batched fetch: `result[i]` is the page `ids[i]`, exactly as `Fetch`
+  /// would have returned it. Cached pages are served from the pool;
+  /// misses are deduplicated (a repeated miss counts one device read plus
+  /// pool hits, like the equivalent Fetch loop) and submitted to the
+  /// per-shard device queues in one batch at `io_queue_depth()`, so up to
+  /// `depth × num_shards` reads overlap. Pages enter the LRU in request
+  /// order regardless of the device's service order, keeping eviction
+  /// deterministic. At depth 1 this IS a loop of `Fetch` calls — same
+  /// accounting, same service order.
+  Result<std::vector<PageRef>> FetchBatch(const std::vector<PageId>& ids);
+
+  /// Submission-queue depth used by `FetchBatch` for each shard's device
+  /// queue; must be positive. 1 (the default) keeps the batched path
+  /// byte-identical to synchronous fetching.
+  void set_io_queue_depth(int depth);
+  int io_queue_depth() const { return io_queue_depth_; }
+
   /// Drops all cached pages (e.g. between benchmark queries to make every
   /// query cold). Outstanding `PageRef`s stay valid.
   void Clear();
@@ -123,9 +140,15 @@ class BufferPool {
     std::list<PageId>::iterator lru_it;
   };
 
+  /// Installs a freshly read page (shared `bytes`) as the MRU entry,
+  /// evicting the LRU page at capacity — the shared miss path of Fetch
+  /// and FetchBatch.
+  void Install(PageId id, std::shared_ptr<const std::string> bytes);
+
   const BlockDevice* device_;          // Bare-device mode; else nullptr.
   const StorageTopology* topology_;    // Topology mode; else nullptr.
   size_t capacity_;
+  int io_queue_depth_ = 1;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   std::vector<ReadCursor> cursors_;  // One per shard.

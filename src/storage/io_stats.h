@@ -19,11 +19,33 @@ struct IoStats {
   uint64_t random_writes = 0;
   uint64_t sequential_writes = 0;
 
+  /// \name Async-queue counters
+  ///
+  /// Reads serviced through the batched `SubmitBatch` path also record the
+  /// submission-queue occupancy at the moment they were serviced, so the
+  /// overlap a traversal actually achieved is measurable:
+  /// `mean_inflight()` is 1.0 when every batched read went out alone
+  /// (queue depth 1) and approaches the queue depth when batches keep the
+  /// per-shard queues full. Reads through the synchronous `ReadPage` path
+  /// leave these untouched.
+  /// @{
+  uint64_t batched_reads = 0;   ///< Reads serviced via SubmitBatch.
+  uint64_t inflight_accum = 0;  ///< Sum of queue occupancy at each service.
+  /// @}
+
   /// Random:sequential cost ratio used for normalization.
   static constexpr double kSequentialPerRandom = 20.0;
 
   uint64_t total_reads() const { return random_reads + sequential_reads; }
   uint64_t total_writes() const { return random_writes + sequential_writes; }
+
+  /// Mean number of in-flight requests over the batched reads (0 when no
+  /// read went through the batch path).
+  double mean_inflight() const {
+    return batched_reads == 0 ? 0.0
+                              : static_cast<double>(inflight_accum) /
+                                    static_cast<double>(batched_reads);
+  }
 
   /// Normalized read cost in units of random accesses.
   double NormalizedReadCost() const {
@@ -43,6 +65,8 @@ struct IoStats {
     d.sequential_reads = sequential_reads - o.sequential_reads;
     d.random_writes = random_writes - o.random_writes;
     d.sequential_writes = sequential_writes - o.sequential_writes;
+    d.batched_reads = batched_reads - o.batched_reads;
+    d.inflight_accum = inflight_accum - o.inflight_accum;
     return d;
   }
 
@@ -51,6 +75,8 @@ struct IoStats {
     sequential_reads += o.sequential_reads;
     random_writes += o.random_writes;
     sequential_writes += o.sequential_writes;
+    batched_reads += o.batched_reads;
+    inflight_accum += o.inflight_accum;
     return *this;
   }
 

@@ -15,6 +15,46 @@ StorageTopology::StorageTopology(const StorageTopologyOptions& options)
   }
 }
 
+Status StorageTopology::SubmitBatch(
+    const std::vector<AsyncReadRequest>& requests, int queue_depth,
+    std::vector<ReadCursor>* cursors,
+    std::vector<AsyncReadCompletion>* completions) const {
+  STREACH_CHECK(cursors != nullptr && completions != nullptr);
+  STREACH_CHECK_EQ(cursors->size(), shards_.size());
+  // Validate the whole batch up front so no shard queue runs (and
+  // accounts accesses) before a bad address is caught.
+  for (const AsyncReadRequest& request : requests) {
+    const uint32_t shard = ShardOfPage(request.page);
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("page address routes to unknown shard " +
+                                std::to_string(shard));
+    }
+    if (LocalPageOf(request.page) >= shards_[shard]->num_pages()) {
+      return Status::OutOfRange("batched read of unallocated page " +
+                                std::to_string(request.page));
+    }
+  }
+  // Per-shard submission queues, request order preserved within a shard.
+  std::vector<std::vector<AsyncReadRequest>> queues(shards_.size());
+  for (const AsyncReadRequest& request : requests) {
+    const uint32_t shard = ShardOfPage(request.page);
+    queues[shard].push_back(
+        AsyncReadRequest{LocalPageOf(request.page), request.tag});
+  }
+  completions->reserve(completions->size() + requests.size());
+  for (uint32_t shard = 0; shard < queues.size(); ++shard) {
+    if (queues[shard].empty()) continue;
+    const size_t first = completions->size();
+    STREACH_RETURN_NOT_OK(shards_[shard]->SubmitBatch(
+        queues[shard], queue_depth, &(*cursors)[shard], completions));
+    // Local pages back to routed addresses for the caller.
+    for (size_t i = first; i < completions->size(); ++i) {
+      (*completions)[i].page = MakePageAddress(shard, (*completions)[i].page);
+    }
+  }
+  return Status::OK();
+}
+
 PageId StorageTopology::num_pages() const {
   PageId total = 0;
   for (const auto& shard : shards_) total += shard->num_pages();

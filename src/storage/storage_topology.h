@@ -77,6 +77,20 @@ class StorageTopology {
     return static_cast<uint32_t>(mixed % shards_.size());
   }
 
+  /// Batched async read path over routed addresses: requests are split by
+  /// their shard bits into per-shard submission queues (request order
+  /// preserved within a shard), each shard queue is serviced independently
+  /// at `queue_depth` against that shard's cursor in `(*cursors)[shard]`
+  /// (one entry per shard required), and completions are appended in
+  /// service order with their pages mapped back to routed addresses. This
+  /// is how a traversal step's demand turns into queue depth that scales
+  /// with `num_shards`: S shards each overlapping `queue_depth` reads.
+  /// All requests are validated before any is serviced, so a failed call
+  /// performs no accounting.
+  Status SubmitBatch(const std::vector<AsyncReadRequest>& requests,
+                     int queue_depth, std::vector<ReadCursor>* cursors,
+                     std::vector<AsyncReadCompletion>* completions) const;
+
   /// Pages/bytes allocated across all shards.
   PageId num_pages() const;
   uint64_t size_bytes() const;

@@ -440,6 +440,226 @@ TEST(BufferPoolTopologyTest, BareDevicePoolRejectsRoutedAddresses) {
   ASSERT_TRUE(pool.Fetch(0).ok());  // Plain ids still served.
 }
 
+// ---------------------------------------------------- Async batch path
+
+TEST(SubmitBatchTest, Depth1ServicesInRequestOrder) {
+  // queue_depth == 1 must degenerate to the synchronous path: same
+  // service order, same random/sequential accounting.
+  BlockDevice dev(64);
+  dev.AllocatePages(10);
+  const std::vector<AsyncReadRequest> requests{{5, 0}, {3, 1}, {4, 2}};
+  ReadCursor batched;
+  std::vector<AsyncReadCompletion> completions;
+  ASSERT_TRUE(dev.SubmitBatch(requests, 1, &batched, &completions).ok());
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0].page, 5u);
+  EXPECT_EQ(completions[1].page, 3u);
+  EXPECT_EQ(completions[2].page, 4u);
+  ReadCursor sync;
+  for (PageId p : {PageId{5}, PageId{3}, PageId{4}}) {
+    ASSERT_TRUE(dev.ReadPage(p, &sync).ok());
+  }
+  EXPECT_EQ(batched.stats.random_reads, sync.stats.random_reads);
+  EXPECT_EQ(batched.stats.sequential_reads, sync.stats.sequential_reads);
+  EXPECT_EQ(batched.stats.mean_inflight(), 1.0);
+  for (const AsyncReadCompletion& c : completions) {
+    EXPECT_EQ(c.inflight, 1u);
+  }
+}
+
+TEST(SubmitBatchTest, DeepQueueReordersSeekAware) {
+  // With the whole batch in flight the device services the shortest seek
+  // first: [5, 3, 4] after reading page 2 becomes 3, 4, 5 — all
+  // sequential. Depth 1 pays two seeks for the same batch.
+  BlockDevice dev(64);
+  dev.AllocatePages(10);
+  ReadCursor cursor;
+  ASSERT_TRUE(dev.ReadPage(2, &cursor).ok());
+  cursor.stats.Reset();  // Keep the head position, drop the counters.
+  const std::vector<AsyncReadRequest> requests{{5, 0}, {3, 1}, {4, 2}};
+  std::vector<AsyncReadCompletion> completions;
+  ASSERT_TRUE(dev.SubmitBatch(requests, 3, &cursor, &completions).ok());
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0].page, 3u);
+  EXPECT_EQ(completions[1].page, 4u);
+  EXPECT_EQ(completions[2].page, 5u);
+  // Tags still identify the original requests.
+  EXPECT_EQ(completions[0].tag, 1u);
+  EXPECT_EQ(completions[2].tag, 0u);
+  EXPECT_EQ(cursor.stats.sequential_reads, 3u);
+  EXPECT_EQ(cursor.stats.random_reads, 0u);
+  // Occupancy: 3 in flight, then 2, then 1.
+  EXPECT_EQ(cursor.stats.inflight_accum, 6u);
+  EXPECT_EQ(cursor.stats.batched_reads, 3u);
+  EXPECT_DOUBLE_EQ(cursor.stats.mean_inflight(), 2.0);
+}
+
+TEST(SubmitBatchTest, ValidatesBeforeAccounting) {
+  BlockDevice dev(64);
+  dev.AllocatePages(2);
+  ReadCursor cursor;
+  std::vector<AsyncReadCompletion> completions;
+  const std::vector<AsyncReadRequest> requests{{0, 0}, {99, 1}};
+  EXPECT_TRUE(
+      dev.SubmitBatch(requests, 4, &cursor, &completions).IsOutOfRange());
+  EXPECT_EQ(cursor.stats.total_reads(), 0u);
+  EXPECT_TRUE(completions.empty());
+}
+
+TEST(TopologySubmitBatchTest, RoutesPerShardQueues) {
+  StorageTopology topo(StorageTopologyOptions{2, 16});
+  topo.shard(0)->AllocatePages(4);
+  topo.shard(1)->AllocatePages(4);
+  ASSERT_TRUE(topo.shard(0)->WritePage(1, "s0p1").ok());
+  ASSERT_TRUE(topo.shard(1)->WritePage(2, "s1p2").ok());
+  std::vector<ReadCursor> cursors(2);
+  std::vector<AsyncReadCompletion> completions;
+  const std::vector<AsyncReadRequest> requests{
+      {MakePageAddress(1, 2), 0}, {MakePageAddress(0, 1), 1}};
+  ASSERT_TRUE(topo.SubmitBatch(requests, 4, &cursors, &completions).ok());
+  ASSERT_EQ(completions.size(), 2u);
+  // Completions carry routed addresses; each shard accounted one read.
+  EXPECT_EQ(cursors[0].stats.total_reads(), 1u);
+  EXPECT_EQ(cursors[1].stats.total_reads(), 1u);
+  for (const AsyncReadCompletion& c : completions) {
+    if (c.tag == 0) {
+      EXPECT_EQ(c.page, MakePageAddress(1, 2));
+      EXPECT_EQ(c.data.substr(0, 4), "s1p2");
+    } else {
+      EXPECT_EQ(c.page, MakePageAddress(0, 1));
+      EXPECT_EQ(c.data.substr(0, 4), "s0p1");
+    }
+  }
+  // Unknown shard / unallocated page fail before any accounting.
+  cursors[0].Reset();
+  cursors[1].Reset();
+  completions.clear();
+  EXPECT_TRUE(topo.SubmitBatch({{MakePageAddress(5, 0), 0}}, 1, &cursors,
+                               &completions)
+                  .IsOutOfRange());
+  EXPECT_TRUE(topo.SubmitBatch({{MakePageAddress(1, 99), 0}}, 1, &cursors,
+                               &completions)
+                  .IsOutOfRange());
+  EXPECT_EQ(cursors[0].stats.total_reads() + cursors[1].stats.total_reads(),
+            0u);
+}
+
+TEST(FetchBatchTest, ReturnsPagesInRequestOrderWithDuplicates) {
+  BlockDevice dev(16);
+  dev.AllocatePages(4);
+  for (PageId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(dev.WritePage(p, std::string(4, static_cast<char>('a' + p)))
+                    .ok());
+  }
+  for (int depth : {1, 8}) {
+    BufferPool pool(&dev, 4);
+    pool.set_io_queue_depth(depth);
+    auto refs = pool.FetchBatch({2, 0, 2, 3, 0});
+    ASSERT_TRUE(refs.ok()) << "depth=" << depth;
+    ASSERT_EQ(refs->size(), 5u);
+    EXPECT_EQ((*refs)[0].view().substr(0, 4), "cccc");
+    EXPECT_EQ((*refs)[1].view().substr(0, 4), "aaaa");
+    EXPECT_EQ((*refs)[2].view().substr(0, 4), "cccc");
+    EXPECT_EQ((*refs)[3].view().substr(0, 4), "dddd");
+    EXPECT_EQ((*refs)[4].view().substr(0, 4), "aaaa");
+    // Duplicates cost one device read plus pool hits, like a Fetch loop.
+    EXPECT_EQ(pool.misses(), 3u) << "depth=" << depth;
+    EXPECT_EQ(pool.hits(), 2u) << "depth=" << depth;
+    EXPECT_EQ(pool.io_stats().total_reads(), 3u) << "depth=" << depth;
+  }
+}
+
+TEST(FetchBatchTest, Depth1MatchesFetchLoopAccountingExactly) {
+  BlockDevice dev(16);
+  dev.AllocatePages(8);
+  const std::vector<PageId> ids{6, 1, 2, 3, 6, 0};
+  BufferPool loop_pool(&dev, 4);
+  for (PageId id : ids) ASSERT_TRUE(loop_pool.Fetch(id).ok());
+  BufferPool batch_pool(&dev, 4);
+  ASSERT_TRUE(batch_pool.FetchBatch(ids).ok());
+  EXPECT_EQ(batch_pool.hits(), loop_pool.hits());
+  EXPECT_EQ(batch_pool.misses(), loop_pool.misses());
+  EXPECT_EQ(batch_pool.io_stats().random_reads,
+            loop_pool.io_stats().random_reads);
+  EXPECT_EQ(batch_pool.io_stats().sequential_reads,
+            loop_pool.io_stats().sequential_reads);
+}
+
+TEST(FetchBatchTest, CrossShardBatchOverlapsPerShardQueues) {
+  StorageTopology topo(StorageTopologyOptions{2, 16});
+  topo.shard(0)->AllocatePages(4);
+  topo.shard(1)->AllocatePages(4);
+  BufferPool pool(&topo, 16);
+  pool.set_io_queue_depth(4);
+  std::vector<PageId> ids;
+  for (PageId p = 0; p < 4; ++p) {
+    ids.push_back(MakePageAddress(0, p));
+    ids.push_back(MakePageAddress(1, p));
+  }
+  auto refs = pool.FetchBatch(ids);
+  ASSERT_TRUE(refs.ok());
+  EXPECT_EQ(pool.misses(), 8u);
+  // Each shard serviced its own 4-page queue: with the whole sub-batch
+  // in flight the mean occupancy exceeds 1 on both shards.
+  for (int shard : {0, 1}) {
+    EXPECT_EQ(pool.shard_io_stats(shard).batched_reads, 4u);
+    EXPECT_GT(pool.shard_io_stats(shard).mean_inflight(), 1.0);
+  }
+  // Batch totals equal the per-shard sums (the accounting invariant the
+  // engine's per-shard breakdown relies on).
+  EXPECT_EQ(pool.io_stats().total_reads(), 8u);
+  EXPECT_EQ(pool.io_stats().batched_reads, 8u);
+}
+
+TEST(FetchBatchTest, EvictionStaysDeterministicUnderReordering) {
+  // Pages enter the LRU in request order whatever the service order, so
+  // a tiny pool ends resident with the last-requested pages.
+  BlockDevice dev(16);
+  dev.AllocatePages(8);
+  BufferPool pool(&dev, 2);
+  pool.set_io_queue_depth(8);
+  auto refs = pool.FetchBatch({7, 0, 3, 5});
+  ASSERT_TRUE(refs.ok());
+  EXPECT_EQ(pool.resident(), 2u);
+  const uint64_t misses_before = pool.misses();
+  ASSERT_TRUE(pool.Fetch(3).ok());  // Still resident.
+  ASSERT_TRUE(pool.Fetch(5).ok());  // Still resident.
+  EXPECT_EQ(pool.misses(), misses_before);
+  ASSERT_TRUE(pool.Fetch(7).ok());  // Evicted -> miss.
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+}
+
+TEST(ReadExtentsBatchedTest, MatchesReadExtentAtAnyDepth) {
+  Rng rng(47);
+  StorageTopology topo(StorageTopologyOptions{3, 64});
+  ShardedExtentWriter writer(&topo);
+  std::vector<std::string> blobs;
+  std::vector<Extent> extents;
+  for (int i = 0; i < 60; ++i) {
+    std::string blob;
+    const size_t len = rng.Uniform(300);
+    blob.reserve(len);
+    for (size_t j = 0; j < len; ++j) {
+      blob.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto e = writer.Append(static_cast<uint32_t>(i % 3), blob);
+    ASSERT_TRUE(e.ok());
+    blobs.push_back(std::move(blob));
+    extents.push_back(*e);
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+  for (int depth : {1, 2, 8}) {
+    BufferPool pool(&topo, 32);
+    pool.set_io_queue_depth(depth);
+    auto result = ReadExtentsBatched(&pool, extents, 64);
+    ASSERT_TRUE(result.ok()) << "depth=" << depth;
+    ASSERT_EQ(result->size(), blobs.size());
+    for (size_t i = 0; i < blobs.size(); ++i) {
+      EXPECT_EQ((*result)[i], blobs[i]) << "depth=" << depth << " i=" << i;
+    }
+  }
+}
+
 TEST(StorageTopologyTest, MaxAddressableShardCountConstructs) {
   // Shard ids 0..kMaxShards-1 all fit in the address bits, so a topology
   // of exactly kMaxShards shards is valid.
