@@ -4,9 +4,13 @@
 //
 // Not a paper experiment — this charts the perf trajectory of the
 // production engine: per-thread buffer-pool sessions over a shared
-// immutable index (PR 1), the sharded storage topology (PR 2), and the
-// batched async read path (PR 3). Each cell runs the same warm workload;
-// results land in BENCH_engine_scaling.json for trend tracking. Thread
+// immutable index (PR 1), the sharded storage topology (PR 2), the
+// batched async read path (PR 3), and the parallel batched-write build
+// path (PR 4 — indexes here are built with one worker per shard and
+// deep write queues; each row carries its index's build wall time and
+// write profile). Each cell runs the same warm workload; results land in
+// BENCH_engine_scaling.json for trend tracking — docs/BENCH_SCHEMA.md
+// documents every field. Thread
 // scaling is wall-clock: on a single-core host the threads axis is flat
 // (the workload is compute-bound once the simulated disk is in memory) —
 // run on a multi-core box to see the parallel speedup. The depth axis is
@@ -49,6 +53,41 @@ BenchEnv& Env() {
   return env;
 }
 
+/// Construction-side metrics of one (backend, shards) index build: wall
+/// time plus the write profile of the batched build path the indexes are
+/// built with here (deep write queues, one worker per shard).
+struct BuildProfile {
+  double seconds = 0.0;
+  uint64_t pages_written = 0;
+  uint64_t batched_writes = 0;
+  double mean_write_inflight = 0.0;
+};
+std::map<std::pair<std::string, int>, BuildProfile>& BuildProfiles() {
+  static std::map<std::pair<std::string, int>, BuildProfile> profiles;
+  return profiles;
+}
+
+BuildProfile ProfileOf(double seconds, const std::vector<IoStats>& build_io) {
+  BuildProfile profile;
+  profile.seconds = seconds;
+  IoStats total;
+  for (const IoStats& shard : build_io) total += shard;
+  profile.pages_written = total.total_writes();
+  profile.batched_writes = total.batched_writes;
+  profile.mean_write_inflight = total.mean_write_inflight();
+  return profile;
+}
+
+/// Builds here exercise the write-side queue model: one build worker per
+/// shard, 8 pages in flight per shard write queue. The on-disk images
+/// (and all answers) are identical to the synchronous defaults.
+BuildOptions BenchBuildOptions() {
+  BuildOptions build;
+  build.build_workers = 0;
+  build.write_queue_depth = 8;
+  return build;
+}
+
 std::shared_ptr<const ReachGridIndex> GridIndex(int shards) {
   static std::map<int, std::shared_ptr<const ReachGridIndex>> cache;
   auto it = cache.find(shards);
@@ -58,9 +97,13 @@ std::shared_ptr<const ReachGridIndex> GridIndex(int shards) {
     options.spatial_cell_size = 1024.0;
     options.contact_range = Env().dataset.contact_range;
     options.num_shards = shards;
+    options.build = BenchBuildOptions();
     auto index = ReachGridIndex::Build(Env().dataset.store, options);
     STREACH_CHECK(index.ok());
     it = cache.emplace(shards, std::move(index).ValueUnsafe()).first;
+    BuildProfiles()[{"ReachGrid", shards}] =
+        ProfileOf(it->second->build_stats().build_seconds,
+                  it->second->build_io_stats());
   }
   return it->second;
 }
@@ -71,9 +114,15 @@ std::shared_ptr<const ReachGraphIndex> GraphIndex(int shards) {
   if (it == cache.end()) {
     ReachGraphOptions options;
     options.num_shards = shards;
+    options.build = BenchBuildOptions();
     auto index = ReachGraphIndex::Build(*Env().network, options);
     STREACH_CHECK(index.ok());
     it = cache.emplace(shards, std::move(index).ValueUnsafe()).first;
+    const ReachGraphBuildStats& stats = it->second->build_stats();
+    BuildProfiles()[{"ReachGraph(BM-BFS)", shards}] =
+        ProfileOf(stats.reduction_seconds + stats.augmentation_seconds +
+                      stats.placement_seconds,
+                  it->second->build_io_stats());
   }
   return it->second;
 }
@@ -90,6 +139,9 @@ struct Row {
   double pool_hit_rate;
   double mean_inflight;
   uint64_t batched_reads;
+  // Construction-side metrics of the (backend, shards) index this cell
+  // queried — identical across the cell's threads/depth settings.
+  BuildProfile build;
 };
 std::vector<Row>& Rows() {
   static std::vector<Row> rows;
@@ -117,7 +169,8 @@ void RunCell(benchmark::State& state, const std::string& name,
                     summary.p95_latency * 1e6, summary.p99_latency * 1e6,
                     summary.pool_hit_rate(),
                     summary.mean_inflight_requests(),
-                    summary.total_batched_reads()});
+                    summary.total_batched_reads(),
+                    BuildProfiles()[{name, shards}]});
 }
 
 void GridScaling(benchmark::State& state) {
@@ -157,10 +210,17 @@ void WriteJson(const char* path) {
         "  {\"backend\": \"%s\", \"threads\": %d, \"shards\": %d, "
         "\"depth\": %d, \"qps\": %.1f, \"io_per_query\": %.2f, "
         "\"p95_us\": %.1f, \"p99_us\": %.1f, \"pool_hit_rate\": %.4f, "
-        "\"mean_inflight\": %.3f, \"batched_reads\": %llu}%s\n",
+        "\"mean_inflight\": %.3f, \"batched_reads\": %llu, "
+        "\"build_seconds\": %.6f, \"build_pages_written\": %llu, "
+        "\"build_batched_writes\": %llu, "
+        "\"build_mean_write_inflight\": %.3f}%s\n",
         r.backend.c_str(), r.threads, r.shards, r.depth, r.qps, r.mean_io,
         r.p95_us, r.p99_us, r.pool_hit_rate, r.mean_inflight,
         static_cast<unsigned long long>(r.batched_reads),
+        r.build.seconds,
+        static_cast<unsigned long long>(r.build.pages_written),
+        static_cast<unsigned long long>(r.build.batched_writes),
+        r.build.mean_write_inflight,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -188,6 +248,16 @@ void PrintScalingTable() {
   if (best_single > 0) {
     std::printf("\nBest multi-thread over best single-thread: %.2fx\n",
                 best_multi / best_single);
+  }
+  std::printf("\nIndex builds (one worker per shard, write queue depth 8):\n");
+  for (const auto& [key, build] : BuildProfiles()) {
+    std::printf(
+        "  %-20s shards=%d: %8.2f ms, %6llu pages written, "
+        "%6llu batched, mean write inflight %.2f\n",
+        key.first.c_str(), key.second, build.seconds * 1e3,
+        static_cast<unsigned long long>(build.pages_written),
+        static_cast<unsigned long long>(build.batched_writes),
+        build.mean_write_inflight);
   }
   WriteJson("BENCH_engine_scaling.json");
   std::printf("Wrote BENCH_engine_scaling.json (%zu cells)\n", Rows().size());

@@ -3,6 +3,7 @@
 // introduction.
 //
 //   build/quickstart [--num_shards=N] [--io_queue_depth=D]
+//                    [--write_queue_depth=W] [--build_workers=B]
 //
 // --num_shards splits each index's simulated disk into N per-shard
 // devices (default 1, the paper's single-disk layout); answers are
@@ -10,6 +11,11 @@
 // --io_queue_depth lets each worker session keep D page reads in flight
 // per shard (default 1, the synchronous paper model); answers are again
 // identical — watch the `inflight` figure in the engine summary move.
+// --write_queue_depth / --build_workers drive the build side the same
+// way: W pages in flight per shard write queue and B build workers
+// (0 = one per shard). The defaults (1, 1) are the paper's synchronous
+// single-threaded build; the on-disk indexes are bit-identical at any
+// setting — watch the per-shard write stats printed after each build.
 //
 // Objects o1..o4 (0-indexed o0..o3 here) move over T=[0,3]; the contacts
 // are c1={o1,o2}@[0,0], c2={o2,o4}@[1,1], c3={o3,o4}@[1,2],
@@ -60,6 +66,22 @@ TrajectoryStore Figure1Trajectories() {
   return store;
 }
 
+/// Prints a build's per-shard write profile: pages written per shard
+/// device, how many went through the batched write queue, and the mean
+/// write-queue occupancy (1.0 = synchronous).
+void ShowBuildIo(const std::vector<IoStats>& build_io) {
+  for (size_t s = 0; s < build_io.size(); ++s) {
+    const IoStats& io = build_io[s];
+    std::printf("  shard %zu: %llu pages written (%llu seq, %llu rand), "
+                "%llu batched, mean write inflight %.2f\n",
+                s, static_cast<unsigned long long>(io.total_writes()),
+                static_cast<unsigned long long>(io.sequential_writes),
+                static_cast<unsigned long long>(io.random_writes),
+                static_cast<unsigned long long>(io.batched_writes),
+                io.batched_writes == 0 ? 1.0 : io.mean_write_inflight());
+  }
+}
+
 void Show(const char* index, const ReachQuery& q, const ReachAnswer& a) {
   std::printf("  [%-10s] %-22s -> %s", index, q.ToString().c_str(),
               a.reachable ? "REACHABLE" : "not reachable");
@@ -74,19 +96,33 @@ void Show(const char* index, const ReachQuery& q, const ReachAnswer& a) {
 int main(int argc, char** argv) {
   int num_shards = 1;
   int io_queue_depth = 1;
+  int write_queue_depth = 1;
+  int build_workers = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--num_shards=", 13) == 0) {
       num_shards = std::atoi(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--io_queue_depth=", 17) == 0) {
       io_queue_depth = std::atoi(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--write_queue_depth=", 20) == 0) {
+      write_queue_depth = std::atoi(argv[i] + 20);
+    } else if (std::strncmp(argv[i], "--build_workers=", 16) == 0) {
+      build_workers = std::atoi(argv[i] + 16);
     }
   }
   if (num_shards < 1) num_shards = 1;
   if (io_queue_depth < 1) io_queue_depth = 1;
+  if (write_queue_depth < 1) write_queue_depth = 1;
+  if (build_workers < 0) build_workers = 0;
+  BuildOptions build_options;
+  build_options.write_queue_depth = write_queue_depth;
+  build_options.build_workers = build_workers;
 
   std::printf("stReach quickstart — the paper's Figure 1 scenario "
-              "(%d storage shard%s, IO queue depth %d)\n\n",
-              num_shards, num_shards == 1 ? "" : "s", io_queue_depth);
+              "(%d storage shard%s, IO queue depth %d, write queue depth "
+              "%d, %d build worker%s)\n\n",
+              num_shards, num_shards == 1 ? "" : "s", io_queue_depth,
+              write_queue_depth, build_workers,
+              build_workers == 1 ? "" : "s (0 = one per shard)");
   TrajectoryStore store = Figure1Trajectories();
   const double dt = 1.0;  // Contact threshold dT in meters.
 
@@ -98,24 +134,35 @@ int main(int argc, char** argv) {
     std::printf("  %s\n", c.ToString().c_str());
   }
 
-  // 2. Build ReachGrid directly over the trajectories.
+  // 2. Build ReachGrid directly over the trajectories. The build runs
+  //    through the per-shard worker pool and write queues configured
+  //    above; its wall time and per-shard write profile are printed so
+  //    the write side of the IO model is visible from the demo.
   ReachGridOptions grid_options;
   grid_options.temporal_resolution = 2;  // RT: ticks per temporal bucket.
   grid_options.spatial_cell_size = 20;   // RS: meters per grid cell.
   grid_options.contact_range = dt;
   grid_options.num_shards = num_shards;  // Per-shard simulated devices.
+  grid_options.build = build_options;
   auto grid = ReachGridIndex::Build(store, grid_options);
   STREACH_CHECK(grid.ok());
+  std::printf("\nReachGrid built in %.3f ms:\n",
+              (*grid)->build_stats().build_seconds * 1e3);
+  ShowBuildIo((*grid)->build_io_stats());
 
   // 3. Build ReachGraph over the contact network.
   ReachGraphOptions graph_options;
   graph_options.num_shards = num_shards;
+  graph_options.build = build_options;
   auto graph = ReachGraphIndex::Build(*network, graph_options);
   STREACH_CHECK(graph.ok());
   std::printf(
-      "\nReachGraph: %zu hypergraph vertices in %llu disk partitions\n",
+      "\nReachGraph: %zu hypergraph vertices in %llu disk partitions, "
+      "placed in %.3f ms:\n",
       (*graph)->num_vertices(),
-      static_cast<unsigned long long>((*graph)->num_partitions()));
+      static_cast<unsigned long long>((*graph)->num_partitions()),
+      (*graph)->build_stats().placement_seconds * 1e3);
+  ShowBuildIo((*graph)->build_io_stats());
 
   // 4. Put every evaluator behind the uniform ReachabilityIndex
   //    interface — the seam benchmarks and the QueryEngine program

@@ -13,6 +13,7 @@
 #include "storage/block_device.h"
 #include "storage/block_file.h"
 #include "storage/buffer_pool.h"
+#include "storage/build_options.h"
 #include "storage/storage_topology.h"
 
 namespace streach {
@@ -27,6 +28,10 @@ struct GrailOptions {
   /// round-robin and object timelines by object hash. 1 reproduces the
   /// paper's single-disk layout bit-for-bit.
   int num_shards = 1;
+  /// Write-side build parameters (worker pool + write queues); the
+  /// defaults reproduce the historical synchronous single-threaded build
+  /// page for page. On-disk images are identical at any setting.
+  BuildOptions build;
 };
 
 /// \brief GRAIL reachability index of Yildirim, Chaoji & Zaki (VLDB'10),
@@ -80,6 +85,9 @@ class GrailIndex {
 
   const QueryStats& last_query_stats() const { return last_stats_; }
   double build_seconds() const { return build_seconds_; }
+  /// Device IO each shard performed during construction (index = shard
+  /// id): the write-side profile of the placement phase.
+  const std::vector<IoStats>& build_io_stats() const { return build_io_; }
   void ClearCache() { pool_.Clear(); }
 
   size_t num_vertices() const { return labels_.size(); }
@@ -151,6 +159,7 @@ class GrailIndex {
   BufferPool pool_;
   QueryStats last_stats_;
   double build_seconds_ = 0.0;
+  std::vector<IoStats> build_io_;  // Per-shard build-phase device IO.
 
   // Memory-resident structures.
   std::vector<std::vector<Label>> labels_;  // [vertex][labeling]

@@ -7,6 +7,7 @@
 #include "common/query_scope.h"
 #include "common/stopwatch.h"
 #include "network/union_find.h"
+#include "storage/build_pool.h"
 #include "spatial/grid2d.h"
 
 namespace streach {
@@ -19,9 +20,15 @@ Result<std::unique_ptr<SpjEvaluator>> SpjEvaluator::Build(
   if (options.slab_ticks < 1) {
     return Status::InvalidArgument("slab_ticks must be >= 1");
   }
+  STREACH_RETURN_NOT_OK(ValidateBuildOptions(options.build));
   std::unique_ptr<SpjEvaluator> spj(
       new SpjEvaluator(options, store.span(), store.num_objects()));
+  Stopwatch watch;
   STREACH_RETURN_NOT_OK(spj->WriteSlabs(store));
+  spj->build_seconds_ = watch.ElapsedSeconds();
+  // Keep the build-phase write profile before wiping the devices for
+  // query-time accounting.
+  spj->build_io_ = spj->topology_.PerShardDeviceStats();
   spj->topology_.ResetStats();
   return spj;
 }
@@ -39,28 +46,34 @@ Status SpjEvaluator::WriteSlabs(const TrajectoryStore& store) {
       (span_.length() + options_.slab_ticks - 1) / options_.slab_ticks);
   // Slabs are routed round-robin: with S > 1 shards, the slabs placed on
   // the same shard stay in temporal order, so the baseline's sequential
-  // range scan remains sequential per shard head.
-  ShardedExtentWriter writer(&topology_);
-  Encoder enc;
-  slab_extents_.reserve(static_cast<size_t>(num_slabs));
+  // range scan remains sequential per shard head. Each slab is one build
+  // task pinned to its shard; per-shard FIFO keeps the on-disk image
+  // identical for every worker count.
+  ShardedExtentWriter writer(&topology_, options_.build.write_queue_depth);
+  BuildWorkerPool pool(topology_.num_shards(), options_.build.build_workers);
+  slab_extents_.resize(static_cast<size_t>(num_slabs));
   for (int slab = 0; slab < num_slabs; ++slab) {
-    const TimeInterval sw = SlabInterval(slab);
-    enc.Clear();
-    // All objects' positions for the slab, object-major.
-    for (ObjectId o = 0; o < store.num_objects(); ++o) {
-      const Trajectory& tr = store.Get(o);
-      for (Timestamp t = sw.start; t <= sw.end; ++t) {
-        const Point& p = tr.At(t);
-        enc.PutDouble(p.x);
-        enc.PutDouble(p.y);
+    const uint32_t shard =
+        topology_.ShardForPartition(static_cast<uint64_t>(slab));
+    pool.Submit(shard, [this, &store, &writer, slab, shard]() -> Status {
+      const TimeInterval sw = SlabInterval(slab);
+      Encoder enc;
+      // All objects' positions for the slab, object-major.
+      for (ObjectId o = 0; o < store.num_objects(); ++o) {
+        const Trajectory& tr = store.Get(o);
+        for (Timestamp t = sw.start; t <= sw.end; ++t) {
+          const Point& p = tr.At(t);
+          enc.PutDouble(p.x);
+          enc.PutDouble(p.y);
+        }
       }
-    }
-    auto extent = writer.Append(
-        topology_.ShardForPartition(static_cast<uint64_t>(slab)),
-        enc.buffer());
-    if (!extent.ok()) return extent.status();
-    slab_extents_.push_back(*extent);
+      auto extent = writer.Append(shard, enc.buffer());
+      if (!extent.ok()) return extent.status();
+      slab_extents_[static_cast<size_t>(slab)] = *extent;
+      return Status::OK();
+    });
   }
+  STREACH_RETURN_NOT_OK(pool.Finish());
   return writer.Flush();
 }
 

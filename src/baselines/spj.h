@@ -10,6 +10,7 @@
 #include "storage/block_device.h"
 #include "storage/block_file.h"
 #include "storage/buffer_pool.h"
+#include "storage/build_options.h"
 #include "storage/storage_topology.h"
 #include "trajectory/trajectory_store.h"
 
@@ -25,6 +26,10 @@ struct SpjOptions {
   /// Storage shards: time slabs are routed round-robin across this many
   /// per-shard devices. 1 reproduces the single-disk layout bit-for-bit.
   int num_shards = 1;
+  /// Write-side build parameters (worker pool + write queues); the
+  /// defaults reproduce the historical synchronous single-threaded build
+  /// page for page. On-disk images are identical at any setting.
+  BuildOptions build;
 };
 
 /// \brief The naive scan-join-traverse evaluator of §6.1.2 ("SPJ").
@@ -58,6 +63,11 @@ class SpjEvaluator {
   int num_shards() const { return topology_.num_shards(); }
 
   const QueryStats& last_query_stats() const { return last_stats_; }
+  /// Wall-clock seconds the slab-placement build took.
+  double build_seconds() const { return build_seconds_; }
+  /// Device IO each shard performed during construction (index = shard
+  /// id): the write-side profile of the slab placement.
+  const std::vector<IoStats>& build_io_stats() const { return build_io_; }
   void ClearCache() { pool_.Clear(); }
 
  private:
@@ -79,6 +89,8 @@ class SpjEvaluator {
   TimeInterval span_;
   size_t num_objects_;
   QueryStats last_stats_;
+  double build_seconds_ = 0.0;
+  std::vector<IoStats> build_io_;  // Per-shard build-phase device IO.
   std::vector<Extent> slab_extents_;
 };
 

@@ -8,6 +8,7 @@
 #include "common/encoding.h"
 #include "common/query_scope.h"
 #include "common/stopwatch.h"
+#include "storage/build_pool.h"
 
 namespace streach {
 
@@ -53,6 +54,7 @@ Result<std::unique_ptr<ReachGraphIndex>> ReachGraphIndex::BuildFromDn(
   if (options.partition_depth < 0) {
     return Status::InvalidArgument("partition_depth must be >= 0");
   }
+  STREACH_RETURN_NOT_OK(ValidateBuildOptions(options.build));
   std::unique_ptr<ReachGraphIndex> index(new ReachGraphIndex(options));
 
   Stopwatch watch;
@@ -72,6 +74,9 @@ Result<std::unique_ptr<ReachGraphIndex>> ReachGraphIndex::BuildFromDn(
   index->build_stats_.num_partitions = index->partition_extents_.size();
   index->build_stats_.index_pages = index->topology_.num_pages();
   index->build_stats_.index_bytes = index->topology_.size_bytes();
+  // Keep the build-phase write profile before wiping the devices for
+  // query-time accounting.
+  index->build_io_ = index->topology_.PerShardDeviceStats();
   index->topology_.ResetStats();
   return index;
 }
@@ -86,22 +91,21 @@ Status ReachGraphIndex::PlaceOnDisk(const DnGraph& graph) {
   // Partitioning (§5.1.3): vertices in topological (= id) order; from each
   // unassigned root, a BFS over DN_1 out-edges up to depth dp claims every
   // still-unassigned vertex it reaches. Long edges are ignored so each
-  // partition stays temporally local. With S > 1 shards, partitions are
-  // routed round-robin in creation (= temporal) order, so partitions
-  // placed on the same shard stay consecutive in that order and the
-  // §5.1.3 placement guarantee holds per shard head.
-  ShardedExtentWriter writer(&topology_);
+  // partition stays temporally local. Discovery is inherently sequential —
+  // each partition's membership depends on every earlier assignment — so
+  // it runs here on one thread; only the members are collected, nothing is
+  // serialized yet.
+  std::vector<std::vector<VertexId>> partition_members;
   std::vector<VertexId> frontier;
   std::vector<VertexId> next;
-  std::vector<VertexId> partition_members;
-  Encoder enc;
   for (VertexId root = 0; root < n; ++root) {
     if (vertex_partition_[root] != kUnassigned) continue;
-    const auto partition_id = static_cast<uint32_t>(partition_extents_.size());
-    partition_members.clear();
+    const auto partition_id = static_cast<uint32_t>(partition_members.size());
+    partition_members.emplace_back();
+    std::vector<VertexId>& members = partition_members.back();
     frontier.assign(1, root);
     vertex_partition_[root] = partition_id;
-    partition_members.push_back(root);
+    members.push_back(root);
     for (int depth = 0; depth < options_.partition_depth && !frontier.empty();
          ++depth) {
       next.clear();
@@ -109,42 +113,67 @@ Status ReachGraphIndex::PlaceOnDisk(const DnGraph& graph) {
         for (VertexId w : graph.vertex(v).out) {
           if (vertex_partition_[w] != kUnassigned) continue;
           vertex_partition_[w] = partition_id;
-          partition_members.push_back(w);
+          members.push_back(w);
           next.push_back(w);
         }
       }
       std::swap(frontier, next);
     }
-    // Serialize the partition: vertices in id (time) order within it.
-    std::sort(partition_members.begin(), partition_members.end());
-    enc.Clear();
-    enc.PutVarint(partition_members.size());
-    for (VertexId v : partition_members) {
-      EncodeVertex(v, graph.vertex(v), &enc);
-    }
-    auto extent = writer.Append(topology_.ShardForPartition(partition_id),
-                                enc.buffer());
-    if (!extent.ok()) return extent.status();
-    partition_extents_.push_back(*extent);
+    // Vertices in id (time) order within the partition.
+    std::sort(members.begin(), members.end());
+  }
+
+  // Serialization: partitions are routed round-robin in creation
+  // (= temporal) order, so partitions placed on the same shard stay
+  // consecutive in that order and the §5.1.3 placement guarantee holds
+  // per shard head. Each partition is one build task pinned to its shard;
+  // one worker per shard serializes that shard's partitions in order, so
+  // the on-disk image is identical for every worker count.
+  ShardedExtentWriter writer(&topology_, options_.build.write_queue_depth);
+  BuildWorkerPool pool(topology_.num_shards(), options_.build.build_workers);
+  partition_extents_.resize(partition_members.size());
+  for (uint32_t partition_id = 0; partition_id < partition_members.size();
+       ++partition_id) {
+    const uint32_t shard = topology_.ShardForPartition(partition_id);
+    pool.Submit(shard, [this, &graph, &writer, &partition_members,
+                        partition_id, shard]() -> Status {
+      Encoder enc;
+      const std::vector<VertexId>& members = partition_members[partition_id];
+      enc.PutVarint(members.size());
+      for (VertexId v : members) {
+        EncodeVertex(v, graph.vertex(v), &enc);
+      }
+      auto extent = writer.Append(shard, enc.buffer());
+      if (!extent.ok()) return extent.status();
+      partition_extents_[partition_id] = *extent;
+      return Status::OK();
+    });
   }
 
   // Object timelines (the Ht lookup structure), after the partitions;
-  // routed by object hash so Ht point lookups spread across shards.
+  // routed by object hash so Ht point lookups spread across shards. The
+  // cross-shard section break waits for every partition task.
+  STREACH_RETURN_NOT_OK(pool.Barrier());
   STREACH_RETURN_NOT_OK(writer.AlignAllToPage());
-  timeline_extents_.reserve(num_objects_);
+  timeline_extents_.resize(num_objects_);
   for (ObjectId o = 0; o < num_objects_; ++o) {
-    enc.Clear();
-    const auto& timeline = graph.timeline(o);
-    enc.PutVarint(timeline.size());
-    for (const auto& entry : timeline) {
-      enc.PutI32(entry.span.start);
-      enc.PutI32(entry.span.end);
-      enc.PutU32(entry.vertex);
-    }
-    auto extent = writer.Append(topology_.ShardForObject(o), enc.buffer());
-    if (!extent.ok()) return extent.status();
-    timeline_extents_.push_back(*extent);
+    const uint32_t shard = topology_.ShardForObject(o);
+    pool.Submit(shard, [this, &graph, &writer, o, shard]() -> Status {
+      Encoder enc;
+      const auto& timeline = graph.timeline(o);
+      enc.PutVarint(timeline.size());
+      for (const auto& entry : timeline) {
+        enc.PutI32(entry.span.start);
+        enc.PutI32(entry.span.end);
+        enc.PutU32(entry.vertex);
+      }
+      auto extent = writer.Append(shard, enc.buffer());
+      if (!extent.ok()) return extent.status();
+      timeline_extents_[o] = *extent;
+      return Status::OK();
+    });
   }
+  STREACH_RETURN_NOT_OK(pool.Finish());
   return writer.Flush();
 }
 

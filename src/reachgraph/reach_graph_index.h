@@ -15,6 +15,7 @@
 #include "storage/block_device.h"
 #include "storage/block_file.h"
 #include "storage/buffer_pool.h"
+#include "storage/build_options.h"
 #include "storage/storage_topology.h"
 
 namespace streach {
@@ -34,6 +35,10 @@ struct ReachGraphOptions {
   /// timelines by object hash across this many per-shard devices. 1
   /// reproduces the paper's single-disk layout bit-for-bit.
   int num_shards = 1;
+  /// Write-side build parameters (worker pool + write queues); the
+  /// defaults reproduce the historical synchronous single-threaded build
+  /// page for page. On-disk images are identical at any setting.
+  BuildOptions build;
 };
 
 /// Construction metrics (Figures 10, 11; Table 4 uses the DnStats).
@@ -105,6 +110,9 @@ class ReachGraphIndex {
   /// Metrics of the most recent query.
   const QueryStats& last_query_stats() const { return last_stats_; }
   const ReachGraphBuildStats& build_stats() const { return build_stats_; }
+  /// Device IO each shard performed during construction (index = shard
+  /// id): the write-side profile of the placement phase.
+  const std::vector<IoStats>& build_io_stats() const { return build_io_; }
   const ReachGraphOptions& options() const { return options_; }
 
   /// Evicts all buffered pages so the next query runs cold.
@@ -172,6 +180,7 @@ class ReachGraphIndex {
   StorageTopology topology_;
   BufferPool pool_;
   ReachGraphBuildStats build_stats_;
+  std::vector<IoStats> build_io_;  // Per-shard build-phase device IO.
   QueryStats last_stats_;
 
   // In-memory directory (metadata): partition of each vertex, extent of

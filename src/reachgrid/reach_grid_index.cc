@@ -7,6 +7,7 @@
 #include "common/query_scope.h"
 #include "common/stopwatch.h"
 #include "spatial/rect.h"
+#include "storage/build_pool.h"
 
 namespace streach {
 
@@ -50,6 +51,7 @@ Result<std::unique_ptr<ReachGridIndex>> ReachGridIndex::Build(
   if (options.spatial_cell_size <= 0) {
     return Status::InvalidArgument("spatial_cell_size must be positive");
   }
+  STREACH_RETURN_NOT_OK(ValidateBuildOptions(options.build));
   Rect extent = store.ComputeExtent();
   if (extent.Width() <= 0 || extent.Height() <= 0) {
     extent = extent.Padded(1.0);
@@ -61,6 +63,9 @@ Result<std::unique_ptr<ReachGridIndex>> ReachGridIndex::Build(
   index->build_stats_.build_seconds = watch.ElapsedSeconds();
   index->build_stats_.index_pages = index->topology_.num_pages();
   index->build_stats_.index_bytes = index->topology_.size_bytes();
+  // Keep the build-phase write profile before wiping the devices for
+  // query-time accounting.
+  index->build_io_ = index->topology_.PerShardDeviceStats();
   index->topology_.ResetStats();
   return index;
 }
@@ -78,76 +83,97 @@ Status ReachGridIndex::WriteIndex(const TrajectoryStore& store) {
   bucket_cells_.resize(static_cast<size_t>(num_buckets));
   build_stats_.num_buckets = static_cast<uint64_t>(num_buckets);
 
-  ShardedExtentWriter writer(&topology_);
-  Encoder enc;
-  std::vector<CellId> scratch_cells;
+  ShardedExtentWriter writer(&topology_, options_.build.write_queue_depth);
+  BuildWorkerPool pool(topology_.num_shards(), options_.build.build_workers);
 
   // Cells of bucket i are written before cells of bucket j > i; within a
   // bucket, cells in row-major CellId order; blobs packed back-to-back so
   // a bucket's cells occupy consecutive pages (§4.1). With S > 1 shards a
   // bucket is routed whole (cells + locator) to shard `bucket mod S`, so
   // the consecutive-placement guarantee holds within every shard and a
-  // bucket-ordered sweep stays sequential per shard head.
+  // bucket-ordered sweep stays sequential per shard head. Each bucket is
+  // one build task pinned to its shard: buckets of one shard serialize in
+  // temporal order on one worker (the append order — and therefore the
+  // on-disk image — never depends on the worker count), buckets of
+  // different shards build concurrently. Tasks write only their own
+  // bucket's pre-sized slots.
+  std::vector<uint64_t> cells_per_bucket(static_cast<size_t>(num_buckets), 0);
   for (int bucket = 0; bucket < num_buckets; ++bucket) {
     const uint32_t shard =
         topology_.ShardForPartition(static_cast<uint64_t>(bucket));
-    const TimeInterval bw = BucketInterval(bucket);
-    // cell -> objects whose segment has a sample in the cell.
-    std::unordered_map<CellId, std::vector<ObjectId>> cell_objects;
-    for (ObjectId o = 0; o < store.num_objects(); ++o) {
-      const Trajectory& tr = store.Get(o);
-      scratch_cells.clear();
-      for (Timestamp t = bw.start; t <= bw.end; ++t) {
-        scratch_cells.push_back(grid_.CellOf(tr.At(t)));
-      }
-      std::sort(scratch_cells.begin(), scratch_cells.end());
-      scratch_cells.erase(
-          std::unique(scratch_cells.begin(), scratch_cells.end()),
-          scratch_cells.end());
-      for (CellId c : scratch_cells) cell_objects[c].push_back(o);
-    }
-    // Deterministic order: ascending cell id.
-    std::vector<CellId> cells;
-    cells.reserve(cell_objects.size());
-    for (const auto& [c, objs] : cell_objects) cells.push_back(c);
-    std::sort(cells.begin(), cells.end());
-    for (CellId c : cells) {
-      const auto& objs = cell_objects[c];
-      enc.Clear();
-      enc.PutVarint(objs.size());
-      for (ObjectId o : objs) {
-        enc.PutU32(o);
+    pool.Submit(shard, [this, &store, &writer, &cells_per_bucket, bucket,
+                        shard]() -> Status {
+      const TimeInterval bw = BucketInterval(bucket);
+      // cell -> objects whose segment has a sample in the cell.
+      std::unordered_map<CellId, std::vector<ObjectId>> cell_objects;
+      std::vector<CellId> scratch_cells;
+      for (ObjectId o = 0; o < store.num_objects(); ++o) {
         const Trajectory& tr = store.Get(o);
-        // Positions time-ordered (§4.1's within-cell placement rule).
+        scratch_cells.clear();
         for (Timestamp t = bw.start; t <= bw.end; ++t) {
-          const Point& p = tr.At(t);
-          enc.PutDouble(p.x);
-          enc.PutDouble(p.y);
+          scratch_cells.push_back(grid_.CellOf(tr.At(t)));
         }
+        std::sort(scratch_cells.begin(), scratch_cells.end());
+        scratch_cells.erase(
+            std::unique(scratch_cells.begin(), scratch_cells.end()),
+            scratch_cells.end());
+        for (CellId c : scratch_cells) cell_objects[c].push_back(o);
       }
-      auto extent = writer.Append(shard, enc.buffer());
-      if (!extent.ok()) return extent.status();
-      bucket_cells_[static_cast<size_t>(bucket)].emplace(c, *extent);
-      ++build_stats_.num_nonempty_cells;
-    }
+      // Deterministic order: ascending cell id.
+      std::vector<CellId> cells;
+      cells.reserve(cell_objects.size());
+      for (const auto& [c, objs] : cell_objects) cells.push_back(c);
+      std::sort(cells.begin(), cells.end());
+      Encoder enc;
+      for (CellId c : cells) {
+        const auto& objs = cell_objects[c];
+        enc.Clear();
+        enc.PutVarint(objs.size());
+        for (ObjectId o : objs) {
+          enc.PutU32(o);
+          const Trajectory& tr = store.Get(o);
+          // Positions time-ordered (§4.1's within-cell placement rule).
+          for (Timestamp t = bw.start; t <= bw.end; ++t) {
+            const Point& p = tr.At(t);
+            enc.PutDouble(p.x);
+            enc.PutDouble(p.y);
+          }
+        }
+        auto extent = writer.Append(shard, enc.buffer());
+        if (!extent.ok()) return extent.status();
+        bucket_cells_[static_cast<size_t>(bucket)].emplace(c, *extent);
+        ++cells_per_bucket[static_cast<size_t>(bucket)];
+      }
+      return Status::OK();
+    });
   }
+  // Section break: every cell of every shard must be placed before any
+  // locator, so the cross-shard align waits for the pool to drain.
+  STREACH_RETURN_NOT_OK(pool.Barrier());
+  for (uint64_t cells : cells_per_bucket) {
+    build_stats_.num_nonempty_cells += cells;
+  }
+  STREACH_RETURN_NOT_OK(writer.AlignAllToPage());
 
   // Locator tables (the external object->cell hash of §4.2), one per
   // bucket, after the cell area — on the same shard as the bucket's cells.
-  STREACH_RETURN_NOT_OK(writer.AlignAllToPage());
-  locator_extents_.reserve(static_cast<size_t>(num_buckets));
+  locator_extents_.resize(static_cast<size_t>(num_buckets));
   for (int bucket = 0; bucket < num_buckets; ++bucket) {
-    const TimeInterval bw = BucketInterval(bucket);
-    enc.Clear();
-    for (ObjectId o = 0; o < store.num_objects(); ++o) {
-      enc.PutU32(grid_.CellOf(store.Get(o).At(bw.start)));
-    }
-    auto extent = writer.Append(
-        topology_.ShardForPartition(static_cast<uint64_t>(bucket)),
-        enc.buffer());
-    if (!extent.ok()) return extent.status();
-    locator_extents_.push_back(*extent);
+    const uint32_t shard =
+        topology_.ShardForPartition(static_cast<uint64_t>(bucket));
+    pool.Submit(shard, [this, &store, &writer, bucket, shard]() -> Status {
+      const TimeInterval bw = BucketInterval(bucket);
+      Encoder enc;
+      for (ObjectId o = 0; o < store.num_objects(); ++o) {
+        enc.PutU32(grid_.CellOf(store.Get(o).At(bw.start)));
+      }
+      auto extent = writer.Append(shard, enc.buffer());
+      if (!extent.ok()) return extent.status();
+      locator_extents_[static_cast<size_t>(bucket)] = *extent;
+      return Status::OK();
+    });
   }
+  STREACH_RETURN_NOT_OK(pool.Finish());
   return writer.Flush();
 }
 

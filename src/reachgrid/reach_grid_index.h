@@ -12,6 +12,7 @@
 #include "spatial/grid2d.h"
 #include "storage/block_device.h"
 #include "storage/block_file.h"
+#include "storage/build_options.h"
 #include "storage/buffer_pool.h"
 #include "storage/storage_topology.h"
 #include "trajectory/trajectory_store.h"
@@ -33,6 +34,10 @@ struct ReachGridOptions {
   /// routed round-robin across this many per-shard devices. 1 reproduces
   /// the paper's single-disk layout bit-for-bit.
   int num_shards = 1;
+  /// Write-side build parameters (worker pool + write queues); the
+  /// defaults reproduce the historical synchronous single-threaded build
+  /// page for page. On-disk images are identical at any setting.
+  BuildOptions build;
 };
 
 /// Construction metrics (Figure 9).
@@ -99,6 +104,10 @@ class ReachGridIndex {
 
   const QueryStats& last_query_stats() const { return last_stats_; }
   const ReachGridBuildStats& build_stats() const { return build_stats_; }
+  /// Device IO each shard performed during construction (index = shard
+  /// id): the write-side profile — total pages written, how many went
+  /// through the batched write queues, and their mean occupancy.
+  const std::vector<IoStats>& build_io_stats() const { return build_io_; }
   const ReachGridOptions& options() const { return options_; }
 
   /// Evicts all buffered pages so the next query runs cold.
@@ -175,6 +184,7 @@ class ReachGridIndex {
   TimeInterval span_;
   size_t num_objects_;
   ReachGridBuildStats build_stats_;
+  std::vector<IoStats> build_io_;  // Per-shard build-phase device IO.
   QueryStats last_stats_;
 
   // In-memory directory: per bucket, extents of non-empty cells.

@@ -4,6 +4,38 @@
 
 namespace streach {
 
+namespace {
+
+/// Seek-aware service selection shared by the read and write submission
+/// queues. `inflight` holds indices into the request batch, oldest first;
+/// `page_of` maps such an index to its target page. The head sits just
+/// past `last`, so the request for `last + 1` continues sequentially and
+/// wins outright; failing that the shortest seek wins, FIFO on equal
+/// distance. An idle head (no access yet) has no position — the oldest
+/// submitted request goes first. Deterministic.
+template <typename PageOf>
+size_t PickServiceSlot(const std::vector<size_t>& inflight, PageId last,
+                       PageOf page_of) {
+  size_t best = 0;
+  if (last == kInvalidPage) return best;
+  const PageId want = last + 1;
+  auto seek_of = [&](size_t slot) {
+    const PageId page = page_of(inflight[slot]);
+    return page >= want ? page - want : want - page;
+  };
+  uint64_t best_seek = seek_of(0);
+  for (size_t slot = 1; slot < inflight.size() && best_seek > 0; ++slot) {
+    const uint64_t seek = seek_of(slot);
+    if (seek < best_seek) {
+      best_seek = seek;
+      best = slot;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 PageId BlockDevice::AllocatePage() {
   pages_.emplace_back(page_size_, '\0');
   return pages_.size() - 1;
@@ -70,26 +102,9 @@ Status BlockDevice::SubmitBatch(
     while (inflight.size() < depth && next_submit < requests.size()) {
       inflight.push_back(next_submit++);
     }
-    // Service selection: the head is past `last_access`, so a request for
-    // `last_access + 1` continues sequentially and wins outright; failing
-    // that, the shortest seek wins, FIFO on equal distance. An idle head
-    // (no access yet) has no position — first submitted goes first.
-    size_t best = 0;
-    if (cursor->last_access != kInvalidPage) {
-      const PageId want = cursor->last_access + 1;
-      auto seek_of = [&](size_t slot) {
-        const PageId page = requests[inflight[slot]].page;
-        return page >= want ? page - want : want - page;
-      };
-      uint64_t best_seek = seek_of(0);
-      for (size_t slot = 1; slot < inflight.size() && best_seek > 0; ++slot) {
-        const uint64_t seek = seek_of(slot);
-        if (seek < best_seek) {
-          best_seek = seek;
-          best = slot;
-        }
-      }
-    }
+    const size_t best =
+        PickServiceSlot(inflight, cursor->last_access,
+                        [&](size_t i) { return requests[i].page; });
     const AsyncReadRequest& serviced = requests[inflight[best]];
     AsyncReadCompletion completion;
     completion.tag = serviced.tag;
@@ -101,6 +116,42 @@ Status BlockDevice::SubmitBatch(
     ++cursor->stats.batched_reads;
     cursor->stats.inflight_accum += inflight.size();
     completions->push_back(completion);
+    inflight.erase(inflight.begin() + static_cast<ptrdiff_t>(best));
+  }
+  return Status::OK();
+}
+
+Status BlockDevice::SubmitWriteBatch(
+    const std::vector<AsyncWriteRequest>& requests, int queue_depth) {
+  if (queue_depth < 1) {
+    return Status::InvalidArgument("queue_depth must be >= 1");
+  }
+  for (const AsyncWriteRequest& request : requests) {
+    if (request.page >= pages_.size()) {
+      return Status::OutOfRange("batched write to unallocated page " +
+                                std::to_string(request.page));
+    }
+    if (request.data.size() > page_size_) {
+      return Status::InvalidArgument("page payload exceeds page size");
+    }
+  }
+  const auto depth = static_cast<size_t>(queue_depth);
+  std::vector<size_t> inflight;  // Indices into `requests`, oldest first.
+  inflight.reserve(depth);
+  size_t next_submit = 0;
+  while (next_submit < requests.size() || !inflight.empty()) {
+    while (inflight.size() < depth && next_submit < requests.size()) {
+      inflight.push_back(next_submit++);
+    }
+    const size_t best = PickServiceSlot(
+        inflight, last_access_, [&](size_t i) { return requests[i].page; });
+    const AsyncWriteRequest& serviced = requests[inflight[best]];
+    RecordAccess(serviced.page, /*is_write=*/true);
+    ++stats_.batched_writes;
+    stats_.write_inflight_accum += inflight.size();
+    std::string& page = pages_[serviced.page];
+    page.assign(serviced.data.data(), serviced.data.size());
+    page.resize(page_size_, '\0');
     inflight.erase(inflight.begin() + static_cast<ptrdiff_t>(best));
   }
   return Status::OK();

@@ -101,6 +101,30 @@ struct AsyncReadCompletion {
 };
 /// @}
 
+/// \name Batched async write path
+///
+/// The write-side mirror of `SubmitBatch`, feeding index construction:
+/// an extent writer buffers finished pages and submits them as one batch,
+/// the device keeps up to `write_queue_depth` of them outstanding, and
+/// services whichever outstanding write is cheapest for the head — the
+/// same policy, accounting (sequential/random classification plus
+/// `IoStats::batched_writes` / `write_inflight_accum` occupancy), and
+/// depth-1 degeneration as the read queue. Because the §4.1/§5.1.3
+/// placement keeps a build's pages consecutive per shard, a full write
+/// queue services near-sequentially at any depth; the occupancy counters
+/// certify the overlap a build achieved.
+/// @{
+
+/// One entry of an async write batch: the target page plus the bytes to
+/// store there (owned, so a writer can buffer batches across appends).
+/// At most page_size() bytes; shorter payloads are zero-padded exactly
+/// like `WritePage`.
+struct AsyncWriteRequest {
+  PageId page = kInvalidPage;
+  std::string data;
+};
+/// @}
+
 /// \brief Simulated paged disk.
 ///
 /// stReach targets *disk-resident* contact datasets; since the evaluation
@@ -120,10 +144,11 @@ struct AsyncReadCompletion {
 ///
 /// Thread safety: the cursor-based `ReadPage(id, cursor)` overload is safe
 /// for any number of concurrent readers (with distinct cursors) as long as
-/// no thread concurrently allocates or writes pages — the index build
-/// phase is single-threaded and indexes are immutable afterwards, which is
-/// exactly that regime. The legacy mutating members (`AllocatePage`,
-/// `WritePage`, the accounting `ReadPage(id)`) are single-threaded.
+/// no thread concurrently allocates or writes pages. The mutating members
+/// (`AllocatePage`, `WritePage`, `SubmitWriteBatch`, the accounting
+/// `ReadPage(id)`) require exclusive access to this device — during a
+/// parallel index build each shard's device is driven by exactly one
+/// build worker, which is that regime; indexes are immutable afterwards.
 class BlockDevice {
  public:
   static constexpr size_t kDefaultPageSize = 4096;  // 4 KB, Table 3.
@@ -134,19 +159,39 @@ class BlockDevice {
   BlockDevice(const BlockDevice&) = delete;
   BlockDevice& operator=(const BlockDevice&) = delete;
 
+  /// Fixed size of every page in bytes (immutable after construction).
   size_t page_size() const { return page_size_; }
+  /// Pages allocated so far; valid ids are [0, num_pages()).
   PageId num_pages() const { return pages_.size(); }
+  /// Total allocated bytes (num_pages() * page_size()).
   uint64_t size_bytes() const { return num_pages() * page_size_; }
 
-  /// Appends a zeroed page; returns its id.
+  /// Appends a zeroed page; returns its id. Allocation itself performs no
+  /// head movement and no IO accounting — only reads/writes do.
   PageId AllocatePage();
 
   /// Appends `n` zeroed pages; returns the id of the first.
   PageId AllocatePages(size_t n);
 
-  /// Overwrites a page. `data` must be at most page_size() bytes; shorter
-  /// payloads are zero-padded.
+  /// Overwrites a page synchronously, accounting one write (sequential iff
+  /// it targets the page after the previous access) against the
+  /// device-global stats. `data` must be at most page_size() bytes;
+  /// shorter payloads are zero-padded. Exclusive access required.
   Status WritePage(PageId id, std::string_view data);
+
+  /// Batched async write path (see the AsyncWriteRequest block comment):
+  /// services `requests` through a simulated submission queue holding up
+  /// to `queue_depth` outstanding writes, storing each payload
+  /// zero-padded and accounting every access (plus write-queue occupancy
+  /// stats) against the device-global stats. Requests are validated
+  /// before any is serviced, so a failed call writes nothing and performs
+  /// no accounting. With `queue_depth == 1` writes are serviced strictly
+  /// FIFO — the synchronous `WritePage` sequence page for page, plus the
+  /// `batched_writes` occupancy counters. Requests targeting the same
+  /// page in one batch may be serviced in either order; the extent
+  /// writers never do that. Exclusive access required.
+  Status SubmitWriteBatch(const std::vector<AsyncWriteRequest>& requests,
+                          int queue_depth);
 
   /// Reads a page; the returned view is valid until the next allocation.
   /// Accounts the access against the device-global stats — single-threaded
@@ -169,8 +214,18 @@ class BlockDevice {
                      int queue_depth, ReadCursor* cursor,
                      std::vector<AsyncReadCompletion>* completions) const;
 
+  /// Device-global access counters: every `WritePage` /
+  /// `SubmitWriteBatch` / accounting `ReadPage(id)` lands here; the
+  /// cursor-based read paths account against their caller's cursor
+  /// instead. This split is what lets builds (exclusive) and concurrent
+  /// queries (shared) meter IO without contending on one counter.
   const IoStats& stats() const { return stats_; }
+  /// Mutable access to the device-global stats (tests and benchmarks
+  /// zero individual counters through this); does not touch the head.
   IoStats* mutable_stats() { return &stats_; }
+  /// Zeroes the device-global stats and forgets the head position (the
+  /// next access classifies as random). Builders call this once
+  /// construction ends so query-time accounting starts clean.
   void ResetStats() {
     stats_.Reset();
     last_access_ = kInvalidPage;

@@ -4,10 +4,13 @@
 
 namespace streach {
 
-ExtentWriter::ExtentWriter(BlockDevice* device, uint32_t shard_id)
-    : device_(device), shard_id_(shard_id) {
+ExtentWriter::ExtentWriter(BlockDevice* device, uint32_t shard_id,
+                           int write_queue_depth)
+    : device_(device), shard_id_(shard_id),
+      write_queue_depth_(write_queue_depth) {
   STREACH_CHECK(device != nullptr);
   STREACH_CHECK_LT(shard_id, kMaxShards);
+  STREACH_CHECK_GE(write_queue_depth, 1);
 }
 
 Result<Extent> ExtentWriter::Append(std::string_view blob) {
@@ -46,22 +49,45 @@ Status ExtentWriter::AlignToPage() {
 }
 
 Status ExtentWriter::Flush() {
-  if (current_page_ == kInvalidPage) return Status::OK();
-  STREACH_RETURN_NOT_OK(FlushCurrentPage());
-  current_page_ = kInvalidPage;
-  current_.clear();
-  return Status::OK();
+  if (current_page_ != kInvalidPage) {
+    STREACH_RETURN_NOT_OK(FlushCurrentPage());
+    current_page_ = kInvalidPage;
+    current_.clear();
+  }
+  return FlushPendingWrites();
 }
 
 Status ExtentWriter::FlushCurrentPage() {
-  return device_->WritePage(current_page_, current_);
+  // Depth 1: the historical synchronous path, one WritePage per finished
+  // page in placement order. Deeper queues buffer the finished page (its
+  // bytes move into the batch) and submit once the buffer fills.
+  if (write_queue_depth_ == 1) {
+    return device_->WritePage(current_page_, current_);
+  }
+  pending_writes_.push_back(
+      AsyncWriteRequest{current_page_, std::move(current_)});
+  current_.clear();
+  if (pending_writes_.size() >= kWriteBufferPages) {
+    return FlushPendingWrites();
+  }
+  return Status::OK();
 }
 
-ShardedExtentWriter::ShardedExtentWriter(StorageTopology* topology) {
+Status ExtentWriter::FlushPendingWrites() {
+  if (pending_writes_.empty()) return Status::OK();
+  Status status = device_->SubmitWriteBatch(pending_writes_,
+                                            write_queue_depth_);
+  pending_writes_.clear();
+  return status;
+}
+
+ShardedExtentWriter::ShardedExtentWriter(StorageTopology* topology,
+                                         int write_queue_depth) {
   STREACH_CHECK(topology != nullptr);
   writers_.reserve(static_cast<size_t>(topology->num_shards()));
   for (int s = 0; s < topology->num_shards(); ++s) {
-    writers_.emplace_back(topology->shard(s), static_cast<uint32_t>(s));
+    writers_.emplace_back(topology->shard(s), static_cast<uint32_t>(s),
+                          write_queue_depth);
   }
 }
 

@@ -38,11 +38,25 @@ struct Extent {
 /// partitions in creation order for ReachGraph). The writer packs blobs
 /// back-to-back across page boundaries so consecutive blobs land on
 /// consecutive pages — the property that turns traversal IO sequential.
+///
+/// Write batching: at `write_queue_depth == 1` (the default) every
+/// finished page goes straight through the synchronous
+/// `BlockDevice::WritePage` — the historical build sequence page for
+/// page. At depth N > 1 finished pages are buffered (up to
+/// `kWriteBufferPages`) and submitted through
+/// `BlockDevice::SubmitWriteBatch`, so the device keeps up to N writes in
+/// flight. Page contents are identical either way — only the IO cost
+/// profile (and the `batched_writes` accounting) differs.
 class ExtentWriter {
  public:
+  /// Pages buffered before a batch is submitted at depth > 1. Large
+  /// enough that a full write queue amortizes across many services.
+  static constexpr size_t kWriteBufferPages = 64;
+
   /// Writes onto `device`; extents are addressed as shard `shard_id`
   /// pages (shard 0 — the default — yields plain local page ids).
-  explicit ExtentWriter(BlockDevice* device, uint32_t shard_id = 0);
+  explicit ExtentWriter(BlockDevice* device, uint32_t shard_id = 0,
+                        int write_queue_depth = 1);
 
   /// Appends `blob` after the previous one; returns where it landed.
   Result<Extent> Append(std::string_view blob);
@@ -51,21 +65,26 @@ class ExtentWriter {
   /// page (used to align independent sections).
   Status AlignToPage();
 
-  /// Flushes the partially filled trailing page. Must be called once after
-  /// the last Append; further Appends are allowed and continue on a new
-  /// page.
+  /// Flushes the partially filled trailing page and drains any buffered
+  /// write batch. Must be called once after the last Append; further
+  /// Appends are allowed and continue on a new page.
   Status Flush();
 
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
   Status FlushCurrentPage();
+  /// Submits the buffered pages as one write batch (no-op when empty).
+  Status FlushPendingWrites();
 
   BlockDevice* device_;
   uint32_t shard_id_;
+  int write_queue_depth_;
   std::string current_;    // Buffered bytes of the page being filled.
   PageId current_page_ = kInvalidPage;  // Local page on `device_`.
   uint64_t bytes_written_ = 0;
+  // Finished pages awaiting batch submission (depth > 1 only).
+  std::vector<AsyncWriteRequest> pending_writes_;
 };
 
 /// \brief One `ExtentWriter` per shard of a topology.
@@ -77,9 +96,20 @@ class ExtentWriter {
 /// within-shard sequential-placement guarantees are preserved no matter
 /// how the units interleave across shards. All extents come back with
 /// routed page addresses.
+///
+/// Thread safety: appends to *different* shards may run concurrently (one
+/// build worker per shard — each per-shard writer buffers and flushes
+/// against its own device only); appends to the same shard must be
+/// serialized by the caller, which is exactly what `BuildWorkerPool`'s
+/// shard-pinned FIFO ordering provides. `AlignAllToPage`/`Flush` touch
+/// every shard and must run with no appends in flight (after a pool
+/// barrier).
 class ShardedExtentWriter {
  public:
-  explicit ShardedExtentWriter(StorageTopology* topology);
+  /// `write_queue_depth` as in `BuildOptions`: 1 = synchronous WritePage
+  /// per finished page, N > 1 = per-shard batches with N in flight.
+  explicit ShardedExtentWriter(StorageTopology* topology,
+                               int write_queue_depth = 1);
 
   /// Appends `blob` to `shard`'s device after that shard's previous blob.
   Result<Extent> Append(uint32_t shard, std::string_view blob);

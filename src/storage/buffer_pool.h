@@ -58,6 +58,12 @@ class PageRef {
 /// contend on shared counters, accesses to different shards never disturb
 /// each other's sequentiality, and the device read path stays `const`. A
 /// `BufferPool` itself is NOT thread-safe — use one instance per thread.
+///
+/// Pools are a read-path structure only: index builds write *beneath*
+/// the pool (extent writers drive `WritePage`/`SubmitWriteBatch` on the
+/// devices directly), and no pool may fetch pages while a build mutates
+/// the underlying devices — sessions are only minted over finished,
+/// immutable indexes, so the regime holds by construction.
 class BufferPool {
  public:
   /// Pool over a single bare device (shard-0 addresses only).
@@ -97,10 +103,18 @@ class BufferPool {
   /// query cold). Outstanding `PageRef`s stay valid.
   void Clear();
 
+  /// Maximum resident pages (fixed at construction, always positive).
   size_t capacity() const { return capacity_; }
+  /// Pages currently cached; never exceeds capacity().
   size_t resident() const { return entries_.size(); }
+  /// Fetches served without device IO since the last ResetCounters().
   uint64_t hits() const { return hits_; }
+  /// Fetches that read through to a device. Every fetch is exactly one
+  /// hit or one miss, batched or not (FetchBatch's dedup preserves the
+  /// Fetch-loop accounting), so hits + misses = total fetches.
   uint64_t misses() const { return misses_; }
+  /// Zeroes hit/miss counters and every shard cursor (stats + head
+  /// position); cached pages stay resident. Used between measured runs.
   void ResetCounters() {
     hits_ = misses_ = 0;
     for (ReadCursor& cursor : cursors_) cursor.Reset();
@@ -131,7 +145,9 @@ class BufferPool {
     return stats;
   }
 
+  /// The bare device behind this pool, or nullptr in topology mode.
   const BlockDevice* device() const { return device_; }
+  /// The topology behind this pool, or nullptr in bare-device mode.
   const StorageTopology* topology() const { return topology_; }
 
  private:

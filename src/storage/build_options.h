@@ -1,0 +1,57 @@
+#ifndef STREACH_STORAGE_BUILD_OPTIONS_H_
+#define STREACH_STORAGE_BUILD_OPTIONS_H_
+
+#include "common/status.h"
+
+namespace streach {
+
+/// \brief Write-side construction parameters shared by every disk-resident
+/// index family (ReachGrid, ReachGraph, GRAIL, SPJ).
+///
+/// The symmetric twin of the read side's `QueryEngineOptions::
+/// io_queue_depth` / `ReachabilityIndex::SetIoQueueDepth`: queries batch
+/// page reads through per-shard submission queues, builds batch page
+/// writes through per-shard write queues and spread serialization over a
+/// per-shard worker pool. The defaults reproduce the historical
+/// single-threaded synchronous build page for page — on-disk images are
+/// bit-identical to the pre-batching code — and any other setting yields
+/// the same per-shard images too (each shard's append sequence is
+/// determined by placement-unit order, never by worker scheduling), so
+/// answers never depend on these knobs; only build wall time and the
+/// build's IO cost profile do.
+struct BuildOptions {
+  /// Submission-queue depth of each shard's write queue during index
+  /// construction: how many finished pages an extent writer may keep in
+  /// flight per shard device. 1 (the default) writes every page
+  /// synchronously in placement order — exactly the historical
+  /// `WritePage` sequence, with zero `batched_writes` accounted. At
+  /// N > 1 finished pages are buffered and submitted in batches; the
+  /// device keeps up to N outstanding and services them seek-aware
+  /// (`IoStats::mean_write_inflight()` approaches N on sequential runs).
+  int write_queue_depth = 1;
+
+  /// Build worker threads serializing placement units. 1 (the default)
+  /// runs every unit inline on the calling thread in placement order —
+  /// the historical sequential build, no threads spawned. 0 means one
+  /// worker per storage shard (the natural setting: S independent
+  /// devices, S workers). W > 1 spawns min(W, num_shards) workers and
+  /// assigns shard s to worker s % W; each shard's units still serialize
+  /// FIFO on a single worker, which is what keeps the per-shard append
+  /// order — and therefore the on-disk image — independent of W.
+  int build_workers = 1;
+};
+
+/// Validates a `BuildOptions`; every `Build` entry point calls this first.
+inline Status ValidateBuildOptions(const BuildOptions& options) {
+  if (options.write_queue_depth < 1) {
+    return Status::InvalidArgument("write_queue_depth must be >= 1");
+  }
+  if (options.build_workers < 0) {
+    return Status::InvalidArgument("build_workers must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace streach
+
+#endif  // STREACH_STORAGE_BUILD_OPTIONS_H_

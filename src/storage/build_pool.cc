@@ -1,0 +1,121 @@
+#include "storage/build_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace streach {
+
+BuildWorkerPool::BuildWorkerPool(int num_shards, int num_workers) {
+  STREACH_CHECK_GT(num_shards, 0);
+  STREACH_CHECK_GE(num_workers, 0);
+  if (num_workers == 0) num_workers = num_shards;
+  effective_workers_ = std::min(num_workers, num_shards);
+  inline_mode_ = effective_workers_ == 1;
+  error_ = Status::OK();
+  if (inline_mode_) return;
+  queues_.reserve(static_cast<size_t>(effective_workers_));
+  for (int w = 0; w < effective_workers_; ++w) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(static_cast<size_t>(effective_workers_));
+  for (int w = 0; w < effective_workers_; ++w) {
+    workers_.emplace_back(&BuildWorkerPool::WorkerLoop, this,
+                          static_cast<size_t>(w));
+  }
+}
+
+BuildWorkerPool::~BuildWorkerPool() { Finish(); }
+
+void BuildWorkerPool::Submit(uint32_t shard, std::function<Status()> task) {
+  const uint64_t seq = next_seq_++;
+  if (inline_mode_) {
+    // Sticky fail-fast, like the historical sequential build's
+    // return-on-first-error: once a unit fails, later units never run.
+    if (!has_error_.load(std::memory_order_relaxed)) {
+      Status status = task();
+      if (!status.ok()) RecordError(seq, std::move(status));
+    }
+    return;
+  }
+  Worker& worker =
+      *queues_[shard % static_cast<uint32_t>(effective_workers_)];
+  pending_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(worker.mu);
+    worker.queue.push_back(Task{seq, std::move(task)});
+  }
+  worker.cv.notify_one();
+}
+
+Status BuildWorkerPool::Barrier() {
+  if (inline_mode_) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    return error_;
+  }
+  {
+    std::unique_lock<std::mutex> lock(barrier_mu_);
+    barrier_cv_.wait(lock, [this] { return pending_.load() == 0; });
+  }
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return error_;
+}
+
+Status BuildWorkerPool::Finish() {
+  Status status = Barrier();
+  if (!inline_mode_ && !workers_.empty()) {
+    for (auto& worker : queues_) {
+      {
+        std::lock_guard<std::mutex> lock(worker->mu);
+        worker->stopping = true;
+      }
+      worker->cv.notify_one();
+    }
+    for (std::thread& thread : workers_) thread.join();
+    workers_.clear();
+  }
+  return status;
+}
+
+void BuildWorkerPool::WorkerLoop(size_t worker_index) {
+  Worker& worker = *queues_[worker_index];
+  std::unique_lock<std::mutex> lock(worker.mu);
+  for (;;) {
+    worker.cv.wait(lock,
+                   [&] { return worker.stopping || !worker.queue.empty(); });
+    if (worker.queue.empty()) {
+      if (worker.stopping) return;
+      continue;
+    }
+    Task task = std::move(worker.queue.front());
+    worker.queue.pop_front();
+    lock.unlock();
+    if (!has_error_.load(std::memory_order_relaxed)) {
+      Status status = task.fn();
+      if (!status.ok()) RecordError(task.seq, std::move(status));
+    }
+    TaskDone();
+    lock.lock();
+  }
+}
+
+void BuildWorkerPool::TaskDone() {
+  if (pending_.fetch_sub(1) == 1) {
+    // Last task of the phase: hand the barrier its wakeup under the
+    // barrier mutex so the notify can't slip between its predicate
+    // check and its wait.
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    barrier_cv_.notify_all();
+  }
+}
+
+void BuildWorkerPool::RecordError(uint64_t seq, Status status) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (has_error_.load(std::memory_order_relaxed) && error_seq_ <= seq) return;
+  has_error_.store(true, std::memory_order_relaxed);
+  error_seq_ = seq;
+  error_ = std::move(status);
+}
+
+}  // namespace streach

@@ -1,0 +1,126 @@
+#ifndef STREACH_STORAGE_BUILD_POOL_H_
+#define STREACH_STORAGE_BUILD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace streach {
+
+/// \brief Per-shard worker pool driving parallel index construction.
+///
+/// The storage topology's S shards are independent devices, but each
+/// shard's pages must be appended in placement-unit order (the §4.1/§5.1.3
+/// sequential-placement guarantee) and by one thread at a time (the
+/// devices' exclusivity contract). This pool encodes exactly that: tasks
+/// are submitted in global placement order, each pinned to the shard whose
+/// extent writer it appends to; shard s is owned by worker s % W, and every
+/// worker runs its tasks FIFO. Consequences:
+///
+///  * Tasks of one shard never run concurrently and never reorder — the
+///    shard's append sequence (hence its on-disk image) is identical for
+///    every worker count.
+///  * Tasks of different shards overlap freely — with W == S each device
+///    builds at its own pace.
+///  * With one worker, tasks run inline on the submitting thread at
+///    `Submit` time, in submission order, with no threads spawned: the
+///    historical sequential build, page for page.
+///
+/// Builds are phased (cells, then locators; partitions, then timelines):
+/// `Barrier()` drains all submitted tasks so a cross-shard section break
+/// (`AlignAllToPage`) can run on the calling thread, and the pool accepts
+/// further submissions afterwards. `Finish()` is the final barrier plus
+/// worker join.
+///
+/// Errors: a task returning a non-OK `Status` marks the pool failed;
+/// subsequent tasks are skipped (popped but not run), and
+/// `Barrier()`/`Finish()` return the recorded failure with the smallest
+/// submission index. Builders treat any failure as fatal and discard the
+/// half-built index, so skipped tasks are never observable.
+///
+/// Not thread-safe on the submitting side: one coordinating thread
+/// submits, barriers, and finishes.
+class BuildWorkerPool {
+ public:
+  /// `num_workers` as in `BuildOptions::build_workers`: 1 = inline, 0 =
+  /// one per shard, else min(num_workers, num_shards) threads.
+  BuildWorkerPool(int num_shards, int num_workers);
+  ~BuildWorkerPool();
+
+  BuildWorkerPool(const BuildWorkerPool&) = delete;
+  BuildWorkerPool& operator=(const BuildWorkerPool&) = delete;
+
+  /// Threads actually running tasks (1 in inline mode).
+  int num_workers() const { return effective_workers_; }
+
+  /// Enqueues `task` on shard `shard`'s worker. Tasks with the same shard
+  /// run FIFO in submission order; inline mode runs the task before
+  /// returning (skipping it if a previous task failed).
+  void Submit(uint32_t shard, std::function<Status()> task);
+
+  /// Blocks until every submitted task has run (or been skipped); returns
+  /// OK or the earliest-submitted failure. The pool remains usable.
+  Status Barrier();
+
+  /// Barrier plus worker join; the pool accepts no tasks afterwards.
+  /// Called implicitly by the destructor if omitted (result discarded —
+  /// call it explicitly to observe errors).
+  Status Finish();
+
+ private:
+  struct Task {
+    uint64_t seq = 0;
+    std::function<Status()> fn;
+  };
+
+  /// One worker's private queue state: tasks are pushed/popped under the
+  /// worker's own mutex with a targeted notify_one, so submissions to
+  /// different workers (and a worker's own pops) never contend on a
+  /// shared lock — unit-grained tasks stay cheap even at high counts.
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;  // Queue non-empty / stop.
+    std::deque<Task> queue;
+    bool stopping = false;
+  };
+
+  void WorkerLoop(size_t worker);
+  /// Records `status` as the pool failure if it precedes (by submission
+  /// index) any already recorded. Takes `error_mu_`.
+  void RecordError(uint64_t seq, Status status);
+  /// Marks one task done; wakes Barrier when the count hits zero.
+  void TaskDone();
+
+  int effective_workers_ = 1;
+  bool inline_mode_ = true;
+  uint64_t next_seq_ = 0;
+
+  std::vector<std::unique_ptr<Worker>> queues_;  // One per worker.
+  std::vector<std::thread> workers_;
+
+  /// Submitted-but-not-finished count. The submitting thread only reads
+  /// it inside Barrier() (it never submits concurrently with a barrier),
+  /// so a transient zero can only be the real phase end. The decrement's
+  /// notify runs under `barrier_mu_`, which Barrier holds across its
+  /// predicate check — no missed wakeups.
+  std::atomic<uint64_t> pending_{0};
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+
+  std::mutex error_mu_;  // Guards the three error fields (threaded mode).
+  std::atomic<bool> has_error_{false};  // Fast skip check for workers.
+  uint64_t error_seq_ = 0;
+  Status error_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_STORAGE_BUILD_POOL_H_

@@ -33,6 +33,21 @@ struct IoStats {
   uint64_t inflight_accum = 0;  ///< Sum of queue occupancy at each service.
   /// @}
 
+  /// \name Async write-queue counters
+  ///
+  /// The write-side mirror: pages written through `SubmitWriteBatch` (the
+  /// batched build path) record the write queue's occupancy at the moment
+  /// they were serviced. `mean_write_inflight()` is 1.0 when every
+  /// batched write went out alone and approaches the write queue depth
+  /// when an extent writer's flushes keep the queue full. Writes through
+  /// the synchronous `WritePage` path leave these untouched, so a
+  /// `write_queue_depth == 1` build reports zero batched writes — the
+  /// historical profile.
+  /// @{
+  uint64_t batched_writes = 0;        ///< Writes serviced via SubmitWriteBatch.
+  uint64_t write_inflight_accum = 0;  ///< Sum of occupancy at each service.
+  /// @}
+
   /// Random:sequential cost ratio used for normalization.
   static constexpr double kSequentialPerRandom = 20.0;
 
@@ -45,6 +60,14 @@ struct IoStats {
     return batched_reads == 0 ? 0.0
                               : static_cast<double>(inflight_accum) /
                                     static_cast<double>(batched_reads);
+  }
+
+  /// Mean number of in-flight requests over the batched writes (0 when no
+  /// write went through the batch path).
+  double mean_write_inflight() const {
+    return batched_writes == 0 ? 0.0
+                               : static_cast<double>(write_inflight_accum) /
+                                     static_cast<double>(batched_writes);
   }
 
   /// Normalized read cost in units of random accesses.
@@ -67,6 +90,8 @@ struct IoStats {
     d.sequential_writes = sequential_writes - o.sequential_writes;
     d.batched_reads = batched_reads - o.batched_reads;
     d.inflight_accum = inflight_accum - o.inflight_accum;
+    d.batched_writes = batched_writes - o.batched_writes;
+    d.write_inflight_accum = write_inflight_accum - o.write_inflight_accum;
     return d;
   }
 
@@ -77,6 +102,8 @@ struct IoStats {
     sequential_writes += o.sequential_writes;
     batched_reads += o.batched_reads;
     inflight_accum += o.inflight_accum;
+    batched_writes += o.batched_writes;
+    write_inflight_accum += o.write_inflight_accum;
     return *this;
   }
 

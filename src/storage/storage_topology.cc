@@ -55,6 +55,40 @@ Status StorageTopology::SubmitBatch(
   return Status::OK();
 }
 
+Status StorageTopology::SubmitWriteBatch(
+    std::vector<AsyncWriteRequest> requests, int queue_depth) {
+  // Validate the whole batch up front so no shard queue runs (writes
+  // pages, accounts accesses) before a bad request is caught.
+  for (const AsyncWriteRequest& request : requests) {
+    const uint32_t shard = ShardOfPage(request.page);
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("page address routes to unknown shard " +
+                                std::to_string(shard));
+    }
+    if (LocalPageOf(request.page) >= shards_[shard]->num_pages()) {
+      return Status::OutOfRange("batched write to unallocated page " +
+                                std::to_string(request.page));
+    }
+    if (request.data.size() > page_size_) {
+      return Status::InvalidArgument("page payload exceeds page size");
+    }
+  }
+  // Per-shard write queues, request order preserved within a shard;
+  // payloads move rather than copy.
+  std::vector<std::vector<AsyncWriteRequest>> queues(shards_.size());
+  for (AsyncWriteRequest& request : requests) {
+    const uint32_t shard = ShardOfPage(request.page);
+    queues[shard].push_back(AsyncWriteRequest{LocalPageOf(request.page),
+                                              std::move(request.data)});
+  }
+  for (uint32_t shard = 0; shard < queues.size(); ++shard) {
+    if (queues[shard].empty()) continue;
+    STREACH_RETURN_NOT_OK(
+        shards_[shard]->SubmitWriteBatch(queues[shard], queue_depth));
+  }
+  return Status::OK();
+}
+
 PageId StorageTopology::num_pages() const {
   PageId total = 0;
   for (const auto& shard : shards_) total += shard->num_pages();
@@ -71,6 +105,13 @@ IoStats StorageTopology::device_stats() const {
   IoStats total;
   for (const auto& shard : shards_) total += shard->stats();
   return total;
+}
+
+std::vector<IoStats> StorageTopology::PerShardDeviceStats() const {
+  std::vector<IoStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) stats.push_back(shard->stats());
+  return stats;
 }
 
 void StorageTopology::ResetStats() {

@@ -52,9 +52,15 @@ class StorageTopology {
   StorageTopology(const StorageTopology&) = delete;
   StorageTopology& operator=(const StorageTopology&) = delete;
 
+  /// Number of per-shard devices; shard ids are [0, num_shards()).
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Page size shared by every shard device.
   size_t page_size() const { return page_size_; }
 
+  /// Direct access to one shard's device. The mutable overload is the
+  /// build-phase escape hatch (extent writers drive it; one build worker
+  /// per shard at a time); the const overload is safe alongside
+  /// concurrent readers.
   BlockDevice* shard(int s) { return shards_[static_cast<size_t>(s)].get(); }
   const BlockDevice& shard(int s) const {
     return *shards_[static_cast<size_t>(s)];
@@ -91,12 +97,29 @@ class StorageTopology {
                      int queue_depth, std::vector<ReadCursor>* cursors,
                      std::vector<AsyncReadCompletion>* completions) const;
 
+  /// Batched async write path over routed addresses — the write-side
+  /// mirror of `SubmitBatch`: requests are split by their shard bits into
+  /// per-shard write queues (request order preserved within a shard) and
+  /// each shard queue is serviced independently at `queue_depth` against
+  /// that shard's device-global stats (builds are metered per device, not
+  /// per cursor). Payloads are moved, not copied, into the shard queues.
+  /// All requests are validated before any is serviced, so a failed call
+  /// writes nothing and performs no accounting. Requires exclusive access
+  /// to every shard the batch touches — callers writing concurrently must
+  /// partition batches by shard (the `ShardedExtentWriter` does).
+  Status SubmitWriteBatch(std::vector<AsyncWriteRequest> requests,
+                          int queue_depth);
+
   /// Pages/bytes allocated across all shards.
   PageId num_pages() const;
   uint64_t size_bytes() const;
 
   /// Sum of the per-shard device-global stats (build-phase accounting).
   IoStats device_stats() const;
+  /// Device-global stats of each shard (index = shard id) — the per-shard
+  /// write/IO breakdown of a build before `ResetStats` wipes it.
+  std::vector<IoStats> PerShardDeviceStats() const;
+  /// Zeroes every shard's device-global stats and head position.
   void ResetStats();
 
  private:

@@ -1,0 +1,387 @@
+// Parallel-build equivalence tests for the write-side batching refactor.
+//
+// The contract of `BuildOptions`: worker count and write-queue depth are
+// build-time performance knobs only. For every disk-resident index family
+// the per-shard on-disk images must be BIT-identical for any
+// (build_workers, write_queue_depth) setting — each shard's append
+// sequence is fixed by placement-unit order, and one worker owns each
+// shard — and therefore query answers must be byte-identical too,
+// sequentially and under a multi-threaded engine. The per-shard build
+// IoStats must account every written page, and only deep write queues may
+// report batched writes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/grail.h"
+#include "baselines/spj.h"
+#include "common/check.h"
+#include "engine/backends.h"
+#include "engine/query_engine.h"
+#include "engine/reachability_index.h"
+#include "generators/random_waypoint.h"
+#include "generators/workload.h"
+#include "join/contact_extractor.h"
+#include "network/contact_network.h"
+#include "reachgraph/dn_builder.h"
+#include "reachgraph/reach_graph_index.h"
+#include "reachgrid/reach_grid_index.h"
+#include "storage/build_options.h"
+#include "storage/storage_topology.h"
+#include "test_util.h"
+
+namespace streach {
+namespace {
+
+constexpr double kContactRange = 25.0;
+constexpr int kShardedS = 4;
+constexpr int kDeepWriteQueue = 8;
+
+/// Concatenated page bytes of one shard device, read through a private
+/// cursor so the comparison itself leaves no accounting behind.
+std::string ShardImage(const BlockDevice& device) {
+  std::string image;
+  image.reserve(device.num_pages() * device.page_size());
+  ReadCursor cursor;
+  for (PageId p = 0; p < device.num_pages(); ++p) {
+    auto page = device.ReadPage(p, &cursor);
+    STREACH_CHECK(page.ok());
+    image.append(page->data(), page->size());
+  }
+  return image;
+}
+
+/// Per-shard images of a whole topology.
+std::vector<std::string> ShardImages(const StorageTopology& topology) {
+  std::vector<std::string> images;
+  images.reserve(static_cast<size_t>(topology.num_shards()));
+  for (int s = 0; s < topology.num_shards(); ++s) {
+    images.push_back(ShardImage(topology.shard(s)));
+  }
+  return images;
+}
+
+void ExpectSameImages(const StorageTopology& base, const StorageTopology& test,
+                      const std::string& label) {
+  ASSERT_EQ(base.num_shards(), test.num_shards()) << label;
+  ASSERT_EQ(base.num_pages(), test.num_pages()) << label;
+  const auto base_images = ShardImages(base);
+  const auto test_images = ShardImages(test);
+  for (int s = 0; s < base.num_shards(); ++s) {
+    EXPECT_EQ(base_images[static_cast<size_t>(s)],
+              test_images[static_cast<size_t>(s)])
+        << label << ": shard " << s << " image differs";
+  }
+}
+
+/// Write-side accounting invariants of one finished build: every
+/// allocated page was written exactly once (the extent writers never
+/// rewrite a page), batched writes appear iff the write queue was deep,
+/// and occupancies are sane.
+void ExpectBuildWriteStats(const std::vector<IoStats>& build_io,
+                           const StorageTopology& topology, int depth,
+                           const std::string& label) {
+  ASSERT_EQ(build_io.size(), static_cast<size_t>(topology.num_shards()))
+      << label;
+  IoStats total;
+  for (int s = 0; s < topology.num_shards(); ++s) {
+    const IoStats& shard = build_io[static_cast<size_t>(s)];
+    total += shard;
+    EXPECT_EQ(shard.total_writes(), topology.shard(s).num_pages())
+        << label << ": shard " << s << " write count != its pages";
+    if (depth == 1) {
+      EXPECT_EQ(shard.batched_writes, 0u)
+          << label << ": depth-1 build must stay on the synchronous path";
+    } else {
+      EXPECT_EQ(shard.batched_writes, shard.total_writes())
+          << label << ": deep build must batch every write";
+      if (shard.batched_writes > 0) {
+        EXPECT_GE(shard.mean_write_inflight(), 1.0) << label;
+        EXPECT_LE(shard.mean_write_inflight(), static_cast<double>(depth))
+            << label;
+      }
+    }
+  }
+  EXPECT_EQ(total.total_writes(), topology.num_pages())
+      << label << ": builds write each allocated page exactly once";
+  EXPECT_EQ(total.total_reads(), 0u)
+      << label << ": builds never read back pages";
+}
+
+class ParallelBuildTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RandomWaypointParams params;
+    params.num_objects = 80;
+    params.area = Rect(0, 0, 900, 900);
+    params.duration = 300;
+    params.seed = 20260728;
+    auto store = GenerateRandomWaypoint(params);
+    ASSERT_TRUE(store.ok());
+    store_ = new TrajectoryStore(std::move(*store));
+    network_ = new std::shared_ptr<const ContactNetwork>(
+        std::make_shared<const ContactNetwork>(
+            store_->num_objects(), store_->span(),
+            ExtractContacts(*store_, kContactRange)));
+    auto dn = BuildDnGraph(**network_);
+    STREACH_CHECK(dn.ok());
+    dn_ = new DnGraph(std::move(*dn));
+  }
+
+  static void TearDownTestSuite() {
+    delete dn_;
+    delete network_;
+    delete store_;
+    dn_ = nullptr;
+    network_ = nullptr;
+    store_ = nullptr;
+  }
+
+  /// `workers` / `depth` as in BuildOptions; workers 0 = one per shard.
+  static BuildOptions MakeBuild(int workers, int depth) {
+    BuildOptions build;
+    build.build_workers = workers;
+    build.write_queue_depth = depth;
+    return build;
+  }
+
+  static std::shared_ptr<const ReachGridIndex> BuildGrid(int shards,
+                                                         BuildOptions build) {
+    ReachGridOptions options;
+    options.temporal_resolution = 20;
+    options.spatial_cell_size = 150.0;
+    options.contact_range = kContactRange;
+    options.num_shards = shards;
+    options.build = build;
+    auto index = ReachGridIndex::Build(*store_, options);
+    STREACH_CHECK(index.ok());
+    return std::move(*index);
+  }
+
+  static std::shared_ptr<const ReachGraphIndex> BuildGraph(int shards,
+                                                           BuildOptions build) {
+    ReachGraphOptions options;
+    options.num_shards = shards;
+    options.build = build;
+    auto index = ReachGraphIndex::Build(**network_, options);
+    STREACH_CHECK(index.ok());
+    return std::move(*index);
+  }
+
+  static std::shared_ptr<const GrailIndex> BuildGrail(int shards,
+                                                      BuildOptions build) {
+    GrailOptions options;
+    options.num_shards = shards;
+    options.build = build;
+    auto index = GrailIndex::Build(*dn_, options);
+    STREACH_CHECK(index.ok());
+    return std::move(*index);
+  }
+
+  static std::shared_ptr<const SpjEvaluator> BuildSpj(int shards,
+                                                      BuildOptions build) {
+    SpjOptions options;
+    options.contact_range = kContactRange;
+    options.num_shards = shards;
+    options.build = build;
+    auto spj = SpjEvaluator::Build(*store_, options);
+    STREACH_CHECK(spj.ok());
+    return std::move(*spj);
+  }
+
+  static std::vector<ReachQuery> MakeQueries(int n, uint64_t seed) {
+    WorkloadParams wl;
+    wl.num_queries = n;
+    wl.num_objects = store_->num_objects();
+    wl.span = store_->span();
+    wl.min_interval_len = 30;
+    wl.max_interval_len = 150;
+    wl.seed = seed;
+    return GenerateWorkload(wl);
+  }
+
+  static TrajectoryStore* store_;
+  static std::shared_ptr<const ContactNetwork>* network_;
+  static DnGraph* dn_;
+};
+
+TrajectoryStore* ParallelBuildTest::store_ = nullptr;
+std::shared_ptr<const ContactNetwork>* ParallelBuildTest::network_ = nullptr;
+DnGraph* ParallelBuildTest::dn_ = nullptr;
+
+// ----------------------------------------------- bit-identical images
+
+// The worker-count x write-depth grid of the acceptance criteria: the
+// sequential synchronous build (workers=1, depth=1) is the reference —
+// its write path IS the historical WritePage sequence page for page —
+// and every other configuration must reproduce its per-shard images bit
+// for bit, at 1 shard and at 4.
+TEST_F(ParallelBuildTest, ReachGridImagesIdenticalAcrossWorkersAndDepth) {
+  for (int shards : {1, kShardedS}) {
+    const auto reference = BuildGrid(shards, MakeBuild(1, 1));
+    for (int workers : {1, shards}) {
+      for (int depth : {1, kDeepWriteQueue}) {
+        if (workers == 1 && depth == 1) continue;
+        const auto other = BuildGrid(shards, MakeBuild(workers, depth));
+        ExpectSameImages(reference->topology(), other->topology(),
+                         "ReachGrid S=" + std::to_string(shards) + " W=" +
+                             std::to_string(workers) + " D=" +
+                             std::to_string(depth));
+      }
+    }
+  }
+}
+
+TEST_F(ParallelBuildTest, ReachGraphImagesIdenticalAcrossWorkersAndDepth) {
+  for (int shards : {1, kShardedS}) {
+    const auto reference = BuildGraph(shards, MakeBuild(1, 1));
+    for (int workers : {1, shards}) {
+      for (int depth : {1, kDeepWriteQueue}) {
+        if (workers == 1 && depth == 1) continue;
+        const auto other = BuildGraph(shards, MakeBuild(workers, depth));
+        ExpectSameImages(reference->topology(), other->topology(),
+                         "ReachGraph S=" + std::to_string(shards) + " W=" +
+                             std::to_string(workers) + " D=" +
+                             std::to_string(depth));
+      }
+    }
+  }
+}
+
+TEST_F(ParallelBuildTest, GrailImagesIdenticalAcrossWorkersAndDepth) {
+  for (int shards : {1, kShardedS}) {
+    const auto reference = BuildGrail(shards, MakeBuild(1, 1));
+    for (int workers : {1, shards}) {
+      for (int depth : {1, kDeepWriteQueue}) {
+        if (workers == 1 && depth == 1) continue;
+        const auto other = BuildGrail(shards, MakeBuild(workers, depth));
+        ExpectSameImages(reference->topology(), other->topology(),
+                         "GRAIL S=" + std::to_string(shards) + " W=" +
+                             std::to_string(workers) + " D=" +
+                             std::to_string(depth));
+      }
+    }
+  }
+}
+
+TEST_F(ParallelBuildTest, SpjImagesIdenticalAcrossWorkersAndDepth) {
+  for (int shards : {1, kShardedS}) {
+    const auto reference = BuildSpj(shards, MakeBuild(1, 1));
+    for (int workers : {1, shards}) {
+      for (int depth : {1, kDeepWriteQueue}) {
+        if (workers == 1 && depth == 1) continue;
+        const auto other = BuildSpj(shards, MakeBuild(workers, depth));
+        ExpectSameImages(reference->topology(), other->topology(),
+                         "SPJ S=" + std::to_string(shards) + " W=" +
+                             std::to_string(workers) + " D=" +
+                             std::to_string(depth));
+      }
+    }
+  }
+}
+
+// ----------------------------------------------- byte-identical answers
+
+// Belt and braces over the image equality: fully parallel 4-shard builds
+// (workers = shards = 4, deep write queue) answer a randomized workload
+// byte-identically to the sequential synchronous build, for all four
+// disk families, sequentially and under a 4-thread engine.
+TEST_F(ParallelBuildTest, ParallelBuiltIndexesAnswerIdentically) {
+  const auto queries = MakeQueries(100, 41);
+
+  const auto base_build = MakeBuild(1, 1);
+  const auto par_build = MakeBuild(kShardedS, kDeepWriteQueue);
+  std::vector<std::unique_ptr<ReachabilityIndex>> base;
+  base.push_back(MakeReachGridBackend(BuildGrid(kShardedS, base_build)));
+  base.push_back(MakeReachGraphBackend(BuildGraph(kShardedS, base_build),
+                                       ReachGraphTraversal::kBmBfs));
+  base.push_back(MakeSpjBackend(BuildSpj(kShardedS, base_build)));
+  base.push_back(
+      MakeGrailBackend(BuildGrail(kShardedS, base_build), GrailMode::kDisk));
+  std::vector<std::unique_ptr<ReachabilityIndex>> test;
+  test.push_back(MakeReachGridBackend(BuildGrid(kShardedS, par_build)));
+  test.push_back(MakeReachGraphBackend(BuildGraph(kShardedS, par_build),
+                                       ReachGraphTraversal::kBmBfs));
+  test.push_back(MakeSpjBackend(BuildSpj(kShardedS, par_build)));
+  test.push_back(
+      MakeGrailBackend(BuildGrail(kShardedS, par_build), GrailMode::kDisk));
+
+  for (int threads : {1, 4}) {
+    QueryEngineOptions options;
+    options.num_threads = threads;
+    const QueryEngine engine(options);
+    for (size_t b = 0; b < base.size(); ++b) {
+      auto expected = engine.Run(base[b].get(), queries);
+      auto actual = engine.Run(test[b].get(), queries);
+      ASSERT_TRUE(expected.ok() && actual.ok())
+          << base[b]->DescribeIndex() << " threads=" << threads;
+      EXPECT_EQ(SerializeAnswers(expected->answers),
+                SerializeAnswers(actual->answers))
+          << base[b]->DescribeIndex()
+          << ": parallel-built index answers differ, threads=" << threads;
+    }
+  }
+}
+
+// ----------------------------------------------- write-side accounting
+
+TEST_F(ParallelBuildTest, BuildIoStatsAccountEveryWrittenPage) {
+  for (int depth : {1, kDeepWriteQueue}) {
+    const auto build = MakeBuild(/*workers=*/0, depth);
+    const auto grid = BuildGrid(kShardedS, build);
+    ExpectBuildWriteStats(grid->build_io_stats(), grid->topology(), depth,
+                          "ReachGrid D=" + std::to_string(depth));
+    const auto graph = BuildGraph(kShardedS, build);
+    ExpectBuildWriteStats(graph->build_io_stats(), graph->topology(), depth,
+                          "ReachGraph D=" + std::to_string(depth));
+    const auto grail = BuildGrail(kShardedS, build);
+    ExpectBuildWriteStats(grail->build_io_stats(), grail->topology(), depth,
+                          "GRAIL D=" + std::to_string(depth));
+    const auto spj = BuildSpj(kShardedS, build);
+    ExpectBuildWriteStats(spj->build_io_stats(), spj->topology(), depth,
+                          "SPJ D=" + std::to_string(depth));
+  }
+}
+
+TEST_F(ParallelBuildTest, DeepWriteQueuesActuallyOverlap) {
+  // Sequential placement keeps each shard's write queue full of
+  // consecutive pages, so a deep queue must report real overlap (mean
+  // occupancy well above the synchronous 1.0) on the page-heavy builds.
+  const auto spj = BuildSpj(kShardedS, MakeBuild(0, kDeepWriteQueue));
+  IoStats total;
+  for (const IoStats& shard : spj->build_io_stats()) total += shard;
+  ASSERT_GT(total.batched_writes, 0u);
+  EXPECT_GT(total.mean_write_inflight(), 1.5)
+      << "deep write queue never overlapped";
+}
+
+TEST_F(ParallelBuildTest, BuildSecondsAreRecorded) {
+  const auto build = MakeBuild(0, kDeepWriteQueue);
+  EXPECT_GT(BuildGrid(1, build)->build_stats().build_seconds, 0.0);
+  EXPECT_GT(BuildSpj(1, build)->build_seconds(), 0.0);
+  EXPECT_GT(BuildGrail(1, build)->build_seconds(), 0.0);
+  EXPECT_GT(BuildGraph(1, build)->build_stats().placement_seconds, 0.0);
+}
+
+TEST_F(ParallelBuildTest, InvalidBuildOptionsRejected) {
+  EXPECT_FALSE(
+      ReachGridIndex::Build(
+          *store_, [] {
+            ReachGridOptions o;
+            o.build.write_queue_depth = 0;
+            return o;
+          }())
+          .ok());
+  EXPECT_FALSE(SpjEvaluator::Build(*store_, [] {
+                 SpjOptions o;
+                 o.build.build_workers = -1;
+                 return o;
+               }())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace streach

@@ -11,6 +11,7 @@
 #include "storage/block_device.h"
 #include "storage/block_file.h"
 #include "storage/buffer_pool.h"
+#include "storage/build_pool.h"
 #include "storage/io_stats.h"
 #include "storage/storage_topology.h"
 
@@ -669,6 +670,215 @@ TEST(StorageTopologyTest, MaxAddressableShardCountConstructs) {
   topo.shard(static_cast<int>(kMaxShards) - 1)->AllocatePage();
   BufferPool pool(&topo, 2);
   EXPECT_TRUE(pool.Fetch(MakePageAddress(kMaxShards - 1, 0)).ok());
+}
+
+// ----------------------------------------------- Async write batch path
+
+TEST(SubmitWriteBatchTest, Depth1MatchesWritePageLoopExactly) {
+  // write_queue_depth == 1 must degenerate to the synchronous path:
+  // strict FIFO service, same random/sequential classification as the
+  // equivalent WritePage loop, same page bytes.
+  BlockDevice batched_dev(64);
+  BlockDevice sync_dev(64);
+  batched_dev.AllocatePages(10);
+  sync_dev.AllocatePages(10);
+  const std::vector<AsyncWriteRequest> requests{
+      {5, "five"}, {3, "three"}, {4, "four"}};
+  ASSERT_TRUE(batched_dev.SubmitWriteBatch(requests, 1).ok());
+  for (const AsyncWriteRequest& r : requests) {
+    ASSERT_TRUE(sync_dev.WritePage(r.page, r.data).ok());
+  }
+  EXPECT_EQ(batched_dev.stats().random_writes, sync_dev.stats().random_writes);
+  EXPECT_EQ(batched_dev.stats().sequential_writes,
+            sync_dev.stats().sequential_writes);
+  EXPECT_EQ(batched_dev.stats().batched_writes, 3u);
+  EXPECT_DOUBLE_EQ(batched_dev.stats().mean_write_inflight(), 1.0);
+  ReadCursor a, b;
+  for (PageId p = 0; p < 10; ++p) {
+    EXPECT_EQ(*batched_dev.ReadPage(p, &a), *sync_dev.ReadPage(p, &b))
+        << "page " << p;
+  }
+}
+
+TEST(SubmitWriteBatchTest, DeepQueueReordersSeekAware) {
+  // With the whole batch in flight the device services the shortest seek
+  // first: writes [5, 3, 4] after a write to page 2 become 3, 4, 5 — all
+  // sequential — and the occupancy counters see the full queue.
+  BlockDevice dev(64);
+  dev.AllocatePages(10);
+  ASSERT_TRUE(dev.WritePage(2, "head").ok());
+  dev.mutable_stats()->Reset();  // Keep the head position, drop counters.
+  const std::vector<AsyncWriteRequest> requests{
+      {5, "five"}, {3, "three"}, {4, "four"}};
+  ASSERT_TRUE(dev.SubmitWriteBatch(requests, 3).ok());
+  EXPECT_EQ(dev.stats().sequential_writes, 3u);
+  EXPECT_EQ(dev.stats().random_writes, 0u);
+  // Occupancy: 3 in flight, then 2, then 1.
+  EXPECT_EQ(dev.stats().batched_writes, 3u);
+  EXPECT_EQ(dev.stats().write_inflight_accum, 6u);
+  EXPECT_DOUBLE_EQ(dev.stats().mean_write_inflight(), 2.0);
+  ReadCursor cursor;
+  EXPECT_EQ(dev.ReadPage(3, &cursor)->substr(0, 5), "three");
+  EXPECT_EQ(dev.ReadPage(4, &cursor)->substr(0, 4), "four");
+  EXPECT_EQ(dev.ReadPage(5, &cursor)->substr(0, 4), "five");
+}
+
+TEST(SubmitWriteBatchTest, ValidatesBeforeAccountingOrWriting) {
+  BlockDevice dev(8);
+  dev.AllocatePages(2);
+  ASSERT_TRUE(dev.WritePage(0, "keep").ok());
+  dev.mutable_stats()->Reset();
+  // Unallocated target: nothing written, nothing accounted.
+  EXPECT_TRUE(dev.SubmitWriteBatch({{0, "clobber"}, {99, "x"}}, 4)
+                  .IsOutOfRange());
+  EXPECT_EQ(dev.stats().total_writes(), 0u);
+  // Oversized payload: same.
+  EXPECT_FALSE(dev.SubmitWriteBatch({{0, "far too long for 8B"}}, 4).ok());
+  EXPECT_EQ(dev.stats().total_writes(), 0u);
+  ReadCursor cursor;
+  EXPECT_EQ(dev.ReadPage(0, &cursor)->substr(0, 4), "keep");
+}
+
+TEST(TopologySubmitWriteBatchTest, RoutesPerShardWriteQueues) {
+  StorageTopology topo(StorageTopologyOptions{2, 16});
+  topo.shard(0)->AllocatePages(4);
+  topo.shard(1)->AllocatePages(4);
+  std::vector<AsyncWriteRequest> requests;
+  requests.push_back({MakePageAddress(1, 2), "s1p2"});
+  requests.push_back({MakePageAddress(0, 1), "s0p1"});
+  requests.push_back({MakePageAddress(1, 3), "s1p3"});
+  ASSERT_TRUE(topo.SubmitWriteBatch(std::move(requests), 4).ok());
+  EXPECT_EQ(topo.shard(0)->stats().total_writes(), 1u);
+  EXPECT_EQ(topo.shard(1)->stats().total_writes(), 2u);
+  EXPECT_EQ(topo.shard(0)->stats().batched_writes, 1u);
+  ReadCursor c0, c1;
+  EXPECT_EQ(topo.shard(0)->ReadPage(1, &c0)->substr(0, 4), "s0p1");
+  EXPECT_EQ(topo.shard(1)->ReadPage(2, &c1)->substr(0, 4), "s1p2");
+  EXPECT_EQ(topo.shard(1)->ReadPage(3, &c1)->substr(0, 4), "s1p3");
+  // A routed batch with a bad address writes nothing anywhere.
+  std::vector<AsyncWriteRequest> bad;
+  bad.push_back({MakePageAddress(0, 0), "ok"});
+  bad.push_back({MakePageAddress(7, 0), "no such shard"});
+  EXPECT_TRUE(topo.SubmitWriteBatch(std::move(bad), 2).IsOutOfRange());
+  EXPECT_EQ(topo.shard(0)->stats().total_writes(), 1u);
+}
+
+TEST(ExtentWriterWriteBatchingTest, DeepQueueImageMatchesSynchronous) {
+  // The same append sequence at write_queue_depth 1 and 8 must produce
+  // bit-identical devices; only the accounting path differs (the deep
+  // writer batches every page, the depth-1 writer batches none). Enough
+  // blobs to overflow the writer's page buffer several times.
+  BlockDevice sync_dev(64);
+  BlockDevice deep_dev(64);
+  ExtentWriter sync_writer(&sync_dev, 0, 1);
+  ExtentWriter deep_writer(&deep_dev, 0, 8);
+  Rng rng(4242);
+  for (int i = 0; i < 400; ++i) {
+    std::string blob;
+    const size_t len = 1 + rng.Uniform(150);
+    for (size_t j = 0; j < len; ++j) {
+      blob.push_back(static_cast<char>('a' + (i + static_cast<int>(j)) % 26));
+    }
+    auto a = sync_writer.Append(blob);
+    auto b = deep_writer.Append(blob);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->first_page, b->first_page);
+    EXPECT_EQ(a->offset_in_page, b->offset_in_page);
+    if (i % 37 == 0) {
+      ASSERT_TRUE(sync_writer.AlignToPage().ok());
+      ASSERT_TRUE(deep_writer.AlignToPage().ok());
+    }
+  }
+  ASSERT_TRUE(sync_writer.Flush().ok());
+  ASSERT_TRUE(deep_writer.Flush().ok());
+  ASSERT_EQ(sync_dev.num_pages(), deep_dev.num_pages());
+  ReadCursor a, b;
+  for (PageId p = 0; p < sync_dev.num_pages(); ++p) {
+    EXPECT_EQ(*sync_dev.ReadPage(p, &a), *deep_dev.ReadPage(p, &b))
+        << "page " << p;
+  }
+  EXPECT_EQ(sync_dev.stats().batched_writes, 0u);
+  EXPECT_EQ(deep_dev.stats().batched_writes, deep_dev.stats().total_writes());
+  EXPECT_EQ(sync_dev.stats().total_writes(), deep_dev.stats().total_writes());
+  EXPECT_GT(deep_dev.stats().mean_write_inflight(), 1.0);
+}
+
+// ------------------------------------------------------ BuildWorkerPool
+
+TEST(BuildWorkerPoolTest, InlineModeRunsTasksAtSubmitInOrder) {
+  BuildWorkerPool pool(4, 1);
+  EXPECT_EQ(pool.num_workers(), 1);
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    pool.Submit(static_cast<uint32_t>(i % 4), [&order, i]() {
+      order.push_back(i);
+      return Status::OK();
+    });
+    // Inline mode runs before Submit returns.
+    EXPECT_EQ(order.size(), static_cast<size_t>(i + 1));
+  }
+  EXPECT_TRUE(pool.Finish().ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(BuildWorkerPoolTest, ThreadedModePreservesPerShardFifo) {
+  constexpr int kShards = 4;
+  constexpr int kTasksPerShard = 50;
+  BuildWorkerPool pool(kShards, 0);  // One worker per shard.
+  EXPECT_EQ(pool.num_workers(), kShards);
+  std::vector<std::vector<int>> per_shard(kShards);
+  for (int i = 0; i < kTasksPerShard; ++i) {
+    for (int s = 0; s < kShards; ++s) {
+      pool.Submit(static_cast<uint32_t>(s), [&per_shard, s, i]() {
+        per_shard[static_cast<size_t>(s)].push_back(i);
+        return Status::OK();
+      });
+    }
+  }
+  ASSERT_TRUE(pool.Barrier().ok());
+  // Barrier drains; the pool stays usable for a second phase.
+  for (int s = 0; s < kShards; ++s) {
+    pool.Submit(static_cast<uint32_t>(s), [&per_shard, s, kTasksPerShard]() {
+      per_shard[static_cast<size_t>(s)].push_back(kTasksPerShard);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(pool.Finish().ok());
+  for (int s = 0; s < kShards; ++s) {
+    ASSERT_EQ(per_shard[s].size(), static_cast<size_t>(kTasksPerShard + 1));
+    for (int i = 0; i <= kTasksPerShard; ++i) {
+      EXPECT_EQ(per_shard[s][static_cast<size_t>(i)], i)
+          << "shard " << s << " ran out of order";
+    }
+  }
+}
+
+TEST(BuildWorkerPoolTest, ErrorStopsInlinePoolAndIsReturned) {
+  BuildWorkerPool pool(2, 1);
+  int ran = 0;
+  pool.Submit(0, [&ran]() {
+    ++ran;
+    return Status::OK();
+  });
+  pool.Submit(1, []() { return Status::Corruption("unit 1 broke"); });
+  pool.Submit(0, [&ran]() {
+    ++ran;
+    return Status::OK();
+  });
+  Status status = pool.Finish();
+  EXPECT_TRUE(status.IsCorruption());
+  EXPECT_EQ(ran, 1) << "tasks after a failure must be skipped";
+}
+
+TEST(BuildWorkerPoolTest, ThreadedErrorSurfacesThroughBarrier) {
+  BuildWorkerPool pool(4, 4);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit(static_cast<uint32_t>(i % 4), [i]() {
+      if (i == 5) return Status::Corruption("task 5 broke");
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(pool.Finish().IsCorruption());
 }
 
 }  // namespace
