@@ -1,0 +1,222 @@
+// Build-side scaling sweep: construction wall time and write profile of
+// every disk-resident index family under build_workers x
+// write_queue_depth x num_shards.
+//
+// Not a paper experiment — this charts the write-side half of the IO
+// model (PR 4): per-shard build workers fan placement units out across
+// the shard devices, and deep write queues keep several finished pages
+// in flight per shard. Every cell rebuilds its index from scratch with
+// that configuration; the on-disk images (and therefore all answers) are
+// identical across cells — only wall time and the write profile move,
+// which is exactly what the emitted BENCH_build_scaling.json records.
+// On a single-core host the workers axis is flat; run on a multi-core
+// box to chart the construction speedup the per-shard lanes buy.
+// docs/BENCH_SCHEMA.md documents every field.
+//
+// Set STREACH_BENCH_TINY=1 to run a reduced dataset — the CI bench-smoke
+// configuration.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/grail.h"
+#include "baselines/spj.h"
+#include "bench_common.h"
+#include "reachgraph/dn_builder.h"
+#include "reachgraph/reach_graph_index.h"
+#include "reachgrid/reach_grid_index.h"
+
+namespace streach {
+namespace bench {
+namespace {
+
+bool TinyMode() {
+  const char* tiny = std::getenv("STREACH_BENCH_TINY");
+  return tiny != nullptr && tiny[0] != '\0' && tiny[0] != '0';
+}
+
+BenchEnv& Env() {
+  static BenchEnv env = TinyMode()
+                            ? MakeEnv("RWP", DatasetScale::kSmall,
+                                      /*duration=*/300, /*num_queries=*/0)
+                            : MakeEnv("RWP", DatasetScale::kMedium,
+                                      /*duration=*/1000, /*num_queries=*/0);
+  return env;
+}
+
+/// The DN graph is shared input (its reduction is not the write path
+/// under test), so it is built once per process.
+const DnGraph& SharedDn() {
+  static const DnGraph* dn = [] {
+    auto graph = BuildDnGraph(*Env().network);
+    STREACH_CHECK(graph.ok());
+    return new DnGraph(std::move(graph).ValueUnsafe());
+  }();
+  return *dn;
+}
+
+struct Row {
+  std::string backend;
+  int workers;  // 0 = one per shard.
+  int depth;
+  int shards;
+  double build_seconds;
+  uint64_t pages_written;
+  uint64_t batched_writes;
+  double mean_write_inflight;
+};
+std::vector<Row>& Rows() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+BuildOptions CellBuildOptions(const benchmark::State& state) {
+  BuildOptions build;
+  build.build_workers = static_cast<int>(state.range(0));
+  build.write_queue_depth = static_cast<int>(state.range(1));
+  return build;
+}
+
+void Record(const benchmark::State& state, const std::string& name,
+            double seconds, const std::vector<IoStats>& build_io) {
+  IoStats total;
+  for (const IoStats& shard : build_io) total += shard;
+  Rows().push_back({name, static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(1)),
+                    static_cast<int>(state.range(2)), seconds,
+                    total.total_writes(), total.batched_writes,
+                    total.mean_write_inflight()});
+}
+
+void GridBuild(benchmark::State& state) {
+  ReachGridOptions options;
+  options.temporal_resolution = 20;
+  options.spatial_cell_size = 1024.0;
+  options.contact_range = Env().dataset.contact_range;
+  options.num_shards = static_cast<int>(state.range(2));
+  options.build = CellBuildOptions(state);
+  for (auto _ : state) {
+    auto index = ReachGridIndex::Build(Env().dataset.store, options);
+    STREACH_CHECK(index.ok());
+    Record(state, "ReachGrid", (*index)->build_stats().build_seconds,
+           (*index)->build_io_stats());
+  }
+}
+
+void GraphBuild(benchmark::State& state) {
+  ReachGraphOptions options;
+  options.num_shards = static_cast<int>(state.range(2));
+  options.build = CellBuildOptions(state);
+  for (auto _ : state) {
+    // BuildFromDn measures partitioning + serialization — the write
+    // path — not the shared reduction.
+    auto index = ReachGraphIndex::BuildFromDn(SharedDn(), options);
+    STREACH_CHECK(index.ok());
+    Record(state, "ReachGraph",
+           (*index)->build_stats().placement_seconds,
+           (*index)->build_io_stats());
+  }
+}
+
+void GrailBuild(benchmark::State& state) {
+  GrailOptions options;
+  options.num_shards = static_cast<int>(state.range(2));
+  options.build = CellBuildOptions(state);
+  for (auto _ : state) {
+    auto index = GrailIndex::Build(SharedDn(), options);
+    STREACH_CHECK(index.ok());
+    Record(state, "GRAIL", (*index)->build_seconds(),
+           (*index)->build_io_stats());
+  }
+}
+
+void SpjBuild(benchmark::State& state) {
+  SpjOptions options;
+  options.contact_range = Env().dataset.contact_range;
+  options.num_shards = static_cast<int>(state.range(2));
+  options.build = CellBuildOptions(state);
+  for (auto _ : state) {
+    auto spj = SpjEvaluator::Build(Env().dataset.store, options);
+    STREACH_CHECK(spj.ok());
+    Record(state, "SPJ", (*spj)->build_seconds(), (*spj)->build_io_stats());
+  }
+}
+
+// workers: 1 = the historical inline build, 0 = one worker per shard;
+// depth: 1 = synchronous WritePage, 8 = batched write queues.
+#define STREACH_BUILD_SWEEP(fn)                          \
+  BENCHMARK(fn)                                          \
+      ->ArgsProduct({{1, 0}, {1, 8}, {1, 4}})            \
+      ->ArgNames({"workers", "depth", "shards"})         \
+      ->Iterations(1)                                    \
+      ->Unit(benchmark::kMillisecond)
+
+STREACH_BUILD_SWEEP(GridBuild);
+STREACH_BUILD_SWEEP(GraphBuild);
+STREACH_BUILD_SWEEP(GrailBuild);
+STREACH_BUILD_SWEEP(SpjBuild);
+
+#undef STREACH_BUILD_SWEEP
+
+void WriteJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  const auto& rows = Rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"backend\": \"%s\", \"workers\": %d, \"depth\": %d, "
+        "\"shards\": %d, \"build_seconds\": %.6f, "
+        "\"pages_written\": %llu, \"batched_writes\": %llu, "
+        "\"mean_write_inflight\": %.3f}%s\n",
+        r.backend.c_str(), r.workers, r.depth, r.shards, r.build_seconds,
+        static_cast<unsigned long long>(r.pages_written),
+        static_cast<unsigned long long>(r.batched_writes),
+        r.mean_write_inflight, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+void PrintBuildTable() {
+  std::printf("\n%-12s %8s %6s %7s %12s %10s %10s %10s\n", "Backend",
+              "Workers", "Depth", "Shards", "build(ms)", "pages",
+              "batched", "inflight");
+  for (const Row& r : Rows()) {
+    std::printf("%-12s %8d %6d %7d %12.2f %10llu %10llu %10.2f\n",
+                r.backend.c_str(), r.workers, r.depth, r.shards,
+                r.build_seconds * 1e3,
+                static_cast<unsigned long long>(r.pages_written),
+                static_cast<unsigned long long>(r.batched_writes),
+                r.mean_write_inflight);
+  }
+  WriteJson("BENCH_build_scaling.json");
+  std::printf("Wrote BENCH_build_scaling.json (%zu cells)\n", Rows().size());
+}
+
+}  // namespace bench
+}  // namespace streach
+
+int main(int argc, char** argv) {
+  streach::bench::PrintHeader(
+      "Build scaling — construction wall time under build_workers x "
+      "write_queue_depth x num_shards",
+      "(beyond the paper) per-shard build workers and deep write queues "
+      "speed up construction without changing a byte of the on-disk "
+      "image");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  streach::bench::PrintBuildTable();
+  return 0;
+}

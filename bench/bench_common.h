@@ -78,14 +78,15 @@ inline BenchEnv MakeEnv(const std::string& which, DatasetScale scale,
 /// session's buffer pool before every query — the paper's per-query IO
 /// measurement protocol (each query starts with an empty buffer).
 /// `io_queue_depth` > 1 turns on the batched async read path.
-inline WorkloadSummary RunThroughEngine(ReachabilityIndex* backend,
-                                        const std::vector<ReachQuery>& queries,
-                                        bool cold = true, int threads = 1,
-                                        int io_queue_depth = 1) {
+inline WorkloadSummary RunThroughEngine(
+    ReachabilityIndex* backend, const std::vector<ReachQuery>& queries,
+    bool cold = true, int threads = 1, int io_queue_depth = 1,
+    PageCodecKind page_codec = PageCodecKind::kRaw) {
   QueryEngineOptions options;
   options.cold_cache = cold;
   options.num_threads = threads;
   options.io_queue_depth = io_queue_depth;
+  options.page_codec = page_codec;
   auto report = QueryEngine(options).Run(backend, queries);
   STREACH_CHECK(report.ok());
   return report->summary;

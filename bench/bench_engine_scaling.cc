@@ -1,14 +1,17 @@
 // Engine scaling sweep: throughput of the disk-resident backends under
-// num_threads x num_shards x io_queue_depth, through the concurrent
-// QueryEngine.
+// num_threads x num_shards x io_queue_depth x page_codec, through the
+// concurrent QueryEngine.
 //
 // Not a paper experiment — this charts the perf trajectory of the
 // production engine: per-thread buffer-pool sessions over a shared
 // immutable index (PR 1), the sharded storage topology (PR 2), the
-// batched async read path (PR 3), and the parallel batched-write build
+// batched async read path (PR 3), the parallel batched-write build
 // path (PR 4 — indexes here are built with one worker per shard and
 // deep write queues; each row carries its index's build wall time and
-// write profile). Each cell runs the same warm workload; results land in
+// write profile), and the compressed page codec (PR 5 — the codec axis
+// contrasts the raw on-disk format against delta-varint records, whose
+// build-side compression ratio and query-side read counts each row
+// reports). Each cell runs the same warm workload; results land in
 // BENCH_engine_scaling.json for trend tracking — docs/BENCH_SCHEMA.md
 // documents every field. Thread
 // scaling is wall-clock: on a single-core host the threads axis is flat
@@ -26,10 +29,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <tuple>
+#include <utility>
 
 #include "bench_common.h"
+#include "baselines/spj.h"
 #include "reachgraph/reach_graph_index.h"
 #include "reachgrid/reach_grid_index.h"
+#include "storage/page_codec.h"
 
 namespace streach {
 namespace bench {
@@ -61,9 +68,15 @@ struct BuildProfile {
   uint64_t pages_written = 0;
   uint64_t batched_writes = 0;
   double mean_write_inflight = 0.0;
+  // Codec profile of the build: stored vs raw record bytes.
+  uint64_t encoded_bytes = 0;
+  uint64_t decoded_bytes = 0;
+  double compression_ratio = 1.0;
 };
-std::map<std::pair<std::string, int>, BuildProfile>& BuildProfiles() {
-  static std::map<std::pair<std::string, int>, BuildProfile> profiles;
+/// Keyed by (backend, shards, codec) — the index a cell queries.
+using BuildKey = std::tuple<std::string, int, int>;
+std::map<BuildKey, BuildProfile>& BuildProfiles() {
+  static std::map<BuildKey, BuildProfile> profiles;
   return profiles;
 }
 
@@ -75,54 +88,85 @@ BuildProfile ProfileOf(double seconds, const std::vector<IoStats>& build_io) {
   profile.pages_written = total.total_writes();
   profile.batched_writes = total.batched_writes;
   profile.mean_write_inflight = total.mean_write_inflight();
+  profile.encoded_bytes = total.encoded_bytes;
+  profile.decoded_bytes = total.decoded_bytes;
+  profile.compression_ratio = total.compression_ratio();
   return profile;
+}
+
+PageCodecKind CodecOf(int axis) {
+  return axis == 0 ? PageCodecKind::kRaw : PageCodecKind::kDeltaVarint;
 }
 
 /// Builds here exercise the write-side queue model: one build worker per
 /// shard, 8 pages in flight per shard write queue. The on-disk images
 /// (and all answers) are identical to the synchronous defaults.
-BuildOptions BenchBuildOptions() {
+BuildOptions BenchBuildOptions(int codec) {
   BuildOptions build;
   build.build_workers = 0;
   build.write_queue_depth = 8;
+  build.page_codec = CodecOf(codec);
   return build;
 }
 
-std::shared_ptr<const ReachGridIndex> GridIndex(int shards) {
-  static std::map<int, std::shared_ptr<const ReachGridIndex>> cache;
-  auto it = cache.find(shards);
+std::shared_ptr<const ReachGridIndex> GridIndex(int shards, int codec) {
+  static std::map<std::pair<int, int>,
+                  std::shared_ptr<const ReachGridIndex>> cache;
+  auto it = cache.find({shards, codec});
   if (it == cache.end()) {
     ReachGridOptions options;
     options.temporal_resolution = 20;
     options.spatial_cell_size = 1024.0;
     options.contact_range = Env().dataset.contact_range;
     options.num_shards = shards;
-    options.build = BenchBuildOptions();
+    options.build = BenchBuildOptions(codec);
     auto index = ReachGridIndex::Build(Env().dataset.store, options);
     STREACH_CHECK(index.ok());
-    it = cache.emplace(shards, std::move(index).ValueUnsafe()).first;
-    BuildProfiles()[{"ReachGrid", shards}] =
+    it = cache.emplace(std::make_pair(shards, codec),
+                       std::move(index).ValueUnsafe()).first;
+    BuildProfiles()[{"ReachGrid", shards, codec}] =
         ProfileOf(it->second->build_stats().build_seconds,
                   it->second->build_io_stats());
   }
   return it->second;
 }
 
-std::shared_ptr<const ReachGraphIndex> GraphIndex(int shards) {
-  static std::map<int, std::shared_ptr<const ReachGraphIndex>> cache;
-  auto it = cache.find(shards);
+std::shared_ptr<const ReachGraphIndex> GraphIndex(int shards, int codec) {
+  static std::map<std::pair<int, int>,
+                  std::shared_ptr<const ReachGraphIndex>> cache;
+  auto it = cache.find({shards, codec});
   if (it == cache.end()) {
     ReachGraphOptions options;
     options.num_shards = shards;
-    options.build = BenchBuildOptions();
+    options.build = BenchBuildOptions(codec);
     auto index = ReachGraphIndex::Build(*Env().network, options);
     STREACH_CHECK(index.ok());
-    it = cache.emplace(shards, std::move(index).ValueUnsafe()).first;
+    it = cache.emplace(std::make_pair(shards, codec),
+                       std::move(index).ValueUnsafe()).first;
     const ReachGraphBuildStats& stats = it->second->build_stats();
-    BuildProfiles()[{"ReachGraph(BM-BFS)", shards}] =
+    BuildProfiles()[{"ReachGraph(BM-BFS)", shards, codec}] =
         ProfileOf(stats.reduction_seconds + stats.augmentation_seconds +
                       stats.placement_seconds,
                   it->second->build_io_stats());
+  }
+  return it->second;
+}
+
+std::shared_ptr<const SpjEvaluator> SpjIndex(int shards, int codec) {
+  static std::map<std::pair<int, int>,
+                  std::shared_ptr<const SpjEvaluator>> cache;
+  auto it = cache.find({shards, codec});
+  if (it == cache.end()) {
+    SpjOptions options;
+    options.contact_range = Env().dataset.contact_range;
+    options.num_shards = shards;
+    options.build = BenchBuildOptions(codec);
+    auto spj = SpjEvaluator::Build(Env().dataset.store, options);
+    STREACH_CHECK(spj.ok());
+    it = cache.emplace(std::make_pair(shards, codec),
+                       std::move(spj).ValueUnsafe()).first;
+    BuildProfiles()[{"SPJ(scan-join)", shards, codec}] =
+        ProfileOf(it->second->build_seconds(), it->second->build_io_stats());
   }
   return it->second;
 }
@@ -132,15 +176,17 @@ struct Row {
   int threads;
   int shards;
   int depth;
+  std::string codec;
   double qps;
   double mean_io;
+  uint64_t total_reads;
   double p95_us;
   double p99_us;
   double pool_hit_rate;
   double mean_inflight;
   uint64_t batched_reads;
-  // Construction-side metrics of the (backend, shards) index this cell
-  // queried — identical across the cell's threads/depth settings.
+  // Construction-side metrics of the (backend, shards, codec) index this
+  // cell queried — identical across the cell's threads/depth settings.
   BuildProfile build;
 };
 std::vector<Row>& Rows() {
@@ -153,45 +199,64 @@ void RunCell(benchmark::State& state, const std::string& name,
   const int threads = static_cast<int>(state.range(0));
   const int shards = static_cast<int>(state.range(1));
   const int depth = static_cast<int>(state.range(2));
+  const int codec = static_cast<int>(state.range(3));
   WorkloadSummary summary;
   for (auto _ : state) {
     // Warm cache: the scaling story is parallel serving over a shared
     // immutable index, not the paper's cold per-query IO protocol.
     summary = RunThroughEngine(backend.get(), Env().queries, /*cold=*/false,
-                               threads, depth);
+                               threads, depth, CodecOf(codec));
   }
   state.counters["qps"] = summary.queries_per_second;
   state.counters["io_per_query"] = summary.mean_io_cost();
   state.counters["p99_us"] = summary.p99_latency * 1e6;
   state.counters["inflight"] = summary.mean_inflight_requests();
   Rows().push_back({name, threads, shards, depth,
+                    ToString(CodecOf(codec)),
                     summary.queries_per_second, summary.mean_io_cost(),
+                    summary.total_pages_fetched,
                     summary.p95_latency * 1e6, summary.p99_latency * 1e6,
                     summary.pool_hit_rate(),
                     summary.mean_inflight_requests(),
                     summary.total_batched_reads(),
-                    BuildProfiles()[{name, shards}]});
+                    BuildProfiles()[{name, shards, codec}]});
 }
 
 void GridScaling(benchmark::State& state) {
   RunCell(state, "ReachGrid",
-          MakeReachGridBackend(GridIndex(static_cast<int>(state.range(1)))));
+          MakeReachGridBackend(GridIndex(static_cast<int>(state.range(1)),
+                                         static_cast<int>(state.range(3)))));
 }
 
 void GraphScaling(benchmark::State& state) {
   RunCell(state, "ReachGraph(BM-BFS)",
-          MakeReachGraphBackend(GraphIndex(static_cast<int>(state.range(1))),
+          MakeReachGraphBackend(GraphIndex(static_cast<int>(state.range(1)),
+                                           static_cast<int>(state.range(3))),
                                 ReachGraphTraversal::kBmBfs));
 }
 
+void SpjScaling(benchmark::State& state) {
+  RunCell(state, "SPJ(scan-join)",
+          MakeSpjBackend(SpjIndex(static_cast<int>(state.range(1)),
+                                  static_cast<int>(state.range(3)))));
+}
+
 BENCHMARK(GridScaling)
-    ->ArgsProduct({{1, 2, 4, 8}, {1, 2, 4}, {1, 8}})
-    ->ArgNames({"threads", "shards", "depth"})
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 2, 4}, {1, 8}, {0, 1}})
+    ->ArgNames({"threads", "shards", "depth", "codec"})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(GraphScaling)
-    ->ArgsProduct({{1, 2, 4, 8}, {1, 2, 4}, {1, 8}})
-    ->ArgNames({"threads", "shards", "depth"})
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 2, 4}, {1, 8}, {0, 1}})
+    ->ArgNames({"threads", "shards", "depth", "codec"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+// SPJ scans every overlapping slab per query, so its sweep is smaller:
+// the codec story (compressed slabs -> strictly fewer reads) needs only
+// a thread/shard corner, not the full grid.
+BENCHMARK(SpjScaling)
+    ->ArgsProduct({{1, 4}, {1, 4}, {1, 8}, {0, 1}})
+    ->ArgNames({"threads", "shards", "depth", "codec"})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
@@ -208,19 +273,27 @@ void WriteJson(const char* path) {
     std::fprintf(
         f,
         "  {\"backend\": \"%s\", \"threads\": %d, \"shards\": %d, "
-        "\"depth\": %d, \"qps\": %.1f, \"io_per_query\": %.2f, "
+        "\"depth\": %d, \"codec\": \"%s\", \"qps\": %.1f, "
+        "\"io_per_query\": %.2f, \"total_reads\": %llu, "
         "\"p95_us\": %.1f, \"p99_us\": %.1f, \"pool_hit_rate\": %.4f, "
         "\"mean_inflight\": %.3f, \"batched_reads\": %llu, "
         "\"build_seconds\": %.6f, \"build_pages_written\": %llu, "
         "\"build_batched_writes\": %llu, "
-        "\"build_mean_write_inflight\": %.3f}%s\n",
-        r.backend.c_str(), r.threads, r.shards, r.depth, r.qps, r.mean_io,
+        "\"build_mean_write_inflight\": %.3f, "
+        "\"encoded_bytes\": %llu, \"decoded_bytes\": %llu, "
+        "\"compression_ratio\": %.3f}%s\n",
+        r.backend.c_str(), r.threads, r.shards, r.depth, r.codec.c_str(),
+        r.qps, r.mean_io,
+        static_cast<unsigned long long>(r.total_reads),
         r.p95_us, r.p99_us, r.pool_hit_rate, r.mean_inflight,
         static_cast<unsigned long long>(r.batched_reads),
         r.build.seconds,
         static_cast<unsigned long long>(r.build.pages_written),
         static_cast<unsigned long long>(r.build.batched_writes),
         r.build.mean_write_inflight,
+        static_cast<unsigned long long>(r.build.encoded_bytes),
+        static_cast<unsigned long long>(r.build.decoded_bytes),
+        r.build.compression_ratio,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -230,15 +303,16 @@ void WriteJson(const char* path) {
 }  // namespace
 
 void PrintScalingTable() {
-  std::printf("\n%-20s %8s %7s %6s %10s %12s %10s %10s %9s\n", "Backend",
-              "Threads", "Shards", "Depth", "q/s", "io/query", "p99(us)",
-              "hit-rate", "inflight");
+  std::printf("\n%-20s %8s %7s %6s %-13s %10s %12s %10s %10s %9s %8s\n",
+              "Backend", "Threads", "Shards", "Depth", "Codec", "q/s",
+              "io/query", "p99(us)", "hit-rate", "inflight", "reads");
   double best_multi = 0, best_single = 0;
   for (const Row& r : Rows()) {
-    std::printf("%-20s %8d %7d %6d %10.0f %12.2f %10.0f %9.1f%% %9.2f\n",
-                r.backend.c_str(), r.threads, r.shards, r.depth, r.qps,
-                r.mean_io, r.p99_us, 100.0 * r.pool_hit_rate,
-                r.mean_inflight);
+    std::printf(
+        "%-20s %8d %7d %6d %-13s %10.0f %12.2f %10.0f %9.1f%% %9.2f %8llu\n",
+        r.backend.c_str(), r.threads, r.shards, r.depth, r.codec.c_str(),
+        r.qps, r.mean_io, r.p99_us, 100.0 * r.pool_hit_rate,
+        r.mean_inflight, static_cast<unsigned long long>(r.total_reads));
     if (r.threads == 1) {
       if (r.qps > best_single) best_single = r.qps;
     } else if (r.qps > best_multi) {
@@ -252,12 +326,13 @@ void PrintScalingTable() {
   std::printf("\nIndex builds (one worker per shard, write queue depth 8):\n");
   for (const auto& [key, build] : BuildProfiles()) {
     std::printf(
-        "  %-20s shards=%d: %8.2f ms, %6llu pages written, "
-        "%6llu batched, mean write inflight %.2f\n",
-        key.first.c_str(), key.second, build.seconds * 1e3,
+        "  %-20s shards=%d codec=%-13s %8.2f ms, %6llu pages, "
+        "%6llu batched, write inflight %.2f, compression %.2fx\n",
+        std::get<0>(key).c_str(), std::get<1>(key),
+        ToString(CodecOf(std::get<2>(key))), build.seconds * 1e3,
         static_cast<unsigned long long>(build.pages_written),
         static_cast<unsigned long long>(build.batched_writes),
-        build.mean_write_inflight);
+        build.mean_write_inflight, build.compression_ratio);
   }
   WriteJson("BENCH_engine_scaling.json");
   std::printf("Wrote BENCH_engine_scaling.json (%zu cells)\n", Rows().size());
@@ -269,10 +344,11 @@ void PrintScalingTable() {
 int main(int argc, char** argv) {
   streach::bench::PrintHeader(
       "Engine scaling — throughput under num_threads x num_shards x "
-      "io_queue_depth",
+      "io_queue_depth x page_codec",
       "(beyond the paper) multi-thread throughput exceeds single-thread "
       "for the disk-resident backends; depth-8 submission queues overlap "
-      "per-shard reads (mean inflight > 1)");
+      "per-shard reads (mean inflight > 1); delta-varint records "
+      "compress >1.5x and strictly cut page reads");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   streach::bench::PrintScalingTable();

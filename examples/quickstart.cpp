@@ -4,6 +4,7 @@
 //
 //   build/quickstart [--num_shards=N] [--io_queue_depth=D]
 //                    [--write_queue_depth=W] [--build_workers=B]
+//                    [--page_codec=raw|delta-varint]
 //
 // --num_shards splits each index's simulated disk into N per-shard
 // devices (default 1, the paper's single-disk layout); answers are
@@ -16,6 +17,10 @@
 // (0 = one per shard). The defaults (1, 1) are the paper's synchronous
 // single-threaded build; the on-disk indexes are bit-identical at any
 // setting — watch the per-shard write stats printed after each build.
+// --page_codec selects the on-disk record codec: raw (default, the
+// paper's fixed-width format) or delta-varint (compressed records —
+// fewer pages, same answers); each build prints the compression ratio
+// its codec achieved.
 //
 // Objects o1..o4 (0-indexed o0..o3 here) move over T=[0,3]; the contacts
 // are c1={o1,o2}@[0,0], c2={o2,o4}@[1,1], c3={o3,o4}@[1,2],
@@ -37,6 +42,7 @@
 #include "network/contact_network.h"
 #include "reachgraph/reach_graph_index.h"
 #include "reachgrid/reach_grid_index.h"
+#include "storage/page_codec.h"
 #include "trajectory/trajectory_store.h"
 
 using namespace streach;  // NOLINT — example brevity.
@@ -70,8 +76,10 @@ TrajectoryStore Figure1Trajectories() {
 /// device, how many went through the batched write queue, and the mean
 /// write-queue occupancy (1.0 = synchronous).
 void ShowBuildIo(const std::vector<IoStats>& build_io) {
+  IoStats total;
   for (size_t s = 0; s < build_io.size(); ++s) {
     const IoStats& io = build_io[s];
+    total += io;
     std::printf("  shard %zu: %llu pages written (%llu seq, %llu rand), "
                 "%llu batched, mean write inflight %.2f\n",
                 s, static_cast<unsigned long long>(io.total_writes()),
@@ -80,6 +88,10 @@ void ShowBuildIo(const std::vector<IoStats>& build_io) {
                 static_cast<unsigned long long>(io.batched_writes),
                 io.batched_writes == 0 ? 1.0 : io.mean_write_inflight());
   }
+  std::printf("  compression: %llu raw -> %llu stored bytes (ratio %.2fx)\n",
+              static_cast<unsigned long long>(total.decoded_bytes),
+              static_cast<unsigned long long>(total.encoded_bytes),
+              total.compression_ratio());
 }
 
 void Show(const char* index, const ReachQuery& q, const ReachAnswer& a) {
@@ -98,6 +110,7 @@ int main(int argc, char** argv) {
   int io_queue_depth = 1;
   int write_queue_depth = 1;
   int build_workers = 1;
+  PageCodecKind page_codec = PageCodecKind::kRaw;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--num_shards=", 13) == 0) {
       num_shards = std::atoi(argv[i] + 13);
@@ -107,6 +120,13 @@ int main(int argc, char** argv) {
       write_queue_depth = std::atoi(argv[i] + 20);
     } else if (std::strncmp(argv[i], "--build_workers=", 16) == 0) {
       build_workers = std::atoi(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--page_codec=", 13) == 0) {
+      auto parsed = ParsePageCodecKind(argv[i] + 13);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 1;
+      }
+      page_codec = *parsed;
     }
   }
   if (num_shards < 1) num_shards = 1;
@@ -116,13 +136,15 @@ int main(int argc, char** argv) {
   BuildOptions build_options;
   build_options.write_queue_depth = write_queue_depth;
   build_options.build_workers = build_workers;
+  build_options.page_codec = page_codec;
 
   std::printf("stReach quickstart — the paper's Figure 1 scenario "
               "(%d storage shard%s, IO queue depth %d, write queue depth "
-              "%d, %d build worker%s)\n\n",
+              "%d, %d build worker%s, %s codec)\n\n",
               num_shards, num_shards == 1 ? "" : "s", io_queue_depth,
               write_queue_depth, build_workers,
-              build_workers == 1 ? "" : "s (0 = one per shard)");
+              build_workers == 1 ? "" : "s (0 = one per shard)",
+              ToString(page_codec));
   TrajectoryStore store = Figure1Trajectories();
   const double dt = 1.0;  // Contact threshold dT in meters.
 
@@ -203,6 +225,7 @@ int main(int argc, char** argv) {
   QueryEngineOptions engine_options;
   engine_options.num_threads = 2;
   engine_options.io_queue_depth = io_queue_depth;
+  engine_options.page_codec = page_codec;
   const QueryEngine engine(engine_options);
   std::printf("\nBatch execution through the QueryEngine (2 threads):\n");
   for (auto& backend : backends) {

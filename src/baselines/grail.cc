@@ -113,7 +113,8 @@ Status GrailIndex::PlaceOnDisk(const DnGraph& graph) {
   // computed, so every record is an independent build task pinned to its
   // shard; per-shard FIFO keeps the on-disk image identical for every
   // worker count.
-  ShardedExtentWriter writer(&topology_, options_.build.write_queue_depth);
+  ShardedExtentWriter writer(&topology_, options_.build.write_queue_depth,
+                             GetPageCodec(options_.build.page_codec));
   BuildWorkerPool pool(topology_.num_shards(), options_.build.build_workers);
   const size_t n = graph.num_vertices();
   vertex_extents_.resize(n);
@@ -121,13 +122,20 @@ Status GrailIndex::PlaceOnDisk(const DnGraph& graph) {
     const uint32_t shard = topology_.ShardForPartition(v);
     pool.Submit(shard, [this, &writer, v, shard]() -> Status {
       Encoder enc;
+      RecordShape shape;
+      // (min, rank) label pairs: stride 2 deltas mins against mins and
+      // ranks against ranks across the d labelings.
       for (const Label& label : labels_[v]) {
         enc.PutU32(label.min);
         enc.PutU32(label.rank);
       }
+      shape.U32Delta(2 * labels_[v].size(), /*stride=*/2);
+      const size_t mark = enc.size();
       enc.PutVarint(out_[v].size());
+      shape.Bytes(enc.size() - mark);
       for (VertexId w : out_[v]) enc.PutU32(w);
-      auto extent = writer.Append(shard, enc.buffer());
+      shape.U32Delta(out_[v].size());
+      auto extent = writer.Append(shard, enc.buffer(), shape);
       if (!extent.ok()) return extent.status();
       vertex_extents_[v] = *extent;
       return Status::OK();
@@ -140,14 +148,19 @@ Status GrailIndex::PlaceOnDisk(const DnGraph& graph) {
     const uint32_t shard = topology_.ShardForObject(o);
     pool.Submit(shard, [this, &graph, &writer, o, shard]() -> Status {
       Encoder enc;
+      RecordShape shape;
       const auto& timeline = graph.timeline(o);
       enc.PutVarint(timeline.size());
+      shape.Bytes(enc.size());
+      // (start, end, vertex) triples, time-ordered: stride-3 deltas (see
+      // the ReachGraph timeline serialization).
       for (const auto& entry : timeline) {
         enc.PutI32(entry.span.start);
         enc.PutI32(entry.span.end);
         enc.PutU32(entry.vertex);
       }
-      auto extent = writer.Append(shard, enc.buffer());
+      shape.U32Delta(3 * timeline.size(), /*stride=*/3);
+      auto extent = writer.Append(shard, enc.buffer(), shape);
       if (!extent.ok()) return extent.status();
       timeline_extents_[o] = *extent;
       return Status::OK();

@@ -75,13 +75,20 @@ class GrailIndex {
                                 QueryStats* stats) const;
 
   /// A fresh buffer pool over this index's storage topology, for one
-  /// concurrent query session (sized like the built-in pool).
+  /// concurrent query session (sized like the built-in pool, decoding
+  /// with this index's codec).
   std::unique_ptr<BufferPool> NewSessionPool() const {
-    return std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
+    auto pool =
+        std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
+    pool->set_page_codec(GetPageCodec(options_.build.page_codec));
+    return pool;
   }
 
   const StorageTopology& topology() const { return topology_; }
   int num_shards() const { return topology_.num_shards(); }
+
+  /// On-disk record codec this index was built (and must be read) with.
+  PageCodecKind page_codec() const { return options_.build.page_codec; }
 
   const QueryStats& last_query_stats() const { return last_stats_; }
   double build_seconds() const { return build_seconds_; }
@@ -97,7 +104,9 @@ class GrailIndex {
       : options_(options),
         topology_(StorageTopologyOptions{options.num_shards,
                                          options.page_size}),
-        pool_(&topology_, options.buffer_pool_pages) {}
+        pool_(&topology_, options.buffer_pool_pages) {
+    pool_.set_page_codec(GetPageCodec(options.build.page_codec));
+  }
 
   /// One interval [min, post_rank] per labeling.
   struct Label {

@@ -49,7 +49,8 @@ Status SpjEvaluator::WriteSlabs(const TrajectoryStore& store) {
   // range scan remains sequential per shard head. Each slab is one build
   // task pinned to its shard; per-shard FIFO keeps the on-disk image
   // identical for every worker count.
-  ShardedExtentWriter writer(&topology_, options_.build.write_queue_depth);
+  ShardedExtentWriter writer(&topology_, options_.build.write_queue_depth,
+                             GetPageCodec(options_.build.page_codec));
   BuildWorkerPool pool(topology_.num_shards(), options_.build.build_workers);
   slab_extents_.resize(static_cast<size_t>(num_slabs));
   for (int slab = 0; slab < num_slabs; ++slab) {
@@ -58,7 +59,9 @@ Status SpjEvaluator::WriteSlabs(const TrajectoryStore& store) {
     pool.Submit(shard, [this, &store, &writer, slab, shard]() -> Status {
       const TimeInterval sw = SlabInterval(slab);
       Encoder enc;
-      // All objects' positions for the slab, object-major.
+      // All objects' positions for the slab, object-major. One stride-2
+      // double run: x,y interleave, each coordinate predicted from its
+      // own dimension (object boundaries cost a few mispredicted values).
       for (ObjectId o = 0; o < store.num_objects(); ++o) {
         const Trajectory& tr = store.Get(o);
         for (Timestamp t = sw.start; t <= sw.end; ++t) {
@@ -67,7 +70,9 @@ Status SpjEvaluator::WriteSlabs(const TrajectoryStore& store) {
           enc.PutDouble(p.y);
         }
       }
-      auto extent = writer.Append(shard, enc.buffer());
+      RecordShape shape;
+      shape.DoubleDelta(enc.size() / 8, /*stride=*/2);
+      auto extent = writer.Append(shard, enc.buffer(), shape);
       if (!extent.ok()) return extent.status();
       slab_extents_[static_cast<size_t>(slab)] = *extent;
       return Status::OK();

@@ -54,13 +54,20 @@ class SpjEvaluator {
                             QueryStats* stats) const;
 
   /// A fresh buffer pool over this evaluator's storage topology, for one
-  /// concurrent query session (sized like the built-in pool).
+  /// concurrent query session (sized like the built-in pool, decoding
+  /// with this evaluator's codec).
   std::unique_ptr<BufferPool> NewSessionPool() const {
-    return std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
+    auto pool =
+        std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
+    pool->set_page_codec(GetPageCodec(options_.build.page_codec));
+    return pool;
   }
 
   const StorageTopology& topology() const { return topology_; }
   int num_shards() const { return topology_.num_shards(); }
+
+  /// On-disk record codec the slabs were stored (and must be read) with.
+  PageCodecKind page_codec() const { return options_.build.page_codec; }
 
   const QueryStats& last_query_stats() const { return last_stats_; }
   /// Wall-clock seconds the slab-placement build took.
@@ -78,7 +85,9 @@ class SpjEvaluator {
                                          options.page_size}),
         pool_(&topology_, options.buffer_pool_pages),
         span_(span),
-        num_objects_(num_objects) {}
+        num_objects_(num_objects) {
+    pool_.set_page_codec(GetPageCodec(options.build.page_codec));
+  }
 
   Status WriteSlabs(const TrajectoryStore& store);
   TimeInterval SlabInterval(int slab) const;

@@ -78,6 +78,9 @@ class ReachGridBackend : public ReachabilityIndex {
   std::vector<IoStats> shard_io_stats() const override {
     return pool_->PerShardIoStats();
   }
+  std::optional<PageCodecKind> page_codec() const override {
+    return index_->page_codec();
+  }
   std::shared_ptr<const void> IndexIdentity() const override {
     return index_;
   }
@@ -125,6 +128,11 @@ class ReachGraphBackend : public ReachabilityIndex {
     return Status::Internal("unknown traversal mode");
   }
 
+  Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
+                                              TimeInterval interval) override {
+    return index_->ReachableSet(source, interval, pool_.get(), &stats_);
+  }
+
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override { pool_->Clear(); }
   void SetIoQueueDepth(int depth) override {
@@ -133,6 +141,9 @@ class ReachGraphBackend : public ReachabilityIndex {
   int num_shards() const override { return pool_->num_shards(); }
   std::vector<IoStats> shard_io_stats() const override {
     return pool_->PerShardIoStats();
+  }
+  std::optional<PageCodecKind> page_codec() const override {
+    return index_->page_codec();
   }
 
   std::shared_ptr<const void> IndexIdentity() const override {
@@ -175,6 +186,9 @@ class SpjBackend : public ReachabilityIndex {
   int num_shards() const override { return pool_->num_shards(); }
   std::vector<IoStats> shard_io_stats() const override {
     return pool_->PerShardIoStats();
+  }
+  std::optional<PageCodecKind> page_codec() const override {
+    return spj_->page_codec();
   }
   std::shared_ptr<const void> IndexIdentity() const override {
     return spj_;
@@ -223,6 +237,10 @@ class GrailBackend : public ReachabilityIndex {
   std::vector<IoStats> shard_io_stats() const override {
     return pool_ != nullptr ? pool_->PerShardIoStats()
                             : std::vector<IoStats>{};
+  }
+  std::optional<PageCodecKind> page_codec() const override {
+    if (mode_ == GrailMode::kMemory) return std::nullopt;
+    return grail_->page_codec();
   }
 
   std::shared_ptr<const void> IndexIdentity() const override {

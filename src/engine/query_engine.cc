@@ -47,7 +47,7 @@ std::string WorkloadSummary::ToString() const {
       "%s: %llu queries (%llu reachable) in %.3fs | %.0f q/s | "
       "io/query=%.2f pages=%llu hits=%llu pool_hit_rate=%.1f%% | "
       "latency mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus | "
-      "cache_hits=%llu shards=%zu qd=%d inflight=%.2f",
+      "cache_hits=%llu shards=%zu qd=%d inflight=%.2f codec=%s ratio=%.2f",
       backend.c_str(), static_cast<unsigned long long>(num_queries),
       static_cast<unsigned long long>(num_reachable), wall_seconds,
       queries_per_second, mean_io_cost(),
@@ -57,7 +57,8 @@ std::string WorkloadSummary::ToString() const {
       p95_latency * 1e6, p99_latency * 1e6, max_latency * 1e6,
       static_cast<unsigned long long>(result_cache_hits),
       per_shard_io.empty() ? static_cast<size_t>(1) : per_shard_io.size(),
-      io_queue_depth, mean_inflight_requests());
+      io_queue_depth, mean_inflight_requests(), page_codec.c_str(),
+      compression_ratio());
   return buf;
 }
 
@@ -74,6 +75,16 @@ QueryEngine::QueryEngine(QueryEngineOptions options)
 Result<WorkloadReport> QueryEngine::Run(
     ReachabilityIndex* backend, const std::vector<ReachQuery>& queries) const {
   STREACH_CHECK(backend != nullptr);
+  // A disk backend decodes with the codec its index was built with; a
+  // run configured for a different codec is a deployment error, not
+  // something to silently paper over.
+  const std::optional<PageCodecKind> backend_codec = backend->page_codec();
+  if (backend_codec.has_value() && *backend_codec != options_.page_codec) {
+    return Status::InvalidArgument(
+        std::string("page_codec mismatch: engine configured for ") +
+        ToString(options_.page_codec) + ", backend stores " +
+        ToString(*backend_codec));
+  }
   const size_t n = queries.size();
   WorkloadReport report;
   report.answers.resize(n);
@@ -189,6 +200,7 @@ Result<WorkloadReport> QueryEngine::Run(
   s.backend = backend->DescribeIndex();
   s.num_queries = n;
   s.io_queue_depth = options_.io_queue_depth;
+  s.page_codec = ToString(backend_codec.value_or(options_.page_codec));
   s.wall_seconds = wall_seconds;
   s.queries_per_second =
       wall_seconds > 0 ? static_cast<double>(n) / wall_seconds : 0.0;

@@ -12,6 +12,7 @@
 #include "engine/reachability_index.h"
 #include "engine/result_cache.h"
 #include "storage/io_stats.h"
+#include "storage/page_codec.h"
 
 namespace streach {
 
@@ -35,6 +36,17 @@ struct QueryEngineOptions {
   /// service seek-aware — answers are identical, the IO cost profile
   /// (and `WorkloadSummary::mean_inflight_requests()`) changes.
   int io_queue_depth = 1;
+
+  /// On-disk record codec the workload's disk-resident backend is
+  /// expected to decode with. Purely a declared expectation: each
+  /// backend session knows (and uses) the codec its index was built
+  /// with, and `Run` fails with InvalidArgument when a disk backend's
+  /// actual codec differs from this — the same guard a production fleet
+  /// needs against pointing a reader generation at an incompatibly
+  /// encoded store. Memory-resident backends are exempt. The default
+  /// matches the default build codec, so existing call sites never
+  /// trip it.
+  PageCodecKind page_codec = PageCodecKind::kRaw;
 
   /// Capacity (entries) of the engine's result cache memoizing
   /// `(index, source, interval) -> reachable set`; 0 disables it. On a
@@ -78,6 +90,9 @@ struct WorkloadSummary {
   /// IO submission-queue depth the run executed at (echo of the engine
   /// option actually applied to the sessions).
   int io_queue_depth = 1;
+  /// On-disk record codec the backend decoded with during this run (the
+  /// engine option's value for memory-resident backends).
+  std::string page_codec = "raw";
   /// Device IO per storage shard during this run (index = shard id;
   /// empty for memory-resident backends). Sums to the workload totals.
   /// Each entry also carries the shard's queue stats: `batched_reads`
@@ -107,6 +122,27 @@ struct WorkloadSummary {
                ? 0.0
                : static_cast<double>(accum) / static_cast<double>(reads);
   }
+  /// Stored bytes of every record decoded during the run, all shards.
+  uint64_t total_encoded_bytes() const {
+    uint64_t total = 0;
+    for (const IoStats& shard : per_shard_io) total += shard.encoded_bytes;
+    return total;
+  }
+  /// Raw bytes those records expanded to.
+  uint64_t total_decoded_bytes() const {
+    uint64_t total = 0;
+    for (const IoStats& shard : per_shard_io) total += shard.decoded_bytes;
+    return total;
+  }
+  /// Raw : stored ratio over the run's decodes (1.0 under the raw codec,
+  /// which never decodes).
+  double compression_ratio() const {
+    const uint64_t encoded = total_encoded_bytes();
+    return encoded == 0 ? 1.0
+                        : static_cast<double>(total_decoded_bytes()) /
+                              static_cast<double>(encoded);
+  }
+
   /// Buffer-pool hit rate over all fetches of the run (hits / (hits +
   /// misses)); 0 when the backend performs no IO.
   double pool_hit_rate() const {

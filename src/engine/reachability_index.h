@@ -2,6 +2,7 @@
 #define STREACH_ENGINE_REACHABILITY_INDEX_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "storage/io_stats.h"
+#include "storage/page_codec.h"
 
 namespace streach {
 
@@ -77,6 +79,14 @@ class ReachabilityIndex {
   /// Storage shards behind this session's index (1 when unsharded or
   /// memory-resident).
   virtual int num_shards() const { return 1; }
+
+  /// On-disk record codec of this session's index, or nullopt for
+  /// memory-resident backends (no stored records). The engine checks a
+  /// disk backend's codec against `QueryEngineOptions::page_codec` so a
+  /// workload is never run under a mis-declared decode assumption.
+  virtual std::optional<PageCodecKind> page_codec() const {
+    return std::nullopt;
+  }
 
   /// Cumulative device IO per shard performed through this session's
   /// buffer pool since the session was created (index = shard id; empty

@@ -14,23 +14,37 @@ namespace streach {
 
 namespace {
 
-/// Serializes one vertex into a partition blob.
-void EncodeVertex(VertexId id, const DnVertex& v, Encoder* enc) {
+/// Serializes one vertex into a partition blob, declaring its run
+/// structure as it goes: the sorted member/out/in id arrays are the
+/// codec-compressible runs, the mixed-width sections stay opaque bytes.
+void EncodeVertex(VertexId id, const DnVertex& v, Encoder* enc,
+                  RecordShape* shape) {
+  size_t mark = enc->size();
   enc->PutU32(id);
   enc->PutI32(v.span.start);
   enc->PutI32(v.span.end);
   enc->PutVarint(v.members.size());
+  shape->Bytes(enc->size() - mark);
   for (ObjectId o : v.members) enc->PutU32(o);
+  shape->U32Delta(v.members.size());
+  mark = enc->size();
   enc->PutVarint(v.out.size());
+  shape->Bytes(enc->size() - mark);
   for (VertexId w : v.out) enc->PutU32(w);
+  shape->U32Delta(v.out.size());
+  mark = enc->size();
   enc->PutVarint(v.in.size());
+  shape->Bytes(enc->size() - mark);
   for (VertexId w : v.in) enc->PutU32(w);
+  shape->U32Delta(v.in.size());
+  mark = enc->size();
   enc->PutVarint(v.long_out.size());
   for (const LongEdge& e : v.long_out) {
     enc->PutI32(e.anchor);
     enc->PutVarint(static_cast<uint64_t>(e.length));
     enc->PutU32(e.target);
   }
+  shape->Bytes(enc->size() - mark);
 }
 
 }  // namespace
@@ -129,7 +143,8 @@ Status ReachGraphIndex::PlaceOnDisk(const DnGraph& graph) {
   // per shard head. Each partition is one build task pinned to its shard;
   // one worker per shard serializes that shard's partitions in order, so
   // the on-disk image is identical for every worker count.
-  ShardedExtentWriter writer(&topology_, options_.build.write_queue_depth);
+  ShardedExtentWriter writer(&topology_, options_.build.write_queue_depth,
+                             GetPageCodec(options_.build.page_codec));
   BuildWorkerPool pool(topology_.num_shards(), options_.build.build_workers);
   partition_extents_.resize(partition_members.size());
   for (uint32_t partition_id = 0; partition_id < partition_members.size();
@@ -138,12 +153,14 @@ Status ReachGraphIndex::PlaceOnDisk(const DnGraph& graph) {
     pool.Submit(shard, [this, &graph, &writer, &partition_members,
                         partition_id, shard]() -> Status {
       Encoder enc;
+      RecordShape shape;
       const std::vector<VertexId>& members = partition_members[partition_id];
       enc.PutVarint(members.size());
+      shape.Bytes(enc.size());
       for (VertexId v : members) {
-        EncodeVertex(v, graph.vertex(v), &enc);
+        EncodeVertex(v, graph.vertex(v), &enc, &shape);
       }
-      auto extent = writer.Append(shard, enc.buffer());
+      auto extent = writer.Append(shard, enc.buffer(), shape);
       if (!extent.ok()) return extent.status();
       partition_extents_[partition_id] = *extent;
       return Status::OK();
@@ -160,14 +177,19 @@ Status ReachGraphIndex::PlaceOnDisk(const DnGraph& graph) {
     const uint32_t shard = topology_.ShardForObject(o);
     pool.Submit(shard, [this, &graph, &writer, o, shard]() -> Status {
       Encoder enc;
+      RecordShape shape;
       const auto& timeline = graph.timeline(o);
       enc.PutVarint(timeline.size());
+      shape.Bytes(enc.size());
+      // (start, end, vertex) triples, time-ordered: stride 3 deltas each
+      // field against its predecessor record — all three ascend.
       for (const auto& entry : timeline) {
         enc.PutI32(entry.span.start);
         enc.PutI32(entry.span.end);
         enc.PutU32(entry.vertex);
       }
-      auto extent = writer.Append(shard, enc.buffer());
+      shape.U32Delta(3 * timeline.size(), /*stride=*/3);
+      auto extent = writer.Append(shard, enc.buffer(), shape);
       if (!extent.ok()) return extent.status();
       timeline_extents_[o] = *extent;
       return Status::OK();
@@ -292,16 +314,13 @@ Status ReachGraphIndex::PrefetchVertices(const std::vector<VertexId>& vs,
   return Status::OK();
 }
 
-Result<VertexId> ReachGraphIndex::LookupVertex(ObjectId object, Timestamp t,
-                                               BufferPool* pool) const {
-  if (object >= timeline_extents_.size()) {
-    return Status::NotFound("unknown object");
-  }
-  auto blob = ReadExtent(pool, timeline_extents_[object], options_.page_size);
-  if (!blob.ok()) return blob.status();
-  Decoder dec(*blob);
+Result<std::vector<DnGraph::TimelineEntry>> ReachGraphIndex::ParseTimeline(
+    const std::string& blob) const {
+  Decoder dec(blob);
   auto count = dec.GetVarint();
   if (!count.ok()) return count.status();
+  std::vector<DnGraph::TimelineEntry> timeline;
+  timeline.reserve(*count);
   for (uint64_t i = 0; i < *count; ++i) {
     auto start = dec.GetI32();
     auto end = dec.GetI32();
@@ -309,7 +328,28 @@ Result<VertexId> ReachGraphIndex::LookupVertex(ObjectId object, Timestamp t,
     if (!start.ok() || !end.ok() || !vertex.ok()) {
       return Status::Corruption("timeline entry");
     }
-    if (t >= *start && t <= *end) return *vertex;
+    timeline.push_back(
+        DnGraph::TimelineEntry{TimeInterval(*start, *end), *vertex});
+  }
+  return timeline;
+}
+
+Result<std::vector<DnGraph::TimelineEntry>> ReachGraphIndex::ReadTimeline(
+    ObjectId object, BufferPool* pool) const {
+  if (object >= timeline_extents_.size()) {
+    return Status::NotFound("unknown object");
+  }
+  auto blob = ReadExtent(pool, timeline_extents_[object], options_.page_size);
+  if (!blob.ok()) return blob.status();
+  return ParseTimeline(*blob);
+}
+
+Result<VertexId> ReachGraphIndex::LookupVertex(ObjectId object, Timestamp t,
+                                               BufferPool* pool) const {
+  auto timeline = ReadTimeline(object, pool);
+  if (!timeline.ok()) return timeline.status();
+  for (const auto& entry : *timeline) {
+    if (entry.span.Contains(t)) return entry.vertex;
   }
   return Status::NotFound("object has no vertex at requested time");
 }
@@ -330,6 +370,101 @@ Result<ReachAnswer> ReachGraphIndex::QueryEBfs(const ReachQuery& query) {
 
 Result<ReachAnswer> ReachGraphIndex::QueryEDfs(const ReachQuery& query) {
   return QueryEDfs(query, &pool_, &last_stats_);
+}
+
+Result<std::vector<Timestamp>> ReachGraphIndex::ReachableSet(
+    ObjectId source, TimeInterval interval) {
+  return ReachableSet(source, interval, &pool_, &last_stats_);
+}
+
+Result<std::vector<Timestamp>> ReachGraphIndex::ReachableSet(
+    ObjectId source, TimeInterval interval, BufferPool* pool,
+    QueryStats* stats) const {
+  QueryScope scope(pool, stats);
+  std::vector<Timestamp> infection(num_objects_, kInvalidTime);
+  const TimeInterval w = interval.Intersect(span_);
+  auto finish = [&]() {
+    scope.Finish();
+    return infection;
+  };
+  if (w.empty() || source >= num_objects_) return finish();
+  infection[source] = w.start;
+
+  TraversalScratch scratch;
+  scratch.pool = pool;
+
+  // Time-ordered Dijkstra over components: an entry says "the item
+  // enters `vertex` at tick `enter`". Pops are monotonically
+  // non-decreasing in `enter` (every push derives from the current pop
+  // time), so the first pop of a vertex carries its earliest entry and
+  // each vertex is expanded exactly once.
+  struct Entry {
+    Timestamp enter;
+    VertexId vertex;
+    bool operator>(const Entry& o) const {
+      return enter > o.enter || (enter == o.enter && vertex > o.vertex);
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::unordered_set<VertexId> done;
+  std::vector<VertexId> pushed;
+
+  // An object infected at `from` carries the item into every later
+  // component on its timeline that the query window still covers.
+  auto push_object = [&](Timestamp from,
+                         const std::vector<DnGraph::TimelineEntry>& timeline) {
+    for (const auto& entry : timeline) {
+      if (entry.span.end < from || entry.span.start > w.end) continue;
+      if (done.count(entry.vertex) != 0) continue;
+      heap.push({std::max(from, entry.span.start), entry.vertex});
+      pushed.push_back(entry.vertex);
+    }
+  };
+
+  {
+    auto timeline = ReadTimeline(source, pool);
+    if (!timeline.ok()) return timeline.status();
+    pushed.clear();
+    push_object(w.start, *timeline);
+    STREACH_RETURN_NOT_OK(PrefetchVertices(pushed, &scratch));
+  }
+
+  std::vector<ObjectId> newly;
+  std::vector<Extent> extents;
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    if (!done.insert(top.vertex).second) continue;
+    scope.AddItemsVisited(1);
+    auto sv = GetVertex(top.vertex, &scratch);
+    if (!sv.ok()) return sv.status();
+    // Members are mutually reachable at every instant of the vertex
+    // span (Property 5.1), so everyone aboard is infected the tick the
+    // item enters.
+    newly.clear();
+    for (ObjectId o : (*sv)->members) {
+      if (o < num_objects_ && infection[o] == kInvalidTime) {
+        infection[o] = top.enter;
+        newly.push_back(o);
+      }
+    }
+    if (newly.empty()) continue;
+    // The sweep's IO pattern: one batched read for the new members'
+    // timelines, then one batched prefetch for the partitions their
+    // entries point at — both no-ops at queue depth 1.
+    extents.clear();
+    for (ObjectId o : newly) extents.push_back(timeline_extents_[o]);
+    auto blobs = ReadExtentsBatched(pool, extents, options_.page_size);
+    if (!blobs.ok()) return blobs.status();
+    pushed.clear();
+    for (size_t k = 0; k < newly.size(); ++k) {
+      auto timeline = ParseTimeline((*blobs)[k]);
+      if (!timeline.ok()) return timeline.status();
+      push_object(top.enter, *timeline);
+    }
+    STREACH_RETURN_NOT_OK(PrefetchVertices(pushed, &scratch));
+  }
+  return finish();
 }
 
 Result<ReachAnswer> ReachGraphIndex::QueryBmBfs(const ReachQuery& query,

@@ -86,6 +86,23 @@ class ReachGraphIndex {
   Result<ReachAnswer> QueryEBfs(const ReachQuery& query);
   Result<ReachAnswer> QueryEDfs(const ReachQuery& query);
 
+  /// All objects reachable from `source` during `interval` with their
+  /// infection times (kInvalidTime for unreached objects), matching
+  /// `BruteForceClosure`. Implemented as a member sweep over the
+  /// partition-resident vertices and the on-disk Ht timelines: a
+  /// time-ordered Dijkstra pops the earliest-entered component, infects
+  /// its members, and follows each newly infected member's timeline into
+  /// the components it carries the item to — exactly the semantics DN_1
+  /// edges encode, without needing a destination to steer toward. This
+  /// is what lets the engine's result cache memoize ReachGraph point
+  /// queries instead of falling back.
+  Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
+                                              TimeInterval interval);
+  Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
+                                              TimeInterval interval,
+                                              BufferPool* pool,
+                                              QueryStats* stats) const;
+
   /// Re-entrant query paths: traverse through the caller's buffer pool and
   /// write metrics into `*stats`. Safe to call concurrently from many
   /// threads with distinct pools (see NewSessionPool).
@@ -99,13 +116,20 @@ class ReachGraphIndex {
                                 QueryStats* stats) const;
 
   /// A fresh buffer pool over this index's storage topology, for one
-  /// concurrent query session (sized like the built-in pool).
+  /// concurrent query session (sized like the built-in pool, decoding
+  /// with this index's codec).
   std::unique_ptr<BufferPool> NewSessionPool() const {
-    return std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
+    auto pool =
+        std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
+    pool->set_page_codec(GetPageCodec(options_.build.page_codec));
+    return pool;
   }
 
   const StorageTopology& topology() const { return topology_; }
   int num_shards() const { return topology_.num_shards(); }
+
+  /// On-disk record codec this index was built (and must be read) with.
+  PageCodecKind page_codec() const { return options_.build.page_codec; }
 
   /// Metrics of the most recent query.
   const QueryStats& last_query_stats() const { return last_stats_; }
@@ -136,7 +160,9 @@ class ReachGraphIndex {
       : options_(options),
         topology_(StorageTopologyOptions{options.num_shards,
                                          options.page_size}),
-        pool_(&topology_, options.buffer_pool_pages) {}
+        pool_(&topology_, options.buffer_pool_pages) {
+    pool_.set_page_codec(GetPageCodec(options.build.page_codec));
+  }
 
   Status PlaceOnDisk(const DnGraph& graph);
 
@@ -168,6 +194,14 @@ class ReachGraphIndex {
   /// (object, t) -> vertex via the on-disk timeline (Ht lookup).
   Result<VertexId> LookupVertex(ObjectId object, Timestamp t,
                                 BufferPool* pool) const;
+
+  /// Decodes one on-disk Ht timeline into its (span, vertex) entries.
+  Result<std::vector<DnGraph::TimelineEntry>> ParseTimeline(
+      const std::string& blob) const;
+
+  /// Reads `object`'s full timeline (the member sweep's edge source).
+  Result<std::vector<DnGraph::TimelineEntry>> ReadTimeline(
+      ObjectId object, BufferPool* pool) const;
 
   Result<ReachAnswer> RunBidirectional(const ReachQuery& query,
                                        bool use_long_edges, BufferPool* pool,

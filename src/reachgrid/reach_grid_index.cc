@@ -83,7 +83,8 @@ Status ReachGridIndex::WriteIndex(const TrajectoryStore& store) {
   bucket_cells_.resize(static_cast<size_t>(num_buckets));
   build_stats_.num_buckets = static_cast<uint64_t>(num_buckets);
 
-  ShardedExtentWriter writer(&topology_, options_.build.write_queue_depth);
+  ShardedExtentWriter writer(&topology_, options_.build.write_queue_depth,
+                             GetPageCodec(options_.build.page_codec));
   BuildWorkerPool pool(topology_.num_shards(), options_.build.build_workers);
 
   // Cells of bucket i are written before cells of bucket j > i; within a
@@ -125,21 +126,29 @@ Status ReachGridIndex::WriteIndex(const TrajectoryStore& store) {
       for (const auto& [c, objs] : cell_objects) cells.push_back(c);
       std::sort(cells.begin(), cells.end());
       Encoder enc;
+      RecordShape shape;
       for (CellId c : cells) {
         const auto& objs = cell_objects[c];
         enc.Clear();
+        shape.Clear();
         enc.PutVarint(objs.size());
+        shape.Bytes(enc.size());
         for (ObjectId o : objs) {
           enc.PutU32(o);
+          shape.Bytes(4);
           const Trajectory& tr = store.Get(o);
           // Positions time-ordered (§4.1's within-cell placement rule).
+          // The interleaved x,y samples are one double run with stride 2:
+          // each coordinate is predicted from its own dimension.
           for (Timestamp t = bw.start; t <= bw.end; ++t) {
             const Point& p = tr.At(t);
             enc.PutDouble(p.x);
             enc.PutDouble(p.y);
           }
+          shape.DoubleDelta(2 * static_cast<uint64_t>(bw.length()),
+                            /*stride=*/2);
         }
-        auto extent = writer.Append(shard, enc.buffer());
+        auto extent = writer.Append(shard, enc.buffer(), shape);
         if (!extent.ok()) return extent.status();
         bucket_cells_[static_cast<size_t>(bucket)].emplace(c, *extent);
         ++cells_per_bucket[static_cast<size_t>(bucket)];
@@ -167,7 +176,9 @@ Status ReachGridIndex::WriteIndex(const TrajectoryStore& store) {
       for (ObjectId o = 0; o < store.num_objects(); ++o) {
         enc.PutU32(grid_.CellOf(store.Get(o).At(bw.start)));
       }
-      auto extent = writer.Append(shard, enc.buffer());
+      RecordShape shape;
+      shape.U32Delta(store.num_objects());
+      auto extent = writer.Append(shard, enc.buffer(), shape);
       if (!extent.ok()) return extent.status();
       locator_extents_[static_cast<size_t>(bucket)] = *extent;
       return Status::OK();
@@ -183,6 +194,20 @@ Result<CellId> ReachGridIndex::LookupCell(int bucket, ObjectId object,
     return Status::OutOfRange("locator lookup out of range");
   }
   const Extent& extent = locator_extents_[static_cast<size_t>(bucket)];
+  if (pool->page_codec()->kind() != PageCodecKind::kRaw) {
+    // Encoded locator entries are variable-width, so the constant-IO
+    // byte-offset probe below cannot address them. Read the whole table
+    // through the codec instead (shared, so a decoded-cache hit moves no
+    // bytes): every lookup after the first is free, and the compressed
+    // table spans fewer pages to begin with.
+    auto table = ReadExtentShared(pool, extent, options_.page_size);
+    if (!table.ok()) return table.status();
+    if ((*table)->size() < (static_cast<uint64_t>(object) + 1) * 4) {
+      return Status::Corruption("locator table shorter than object id");
+    }
+    return DecodeLocatorEntry((*table)->data() +
+                              static_cast<uint64_t>(object) * 4);
+  }
   // Direct single-entry read of the entry's (possibly two) pages.
   const uint64_t byte_offset = LocatorEntryOffset(extent, object);
   char raw[4];
@@ -199,7 +224,11 @@ Result<std::vector<CellId>> ReachGridIndex::LookupCells(
     int bucket, const std::vector<ObjectId>& objects, BufferPool* pool) const {
   std::vector<CellId> cells;
   cells.reserve(objects.size());
-  if (pool->io_queue_depth() == 1) {
+  if (pool->io_queue_depth() == 1 ||
+      pool->page_codec()->kind() != PageCodecKind::kRaw) {
+    // Synchronous depth — or a decoded locator table, where the first
+    // lookup materializes the whole table and the rest hit the decoded
+    // cache, so there is no page batch to assemble.
     for (ObjectId object : objects) {
       auto cell = LookupCell(bucket, object, pool);
       if (!cell.ok()) return cell.status();

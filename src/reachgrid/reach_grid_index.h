@@ -94,13 +94,20 @@ class ReachGridIndex {
                                               QueryStats* stats) const;
 
   /// A fresh buffer pool over this index's storage topology, for one
-  /// concurrent query session (sized like the built-in pool).
+  /// concurrent query session (sized like the built-in pool, decoding
+  /// with this index's codec).
   std::unique_ptr<BufferPool> NewSessionPool() const {
-    return std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
+    auto pool =
+        std::make_unique<BufferPool>(&topology_, options_.buffer_pool_pages);
+    pool->set_page_codec(GetPageCodec(options_.build.page_codec));
+    return pool;
   }
 
   const StorageTopology& topology() const { return topology_; }
   int num_shards() const { return topology_.num_shards(); }
+
+  /// On-disk record codec this index was built (and must be read) with.
+  PageCodecKind page_codec() const { return options_.build.page_codec; }
 
   const QueryStats& last_query_stats() const { return last_stats_; }
   const ReachGridBuildStats& build_stats() const { return build_stats_; }
@@ -125,7 +132,9 @@ class ReachGridIndex {
         pool_(&topology_, options.buffer_pool_pages),
         grid_(extent, options.spatial_cell_size),
         span_(span),
-        num_objects_(num_objects) {}
+        num_objects_(num_objects) {
+    pool_.set_page_codec(GetPageCodec(options.build.page_codec));
+  }
 
   int BucketOf(Timestamp t) const {
     return static_cast<int>((t - span_.start) / options_.temporal_resolution);

@@ -49,6 +49,23 @@ constexpr PageId LocalPageOf(PageId address) {
 }
 /// @}
 
+/// Location of a serialized blob on the device: a byte range inside a run
+/// of consecutive pages. `length` counts *stored* bytes — under a non-raw
+/// page codec that is the encoded size, not the raw record size.
+struct Extent {
+  PageId first_page = kInvalidPage;
+  uint64_t offset_in_page = 0;  ///< Byte offset within first_page.
+  uint64_t length = 0;          ///< Stored blob length in bytes.
+
+  bool valid() const { return first_page != kInvalidPage; }
+
+  /// Number of pages the blob spans given a page size.
+  uint64_t PageSpan(size_t page_size) const {
+    if (length == 0) return 0;
+    return (offset_in_page + length + page_size - 1) / page_size;
+  }
+};
+
 /// \brief Per-reader access state for the concurrent read path.
 ///
 /// Sequential-vs-random classification needs the position of the previous

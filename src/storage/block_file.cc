@@ -5,15 +5,47 @@
 namespace streach {
 
 ExtentWriter::ExtentWriter(BlockDevice* device, uint32_t shard_id,
-                           int write_queue_depth)
+                           int write_queue_depth, const PageCodec* codec)
     : device_(device), shard_id_(shard_id),
-      write_queue_depth_(write_queue_depth) {
+      write_queue_depth_(write_queue_depth),
+      codec_(codec != nullptr ? codec : GetPageCodec(PageCodecKind::kRaw)) {
   STREACH_CHECK(device != nullptr);
   STREACH_CHECK_LT(shard_id, kMaxShards);
   STREACH_CHECK_GE(write_queue_depth, 1);
 }
 
 Result<Extent> ExtentWriter::Append(std::string_view blob) {
+  if (codec_->kind() == PageCodecKind::kRaw || blob.empty()) {
+    // The raw fast path: no transcode, no shape bookkeeping — and the
+    // historical bit-identical image. Empty blobs store nothing under any
+    // codec (a zero-length extent reads back as an empty record).
+    device_->mutable_stats()->encoded_bytes += blob.size();
+    device_->mutable_stats()->decoded_bytes += blob.size();
+    return AppendStored(blob);
+  }
+  RecordShape shape;
+  shape.Bytes(blob.size());
+  return Append(blob, shape);
+}
+
+Result<Extent> ExtentWriter::Append(std::string_view blob,
+                                    const RecordShape& shape) {
+  if (codec_->kind() == PageCodecKind::kRaw || blob.empty()) {
+    if (shape.total_bytes() != blob.size()) {
+      return Status::InvalidArgument("record shape does not cover blob");
+    }
+    device_->mutable_stats()->encoded_bytes += blob.size();
+    device_->mutable_stats()->decoded_bytes += blob.size();
+    return AppendStored(blob);
+  }
+  auto stored = codec_->Encode(blob, shape);
+  if (!stored.ok()) return stored.status();
+  device_->mutable_stats()->encoded_bytes += stored->size();
+  device_->mutable_stats()->decoded_bytes += blob.size();
+  return AppendStored(*stored);
+}
+
+Result<Extent> ExtentWriter::AppendStored(std::string_view blob) {
   if (current_page_ == kInvalidPage) {
     current_page_ = device_->AllocatePage();
     current_.clear();
@@ -82,12 +114,13 @@ Status ExtentWriter::FlushPendingWrites() {
 }
 
 ShardedExtentWriter::ShardedExtentWriter(StorageTopology* topology,
-                                         int write_queue_depth) {
+                                         int write_queue_depth,
+                                         const PageCodec* codec) {
   STREACH_CHECK(topology != nullptr);
   writers_.reserve(static_cast<size_t>(topology->num_shards()));
   for (int s = 0; s < topology->num_shards(); ++s) {
     writers_.emplace_back(topology->shard(s), static_cast<uint32_t>(s),
-                          write_queue_depth);
+                          write_queue_depth, codec);
   }
 }
 
@@ -95,6 +128,13 @@ Result<Extent> ShardedExtentWriter::Append(uint32_t shard,
                                            std::string_view blob) {
   STREACH_CHECK_LT(shard, writers_.size());
   return writers_[shard].Append(blob);
+}
+
+Result<Extent> ShardedExtentWriter::Append(uint32_t shard,
+                                           std::string_view blob,
+                                           const RecordShape& shape) {
+  STREACH_CHECK_LT(shard, writers_.size());
+  return writers_[shard].Append(blob, shape);
 }
 
 Status ShardedExtentWriter::AlignToPage(uint32_t shard) {
@@ -152,18 +192,65 @@ Result<std::string> StitchExtent(const Extent& extent, size_t page_size,
 
 }  // namespace
 
+namespace {
+
+/// The shared non-raw miss path: decodes freshly stitched stored bytes,
+/// accounts the transcode against the extent's shard, and retains the
+/// record in the pool's decoded cache.
+Result<std::shared_ptr<const std::string>> DecodeAndCache(
+    BufferPool* pool, const Extent& extent, const std::string& stored) {
+  auto raw = pool->page_codec()->Decode(stored);
+  if (!raw.ok()) return raw.status();
+  pool->AccountDecode(ShardOfPage(extent.first_page), stored.size(),
+                      raw->size());
+  auto shared = std::make_shared<const std::string>(std::move(*raw));
+  pool->InsertDecodedRecord(extent, shared);
+  return shared;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const std::string>> ReadExtentShared(
+    BufferPool* pool, const Extent& extent, size_t page_size) {
+  if (pool->page_codec()->kind() == PageCodecKind::kRaw) {
+    // Historical path: stored bytes ARE the record, page for page.
+    PageId page = extent.first_page;
+    auto stored = StitchExtent(extent, page_size,
+                               [&]() { return pool->Fetch(page++); });
+    if (!stored.ok()) return stored.status();
+    return std::make_shared<const std::string>(std::move(*stored));
+  }
+  if (!extent.valid()) {
+    return Status::InvalidArgument("reading invalid extent");
+  }
+  if (extent.length == 0) return std::make_shared<const std::string>();
+  if (auto cached = pool->LookupDecodedRecord(extent)) return cached;
+  PageId page = extent.first_page;
+  auto stored = StitchExtent(extent, page_size,
+                             [&]() { return pool->Fetch(page++); });
+  if (!stored.ok()) return stored.status();
+  return DecodeAndCache(pool, extent, *stored);
+}
+
 Result<std::string> ReadExtent(BufferPool* pool, const Extent& extent,
                                size_t page_size) {
-  PageId page = extent.first_page;
-  return StitchExtent(extent, page_size,
-                      [&]() { return pool->Fetch(page++); });
+  if (pool->page_codec()->kind() == PageCodecKind::kRaw) {
+    // Historical path: stored bytes ARE the record, page for page.
+    PageId page = extent.first_page;
+    return StitchExtent(extent, page_size,
+                        [&]() { return pool->Fetch(page++); });
+  }
+  auto shared = ReadExtentShared(pool, extent, page_size);
+  if (!shared.ok()) return shared.status();
+  return std::string(**shared);
 }
 
 Result<std::vector<std::string>> ReadExtentsBatched(
     BufferPool* pool, const std::vector<Extent>& extents, size_t page_size) {
-  std::vector<std::string> blobs;
-  blobs.reserve(extents.size());
+  const bool raw = pool->page_codec()->kind() == PageCodecKind::kRaw;
   if (pool->io_queue_depth() == 1) {
+    std::vector<std::string> blobs;
+    blobs.reserve(extents.size());
     for (const Extent& extent : extents) {
       auto blob = ReadExtent(pool, extent, page_size);
       if (!blob.ok()) return blob.status();
@@ -171,23 +258,50 @@ Result<std::vector<std::string>> ReadExtentsBatched(
     }
     return blobs;
   }
-  std::vector<PageId> ids;
-  for (const Extent& extent : extents) {
+  std::vector<std::string> blobs(extents.size());
+  // Which extents still need device pages: all of them under the raw
+  // codec; under a non-raw codec only the records the decoded cache
+  // cannot serve (cache hits cost no IO at all).
+  std::vector<size_t> pending;
+  pending.reserve(extents.size());
+  for (size_t i = 0; i < extents.size(); ++i) {
+    const Extent& extent = extents[i];
     if (!extent.valid()) {
       return Status::InvalidArgument("reading invalid extent");
     }
-    const uint64_t span = extent.PageSpan(page_size);
-    for (uint64_t k = 0; k < span; ++k) ids.push_back(extent.first_page + k);
+    if (raw) {
+      pending.push_back(i);
+      continue;
+    }
+    if (extent.length == 0) continue;
+    if (auto cached = pool->LookupDecodedRecord(extent)) {
+      blobs[i] = *cached;
+      continue;
+    }
+    pending.push_back(i);
+  }
+  std::vector<PageId> ids;
+  for (size_t i : pending) {
+    const uint64_t span = extents[i].PageSpan(page_size);
+    for (uint64_t k = 0; k < span; ++k) {
+      ids.push_back(extents[i].first_page + k);
+    }
   }
   auto refs = pool->FetchBatch(ids);
   if (!refs.ok()) return refs.status();
   size_t next = 0;
-  for (const Extent& extent : extents) {
-    auto blob = StitchExtent(extent, page_size, [&]() {
+  for (size_t i : pending) {
+    auto stored = StitchExtent(extents[i], page_size, [&]() {
       return Result<PageRef>((*refs)[next++]);
     });
-    if (!blob.ok()) return blob.status();
-    blobs.push_back(std::move(*blob));
+    if (!stored.ok()) return stored.status();
+    if (raw) {
+      blobs[i] = std::move(*stored);
+      continue;
+    }
+    auto record = DecodeAndCache(pool, extents[i], *stored);
+    if (!record.ok()) return record.status();
+    blobs[i] = **record;
   }
   return blobs;
 }

@@ -11,25 +11,10 @@
 #include "common/status.h"
 #include "storage/block_device.h"
 #include "storage/buffer_pool.h"
+#include "storage/page_codec.h"
 #include "storage/storage_topology.h"
 
 namespace streach {
-
-/// Location of a serialized blob on the device: a byte range inside a run
-/// of consecutive pages.
-struct Extent {
-  PageId first_page = kInvalidPage;
-  uint64_t offset_in_page = 0;  ///< Byte offset within first_page.
-  uint64_t length = 0;          ///< Blob length in bytes.
-
-  bool valid() const { return first_page != kInvalidPage; }
-
-  /// Number of pages the blob spans given a page size.
-  uint64_t PageSpan(size_t page_size) const {
-    if (length == 0) return 0;
-    return (offset_in_page + length + page_size - 1) / page_size;
-  }
-};
 
 /// \brief Sequential writer that packs blobs onto consecutive pages.
 ///
@@ -47,6 +32,13 @@ struct Extent {
 /// `BlockDevice::SubmitWriteBatch`, so the device keeps up to N writes in
 /// flight. Page contents are identical either way — only the IO cost
 /// profile (and the `batched_writes` accounting) differs.
+///
+/// Codec: every appended blob passes through the writer's `PageCodec`
+/// before placement. The raw codec (default) appends the bytes verbatim —
+/// bit-identical to the historical images — while a non-raw codec stores
+/// the encoded form (`Extent::length` is the stored size) and accounts
+/// `encoded_bytes`/`decoded_bytes` against the device-global stats, the
+/// source of a build's compression ratio.
 class ExtentWriter {
  public:
   /// Pages buffered before a batch is submitted at depth > 1. Large
@@ -55,11 +47,19 @@ class ExtentWriter {
 
   /// Writes onto `device`; extents are addressed as shard `shard_id`
   /// pages (shard 0 — the default — yields plain local page ids).
+  /// `codec == nullptr` means the raw codec.
   explicit ExtentWriter(BlockDevice* device, uint32_t shard_id = 0,
-                        int write_queue_depth = 1);
+                        int write_queue_depth = 1,
+                        const PageCodec* codec = nullptr);
 
   /// Appends `blob` after the previous one; returns where it landed.
+  /// Without a shape the whole blob is one opaque-bytes run (a non-raw
+  /// codec still wraps it so readers can decode uniformly).
   Result<Extent> Append(std::string_view blob);
+
+  /// Appends `blob`, whose run structure is `shape` — the declaration a
+  /// non-raw codec compresses by. `shape` must cover `blob` exactly.
+  Result<Extent> Append(std::string_view blob, const RecordShape& shape);
 
   /// Pads to the next page boundary so the following blob starts a fresh
   /// page (used to align independent sections).
@@ -73,6 +73,10 @@ class ExtentWriter {
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
+  /// Packs already-encoded bytes after the previous blob (the historical
+  /// Append body; both public overloads funnel through it).
+  Result<Extent> AppendStored(std::string_view stored);
+
   Status FlushCurrentPage();
   /// Submits the buffered pages as one write batch (no-op when empty).
   Status FlushPendingWrites();
@@ -80,6 +84,7 @@ class ExtentWriter {
   BlockDevice* device_;
   uint32_t shard_id_;
   int write_queue_depth_;
+  const PageCodec* codec_;
   std::string current_;    // Buffered bytes of the page being filled.
   PageId current_page_ = kInvalidPage;  // Local page on `device_`.
   uint64_t bytes_written_ = 0;
@@ -108,11 +113,17 @@ class ShardedExtentWriter {
  public:
   /// `write_queue_depth` as in `BuildOptions`: 1 = synchronous WritePage
   /// per finished page, N > 1 = per-shard batches with N in flight.
+  /// `codec == nullptr` means the raw codec; all shards share it.
   explicit ShardedExtentWriter(StorageTopology* topology,
-                               int write_queue_depth = 1);
+                               int write_queue_depth = 1,
+                               const PageCodec* codec = nullptr);
 
   /// Appends `blob` to `shard`'s device after that shard's previous blob.
   Result<Extent> Append(uint32_t shard, std::string_view blob);
+
+  /// Appends `blob` with its declared run structure (see `ExtentWriter`).
+  Result<Extent> Append(uint32_t shard, std::string_view blob,
+                        const RecordShape& shape);
 
   /// Pads `shard` to its next page boundary.
   Status AlignToPage(uint32_t shard);
@@ -129,18 +140,31 @@ class ShardedExtentWriter {
   std::vector<ExtentWriter> writers_;
 };
 
-/// \brief Reads a blob back from an `Extent` through a buffer pool,
-/// concatenating the spanned pages.
+/// \brief Reads a record back from an `Extent` through a buffer pool:
+/// concatenates the spanned pages and, under a non-raw pool codec,
+/// decodes the stored bytes back into the raw record (consulting the
+/// pool's decoded-record cache first — a hit costs neither page IO nor
+/// codec work). Returns the raw record bytes in every case.
 Result<std::string> ReadExtent(BufferPool* pool, const Extent& extent,
                                size_t page_size);
+
+/// \brief `ReadExtent` without the caller-owned copy: returns shared
+/// ownership of the raw record. Under a non-raw codec a decoded-cache
+/// hit is the cached record itself — no bytes move — which is what makes
+/// repeated reads of one hot record (e.g. every locator probe of a
+/// ReachGrid sweep) O(1) instead of O(record size).
+Result<std::shared_ptr<const std::string>> ReadExtentShared(
+    BufferPool* pool, const Extent& extent, size_t page_size);
 
 /// \brief Reads several blobs through one batched fetch.
 ///
 /// Collects every page the extents span — extents in input order, pages
 /// ascending within each — and issues a single `BufferPool::FetchBatch`,
 /// so the per-shard submission queues see the whole traversal step's
-/// demand at once instead of one page at a time. `result[i]` is the blob
-/// of `extents[i]`. At a queue depth of 1 this is exactly a loop of
+/// demand at once instead of one page at a time. `result[i]` is the raw
+/// record of `extents[i]` (decoded like `ReadExtent`; under a non-raw
+/// codec, records the decoded cache serves are excluded from the page
+/// batch entirely). At a queue depth of 1 this is exactly a loop of
 /// `ReadExtent` calls.
 Result<std::vector<std::string>> ReadExtentsBatched(
     BufferPool* pool, const std::vector<Extent>& extents, size_t page_size);

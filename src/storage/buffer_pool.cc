@@ -6,13 +6,17 @@ namespace streach {
 
 BufferPool::BufferPool(const BlockDevice* device, size_t capacity_pages)
     : device_(device), topology_(nullptr), capacity_(capacity_pages),
-      cursors_(1) {
+      cursors_(1),
+      codec_(GetPageCodec(PageCodecKind::kRaw)),
+      decoded_capacity_(capacity_pages * device->page_size()) {
   STREACH_CHECK(device != nullptr);
   STREACH_CHECK_GT(capacity_pages, 0u);
 }
 
 BufferPool::BufferPool(const StorageTopology* topology, size_t capacity_pages)
-    : device_(nullptr), topology_(topology), capacity_(capacity_pages) {
+    : device_(nullptr), topology_(topology), capacity_(capacity_pages),
+      codec_(GetPageCodec(PageCodecKind::kRaw)),
+      decoded_capacity_(capacity_pages * topology->page_size()) {
   STREACH_CHECK(topology != nullptr);
   STREACH_CHECK_GT(capacity_pages, 0u);
   cursors_.resize(static_cast<size_t>(topology->num_shards()));
@@ -142,9 +146,67 @@ void BufferPool::set_io_queue_depth(int depth) {
   io_queue_depth_ = depth;
 }
 
+void BufferPool::set_page_codec(const PageCodec* codec) {
+  STREACH_CHECK(codec != nullptr);
+  codec_ = codec;
+}
+
+void BufferPool::set_decoded_cache_capacity(size_t bytes) {
+  decoded_capacity_ = bytes;
+  EvictDecodedDownTo(decoded_capacity_);
+}
+
+void BufferPool::EvictDecodedDownTo(size_t budget) {
+  while (decoded_bytes_ > budget && !decoded_lru_.empty()) {
+    const DecodedKey victim = decoded_lru_.back();
+    decoded_lru_.pop_back();
+    auto it = decoded_.find(victim);
+    decoded_bytes_ -= it->second.record->size();
+    decoded_.erase(it);
+  }
+}
+
+std::shared_ptr<const std::string> BufferPool::LookupDecodedRecord(
+    const Extent& extent) {
+  auto it = decoded_.find(DecodedKey{extent.first_page, extent.offset_in_page});
+  if (it == decoded_.end()) {
+    ++decoded_misses_;
+    return nullptr;
+  }
+  ++decoded_hits_;
+  decoded_lru_.erase(it->second.lru_it);
+  decoded_lru_.push_front(it->first);
+  it->second.lru_it = decoded_lru_.begin();
+  return it->second.record;
+}
+
+void BufferPool::InsertDecodedRecord(
+    const Extent& extent, std::shared_ptr<const std::string> record) {
+  STREACH_CHECK(record != nullptr);
+  if (record->size() > decoded_capacity_) return;  // Never fits; serve only.
+  const DecodedKey key{extent.first_page, extent.offset_in_page};
+  // A batch holding the same extent twice decodes it twice; keep the
+  // first copy.
+  if (decoded_.count(key) != 0) return;
+  EvictDecodedDownTo(decoded_capacity_ - record->size());
+  decoded_bytes_ += record->size();
+  decoded_lru_.push_front(key);
+  decoded_.emplace(key, DecodedEntry{std::move(record), decoded_lru_.begin()});
+}
+
+void BufferPool::AccountDecode(uint32_t shard, uint64_t encoded_bytes,
+                               uint64_t decoded_bytes) {
+  STREACH_CHECK_LT(shard, cursors_.size());
+  cursors_[shard].stats.encoded_bytes += encoded_bytes;
+  cursors_[shard].stats.decoded_bytes += decoded_bytes;
+}
+
 void BufferPool::Clear() {
   lru_.clear();
   entries_.clear();
+  decoded_lru_.clear();
+  decoded_.clear();
+  decoded_bytes_ = 0;
 }
 
 }  // namespace streach

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "storage/block_device.h"
+#include "storage/page_codec.h"
 #include "storage/storage_topology.h"
 
 namespace streach {
@@ -99,6 +100,53 @@ class BufferPool {
   void set_io_queue_depth(int depth);
   int io_queue_depth() const { return io_queue_depth_; }
 
+  /// \name Page codec & decoded-record cache
+  ///
+  /// A pool serving an index built with a non-raw `PageCodec` must decode
+  /// every stored extent back into its raw record bytes
+  /// (`ReadExtent`/`ReadExtentsBatched` route through the codec set
+  /// here). Decoding costs CPU per fetch, so the pool keeps a small
+  /// bounded LRU of decoded records keyed by extent: a hot record is
+  /// decoded once and then served without page IO or codec work until
+  /// evicted. The cache is byte-budgeted (default: the same budget as the
+  /// page cache, `capacity() * page_size`), sits beside the page LRU, and
+  /// is dropped by `Clear()` so cold-cache measurement protocols stay
+  /// honest. Under the raw codec the record paths never consult it, which
+  /// keeps raw IO accounting bit-identical to the historical pool.
+  /// @{
+
+  /// Sets the codec extents read through this pool were stored with.
+  /// Must match the codec the index was built with; `GetPageCodec(kRaw)`
+  /// is the default. Never null.
+  void set_page_codec(const PageCodec* codec);
+  const PageCodec* page_codec() const { return codec_; }
+
+  /// Byte budget of the decoded-record cache (0 disables caching;
+  /// records larger than the budget are served but not retained).
+  void set_decoded_cache_capacity(size_t bytes);
+  size_t decoded_cache_capacity() const { return decoded_capacity_; }
+  /// Bytes of decoded records currently retained.
+  size_t decoded_cache_bytes() const { return decoded_bytes_; }
+
+  /// Cached decoded record for `extent`, or nullptr (records a decoded
+  /// hit/miss and refreshes the LRU position on a hit).
+  std::shared_ptr<const std::string> LookupDecodedRecord(const Extent& extent);
+
+  /// Retains a freshly decoded record (evicting LRU records over budget).
+  void InsertDecodedRecord(const Extent& extent,
+                           std::shared_ptr<const std::string> record);
+
+  /// Accounts one extent decode (stored -> raw bytes) against `shard`'s
+  /// cursor stats — the source of the per-shard compression ratios
+  /// reported by `WorkloadSummary`.
+  void AccountDecode(uint32_t shard, uint64_t encoded_bytes,
+                     uint64_t decoded_bytes);
+
+  /// Record fetches served from the decoded cache / decoded fresh.
+  uint64_t decoded_hits() const { return decoded_hits_; }
+  uint64_t decoded_misses() const { return decoded_misses_; }
+  /// @}
+
   /// Drops all cached pages (e.g. between benchmark queries to make every
   /// query cold). Outstanding `PageRef`s stay valid.
   void Clear();
@@ -113,10 +161,12 @@ class BufferPool {
   /// hit or one miss, batched or not (FetchBatch's dedup preserves the
   /// Fetch-loop accounting), so hits + misses = total fetches.
   uint64_t misses() const { return misses_; }
-  /// Zeroes hit/miss counters and every shard cursor (stats + head
-  /// position); cached pages stay resident. Used between measured runs.
+  /// Zeroes hit/miss counters (page and decoded-record) and every shard
+  /// cursor (stats + head position); cached pages and decoded records
+  /// stay resident. Used between measured runs.
   void ResetCounters() {
     hits_ = misses_ = 0;
+    decoded_hits_ = decoded_misses_ = 0;
     for (ReadCursor& cursor : cursors_) cursor.Reset();
   }
 
@@ -156,10 +206,33 @@ class BufferPool {
     std::list<PageId>::iterator lru_it;
   };
 
+  /// Decoded-record cache key: a record is uniquely addressed by where
+  /// its stored bytes start (extents never overlap).
+  struct DecodedKey {
+    PageId first_page = kInvalidPage;
+    uint64_t offset_in_page = 0;
+    bool operator==(const DecodedKey& o) const {
+      return first_page == o.first_page && offset_in_page == o.offset_in_page;
+    }
+  };
+  struct DecodedKeyHash {
+    size_t operator()(const DecodedKey& k) const {
+      return static_cast<size_t>(
+          (k.first_page * 0x9E3779B97F4A7C15ull) ^ k.offset_in_page);
+    }
+  };
+  struct DecodedEntry {
+    std::shared_ptr<const std::string> record;
+    std::list<DecodedKey>::iterator lru_it;
+  };
+
   /// Installs a freshly read page (shared `bytes`) as the MRU entry,
   /// evicting the LRU page at capacity — the shared miss path of Fetch
   /// and FetchBatch.
   void Install(PageId id, std::shared_ptr<const std::string> bytes);
+
+  /// Evicts decoded records LRU-first until at most `budget` bytes stay.
+  void EvictDecodedDownTo(size_t budget);
 
   const BlockDevice* device_;          // Bare-device mode; else nullptr.
   const StorageTopology* topology_;    // Topology mode; else nullptr.
@@ -171,6 +244,15 @@ class BufferPool {
   // Front of the list = most recently used.
   std::list<PageId> lru_;
   std::unordered_map<PageId, Entry> entries_;
+
+  // Codec + decoded-record cache (see the block comment above).
+  const PageCodec* codec_;
+  size_t decoded_capacity_;
+  size_t decoded_bytes_ = 0;
+  uint64_t decoded_hits_ = 0;
+  uint64_t decoded_misses_ = 0;
+  std::list<DecodedKey> decoded_lru_;  // Front = most recently used.
+  std::unordered_map<DecodedKey, DecodedEntry, DecodedKeyHash> decoded_;
 };
 
 }  // namespace streach

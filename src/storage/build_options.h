@@ -2,6 +2,7 @@
 #define STREACH_STORAGE_BUILD_OPTIONS_H_
 
 #include "common/status.h"
+#include "storage/page_codec.h"
 
 namespace streach {
 
@@ -39,6 +40,15 @@ struct BuildOptions {
   /// FIFO on a single worker, which is what keeps the per-shard append
   /// order — and therefore the on-disk image — independent of W.
   int build_workers = 1;
+
+  /// On-disk record codec for every blob this build appends (see
+  /// `PageCodecKind`). `kRaw` (the default) keeps the historical on-disk
+  /// images bit-identical; `kDeltaVarint` shrinks the stored records —
+  /// fewer pages per placement unit, so fewer page reads per traversal
+  /// step — and readers transparently decode through the buffer pool's
+  /// decoded-record cache. Unlike the queue/worker knobs the codec
+  /// changes the on-disk image, but never the answers.
+  PageCodecKind page_codec = PageCodecKind::kRaw;
 };
 
 /// Validates a `BuildOptions`; every `Build` entry point calls this first.

@@ -48,6 +48,21 @@ struct IoStats {
   uint64_t write_inflight_accum = 0;  ///< Sum of occupancy at each service.
   /// @}
 
+  /// \name Page-codec byte counters
+  ///
+  /// Records transcoded through a `PageCodec` account the stored
+  /// (`encoded_bytes`) and reconstructed raw (`decoded_bytes`) sizes of
+  /// each transcode: extent writers count every appended blob against the
+  /// device-global stats at build time, buffer pools count every extent
+  /// decode against the owning shard's cursor at query time. Under the
+  /// `kRaw` codec both sides count equal byte totals on the write path
+  /// and nothing on the read path (there is no decode), so
+  /// `compression_ratio()` reports 1.0 — the historical profile.
+  /// @{
+  uint64_t encoded_bytes = 0;  ///< Stored bytes after codec encode.
+  uint64_t decoded_bytes = 0;  ///< Raw record bytes before encode.
+  /// @}
+
   /// Random:sequential cost ratio used for normalization.
   static constexpr double kSequentialPerRandom = 20.0;
 
@@ -68,6 +83,15 @@ struct IoStats {
     return batched_writes == 0 ? 0.0
                                : static_cast<double>(write_inflight_accum) /
                                      static_cast<double>(batched_writes);
+  }
+
+  /// Raw-bytes : stored-bytes ratio of the records transcoded so far
+  /// (1.0 when nothing was transcoded — the raw-codec profile). Above 1
+  /// means the codec shrank the on-disk image by that factor.
+  double compression_ratio() const {
+    return encoded_bytes == 0 ? 1.0
+                              : static_cast<double>(decoded_bytes) /
+                                    static_cast<double>(encoded_bytes);
   }
 
   /// Normalized read cost in units of random accesses.
@@ -92,6 +116,8 @@ struct IoStats {
     d.inflight_accum = inflight_accum - o.inflight_accum;
     d.batched_writes = batched_writes - o.batched_writes;
     d.write_inflight_accum = write_inflight_accum - o.write_inflight_accum;
+    d.encoded_bytes = encoded_bytes - o.encoded_bytes;
+    d.decoded_bytes = decoded_bytes - o.decoded_bytes;
     return d;
   }
 
@@ -104,6 +130,8 @@ struct IoStats {
     inflight_accum += o.inflight_accum;
     batched_writes += o.batched_writes;
     write_inflight_accum += o.write_inflight_accum;
+    encoded_bytes += o.encoded_bytes;
+    decoded_bytes += o.decoded_bytes;
     return *this;
   }
 

@@ -1,0 +1,372 @@
+#include "storage/page_codec.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace streach {
+
+const char* ToString(PageCodecKind kind) {
+  switch (kind) {
+    case PageCodecKind::kRaw:
+      return "raw";
+    case PageCodecKind::kDeltaVarint:
+      return "delta-varint";
+  }
+  return "?";
+}
+
+Result<PageCodecKind> ParsePageCodecKind(std::string_view name) {
+  if (name == "raw") return PageCodecKind::kRaw;
+  if (name == "delta-varint" || name == "delta_varint") {
+    return PageCodecKind::kDeltaVarint;
+  }
+  return Status::InvalidArgument("unknown page codec '" + std::string(name) +
+                                 "' (expected raw|delta-varint)");
+}
+
+namespace {
+
+size_t ElementSize(RunKind kind) {
+  switch (kind) {
+    case RunKind::kBytes:
+      return 1;
+    case RunKind::kU32Delta:
+      return 4;
+    case RunKind::kU64Delta:
+    case RunKind::kDoubleDelta:
+      return 8;
+  }
+  return 1;
+}
+
+}  // namespace
+
+void RecordShape::Add(RunKind kind, uint64_t count, uint32_t stride,
+                      uint64_t bytes) {
+  if (count == 0) return;
+  STREACH_CHECK_GE(stride, 1u);
+  if (kind == RunKind::kBytes && !runs_.empty() &&
+      runs_.back().kind == RunKind::kBytes) {
+    runs_.back().count += count;  // Merge consecutive opaque spans.
+  } else {
+    runs_.push_back(RecordRun{kind, count, stride});
+  }
+  total_bytes_ += bytes;
+}
+
+void RecordShape::Bytes(uint64_t n) { Add(RunKind::kBytes, n, 1, n); }
+
+void RecordShape::U32Delta(uint64_t count, uint32_t stride) {
+  Add(RunKind::kU32Delta, count, stride, count * 4);
+}
+
+void RecordShape::U64Delta(uint64_t count, uint32_t stride) {
+  Add(RunKind::kU64Delta, count, stride, count * 8);
+}
+
+void RecordShape::DoubleDelta(uint64_t count, uint32_t stride) {
+  Add(RunKind::kDoubleDelta, count, stride, count * 8);
+}
+
+namespace {
+
+// ----------------------------------------------------------- primitives
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(static_cast<uint8_t>(v) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Status GetVarint(std::string_view data, size_t* pos, uint64_t* v) {
+  *v = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= data.size()) {
+      return Status::Corruption("page codec: truncated varint");
+    }
+    if (shift >= 64) return Status::Corruption("page codec: varint overflow");
+    const uint8_t byte = static_cast<uint8_t>(data[(*pos)++]);
+    *v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) return Status::OK();
+    shift += 7;
+  }
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t z) {
+  return static_cast<int64_t>(z >> 1) ^ -static_cast<int64_t>(z & 1);
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Bit pattern the double run predicts for element `j`, given the run's
+/// previously materialized raw bytes at `base` (little-endian doubles).
+/// Linear extrapolation `2*a - b` from the two same-dimension
+/// predecessors; falls back to plain previous-value bits when the inputs
+/// are not finite (keeping the arithmetic deterministic) or when fewer
+/// than two predecessors exist. Encode and decode both call this over
+/// identical already-reconstructed bytes, so the XOR round-trips exactly.
+uint64_t PredictDoubleBits(const char* base, uint64_t j, uint32_t stride) {
+  if (j < stride) return 0;
+  const uint64_t prev_bits = LoadU64(base + (j - stride) * 8);
+  if (j < 2 * static_cast<uint64_t>(stride)) return prev_bits;
+  double a;
+  double b;
+  std::memcpy(&a, &prev_bits, sizeof(a));
+  const uint64_t prev2_bits = LoadU64(base + (j - 2 * stride) * 8);
+  std::memcpy(&b, &prev2_bits, sizeof(b));
+  if (!std::isfinite(a) || !std::isfinite(b)) return prev_bits;
+  const double predicted = a + a - b;
+  uint64_t bits;
+  std::memcpy(&bits, &predicted, sizeof(bits));
+  return bits;
+}
+
+int SignificantBytes(uint64_t v) {
+  int n = 0;
+  while (v != 0) {
+    ++n;
+    v >>= 8;
+  }
+  return n;
+}
+
+// ------------------------------------------------------------ raw codec
+
+class RawPageCodec : public PageCodec {
+ public:
+  PageCodecKind kind() const override { return PageCodecKind::kRaw; }
+
+  Result<std::string> Encode(std::string_view raw,
+                             const RecordShape& shape) const override {
+    if (shape.total_bytes() != raw.size()) {
+      return Status::InvalidArgument(
+          "record shape covers " + std::to_string(shape.total_bytes()) +
+          " bytes, blob has " + std::to_string(raw.size()));
+    }
+    return std::string(raw);
+  }
+
+  Result<std::string> Decode(std::string_view stored) const override {
+    return std::string(stored);
+  }
+};
+
+// --------------------------------------------------- delta-varint codec
+
+/// Stored layout: `varint num_runs`, then per run a descriptor
+/// (`u8 kind`, `varint count`, and `varint stride` for non-byte kinds),
+/// then every run's payload in order. Payload lengths are implied by the
+/// descriptors, and the raw length by the element sizes, so the stored
+/// form is self-describing and `Decode` needs no shape.
+class DeltaVarintPageCodec : public PageCodec {
+ public:
+  PageCodecKind kind() const override { return PageCodecKind::kDeltaVarint; }
+
+  Result<std::string> Encode(std::string_view raw,
+                             const RecordShape& shape) const override {
+    if (shape.total_bytes() != raw.size()) {
+      return Status::InvalidArgument(
+          "record shape covers " + std::to_string(shape.total_bytes()) +
+          " bytes, blob has " + std::to_string(raw.size()));
+    }
+    std::string out;
+    out.reserve(raw.size() / 2 + 16);
+    PutVarint(&out, shape.runs().size());
+    for (const RecordRun& run : shape.runs()) {
+      out.push_back(static_cast<char>(run.kind));
+      PutVarint(&out, run.count);
+      if (run.kind != RunKind::kBytes) PutVarint(&out, run.stride);
+    }
+    size_t off = 0;  // Consumed raw bytes.
+    for (const RecordRun& run : shape.runs()) {
+      const char* base = raw.data() + off;
+      switch (run.kind) {
+        case RunKind::kBytes:
+          out.append(base, run.count);
+          break;
+        case RunKind::kU32Delta:
+          for (uint64_t j = 0; j < run.count; ++j) {
+            const uint32_t v = LoadU32(base + j * 4);
+            const uint32_t prev =
+                j >= run.stride ? LoadU32(base + (j - run.stride) * 4) : 0;
+            PutVarint(&out, ZigZag(static_cast<int32_t>(v - prev)));
+          }
+          break;
+        case RunKind::kU64Delta:
+          for (uint64_t j = 0; j < run.count; ++j) {
+            const uint64_t v = LoadU64(base + j * 8);
+            const uint64_t prev =
+                j >= run.stride ? LoadU64(base + (j - run.stride) * 8) : 0;
+            PutVarint(&out, ZigZag(static_cast<int64_t>(v - prev)));
+          }
+          break;
+        case RunKind::kDoubleDelta:
+          for (uint64_t j = 0; j < run.count; ++j) {
+            const uint64_t bits = LoadU64(base + j * 8);
+            const uint64_t xored =
+                bits ^ PredictDoubleBits(base, j, run.stride);
+            const int n = SignificantBytes(xored);
+            out.push_back(static_cast<char>(n));
+            for (int i = 0; i < n; ++i) {
+              out.push_back(static_cast<char>((xored >> (8 * i)) & 0xFF));
+            }
+          }
+          break;
+      }
+      off += run.count * ElementSize(run.kind);
+    }
+    return out;
+  }
+
+  Result<std::string> Decode(std::string_view stored) const override {
+    size_t pos = 0;
+    uint64_t num_runs = 0;
+    STREACH_RETURN_NOT_OK(GetVarint(stored, &pos, &num_runs));
+    // Every descriptor takes at least two stored bytes; a larger claim
+    // cannot be honest.
+    if (num_runs > stored.size()) {
+      return Status::Corruption("page codec: implausible run count");
+    }
+    std::vector<RecordRun> runs;
+    runs.reserve(num_runs);
+    uint64_t raw_size = 0;
+    uint64_t min_payload = 0;  // Lower bound on stored payload bytes.
+    for (uint64_t r = 0; r < num_runs; ++r) {
+      if (pos >= stored.size()) {
+        return Status::Corruption("page codec: truncated run descriptor");
+      }
+      const uint8_t kind_byte = static_cast<uint8_t>(stored[pos++]);
+      if (kind_byte > static_cast<uint8_t>(RunKind::kDoubleDelta)) {
+        return Status::Corruption("page codec: unknown run kind");
+      }
+      RecordRun run;
+      run.kind = static_cast<RunKind>(kind_byte);
+      STREACH_RETURN_NOT_OK(GetVarint(stored, &pos, &run.count));
+      if (run.kind != RunKind::kBytes) {
+        uint64_t stride = 0;
+        STREACH_RETURN_NOT_OK(GetVarint(stored, &pos, &stride));
+        if (stride == 0 || stride > static_cast<uint32_t>(-1)) {
+          return Status::Corruption("page codec: invalid run stride");
+        }
+        run.stride = static_cast<uint32_t>(stride);
+      }
+      // Each element consumes at least one stored payload byte, so the
+      // counts must CUMULATIVELY fit in the stored bytes — this bounds
+      // the memory a corrupt record can make us allocate (raw_size never
+      // exceeds 8x the stored size) before any payload is touched.
+      min_payload += run.count;
+      if (min_payload > stored.size()) {
+        return Status::Corruption("page codec: implausible element count");
+      }
+      raw_size += run.count * ElementSize(run.kind);
+      runs.push_back(run);
+    }
+    std::string out;
+    out.reserve(raw_size);
+    for (const RecordRun& run : runs) {
+      const size_t run_base = out.size();
+      switch (run.kind) {
+        case RunKind::kBytes:
+          if (pos + run.count > stored.size()) {
+            return Status::Corruption("page codec: truncated byte run");
+          }
+          out.append(stored.data() + pos, run.count);
+          pos += run.count;
+          break;
+        case RunKind::kU32Delta:
+          for (uint64_t j = 0; j < run.count; ++j) {
+            uint64_t z = 0;
+            STREACH_RETURN_NOT_OK(GetVarint(stored, &pos, &z));
+            const uint32_t prev =
+                j >= run.stride
+                    ? LoadU32(out.data() + run_base + (j - run.stride) * 4)
+                    : 0;
+            AppendU32(&out, prev + static_cast<uint32_t>(UnZigZag(z)));
+          }
+          break;
+        case RunKind::kU64Delta:
+          for (uint64_t j = 0; j < run.count; ++j) {
+            uint64_t z = 0;
+            STREACH_RETURN_NOT_OK(GetVarint(stored, &pos, &z));
+            const uint64_t prev =
+                j >= run.stride
+                    ? LoadU64(out.data() + run_base + (j - run.stride) * 8)
+                    : 0;
+            AppendU64(&out, prev + static_cast<uint64_t>(UnZigZag(z)));
+          }
+          break;
+        case RunKind::kDoubleDelta:
+          for (uint64_t j = 0; j < run.count; ++j) {
+            if (pos >= stored.size()) {
+              return Status::Corruption("page codec: truncated double run");
+            }
+            const int n = static_cast<uint8_t>(stored[pos++]);
+            if (n > 8 || pos + static_cast<size_t>(n) > stored.size()) {
+              return Status::Corruption("page codec: bad double delta");
+            }
+            uint64_t xored = 0;
+            for (int i = 0; i < n; ++i) {
+              xored |= static_cast<uint64_t>(
+                           static_cast<uint8_t>(stored[pos + i]))
+                       << (8 * i);
+            }
+            pos += static_cast<size_t>(n);
+            AppendU64(&out, xored ^ PredictDoubleBits(out.data() + run_base,
+                                                      j, run.stride));
+          }
+          break;
+      }
+    }
+    if (pos != stored.size()) {
+      return Status::Corruption("page codec: trailing garbage");
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const PageCodec* GetPageCodec(PageCodecKind kind) {
+  static const RawPageCodec* raw = new RawPageCodec();
+  static const DeltaVarintPageCodec* delta = new DeltaVarintPageCodec();
+  switch (kind) {
+    case PageCodecKind::kRaw:
+      return raw;
+    case PageCodecKind::kDeltaVarint:
+      return delta;
+  }
+  return raw;
+}
+
+}  // namespace streach

@@ -1,0 +1,133 @@
+#ifndef STREACH_STORAGE_PAGE_CODEC_H_
+#define STREACH_STORAGE_PAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace streach {
+
+/// \brief On-disk record encodings selectable per index build.
+///
+/// The codec sits between serialization and page placement: every blob a
+/// builder appends is transformed by the build's codec before it is packed
+/// onto pages, and transformed back when an extent is read. `kRaw` is the
+/// identity — the historical on-disk format, bit for bit. `kDeltaVarint`
+/// shrinks the sorted id/timestamp runs and smooth trajectory samples that
+/// dominate all four index families (delta + zig-zag LEB128 varints for
+/// integer runs, predictor-XOR for doubles), which multiplies effective
+/// buffer-pool capacity and cuts pages per traversal step — the paper's
+/// cost metric. Answers never depend on the codec; only the IO profile
+/// (and the stored byte count) does.
+enum class PageCodecKind : uint8_t {
+  kRaw = 0,
+  kDeltaVarint = 1,
+};
+
+const char* ToString(PageCodecKind kind);
+
+/// Parses "raw" / "delta-varint" (the `--page_codec` flag values).
+Result<PageCodecKind> ParsePageCodecKind(std::string_view name);
+
+/// How one contiguous span of a raw record should be encoded.
+enum class RunKind : uint8_t {
+  kBytes = 0,        ///< Opaque bytes, copied verbatim.
+  kU32Delta = 1,     ///< Little-endian u32s; zig-zag delta varints.
+  kU64Delta = 2,     ///< Little-endian u64s; zig-zag delta varints.
+  kDoubleDelta = 3,  ///< Little-endian doubles; predictor-XOR bytes.
+};
+
+/// One span of a `RecordShape`: `count` elements of `kind` (for `kBytes`,
+/// `count` is the byte length). `stride` is the delta/prediction distance
+/// in elements — an interleaved x,y position run uses stride 2 so each
+/// coordinate is predicted from its own dimension; a (start, end, vertex)
+/// timeline run uses stride 3 so each field deltas against its previous
+/// record. Ignored for `kBytes`.
+struct RecordRun {
+  RunKind kind = RunKind::kBytes;
+  uint64_t count = 0;
+  uint32_t stride = 1;
+};
+
+/// \brief Declared run structure of one serialized record.
+///
+/// Index families know which parts of their records are sorted id runs,
+/// timestamp sequences, or trajectory samples; the codec does not. A
+/// builder constructs the shape alongside the `Encoder` calls that
+/// produce the raw blob — the runs must cover the blob exactly, in order —
+/// and hands both to `ExtentWriter::Append`. Shapes are a build-side
+/// declaration only: the encoded form is self-describing, so readers never
+/// need them.
+class RecordShape {
+ public:
+  /// `n` opaque bytes (headers, varint counts, mixed-width sections).
+  /// Consecutive byte spans merge into one run.
+  void Bytes(uint64_t n);
+
+  /// `count` little-endian u32s, each delta-encoded against the element
+  /// `stride` positions earlier (zig-zag, so unsorted runs stay cheap).
+  void U32Delta(uint64_t count, uint32_t stride = 1);
+
+  /// `count` little-endian u64s, delta-encoded as above.
+  void U64Delta(uint64_t count, uint32_t stride = 1);
+
+  /// `count` little-endian IEEE doubles. Each element is XORed against a
+  /// linear extrapolation from the two elements `stride` and `2*stride`
+  /// positions earlier — exact for resting objects, within a few
+  /// significant bytes for piecewise-linear motion — and stored as a
+  /// significant-byte-count prefix plus that many bytes.
+  void DoubleDelta(uint64_t count, uint32_t stride = 1);
+
+  const std::vector<RecordRun>& runs() const { return runs_; }
+
+  /// Raw bytes the declared runs cover in total.
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  void Clear() {
+    runs_.clear();
+    total_bytes_ = 0;
+  }
+
+ private:
+  void Add(RunKind kind, uint64_t count, uint32_t stride, uint64_t bytes);
+
+  std::vector<RecordRun> runs_;
+  uint64_t total_bytes_ = 0;
+};
+
+/// \brief A record transcoder: raw serialized bytes <-> stored bytes.
+///
+/// Implementations are stateless singletons (`GetPageCodec`); both sides
+/// of the storage stack share them — extent writers encode on `Append`,
+/// buffer pools decode in `ReadExtent`/`ReadExtentsBatched`. `Decode` must
+/// be the exact inverse of `Encode` for every input, and must reject
+/// corrupt or truncated stored bytes with `Status::Corruption` rather
+/// than crash or fabricate data.
+class PageCodec {
+ public:
+  virtual ~PageCodec() = default;
+
+  virtual PageCodecKind kind() const = 0;
+
+  /// Transforms a raw record into its stored form. `shape` must cover
+  /// `raw` exactly (`shape.total_bytes() == raw.size()`); a mismatch is
+  /// an InvalidArgument — the caller declared the record wrong.
+  virtual Result<std::string> Encode(std::string_view raw,
+                                     const RecordShape& shape) const = 0;
+
+  /// Reconstructs the raw record from its stored form. The stored bytes
+  /// are self-describing; truncation, trailing garbage, or malformed run
+  /// descriptors yield `Status::Corruption`.
+  virtual Result<std::string> Decode(std::string_view stored) const = 0;
+};
+
+/// The process-wide codec instance for `kind` (never null).
+const PageCodec* GetPageCodec(PageCodecKind kind);
+
+}  // namespace streach
+
+#endif  // STREACH_STORAGE_PAGE_CODEC_H_

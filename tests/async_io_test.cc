@@ -6,7 +6,11 @@
 // and under a multi-threaded engine — while the per-shard IoStats
 // breakdown keeps summing to the workload totals. Deep queues must also
 // actually overlap: the SPJ slab scan (the deepest batch any evaluator
-// issues) has to report mean in-flight requests > 1 at depth 8.
+// issues) has to report mean in-flight requests > 1 at depth 8. The
+// page-codec axis composes with all of it: a delta-varint stack must
+// answer byte-identically to the raw baseline over the same
+// shards x depth grid, sequentially and under a 4-thread engine, while
+// reading strictly fewer pages for the trajectory-heavy families.
 
 #include <gtest/gtest.h>
 
@@ -60,33 +64,44 @@ class AsyncIoTest : public ::testing::Test {
             ExtractContacts(*store_, kContactRange)));
     stack1_ = new Stack(BuildStack(1));
     stack4_ = new Stack(BuildStack(4));
+    delta1_ = new Stack(BuildStack(1, PageCodecKind::kDeltaVarint));
+    delta4_ = new Stack(BuildStack(4, PageCodecKind::kDeltaVarint));
   }
 
   static void TearDownTestSuite() {
+    delete delta4_;
+    delete delta1_;
     delete stack4_;
     delete stack1_;
     delete network_;
     delete store_;
+    delta4_ = nullptr;
+    delta1_ = nullptr;
     stack4_ = nullptr;
     stack1_ = nullptr;
     network_ = nullptr;
     store_ = nullptr;
   }
 
-  static Stack BuildStack(int num_shards) {
+  static Stack BuildStack(int num_shards,
+                          PageCodecKind codec = PageCodecKind::kRaw) {
     Stack stack;
+    BuildOptions build;
+    build.page_codec = codec;
 
     ReachGridOptions grid_options;
     grid_options.temporal_resolution = 20;
     grid_options.spatial_cell_size = 140.0;
     grid_options.contact_range = kContactRange;
     grid_options.num_shards = num_shards;
+    grid_options.build = build;
     auto grid = ReachGridIndex::Build(*store_, grid_options);
     STREACH_CHECK(grid.ok());
     stack.grid = std::move(*grid);
 
     ReachGraphOptions graph_options;
     graph_options.num_shards = num_shards;
+    graph_options.build = build;
     auto graph = ReachGraphIndex::Build(**network_, graph_options);
     STREACH_CHECK(graph.ok());
     stack.graph = std::move(*graph);
@@ -95,6 +110,7 @@ class AsyncIoTest : public ::testing::Test {
     STREACH_CHECK(dn.ok());
     GrailOptions grail_options;
     grail_options.num_shards = num_shards;
+    grail_options.build = build;
     auto grail = GrailIndex::Build(*dn, grail_options);
     STREACH_CHECK(grail.ok());
     stack.grail = std::move(*grail);
@@ -102,6 +118,7 @@ class AsyncIoTest : public ::testing::Test {
     SpjOptions spj_options;
     spj_options.contact_range = kContactRange;
     spj_options.num_shards = num_shards;
+    spj_options.build = build;
     auto spj = SpjEvaluator::Build(*store_, spj_options);
     STREACH_CHECK(spj.ok());
     stack.spj = std::move(*spj);
@@ -111,6 +128,10 @@ class AsyncIoTest : public ::testing::Test {
 
   static const Stack& StackFor(int num_shards) {
     return num_shards == 1 ? *stack1_ : *stack4_;
+  }
+
+  static const Stack& DeltaStackFor(int num_shards) {
+    return num_shards == 1 ? *delta1_ : *delta4_;
   }
 
   /// One session per disk-resident backend family over `stack`.
@@ -146,12 +167,16 @@ class AsyncIoTest : public ::testing::Test {
   static std::shared_ptr<const ContactNetwork>* network_;
   static Stack* stack1_;
   static Stack* stack4_;
+  static Stack* delta1_;
+  static Stack* delta4_;
 };
 
 TrajectoryStore* AsyncIoTest::store_ = nullptr;
 std::shared_ptr<const ContactNetwork>* AsyncIoTest::network_ = nullptr;
 AsyncIoTest::Stack* AsyncIoTest::stack1_ = nullptr;
 AsyncIoTest::Stack* AsyncIoTest::stack4_ = nullptr;
+AsyncIoTest::Stack* AsyncIoTest::delta1_ = nullptr;
+AsyncIoTest::Stack* AsyncIoTest::delta4_ = nullptr;
 
 TEST_F(AsyncIoTest, AnswersIdenticalAcrossDepthAndShardsSequentially) {
   const std::vector<ReachQuery> queries = MakeQueries(160, 71);
@@ -276,6 +301,96 @@ TEST_F(AsyncIoTest, DeepQueuesActuallyOverlap) {
     ASSERT_TRUE(report.ok());
     const double inflight = report->summary.mean_inflight_requests();
     EXPECT_TRUE(inflight == 0.0 || inflight == 1.0) << inflight;
+  }
+}
+
+TEST_F(AsyncIoTest, DeltaVarintAnswersIdenticalAcrossDepthAndShards) {
+  // The codec half of the acceptance criteria: with kDeltaVarint, all
+  // seven disk backends return byte-identical answers to the raw
+  // baseline across shards {1,4} x depth {1,8}, sequentially and under
+  // a 4-thread engine.
+  const std::vector<ReachQuery> queries = MakeQueries(160, 76);
+  std::vector<std::string> baseline;
+  {
+    auto backends = DiskBackends(StackFor(1));
+    for (auto& backend : backends) {
+      std::vector<ReachAnswer> answers;
+      answers.reserve(queries.size());
+      for (const ReachQuery& q : queries) {
+        auto a = backend->Query(q);
+        ASSERT_TRUE(a.ok()) << backend->DescribeIndex() << " " << q.ToString();
+        answers.push_back(*a);
+      }
+      baseline.push_back(SerializeAnswers(answers));
+    }
+  }
+  for (int shards : {1, 4}) {
+    for (int depth : {1, 8}) {
+      // Sequential sessions.
+      auto backends = DiskBackends(DeltaStackFor(shards));
+      for (size_t b = 0; b < backends.size(); ++b) {
+        backends[b]->SetIoQueueDepth(depth);
+        ASSERT_EQ(backends[b]->page_codec(), PageCodecKind::kDeltaVarint);
+        std::vector<ReachAnswer> answers;
+        answers.reserve(queries.size());
+        for (const ReachQuery& q : queries) {
+          auto a = backends[b]->Query(q);
+          ASSERT_TRUE(a.ok())
+              << backends[b]->DescribeIndex() << " " << q.ToString();
+          answers.push_back(*a);
+        }
+        EXPECT_EQ(SerializeAnswers(answers), baseline[b])
+            << backends[b]->DescribeIndex() << " depth=" << depth
+            << " shards=" << shards << " codec=delta-varint";
+      }
+      // 4-thread engine.
+      QueryEngineOptions options;
+      options.num_threads = 4;
+      options.io_queue_depth = depth;
+      options.page_codec = PageCodecKind::kDeltaVarint;
+      const QueryEngine engine(options);
+      auto engine_backends = DiskBackends(DeltaStackFor(shards));
+      for (size_t b = 0; b < engine_backends.size(); ++b) {
+        auto report = engine.Run(engine_backends[b].get(), queries);
+        ASSERT_TRUE(report.ok()) << engine_backends[b]->DescribeIndex();
+        EXPECT_EQ(SerializeAnswers(report->answers), baseline[b])
+            << engine_backends[b]->DescribeIndex() << " depth=" << depth
+            << " shards=" << shards << " codec=delta-varint (engine)";
+        EXPECT_EQ(report->summary.page_codec, "delta-varint");
+      }
+    }
+  }
+}
+
+TEST_F(AsyncIoTest, DeltaVarintReadsStrictlyFewerPages) {
+  // Compression is the point: over the same cold workload, the
+  // delta-varint ReachGrid and SPJ stacks must fetch strictly fewer
+  // pages than raw, and report the bytes they saved.
+  const std::vector<ReachQuery> queries = MakeQueries(60, 77);
+  struct Case {
+    const char* name;
+    std::unique_ptr<ReachabilityIndex> raw;
+    std::unique_ptr<ReachabilityIndex> delta;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"ReachGrid", MakeReachGridBackend(StackFor(1).grid),
+                   MakeReachGridBackend(DeltaStackFor(1).grid)});
+  cases.push_back({"SPJ", MakeSpjBackend(StackFor(1).spj),
+                   MakeSpjBackend(DeltaStackFor(1).spj)});
+  for (Case& c : cases) {
+    QueryEngineOptions raw_options;
+    raw_options.cold_cache = true;
+    auto raw = QueryEngine(raw_options).Run(c.raw.get(), queries);
+    QueryEngineOptions delta_options = raw_options;
+    delta_options.page_codec = PageCodecKind::kDeltaVarint;
+    auto delta = QueryEngine(delta_options).Run(c.delta.get(), queries);
+    ASSERT_TRUE(raw.ok() && delta.ok()) << c.name;
+    EXPECT_LT(delta->summary.total_pages_fetched,
+              raw->summary.total_pages_fetched)
+        << c.name << ": compressed records should span fewer pages";
+    EXPECT_GT(delta->summary.compression_ratio(), 1.5) << c.name;
+    EXPECT_GT(delta->summary.total_encoded_bytes(), 0u) << c.name;
+    EXPECT_DOUBLE_EQ(raw->summary.compression_ratio(), 1.0) << c.name;
   }
 }
 

@@ -227,6 +227,64 @@ TEST_F(EngineTest, ReachableSetMatchesBruteForceClosure) {
   }
 }
 
+TEST_F(EngineTest, ReachGraphReachableSetMatchesBruteForceClosure) {
+  // The member sweep over partition timelines must reproduce the exact
+  // infection times of the brute-force closure — that is what lets the
+  // engine's result cache serve ReachGraph point queries.
+  auto graph = MakeReachGraphBackend(stack_->graph, ReachGraphTraversal::kBmBfs);
+  auto brute = MakeBruteForceBackend(stack_->network);
+  for (ObjectId source : {ObjectId{0}, ObjectId{17}, ObjectId{63},
+                          ObjectId{119}}) {
+    for (const TimeInterval interval :
+         {TimeInterval(40, 160), TimeInterval(0, 399),
+          TimeInterval(200, 230), TimeInterval(390, 399)}) {
+      auto from_graph = graph->ReachableSet(source, interval);
+      auto from_brute = brute->ReachableSet(source, interval);
+      ASSERT_TRUE(from_graph.ok() && from_brute.ok())
+          << "source " << source << " " << interval.ToString();
+      ASSERT_EQ(from_graph->size(), from_brute->size());
+      for (size_t o = 0; o < from_graph->size(); ++o) {
+        ASSERT_EQ((*from_graph)[o], (*from_brute)[o])
+            << "object " << o << " from source " << source << " over "
+            << interval.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(EngineTest, ResultCacheServesReachGraphPointQueries) {
+  // ReachGraph now enumerates reachable sets, so the engine's result
+  // cache memoizes it instead of falling back to point queries: repeats
+  // hit, and the cached answers' reachability agrees with the plain run
+  // (arrival times come from the set — richer than BM-BFS's
+  // boolean-only answers, and cross-checked against brute force above).
+  std::vector<ReachQuery> queries;
+  for (const ReachQuery& q : MakeQueries(30, 328)) {
+    for (int rep = 0; rep < 3; ++rep) queries.push_back(q);
+  }
+  auto backend =
+      MakeReachGraphBackend(stack_->graph, ReachGraphTraversal::kBmBfs);
+  auto baseline = QueryEngine(QueryEngineOptions{}).Run(backend.get(), queries);
+  ASSERT_TRUE(baseline.ok());
+  for (int threads : {1, 4}) {
+    QueryEngineOptions options;
+    options.num_threads = threads;
+    options.result_cache_capacity = 128;
+    const QueryEngine engine(options);
+    auto session = backend->NewSession();
+    auto cached = engine.Run(session.get(), queries);
+    ASSERT_TRUE(cached.ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(cached->answers[i].reachable, baseline->answers[i].reachable)
+          << queries[i].ToString() << " threads=" << threads;
+    }
+    auto rerun = engine.Run(session.get(), queries);
+    ASSERT_TRUE(rerun.ok());
+    EXPECT_EQ(rerun->summary.result_cache_hits, queries.size())
+        << "threads=" << threads;
+  }
+}
+
 TEST_F(EngineTest, PointQueryBackendsRejectReachableSet) {
   auto spj = MakeSpjBackend(stack_->spj);
   auto result = spj->ReachableSet(0, TimeInterval(0, 50));

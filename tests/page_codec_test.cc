@@ -1,0 +1,434 @@
+// PageCodec contract tests: Decode must invert Encode for every input
+// (round-trip fuzz over random shapes, sorted runs, adversarial gaps and
+// special doubles), the raw codec must be the identity, delta-varint
+// must actually compress the run structures the index families declare,
+// and corrupt stored bytes must be rejected with Status::Corruption —
+// never a crash, hang, or fabricated record.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/encoding.h"
+#include "common/rng.h"
+#include "storage/block_device.h"
+#include "storage/block_file.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_codec.h"
+
+namespace streach {
+namespace {
+
+std::string RoundTrip(const PageCodec* codec, const std::string& raw,
+                      const RecordShape& shape) {
+  auto stored = codec->Encode(raw, shape);
+  EXPECT_TRUE(stored.ok()) << stored.status().ToString();
+  auto back = codec->Decode(*stored);
+  EXPECT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, raw);
+  return *stored;
+}
+
+void AppendU32s(Encoder* enc, const std::vector<uint32_t>& values) {
+  for (uint32_t v : values) enc->PutU32(v);
+}
+
+TEST(PageCodecTest, NamesParseAndPrint) {
+  EXPECT_STREQ(ToString(PageCodecKind::kRaw), "raw");
+  EXPECT_STREQ(ToString(PageCodecKind::kDeltaVarint), "delta-varint");
+  auto raw = ParsePageCodecKind("raw");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(*raw, PageCodecKind::kRaw);
+  auto delta = ParsePageCodecKind("delta-varint");
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(*delta, PageCodecKind::kDeltaVarint);
+  EXPECT_TRUE(ParsePageCodecKind("gzip").status().IsInvalidArgument());
+}
+
+TEST(PageCodecTest, RawCodecIsTheIdentity) {
+  const PageCodec* codec = GetPageCodec(PageCodecKind::kRaw);
+  ASSERT_EQ(codec->kind(), PageCodecKind::kRaw);
+  const std::string raw = "arbitrary bytes \x00\x01\xFF with anything";
+  RecordShape shape;
+  shape.Bytes(raw.size());
+  auto stored = codec->Encode(raw, shape);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(*stored, raw);  // Bit-identical on disk.
+  auto back = codec->Decode(raw);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(PageCodecTest, ShapeMismatchIsRejectedByBothCodecs) {
+  RecordShape shape;
+  shape.U32Delta(3);  // Covers 12 bytes.
+  const std::string raw(8, 'x');
+  for (auto kind : {PageCodecKind::kRaw, PageCodecKind::kDeltaVarint}) {
+    EXPECT_TRUE(GetPageCodec(kind)
+                    ->Encode(raw, shape)
+                    .status()
+                    .IsInvalidArgument())
+        << ToString(kind);
+  }
+}
+
+TEST(PageCodecTest, EmptyAndSingleElementRecords) {
+  const PageCodec* codec = GetPageCodec(PageCodecKind::kDeltaVarint);
+  RoundTrip(codec, "", RecordShape{});
+  {
+    Encoder enc;
+    enc.PutU32(0xDEADBEEF);
+    RecordShape shape;
+    shape.U32Delta(1);
+    RoundTrip(codec, enc.buffer(), shape);
+  }
+  {
+    Encoder enc;
+    enc.PutU64(std::numeric_limits<uint64_t>::max());
+    RecordShape shape;
+    shape.U64Delta(1);
+    RoundTrip(codec, enc.buffer(), shape);
+  }
+  {
+    Encoder enc;
+    enc.PutDouble(std::numeric_limits<double>::quiet_NaN());
+    RecordShape shape;
+    shape.DoubleDelta(1);
+    RoundTrip(codec, enc.buffer(), shape);
+  }
+}
+
+TEST(PageCodecTest, SortedRunsCompressWell) {
+  const PageCodec* codec = GetPageCodec(PageCodecKind::kDeltaVarint);
+  Encoder enc;
+  Rng rng(7);
+  std::vector<uint32_t> sorted;
+  uint32_t v = 0;
+  for (int i = 0; i < 1000; ++i) {
+    v += static_cast<uint32_t>(rng.Uniform(50));
+    sorted.push_back(v);
+  }
+  AppendU32s(&enc, sorted);
+  RecordShape shape;
+  shape.U32Delta(sorted.size());
+  const std::string stored = RoundTrip(codec, enc.buffer(), shape);
+  // 4000 raw bytes of small sorted gaps must shrink by well over 2x.
+  EXPECT_LT(stored.size(), enc.size() / 2)
+      << stored.size() << " vs " << enc.size();
+}
+
+TEST(PageCodecTest, PiecewiseLinearDoublesCompress) {
+  // A resting-then-moving trajectory like the RWP generator emits:
+  // the linear predictor should collapse the constant-velocity stretches.
+  const PageCodec* codec = GetPageCodec(PageCodecKind::kDeltaVarint);
+  Encoder enc;
+  double x = 1041.5, y = 220.25;
+  for (int i = 0; i < 200; ++i) {
+    enc.PutDouble(x);
+    enc.PutDouble(y);
+    if (i >= 50) {  // Rest for 50 ticks, then move linearly.
+      x += 3.25;
+      y -= 1.75;
+    }
+  }
+  RecordShape shape;
+  shape.DoubleDelta(400, /*stride=*/2);
+  const std::string stored = RoundTrip(codec, enc.buffer(), shape);
+  EXPECT_LT(stored.size(), enc.size() / 2)
+      << stored.size() << " vs " << enc.size();
+}
+
+TEST(PageCodecTest, AdversarialGapsRoundTrip) {
+  const PageCodec* codec = GetPageCodec(PageCodecKind::kDeltaVarint);
+  // Extremes and alternating signs: max u32 gaps, wrap-around deltas.
+  Encoder enc;
+  const std::vector<uint32_t> values = {
+      0, std::numeric_limits<uint32_t>::max(), 0, 1,
+      std::numeric_limits<uint32_t>::max() - 1, 2, 0x80000000u, 0x7FFFFFFFu};
+  AppendU32s(&enc, values);
+  RecordShape shape;
+  shape.U32Delta(values.size());
+  RoundTrip(codec, enc.buffer(), shape);
+
+  Encoder enc64;
+  for (uint64_t v : {uint64_t{0}, std::numeric_limits<uint64_t>::max(),
+                     uint64_t{1}, uint64_t{0x8000000000000000ull}}) {
+    enc64.PutU64(v);
+  }
+  RecordShape shape64;
+  shape64.U64Delta(4);
+  RoundTrip(codec, enc64.buffer(), shape64);
+
+  Encoder encd;
+  for (double v : {0.0, -0.0, std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::quiet_NaN(),
+                   std::numeric_limits<double>::denorm_min(),
+                   std::numeric_limits<double>::max(), -1e308, 1e-308}) {
+    encd.PutDouble(v);
+  }
+  RecordShape shaped;
+  shaped.DoubleDelta(9, /*stride=*/1);
+  RoundTrip(codec, encd.buffer(), shaped);
+}
+
+TEST(PageCodecTest, StrideLargerThanRunRoundTrips) {
+  const PageCodec* codec = GetPageCodec(PageCodecKind::kDeltaVarint);
+  Encoder enc;
+  enc.PutU32(123);
+  enc.PutU32(456);
+  RecordShape shape;
+  shape.U32Delta(2, /*stride=*/7);  // Every element deltas against zero.
+  RoundTrip(codec, enc.buffer(), shape);
+}
+
+TEST(PageCodecTest, RoundTripFuzzOverRandomShapes) {
+  const PageCodec* codec = GetPageCodec(PageCodecKind::kDeltaVarint);
+  Rng rng(20260728);
+  for (int round = 0; round < 300; ++round) {
+    Encoder enc;
+    RecordShape shape;
+    const int num_runs = 1 + static_cast<int>(rng.Uniform(6));
+    for (int r = 0; r < num_runs; ++r) {
+      const uint64_t kind = rng.Uniform(4);
+      const uint64_t count = rng.Uniform(40);
+      const uint32_t stride = 1 + static_cast<uint32_t>(rng.Uniform(4));
+      switch (kind) {
+        case 0: {
+          for (uint64_t i = 0; i < count; ++i) {
+            enc.PutU8(static_cast<uint8_t>(rng.Uniform(256)));
+          }
+          shape.Bytes(count);
+          break;
+        }
+        case 1: {
+          uint32_t v = static_cast<uint32_t>(rng.Uniform(1u << 20));
+          for (uint64_t i = 0; i < count; ++i) {
+            // Mix of sorted-ish and wild values.
+            v = rng.Uniform(10) == 0
+                    ? static_cast<uint32_t>(rng.Uniform(
+                          std::numeric_limits<uint32_t>::max()))
+                    : v + static_cast<uint32_t>(rng.Uniform(100));
+            enc.PutU32(v);
+          }
+          shape.U32Delta(count, stride);
+          break;
+        }
+        case 2: {
+          for (uint64_t i = 0; i < count; ++i) {
+            enc.PutU64(rng.Uniform(std::numeric_limits<uint64_t>::max()));
+          }
+          shape.U64Delta(count, stride);
+          break;
+        }
+        default: {
+          double v = static_cast<double>(rng.Uniform(1u << 16));
+          for (uint64_t i = 0; i < count; ++i) {
+            v += static_cast<double>(rng.Uniform(1000)) / 16.0 - 30.0;
+            enc.PutDouble(v);
+          }
+          shape.DoubleDelta(count, stride);
+          break;
+        }
+      }
+    }
+    RoundTrip(codec, enc.buffer(), shape);
+  }
+}
+
+TEST(PageCodecTest, TruncationsOfValidRecordsAreRejected) {
+  const PageCodec* codec = GetPageCodec(PageCodecKind::kDeltaVarint);
+  Encoder enc;
+  enc.PutVarint(3);
+  for (uint32_t v : {10u, 20u, 35u}) enc.PutU32(v);
+  for (double v : {1.5, 2.5, 3.5}) enc.PutDouble(v);
+  RecordShape shape;
+  shape.Bytes(1);
+  shape.U32Delta(3);
+  shape.DoubleDelta(3);
+  auto stored = codec->Encode(enc.buffer(), shape);
+  ASSERT_TRUE(stored.ok());
+  // Every strict prefix must fail cleanly — decoded output must never be
+  // silently short.
+  for (size_t cut = 0; cut < stored->size(); ++cut) {
+    auto result = codec->Decode(stored->substr(0, cut));
+    EXPECT_TRUE(result.status().IsCorruption())
+        << "prefix of " << cut << " bytes decoded to something";
+  }
+  // Trailing garbage must fail too.
+  EXPECT_TRUE(codec->Decode(*stored + "x").status().IsCorruption());
+}
+
+TEST(PageCodecTest, RandomGarbageNeverCrashesTheDecoder) {
+  const PageCodec* codec = GetPageCodec(PageCodecKind::kDeltaVarint);
+  Rng rng(424242);
+  int ok_count = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::string garbage;
+    const size_t len = rng.Uniform(200);
+    garbage.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto result = codec->Decode(garbage);
+    if (result.ok()) ++ok_count;  // Accidentally well-formed is fine.
+  }
+  SUCCEED() << ok_count << " of 2000 random buffers parsed";
+}
+
+TEST(PageCodecTest, MalformedDescriptorsAreRejected) {
+  const PageCodec* codec = GetPageCodec(PageCodecKind::kDeltaVarint);
+  {
+    std::string bogus;
+    bogus.push_back(1);  // One run...
+    bogus.push_back(9);  // ...of unknown kind 9.
+    bogus.push_back(1);
+    EXPECT_TRUE(codec->Decode(bogus).status().IsCorruption());
+  }
+  {
+    std::string bogus;
+    bogus.push_back(1);
+    bogus.push_back(1);     // kU32Delta
+    bogus.push_back(0x7F);  // count = 127 > stored size: implausible.
+    bogus.push_back(1);     // stride
+    EXPECT_TRUE(codec->Decode(bogus).status().IsCorruption());
+  }
+  {
+    std::string bogus;
+    bogus.push_back(1);
+    bogus.push_back(1);  // kU32Delta
+    bogus.push_back(1);  // count = 1
+    bogus.push_back(0);  // stride = 0: invalid.
+    bogus.push_back(0);
+    EXPECT_TRUE(codec->Decode(bogus).status().IsCorruption());
+  }
+  {
+    std::string bogus;
+    bogus.push_back(0x7F);  // Claims 127 runs in a 1-byte record.
+    EXPECT_TRUE(codec->Decode(bogus).status().IsCorruption());
+  }
+  {
+    // Cumulative-allocation attack: every run's count individually fits
+    // the stored size, but the sum implies gigabytes of raw output. The
+    // decoder must reject on the cumulative bound before reserving
+    // anything, not crash in bad_alloc.
+    std::string bogus;
+    bogus.push_back(60);  // 60 runs...
+    for (int r = 0; r < 60; ++r) {
+      bogus.push_back(2);     // kU64Delta
+      bogus.push_back(100);   // count = 100 (< stored size ~184)
+      bogus.push_back(1);     // stride
+    }
+    EXPECT_TRUE(codec->Decode(bogus).status().IsCorruption());
+  }
+}
+
+TEST(PageCodecTest, WriterEncodesAndReadExtentDecodes) {
+  // End-to-end through the storage stack: an ExtentWriter with the
+  // delta-varint codec stores fewer bytes than the raw record, and
+  // ReadExtent hands back the exact raw bytes while the decoded-record
+  // cache turns repeat reads into zero-IO hits.
+  BlockDevice device(256);
+  ExtentWriter writer(&device, /*shard_id=*/0, /*write_queue_depth=*/1,
+                      GetPageCodec(PageCodecKind::kDeltaVarint));
+  Encoder enc;
+  RecordShape shape;
+  enc.PutVarint(500);
+  shape.Bytes(enc.size());
+  uint32_t v = 0;
+  for (int i = 0; i < 500; ++i) {
+    v += 3;
+    enc.PutU32(v);
+  }
+  shape.U32Delta(500);
+  auto extent = writer.Append(enc.buffer(), shape);
+  ASSERT_TRUE(extent.ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_LT(extent->length, enc.size());  // Stored form is smaller.
+  EXPECT_EQ(device.stats().decoded_bytes, enc.size());
+  EXPECT_EQ(device.stats().encoded_bytes, extent->length);
+  EXPECT_GT(device.stats().compression_ratio(), 1.5);
+
+  BufferPool pool(&device, 16);
+  pool.set_page_codec(GetPageCodec(PageCodecKind::kDeltaVarint));
+  auto record = ReadExtent(&pool, *extent, device.page_size());
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(*record, enc.buffer());
+  EXPECT_EQ(pool.decoded_misses(), 1u);
+  const uint64_t reads_after_first = pool.io_stats().total_reads();
+  EXPECT_GT(reads_after_first, 0u);
+  // Repeat read: decoded-cache hit, no new page IO, same bytes.
+  auto again = ReadExtent(&pool, *extent, device.page_size());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, enc.buffer());
+  EXPECT_EQ(pool.decoded_hits(), 1u);
+  EXPECT_EQ(pool.io_stats().total_reads(), reads_after_first);
+  // The read side accounted the decode against the shard cursor.
+  EXPECT_EQ(pool.io_stats().encoded_bytes, extent->length);
+  EXPECT_EQ(pool.io_stats().decoded_bytes, enc.size());
+  // Clear drops the decoded cache: the next read decodes (and fetches)
+  // again — the cold-measurement contract.
+  pool.Clear();
+  auto cold = ReadExtent(&pool, *extent, device.page_size());
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(pool.decoded_misses(), 2u);
+  EXPECT_GT(pool.io_stats().total_reads(), reads_after_first);
+}
+
+TEST(PageCodecTest, CorruptStoredExtentSurfacesCorruption) {
+  BlockDevice device(128);
+  ExtentWriter writer(&device, 0, 1,
+                      GetPageCodec(PageCodecKind::kDeltaVarint));
+  Encoder enc;
+  RecordShape shape;
+  for (int i = 0; i < 64; ++i) enc.PutU32(static_cast<uint32_t>(i * 7));
+  shape.U32Delta(64);
+  auto extent = writer.Append(enc.buffer(), shape);
+  ASSERT_TRUE(extent.ok());
+  ASSERT_TRUE(writer.Flush().ok());
+  // Truncate the stored record: a reader must see Corruption, not bytes.
+  Extent cut = *extent;
+  cut.length = extent->length / 2;
+  BufferPool pool(&device, 8);
+  pool.set_page_codec(GetPageCodec(PageCodecKind::kDeltaVarint));
+  EXPECT_TRUE(
+      ReadExtent(&pool, cut, device.page_size()).status().IsCorruption());
+}
+
+TEST(PageCodecTest, DecodedCacheRespectsItsByteBudget) {
+  BlockDevice device(256);
+  ExtentWriter writer(&device, 0, 1,
+                      GetPageCodec(PageCodecKind::kDeltaVarint));
+  std::vector<Extent> extents;
+  for (int r = 0; r < 8; ++r) {
+    Encoder enc;
+    RecordShape shape;
+    for (int i = 0; i < 100; ++i) {
+      enc.PutU32(static_cast<uint32_t>(r * 1000 + i));
+    }
+    shape.U32Delta(100);
+    auto extent = writer.Append(enc.buffer(), shape);
+    ASSERT_TRUE(extent.ok());
+    extents.push_back(*extent);
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+  BufferPool pool(&device, 64);
+  pool.set_page_codec(GetPageCodec(PageCodecKind::kDeltaVarint));
+  pool.set_decoded_cache_capacity(900);  // Fits two 400-byte records.
+  for (const Extent& extent : extents) {
+    ASSERT_TRUE(ReadExtent(&pool, extent, device.page_size()).ok());
+    EXPECT_LE(pool.decoded_cache_bytes(), 900u);
+  }
+  // The most recent record is still cached; the oldest was evicted.
+  ASSERT_TRUE(ReadExtent(&pool, extents.back(), device.page_size()).ok());
+  EXPECT_EQ(pool.decoded_hits(), 1u);
+  ASSERT_TRUE(ReadExtent(&pool, extents.front(), device.page_size()).ok());
+  EXPECT_EQ(pool.decoded_hits(), 1u);  // Front missed again.
+}
+
+}  // namespace
+}  // namespace streach

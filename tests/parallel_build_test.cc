@@ -141,10 +141,12 @@ class ParallelBuildTest : public ::testing::Test {
   }
 
   /// `workers` / `depth` as in BuildOptions; workers 0 = one per shard.
-  static BuildOptions MakeBuild(int workers, int depth) {
+  static BuildOptions MakeBuild(int workers, int depth,
+                                PageCodecKind codec = PageCodecKind::kRaw) {
     BuildOptions build;
     build.build_workers = workers;
     build.write_queue_depth = depth;
+    build.page_codec = codec;
     return build;
   }
 
@@ -324,6 +326,129 @@ TEST_F(ParallelBuildTest, ParallelBuiltIndexesAnswerIdentically) {
           << ": parallel-built index answers differ, threads=" << threads;
     }
   }
+}
+
+// ------------------------------------------------- codec axis
+
+// The build-determinism contract holds per codec: delta-varint images
+// must be bit-identical across every (workers, depth) setting too — the
+// codec is deterministic and per-shard append order is fixed — and the
+// encoded images must actually be smaller where the records carry
+// compressible runs.
+TEST_F(ParallelBuildTest, DeltaVarintImagesIdenticalAcrossWorkersAndDepth) {
+  const auto delta = [](int workers, int depth) {
+    return MakeBuild(workers, depth, PageCodecKind::kDeltaVarint);
+  };
+  {
+    const auto reference = BuildGrid(kShardedS, delta(1, 1));
+    const auto other = BuildGrid(kShardedS, delta(kShardedS, kDeepWriteQueue));
+    ExpectSameImages(reference->topology(), other->topology(),
+                     "ReachGrid delta-varint");
+  }
+  {
+    const auto reference = BuildGraph(kShardedS, delta(1, 1));
+    const auto other =
+        BuildGraph(kShardedS, delta(kShardedS, kDeepWriteQueue));
+    ExpectSameImages(reference->topology(), other->topology(),
+                     "ReachGraph delta-varint");
+  }
+  {
+    const auto reference = BuildGrail(kShardedS, delta(1, 1));
+    const auto other =
+        BuildGrail(kShardedS, delta(kShardedS, kDeepWriteQueue));
+    ExpectSameImages(reference->topology(), other->topology(),
+                     "GRAIL delta-varint");
+  }
+  {
+    const auto reference = BuildSpj(kShardedS, delta(1, 1));
+    const auto other = BuildSpj(kShardedS, delta(kShardedS, kDeepWriteQueue));
+    ExpectSameImages(reference->topology(), other->topology(),
+                     "SPJ delta-varint");
+  }
+}
+
+TEST_F(ParallelBuildTest, DeltaVarintBuildsShrinkTrajectoryImages) {
+  // Raw builds account equal encoded/decoded bytes (ratio exactly 1);
+  // delta-varint builds of the trajectory-heavy families must compress
+  // by well over the acceptance bar and allocate fewer pages.
+  const auto raw_grid = BuildGrid(kShardedS, MakeBuild(1, 1));
+  IoStats raw_io;
+  for (const IoStats& shard : raw_grid->build_io_stats()) raw_io += shard;
+  EXPECT_EQ(raw_io.encoded_bytes, raw_io.decoded_bytes);
+  EXPECT_DOUBLE_EQ(raw_io.compression_ratio(), 1.0);
+
+  const auto delta_grid = BuildGrid(
+      kShardedS, MakeBuild(1, 1, PageCodecKind::kDeltaVarint));
+  IoStats delta_io;
+  for (const IoStats& shard : delta_grid->build_io_stats()) delta_io += shard;
+  EXPECT_EQ(delta_io.decoded_bytes, raw_io.decoded_bytes)
+      << "same raw records serialized either way";
+  EXPECT_GT(delta_io.compression_ratio(), 1.5);
+  EXPECT_LT(delta_grid->topology().num_pages(),
+            raw_grid->topology().num_pages());
+
+  const auto raw_spj = BuildSpj(kShardedS, MakeBuild(1, 1));
+  const auto delta_spj =
+      BuildSpj(kShardedS, MakeBuild(1, 1, PageCodecKind::kDeltaVarint));
+  IoStats spj_io;
+  for (const IoStats& shard : delta_spj->build_io_stats()) spj_io += shard;
+  EXPECT_GT(spj_io.compression_ratio(), 1.5);
+  EXPECT_LT(delta_spj->topology().num_pages(),
+            raw_spj->topology().num_pages());
+}
+
+TEST_F(ParallelBuildTest, DeltaVarintParallelBuildsAnswerLikeRawBuilds) {
+  // The full stack of knobs at once: a 4-shard, 4-worker, deep-queue,
+  // delta-varint build must answer byte-identically to the sequential
+  // synchronous raw build, for all four disk families.
+  const auto queries = MakeQueries(80, 43);
+  const auto raw = MakeBuild(1, 1);
+  const auto delta =
+      MakeBuild(kShardedS, kDeepWriteQueue, PageCodecKind::kDeltaVarint);
+  std::vector<std::unique_ptr<ReachabilityIndex>> base;
+  base.push_back(MakeReachGridBackend(BuildGrid(kShardedS, raw)));
+  base.push_back(MakeReachGraphBackend(BuildGraph(kShardedS, raw),
+                                       ReachGraphTraversal::kBmBfs));
+  base.push_back(MakeSpjBackend(BuildSpj(kShardedS, raw)));
+  base.push_back(
+      MakeGrailBackend(BuildGrail(kShardedS, raw), GrailMode::kDisk));
+  std::vector<std::unique_ptr<ReachabilityIndex>> test;
+  test.push_back(MakeReachGridBackend(BuildGrid(kShardedS, delta)));
+  test.push_back(MakeReachGraphBackend(BuildGraph(kShardedS, delta),
+                                       ReachGraphTraversal::kBmBfs));
+  test.push_back(MakeSpjBackend(BuildSpj(kShardedS, delta)));
+  test.push_back(
+      MakeGrailBackend(BuildGrail(kShardedS, delta), GrailMode::kDisk));
+
+  const QueryEngine raw_engine{QueryEngineOptions{}};
+  QueryEngineOptions delta_options;
+  delta_options.page_codec = PageCodecKind::kDeltaVarint;
+  const QueryEngine delta_engine(delta_options);
+  for (size_t b = 0; b < base.size(); ++b) {
+    auto expected = raw_engine.Run(base[b].get(), queries);
+    auto actual = delta_engine.Run(test[b].get(), queries);
+    ASSERT_TRUE(expected.ok() && actual.ok()) << base[b]->DescribeIndex();
+    EXPECT_EQ(SerializeAnswers(expected->answers),
+              SerializeAnswers(actual->answers))
+        << base[b]->DescribeIndex() << ": delta-varint answers differ";
+    // The run reports the codec it decoded with.
+    EXPECT_EQ(actual->summary.page_codec, "delta-varint");
+    EXPECT_EQ(expected->summary.page_codec, "raw");
+  }
+}
+
+TEST_F(ParallelBuildTest, EngineRejectsCodecMismatch) {
+  // Pointing a raw-configured engine at a delta-varint index is a
+  // deployment error the engine must refuse, not decode garbage.
+  const auto delta_grid = BuildGrid(
+      1, MakeBuild(1, 1, PageCodecKind::kDeltaVarint));
+  auto backend = MakeReachGridBackend(delta_grid);
+  const auto queries = MakeQueries(4, 44);
+  auto mismatch = QueryEngine(QueryEngineOptions{}).Run(backend.get(), queries);
+  EXPECT_TRUE(mismatch.status().IsInvalidArgument());
+  QueryEngineOptions options;
+  options.page_codec = PageCodecKind::kDeltaVarint;
+  EXPECT_TRUE(QueryEngine(options).Run(backend.get(), queries).ok());
 }
 
 // ----------------------------------------------- write-side accounting

@@ -74,20 +74,25 @@ class ShardingTest : public ::testing::Test {
     store_ = nullptr;
   }
 
-  static Stack BuildStack(int num_shards) {
+  static Stack BuildStack(int num_shards,
+                          PageCodecKind codec = PageCodecKind::kRaw) {
     Stack stack;
+    BuildOptions build;
+    build.page_codec = codec;
 
     ReachGridOptions grid_options;
     grid_options.temporal_resolution = 20;
     grid_options.spatial_cell_size = 150.0;
     grid_options.contact_range = kContactRange;
     grid_options.num_shards = num_shards;
+    grid_options.build = build;
     auto grid = ReachGridIndex::Build(*store_, grid_options);
     STREACH_CHECK(grid.ok());
     stack.grid = std::move(*grid);
 
     ReachGraphOptions graph_options;
     graph_options.num_shards = num_shards;
+    graph_options.build = build;
     auto graph = ReachGraphIndex::Build(**network_, graph_options);
     STREACH_CHECK(graph.ok());
     stack.graph = std::move(*graph);
@@ -96,6 +101,7 @@ class ShardingTest : public ::testing::Test {
     STREACH_CHECK(dn.ok());
     GrailOptions grail_options;
     grail_options.num_shards = num_shards;
+    grail_options.build = build;
     auto grail = GrailIndex::Build(*dn, grail_options);
     STREACH_CHECK(grail.ok());
     stack.grail = std::move(*grail);
@@ -103,6 +109,7 @@ class ShardingTest : public ::testing::Test {
     SpjOptions spj_options;
     spj_options.contact_range = kContactRange;
     spj_options.num_shards = num_shards;
+    spj_options.build = build;
     auto spj = SpjEvaluator::Build(*store_, spj_options);
     STREACH_CHECK(spj.ok());
     stack.spj = std::move(*spj);
@@ -244,6 +251,49 @@ TEST_F(ShardingTest, UnshardedTopologyReportsOneShardMatchingTotals) {
   ASSERT_EQ(s.per_shard_io.size(), 1u);
   EXPECT_EQ(s.per_shard_io[0].total_reads(), s.total_pages_fetched);
   EXPECT_NEAR(s.per_shard_io[0].NormalizedReadCost(), s.total_io_cost, 1e-6);
+}
+
+TEST_F(ShardingTest, ShardedDeltaVarintAnswersMatchUnshardedRaw) {
+  // The sharded-equivalence contract composes with the page codec: a
+  // 4-shard delta-varint stack (built lazily here — only this test pays
+  // for it) answers byte-identically to the unsharded raw baseline,
+  // sequentially and under a 4-thread engine.
+  const Stack delta1 = BuildStack(1, PageCodecKind::kDeltaVarint);
+  const Stack delta4 = BuildStack(kShardedS, PageCodecKind::kDeltaVarint);
+  const std::vector<ReachQuery> queries = MakeQueries(160, 35);
+  auto base = DiskBackends(*unsharded_);
+  for (const Stack* delta : {&delta1, &delta4}) {
+    auto test = DiskBackends(*delta);
+    ASSERT_EQ(base.size(), test.size());
+    for (size_t b = 0; b < base.size(); ++b) {
+      std::vector<ReachAnswer> expected, actual;
+      for (const ReachQuery& q : queries) {
+        auto e = base[b]->Query(q);
+        auto a = test[b]->Query(q);
+        ASSERT_TRUE(e.ok() && a.ok())
+            << base[b]->DescribeIndex() << " on " << q.ToString();
+        expected.push_back(*e);
+        actual.push_back(*a);
+      }
+      EXPECT_EQ(SerializeAnswers(expected), SerializeAnswers(actual))
+          << base[b]->DescribeIndex()
+          << ": delta-varint sharded answers differ from raw baseline";
+    }
+    QueryEngineOptions options;
+    options.num_threads = 4;
+    options.page_codec = PageCodecKind::kDeltaVarint;
+    const QueryEngine engine(options);
+    const QueryEngine raw_engine(QueryEngineOptions{});
+    auto engine_test = DiskBackends(*delta);
+    for (size_t b = 0; b < base.size(); ++b) {
+      auto expected = raw_engine.Run(base[b].get(), queries);
+      auto actual = engine.Run(engine_test[b].get(), queries);
+      ASSERT_TRUE(expected.ok() && actual.ok()) << base[b]->DescribeIndex();
+      EXPECT_EQ(SerializeAnswers(expected->answers),
+                SerializeAnswers(actual->answers))
+          << base[b]->DescribeIndex() << " (4-thread engine, delta-varint)";
+    }
+  }
 }
 
 }  // namespace
