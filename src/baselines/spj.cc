@@ -218,4 +218,175 @@ Result<ReachAnswer> SpjEvaluator::Query(const ReachQuery& query,
   return finish(false, kInvalidTime);
 }
 
+Result<std::vector<Timestamp>> SpjEvaluator::ReachableSet(
+    ObjectId source, TimeInterval interval) {
+  return ReachableSet(source, interval, &pool_, &last_stats_);
+}
+
+Result<std::vector<Timestamp>> SpjEvaluator::ReachableSet(
+    ObjectId source, TimeInterval interval, BufferPool* pool,
+    QueryStats* stats) const {
+  auto sets = Closure({source}, interval, pool, stats);
+  if (!sets.ok()) return sets.status();
+  return std::move((*sets)[0]);
+}
+
+Result<std::vector<std::vector<Timestamp>>> SpjEvaluator::ReachableSets(
+    const std::vector<ObjectId>& sources, TimeInterval interval) {
+  return ReachableSets(sources, interval, &pool_, &last_stats_);
+}
+
+Result<std::vector<std::vector<Timestamp>>> SpjEvaluator::ReachableSets(
+    const std::vector<ObjectId>& sources, TimeInterval interval,
+    BufferPool* pool, QueryStats* stats) const {
+  return Closure(sources, interval, pool, stats);
+}
+
+Result<std::vector<std::vector<Timestamp>>> SpjEvaluator::Closure(
+    const std::vector<ObjectId>& sources, TimeInterval interval,
+    BufferPool* pool, QueryStats* stats) const {
+  QueryScope scope(pool, stats);
+  const size_t num_sources = sources.size();
+  std::vector<std::vector<Timestamp>> sets(
+      num_sources, std::vector<Timestamp>(num_objects_, kInvalidTime));
+
+  const TimeInterval w = interval.Intersect(span_);
+  // Lane masks, 64 sources per chunk: infected[chunk][object] holds one
+  // bit per source in the chunk.
+  const size_t num_chunks = (num_sources + 63) / 64;
+  std::vector<std::vector<uint64_t>> infected(
+      num_chunks, std::vector<uint64_t>(num_objects_, 0));
+  bool any_seed = false;
+  if (!w.empty()) {
+    for (size_t si = 0; si < num_sources; ++si) {
+      if (sources[si] >= num_objects_) continue;  // Its set stays empty.
+      sets[si][sources[si]] = w.start;
+      infected[si / 64][sources[si]] |= 1ull << (si % 64);
+      any_seed = true;
+    }
+  }
+  if (!any_seed) {
+    scope.Finish();
+    return sets;
+  }
+
+  const double dt = options_.contact_range;
+  const double dt_sq = dt * dt;
+  UnionFind uf(num_objects_);
+
+  const int first_slab =
+      static_cast<int>((w.start - span_.start) / options_.slab_ticks);
+  const int last_slab =
+      static_cast<int>((w.end - span_.start) / options_.slab_ticks);
+
+  // Phase 1 — exactly Query's scan: the overlapping slab range goes out
+  // as one batch, and it is the whole IO bill of the closure no matter
+  // how many sources share it.
+  const std::vector<Extent> wanted(
+      slab_extents_.begin() + first_slab,
+      slab_extents_.begin() + last_slab + 1);
+  auto slabs_result = ReadExtentsBatched(pool, wanted, options_.page_size);
+  if (!slabs_result.ok()) return slabs_result.status();
+  std::vector<std::string> slabs = std::move(*slabs_result);
+
+  // Phase 2 — join once, propagate per lane group. The contact pairs of a
+  // tick are a property of the positions alone, so every source shares
+  // one union-find pass; only the mask OR-propagation repeats per chunk.
+  std::vector<Point> positions;
+  for (int slab = first_slab; slab <= last_slab; ++slab) {
+    const TimeInterval sw = SlabInterval(slab);
+    const auto slab_ticks = static_cast<size_t>(sw.length());
+    Decoder dec(slabs[static_cast<size_t>(slab - first_slab)]);
+    positions.assign(num_objects_ * slab_ticks, Point());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      auto x = dec.GetDouble();
+      auto y = dec.GetDouble();
+      if (!x.ok() || !y.ok()) return Status::Corruption("slab positions");
+      positions[i] = Point(*x, *y);
+    }
+    auto position_of = [&](ObjectId o, Timestamp t) -> const Point& {
+      return positions[static_cast<size_t>(o) * slab_ticks +
+                       static_cast<size_t>(t - sw.start)];
+    };
+
+    Rect extent;
+    for (const Point& p : positions) extent.ExpandToInclude(p);
+    if (extent.Width() <= 0 || extent.Height() <= 0) {
+      extent = extent.Padded(1.0);
+    }
+    UniformGrid2D grid(extent, dt);
+    std::unordered_map<CellId, std::vector<ObjectId>> buckets;
+
+    const TimeInterval tw = sw.Intersect(w);
+    for (Timestamp t = tw.start; t <= tw.end; ++t) {
+      buckets.clear();
+      for (ObjectId o = 0; o < num_objects_; ++o) {
+        buckets[grid.CellOf(position_of(o, t))].push_back(o);
+      }
+      std::vector<std::pair<ObjectId, ObjectId>> pairs;
+      for (const auto& [cell, mine] : buckets) {
+        const int row = grid.RowOfCell(cell);
+        const int col = grid.ColOfCell(cell);
+        for (size_t i = 0; i < mine.size(); ++i) {
+          for (size_t j = i + 1; j < mine.size(); ++j) {
+            if (Point::DistanceSquared(position_of(mine[i], t),
+                                       position_of(mine[j], t)) < dt_sq) {
+              pairs.emplace_back(mine[i], mine[j]);
+            }
+          }
+        }
+        static constexpr int kForward[4][2] = {
+            {0, 1}, {1, -1}, {1, 0}, {1, 1}};
+        for (const auto& d : kForward) {
+          const int nr = row + d[0];
+          const int nc = col + d[1];
+          if (nr < 0 || nr >= grid.rows() || nc < 0 || nc >= grid.cols()) {
+            continue;
+          }
+          auto other = buckets.find(grid.CellAt(nr, nc));
+          if (other == buckets.end()) continue;
+          for (ObjectId a : mine) {
+            for (ObjectId b : other->second) {
+              if (Point::DistanceSquared(position_of(a, t),
+                                         position_of(b, t)) < dt_sq) {
+                pairs.emplace_back(a, b);
+              }
+            }
+          }
+        }
+      }
+      if (pairs.empty()) continue;
+      uf.Reset();
+      for (const auto& [a, b] : pairs) uf.Union(a, b);
+      for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        std::vector<uint64_t>& lane_infected = infected[chunk];
+        // A snapshot component's mask is the OR of its members' masks at
+        // tick start; every member then acquires the whole mask — the
+        // masked form of "every component containing an infected object
+        // becomes fully infected".
+        std::unordered_map<uint32_t, uint64_t> component_mask;
+        for (const auto& [a, b] : pairs) {
+          component_mask[uf.Find(a)] |= lane_infected[a] | lane_infected[b];
+        }
+        for (const auto& [a, b] : pairs) {
+          const uint64_t comp = component_mask[uf.Find(a)];
+          for (ObjectId x : {a, b}) {
+            const uint64_t add = comp & ~lane_infected[x];
+            if (add == 0) continue;
+            lane_infected[x] = comp;
+            uint64_t lanes = add;
+            while (lanes != 0) {
+              const int bit = __builtin_ctzll(lanes);
+              sets[chunk * 64 + static_cast<size_t>(bit)][x] = t;
+              lanes &= lanes - 1;
+            }
+          }
+        }
+      }
+    }
+  }
+  scope.Finish();
+  return sets;
+}
+
 }  // namespace streach

@@ -53,6 +53,31 @@ class SpjEvaluator {
   Result<ReachAnswer> Query(const ReachQuery& query, BufferPool* pool,
                             QueryStats* stats) const;
 
+  /// Infection time of every object reachable from `source` during
+  /// `interval` (kInvalidTime for unreached). The slab sweep Query runs
+  /// already computes the whole closure as a side effect — this entry
+  /// point keeps the per-tick infection ticks instead of discarding them,
+  /// which is what lets the engine's result cache memoize SPJ point
+  /// queries.
+  Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
+                                              TimeInterval interval);
+  Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
+                                              TimeInterval interval,
+                                              BufferPool* pool,
+                                              QueryStats* stats) const;
+
+  /// Multi-source batch closure: `result[i]` equals
+  /// `ReachableSet(sources[i], interval)` exactly, from ONE slab scan and
+  /// ONE per-tick self-join shared by every source — the contact pairs do
+  /// not depend on who is infected, so only the (cheap) mask propagation
+  /// runs per 64-source lane group. The scan is the baseline's whole IO
+  /// bill, so a batch of k sources costs ~1/k of the per-source loop.
+  Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval);
+  Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval,
+      BufferPool* pool, QueryStats* stats) const;
+
   /// A fresh buffer pool over this evaluator's storage topology, for one
   /// concurrent query session (sized like the built-in pool, decoding
   /// with this evaluator's codec).
@@ -91,6 +116,12 @@ class SpjEvaluator {
 
   Status WriteSlabs(const TrajectoryStore& store);
   TimeInterval SlabInterval(int slab) const;
+
+  /// Shared closure core behind both ReachableSet entry points: one slab
+  /// scan, one join, per-lane infection masks.
+  Result<std::vector<std::vector<Timestamp>>> Closure(
+      const std::vector<ObjectId>& sources, TimeInterval interval,
+      BufferPool* pool, QueryStats* stats) const;
 
   SpjOptions options_;
   StorageTopology topology_;

@@ -43,6 +43,20 @@ Result<std::vector<Timestamp>> BruteForceReachability::ReachableSet(
   return BruteForceClosure(*network_, source, interval);
 }
 
+Result<std::vector<std::vector<Timestamp>>>
+BruteForceReachability::ReachableSets(const std::vector<ObjectId>& sources,
+                                      TimeInterval interval) {
+  // Same per-source oracle sweeps, accounted as one batch so
+  // last_query_stats() matches the overriding backends' contract.
+  QueryScope scope(/*pool=*/nullptr, &stats_);
+  std::vector<std::vector<Timestamp>> sets;
+  sets.reserve(sources.size());
+  for (ObjectId source : sources) {
+    sets.push_back(BruteForceClosure(*network_, source, interval));
+  }
+  return sets;
+}
+
 std::string BruteForceReachability::DescribeIndex() const {
   return "BruteForce(contact sweep)";
 }
@@ -66,7 +80,32 @@ class ReachGridBackend : public ReachabilityIndex {
 
   Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
                                               TimeInterval interval) override {
+    if (frontier_ != nullptr) {
+      // Parallel frontier rounds: route through the shared-frontier sweep
+      // (identical answers; page order may differ from the sequential
+      // sweep).
+      auto sets = index_->ReachableSets({source}, interval, pool_.get(),
+                                        &stats_, frontier_.get());
+      if (!sets.ok()) return sets.status();
+      return std::move((*sets)[0]);
+    }
     return index_->ReachableSet(source, interval, pool_.get(), &stats_);
+  }
+
+  Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval) override {
+    return index_->ReachableSets(sources, interval, pool_.get(), &stats_,
+                                 frontier_.get());
+  }
+
+  void SetTraversalThreads(int threads) override {
+    if (threads < 1) threads = 1;
+    if (threads == traversal_threads_) return;
+    traversal_threads_ = threads;
+    frontier_ = threads > 1 ? std::make_unique<FrontierPool>(threads)
+                            : nullptr;
+    // Frontier workers fetch through this session's pool concurrently.
+    pool_->set_thread_safe(threads > 1);
   }
 
   const QueryStats& last_query_stats() const override { return stats_; }
@@ -95,6 +134,7 @@ class ReachGridBackend : public ReachabilityIndex {
   std::unique_ptr<ReachabilityIndex> NewSession() const override {
     auto session = std::make_unique<ReachGridBackend>(index_);
     session->SetIoQueueDepth(pool_->io_queue_depth());
+    session->SetTraversalThreads(traversal_threads_);
     return session;
   }
 
@@ -102,6 +142,8 @@ class ReachGridBackend : public ReachabilityIndex {
   std::shared_ptr<const ReachGridIndex> index_;
   std::unique_ptr<BufferPool> pool_;
   QueryStats stats_;
+  int traversal_threads_ = 1;
+  std::unique_ptr<FrontierPool> frontier_;
 };
 
 // ------------------------------------------------------------- ReachGraph
@@ -131,6 +173,11 @@ class ReachGraphBackend : public ReachabilityIndex {
   Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
                                               TimeInterval interval) override {
     return index_->ReachableSet(source, interval, pool_.get(), &stats_);
+  }
+
+  Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval) override {
+    return index_->ReachableSets(sources, interval, pool_.get(), &stats_);
   }
 
   const QueryStats& last_query_stats() const override { return stats_; }
@@ -176,6 +223,16 @@ class SpjBackend : public ReachabilityIndex {
 
   Result<ReachAnswer> Query(const ReachQuery& query) override {
     return spj_->Query(query, pool_.get(), &stats_);
+  }
+
+  Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
+                                              TimeInterval interval) override {
+    return spj_->ReachableSet(source, interval, pool_.get(), &stats_);
+  }
+
+  Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval) override {
+    return spj_->ReachableSets(sources, interval, pool_.get(), &stats_);
   }
 
   const QueryStats& last_query_stats() const override { return stats_; }

@@ -37,6 +37,8 @@ class BruteForceReachability : public ReachabilityIndex {
   Result<ReachAnswer> Query(const ReachQuery& query) override;
   Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
                                               TimeInterval interval) override;
+  Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval) override;
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override {}
   std::shared_ptr<const void> IndexIdentity() const override {

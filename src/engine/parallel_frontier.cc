@@ -1,0 +1,81 @@
+#include "engine/parallel_frontier.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace streach {
+
+FrontierPool::FrontierPool(int num_threads) {
+  STREACH_CHECK_GT(num_threads, 0);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 1; i < num_threads; ++i) {
+    workers_.emplace_back(&FrontierPool::WorkerLoop, this, i);
+  }
+}
+
+FrontierPool::~FrontierPool() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void FrontierPool::RunChunks(int worker_id) {
+  const size_t n = range_;
+  const size_t chunk = chunk_;
+  const std::function<void(int, size_t, size_t)>* body = body_;
+  for (size_t begin = cursor_.fetch_add(chunk, std::memory_order_relaxed);
+       begin < n; begin = cursor_.fetch_add(chunk, std::memory_order_relaxed)) {
+    (*body)(worker_id, begin, std::min(begin + chunk, n));
+  }
+}
+
+void FrontierPool::WorkerLoop(int worker_id) {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    RunChunks(worker_id);
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void FrontierPool::ParallelFor(
+    size_t n, const std::function<void(int, size_t, size_t)>& body) {
+  if (n == 0) return;
+  // A lone thread — or a range too small to amortize a wakeup — runs
+  // inline, the exact sequential loop.
+  if (workers_.empty() || n < 2) {
+    body(0, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    body_ = &body;
+    range_ = n;
+    // Several chunks per worker so skewed chunks rebalance off the
+    // shared cursor.
+    chunk_ = std::max<size_t>(1, n / (static_cast<size_t>(num_threads()) * 4));
+    cursor_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunChunks(0);  // The caller is worker 0.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  body_ = nullptr;
+}
+
+}  // namespace streach

@@ -1,0 +1,251 @@
+#ifndef STREACH_ENGINE_PARALLEL_FRONTIER_H_
+#define STREACH_ENGINE_PARALLEL_FRONTIER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace streach {
+
+/// \brief Intra-query parallel frontier primitives.
+///
+/// A closure sweep expands one frontier per tick: every candidate object
+/// (ReachGrid) or vertex (ReachGraph) is tested against the current seed
+/// set, and the newly reached ones join the frontier for the next round.
+/// The expansion of one round is embarrassingly parallel — candidates are
+/// independent given a snapshot of the seeds — so the sweep splits each
+/// round across a worker pool and merges the discoveries deterministically
+/// (sorted by id) before the next round starts. The shapes here follow the
+/// parallel-BFS playbook (PASGAL-style): a CAS visited bitmap so a
+/// discovery is claimed exactly once no matter which worker finds it,
+/// per-worker local queues that collect discoveries without touching
+/// shared state, and a mutex-guarded global queue as the overflow
+/// fallback.
+///
+/// Determinism contract: every structure here either partitions work
+/// disjointly or merges results through a sort, so a sweep's *answers*
+/// are identical for any worker count. Only wall-clock (and, through the
+/// shared buffer pool, the run-to-run interleaving of page installs at
+/// > 1 worker) varies.
+
+/// \brief A persistent pool of worker threads for per-round parallel
+/// loops.
+///
+/// `ParallelFor(n, body)` splits `[0, n)` into chunks claimed off one
+/// atomic cursor and runs `body(worker, begin, end)` on every worker (the
+/// caller participates as worker 0), returning when the whole range is
+/// done. A pool of 1 thread runs everything inline on the caller — byte
+/// and page identical to a plain loop. Sweeps call ParallelFor hundreds
+/// of times per query (once per chaining round), so the threads persist
+/// across calls instead of being respawned.
+///
+/// Thread safety: one ParallelFor at a time per pool (a pool belongs to
+/// one session, and sessions are single-caller by contract).
+class FrontierPool {
+ public:
+  /// `num_threads >= 1`: total workers including the caller.
+  explicit FrontierPool(int num_threads);
+  ~FrontierPool();
+
+  FrontierPool(const FrontierPool&) = delete;
+  FrontierPool& operator=(const FrontierPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `body(worker_id, begin, end)` over disjoint chunks covering
+  /// `[0, n)`; blocks until every chunk is done. Worker ids are in
+  /// `[0, num_threads())`. With one thread (or a tiny range) the body
+  /// runs inline on the caller.
+  void ParallelFor(size_t n,
+                   const std::function<void(int, size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop(int worker_id);
+  /// Claims chunks until the cursor passes `n` (shared by all workers).
+  void RunChunks(int worker_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals a new generation.
+  std::condition_variable done_cv_;   // Signals all workers finished.
+  uint64_t generation_ = 0;           // Bumped per ParallelFor.
+  int active_ = 0;                    // Workers still in RunChunks.
+  bool shutdown_ = false;
+  // Current loop (valid while active_ > 0).
+  const std::function<void(int, size_t, size_t)>* body_ = nullptr;
+  size_t range_ = 0;
+  size_t chunk_ = 1;
+  std::atomic<size_t> cursor_{0};
+};
+
+/// \brief CAS visited bitmap: each bit is claimed exactly once.
+///
+/// The parallel frontier's dedup primitive: a worker that discovers item
+/// `i` calls `TestAndSet(i)` and only the one whose compare-and-swap wins
+/// enqueues the item, so a discovery reached through several seeds in the
+/// same round is claimed once. `Reset()` re-arms the bitmap between
+/// rounds without reallocation.
+class AtomicBitmap {
+ public:
+  explicit AtomicBitmap(size_t bits)
+      : bits_(bits), words_((bits + 63) / 64) {}
+
+  size_t size() const { return bits_; }
+
+  /// Atomically sets bit `i`; returns true when this call flipped it
+  /// (the caller owns the discovery).
+  bool TestAndSet(size_t i) {
+    const uint64_t mask = 1ull << (i & 63);
+    const uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+    return (prev & mask) == 0;
+  }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6].load(std::memory_order_acquire) &
+            (1ull << (i & 63))) != 0;
+  }
+
+  void Reset() {
+    for (auto& word : words_) word.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  size_t bits_;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+/// \brief Per-source reach bits, one fixed-width row per item.
+///
+/// The multi-source closure's core bookkeeping: row `item` holds one bit
+/// per batch source, set when that source's infection has reached the
+/// item. Rows are dense `uint64_t` words, so merging a discovery mask is
+/// a handful of ORs and "which sources are new" falls out of the same
+/// pass. Mutation is single-writer (the sweeps merge rounds
+/// sequentially); parallel workers only read rows of the previous round.
+class SourceBitSlab {
+ public:
+  SourceBitSlab(size_t items, size_t sources)
+      : sources_(sources),
+        words_(sources == 0 ? 1 : (sources + 63) / 64),
+        slab_(items * words_, 0) {}
+
+  size_t words_per_item() const { return words_; }
+  size_t num_sources() const { return sources_; }
+
+  uint64_t* row(size_t item) { return slab_.data() + item * words_; }
+  const uint64_t* row(size_t item) const {
+    return slab_.data() + item * words_;
+  }
+
+  bool any(size_t item) const {
+    const uint64_t* r = row(item);
+    for (size_t w = 0; w < words_; ++w) {
+      if (r[w] != 0) return true;
+    }
+    return false;
+  }
+
+  /// True when every source bit of `item` is set (nothing left to learn).
+  bool saturated(size_t item) const {
+    const uint64_t* r = row(item);
+    for (size_t w = 0; w < words_; ++w) {
+      uint64_t full = ~0ull;
+      const size_t bits_here =
+          (w + 1) * 64 <= sources_ ? 64 : sources_ - w * 64;
+      if (bits_here < 64) full = (1ull << bits_here) - 1;
+      if ((r[w] & full) != full) return false;
+    }
+    return true;
+  }
+
+  bool test(size_t item, size_t source) const {
+    return (row(item)[source >> 6] & (1ull << (source & 63))) != 0;
+  }
+
+  void set(size_t item, size_t source) {
+    row(item)[source >> 6] |= 1ull << (source & 63);
+  }
+
+  /// ORs `mask` (words_per_item words) into `item`'s row.
+  void Merge(size_t item, const uint64_t* mask) {
+    uint64_t* r = row(item);
+    for (size_t w = 0; w < words_; ++w) r[w] |= mask[w];
+  }
+
+  /// Calls `fn(source)` for every set bit in `mask` (words_per_item
+  /// words), ascending.
+  template <typename Fn>
+  void ForEachSet(const uint64_t* mask, Fn fn) const {
+    for (size_t w = 0; w < words_; ++w) {
+      uint64_t bits = mask[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  size_t sources_;
+  size_t words_;
+  std::vector<uint64_t> slab_;
+};
+
+/// \brief Per-worker discovery queues with a mutex-guarded global
+/// fallback.
+///
+/// Workers push the items they claim into their own queue lock-free; a
+/// queue past its soft capacity spills into the shared global queue under
+/// a mutex (rare — only badly skewed rounds hit it). `Drain()` moves
+/// everything out in worker order; callers sort the result before acting
+/// on it, which is what makes round merges independent of the work
+/// partitioning.
+template <typename T>
+class LocalQueues {
+ public:
+  /// `soft_capacity`: per-worker entries before spilling to the global
+  /// queue.
+  explicit LocalQueues(int workers, size_t soft_capacity = 4096)
+      : soft_capacity_(soft_capacity),
+        local_(static_cast<size_t>(workers)) {}
+
+  void Push(int worker, T value) {
+    std::vector<T>& q = local_[static_cast<size_t>(worker)];
+    if (q.size() < soft_capacity_) {
+      q.push_back(std::move(value));
+      return;
+    }
+    std::lock_guard<std::mutex> guard(global_mu_);
+    global_.push_back(std::move(value));
+  }
+
+  /// Moves out every queued item (local queues in worker order, then the
+  /// global spill); leaves the queues empty for the next round.
+  std::vector<T> Drain() {
+    std::vector<T> all;
+    for (std::vector<T>& q : local_) {
+      all.insert(all.end(), q.begin(), q.end());
+      q.clear();
+    }
+    std::lock_guard<std::mutex> guard(global_mu_);
+    all.insert(all.end(), global_.begin(), global_.end());
+    global_.clear();
+    return all;
+  }
+
+ private:
+  size_t soft_capacity_;
+  std::vector<std::vector<T>> local_;
+  std::mutex global_mu_;
+  std::vector<T> global_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_ENGINE_PARALLEL_FRONTIER_H_

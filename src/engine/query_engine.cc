@@ -41,13 +41,14 @@ ReachAnswer AnswerFromSet(const std::vector<Timestamp>& infection_times,
 }  // namespace
 
 std::string WorkloadSummary::ToString() const {
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "%s: %llu queries (%llu reachable) in %.3fs | %.0f q/s | "
       "io/query=%.2f pages=%llu hits=%llu pool_hit_rate=%.1f%% | "
       "latency mean=%.0fus p50=%.0fus p95=%.0fus p99=%.0fus max=%.0fus | "
-      "cache_hits=%llu shards=%zu qd=%d inflight=%.2f codec=%s ratio=%.2f",
+      "cache_hits=%llu shards=%zu qd=%d tthreads=%d batch=%d "
+      "inflight=%.2f codec=%s ratio=%.2f",
       backend.c_str(), static_cast<unsigned long long>(num_queries),
       static_cast<unsigned long long>(num_reachable), wall_seconds,
       queries_per_second, mean_io_cost(),
@@ -57,8 +58,8 @@ std::string WorkloadSummary::ToString() const {
       p95_latency * 1e6, p99_latency * 1e6, max_latency * 1e6,
       static_cast<unsigned long long>(result_cache_hits),
       per_shard_io.empty() ? static_cast<size_t>(1) : per_shard_io.size(),
-      io_queue_depth, mean_inflight_requests(), page_codec.c_str(),
-      compression_ratio());
+      io_queue_depth, traversal_threads, batch_sources,
+      mean_inflight_requests(), page_codec.c_str(), compression_ratio());
   return buf;
 }
 
@@ -106,6 +107,7 @@ Result<WorkloadReport> QueryEngine::Run(
   }
   for (ReachabilityIndex* session : sessions) {
     session->SetIoQueueDepth(options_.io_queue_depth);
+    session->SetTraversalThreads(options_.traversal_threads);
   }
 
   // Per-shard IO is reported as the delta of each session's cumulative
@@ -200,6 +202,7 @@ Result<WorkloadReport> QueryEngine::Run(
   s.backend = backend->DescribeIndex();
   s.num_queries = n;
   s.io_queue_depth = options_.io_queue_depth;
+  s.traversal_threads = std::max(options_.traversal_threads, 1);
   s.page_codec = ToString(backend_codec.value_or(options_.page_codec));
   s.wall_seconds = wall_seconds;
   s.queries_per_second =
@@ -225,6 +228,145 @@ Result<WorkloadReport> QueryEngine::Run(
   }
   // Per-shard breakdown: delta of every session's cumulative cursors over
   // the run, summed shard-wise across sessions.
+  for (size_t k = 0; k < sessions.size(); ++k) {
+    const std::vector<IoStats> after = sessions[k]->shard_io_stats();
+    if (after.size() > s.per_shard_io.size()) {
+      s.per_shard_io.resize(after.size());
+    }
+    for (size_t shard = 0; shard < after.size(); ++shard) {
+      IoStats delta = after[shard];
+      if (shard < shard_io_before[k].size()) {
+        delta = delta - shard_io_before[k][shard];
+      }
+      s.per_shard_io[shard] += delta;
+    }
+  }
+  return report;
+}
+
+Result<ClosureWorkloadReport> QueryEngine::RunClosures(
+    ReachabilityIndex* backend, const std::vector<ObjectId>& sources,
+    TimeInterval interval) const {
+  STREACH_CHECK(backend != nullptr);
+  const std::optional<PageCodecKind> backend_codec = backend->page_codec();
+  if (backend_codec.has_value() && *backend_codec != options_.page_codec) {
+    return Status::InvalidArgument(
+        std::string("page_codec mismatch: engine configured for ") +
+        ToString(options_.page_codec) + ", backend stores " +
+        ToString(*backend_codec));
+  }
+  const size_t n = sources.size();
+  const size_t batch =
+      static_cast<size_t>(std::max(options_.batch_sources, 1));
+  const size_t num_batches = (n + batch - 1) / batch;
+
+  ClosureWorkloadReport report;
+  report.sets.resize(n);
+  report.per_batch.resize(num_batches);
+  std::vector<double> latencies(num_batches, 0.0);
+
+  const int num_threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(options_.num_threads),
+                       std::max<size_t>(num_batches, 1)));
+
+  // Sessions mirror Run(): worker 0 reuses the caller's session so a
+  // single-threaded run is a hand-written ReachableSets loop.
+  std::vector<std::unique_ptr<ReachabilityIndex>> extra_sessions;
+  std::vector<ReachabilityIndex*> sessions;
+  sessions.push_back(backend);
+  for (int i = 1; i < num_threads; ++i) {
+    extra_sessions.push_back(backend->NewSession());
+    sessions.push_back(extra_sessions.back().get());
+  }
+  for (ReachabilityIndex* session : sessions) {
+    session->SetIoQueueDepth(options_.io_queue_depth);
+    session->SetTraversalThreads(options_.traversal_threads);
+  }
+
+  std::vector<std::vector<IoStats>> shard_io_before;
+  shard_io_before.reserve(sessions.size());
+  for (ReachabilityIndex* session : sessions) {
+    shard_io_before.push_back(session->shard_io_stats());
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;  // Guards first_error only; never on the hot path.
+  Status first_error = Status::OK();
+
+  auto worker = [&](ReachabilityIndex* session) {
+    for (size_t b = next.fetch_add(1); b < num_batches;
+         b = next.fetch_add(1)) {
+      if (failed.load(std::memory_order_relaxed)) return;  // Stop early.
+      if (options_.cold_cache) session->ClearCache();
+      const size_t begin = b * batch;
+      const size_t end = std::min(begin + batch, n);
+      const std::vector<ObjectId> group(
+          sources.begin() + static_cast<ptrdiff_t>(begin),
+          sources.begin() + static_cast<ptrdiff_t>(end));
+      Stopwatch latency;
+      auto sets = session->ReachableSets(group, interval);
+      if (!sets.ok()) {
+        std::lock_guard<std::mutex> guard(error_mutex);
+        if (first_error.ok()) first_error = sets.status();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      latencies[b] = latency.ElapsedSeconds();
+      report.per_batch[b] = session->last_query_stats();
+      for (size_t i = begin; i < end; ++i) {
+        report.sets[i] = std::move((*sets)[i - begin]);
+      }
+    }
+  };
+
+  Stopwatch wall;
+  if (num_threads == 1) {
+    worker(sessions[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      threads.emplace_back(worker, sessions[static_cast<size_t>(i)]);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  if (!first_error.ok()) return first_error;
+
+  WorkloadSummary& s = report.summary;
+  s.backend = backend->DescribeIndex();
+  s.num_queries = n;  // One closure per source, however it was batched.
+  s.io_queue_depth = options_.io_queue_depth;
+  s.traversal_threads = std::max(options_.traversal_threads, 1);
+  s.batch_sources = static_cast<int>(batch);
+  s.page_codec = ToString(backend_codec.value_or(options_.page_codec));
+  s.wall_seconds = wall_seconds;
+  s.queries_per_second =
+      wall_seconds > 0 ? static_cast<double>(n) / wall_seconds : 0.0;
+  for (const std::vector<Timestamp>& set : report.sets) {
+    for (Timestamp t : set) {
+      if (t != kInvalidTime) ++s.num_reachable;
+    }
+  }
+  // Cost totals sum one entry per batch (each batch is one backend
+  // sweep); the latency distribution is likewise per batch.
+  for (size_t b = 0; b < num_batches; ++b) {
+    const QueryStats& q = report.per_batch[b];
+    s.total_io_cost += q.io_cost;
+    s.total_pages_fetched += q.pages_fetched;
+    s.total_pool_hits += q.pool_hits;
+    s.total_items_visited += q.items_visited;
+    s.total_cpu_seconds += q.cpu_seconds;
+    s.mean_latency += latencies[b];
+    s.max_latency = std::max(s.max_latency, latencies[b]);
+  }
+  if (num_batches > 0) s.mean_latency /= static_cast<double>(num_batches);
+  std::sort(latencies.begin(), latencies.end());
+  s.p50_latency = Percentile(latencies, 0.50);
+  s.p95_latency = Percentile(latencies, 0.95);
+  s.p99_latency = Percentile(latencies, 0.99);
   for (size_t k = 0; k < sessions.size(); ++k) {
     const std::vector<IoStats> after = sessions[k]->shard_io_stats();
     if (after.size() > s.per_shard_io.size()) {

@@ -48,6 +48,22 @@ struct QueryEngineOptions {
   /// trip it.
   PageCodecKind page_codec = PageCodecKind::kRaw;
 
+  /// Worker threads each session's closure sweeps may use for intra-query
+  /// frontier expansion (`ReachabilityIndex::SetTraversalThreads`),
+  /// orthogonal to `num_threads` (inter-query parallelism). 1 — the
+  /// default — keeps every sweep on its session's thread, reproducing the
+  /// historical answers and page sequence exactly; backends without a
+  /// parallel sweep ignore it. Answers never depend on the setting.
+  int traversal_threads = 1;
+
+  /// Sources per `ReachableSets` batch in `RunClosures`: consecutive
+  /// groups of this many sources are evaluated as one shared-frontier
+  /// sweep, deduplicating page fetches across the group's seeds. 1 — the
+  /// default — evaluates every source as its own single-source sweep.
+  /// Answers are identical at every setting; the IO bill is not: a batch
+  /// reads each hot page once instead of once per source.
+  int batch_sources = 1;
+
   /// Capacity (entries) of the engine's result cache memoizing
   /// `(index, source, interval) -> reachable set`; 0 disables it. On a
   /// cache hit a point query is answered by set lookup with zero backend
@@ -90,6 +106,10 @@ struct WorkloadSummary {
   /// IO submission-queue depth the run executed at (echo of the engine
   /// option actually applied to the sessions).
   int io_queue_depth = 1;
+  /// Intra-query traversal threads applied to the sessions (echo).
+  int traversal_threads = 1;
+  /// Sources per closure batch (`RunClosures`; 1 for point-query runs).
+  int batch_sources = 1;
   /// On-disk record codec the backend decoded with during this run (the
   /// engine option's value for memory-resident backends).
   std::string page_codec = "raw";
@@ -162,6 +182,16 @@ struct WorkloadReport {
   WorkloadSummary summary;
 };
 
+/// Everything a closure-workload run produces. `sets[i]` is the full
+/// reachable set of the i-th input source independent of execution order;
+/// `per_batch[b]` covers the b-th batch of `batch_sources` consecutive
+/// sources (one backend sweep each).
+struct ClosureWorkloadReport {
+  std::vector<std::vector<Timestamp>> sets;
+  std::vector<QueryStats> per_batch;
+  WorkloadSummary summary;
+};
+
 /// \brief Executes reachability workloads against any `ReachabilityIndex`
 /// backend, sequentially or across a thread pool.
 ///
@@ -179,6 +209,19 @@ class QueryEngine {
   /// Fails with the first error any backend query reports.
   Result<WorkloadReport> Run(ReachabilityIndex* backend,
                              const std::vector<ReachQuery>& queries) const;
+
+  /// Runs a closure workload: the full reachable set of every source over
+  /// `interval`. Sources are grouped into consecutive batches of
+  /// `options().batch_sources` and each batch is one
+  /// `ReachableSets` call on a worker session (workers claim batches off
+  /// a shared counter; `cold_cache` clears the session pool before each
+  /// batch, so a batch's internal page reuse is the only warmth).
+  /// Latency percentiles in the summary are per batch. Answers are
+  /// byte-identical for every num_threads / traversal_threads /
+  /// batch_sources combination.
+  Result<ClosureWorkloadReport> RunClosures(
+      ReachabilityIndex* backend, const std::vector<ObjectId>& sources,
+      TimeInterval interval) const;
 
   const QueryEngineOptions& options() const { return options_; }
 

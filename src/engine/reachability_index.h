@@ -49,6 +49,35 @@ class ReachabilityIndex {
                                 " does not enumerate reachable sets");
   }
 
+  /// Multi-source batch closure: `result[i]` is exactly
+  /// `ReachableSet(sources[i], interval)`. Backends with a shared-frontier
+  /// implementation override this to run ONE sweep for the whole batch —
+  /// per-source reach tracked in a bitset slab, every page fetched once no
+  /// matter how many seeds need it — so the batch costs far fewer reads
+  /// than the per-source loop this default falls back to. Answers are
+  /// byte-identical to the loop either way. After the call,
+  /// `last_query_stats()` covers the whole batch for overriding backends
+  /// (the default loop leaves the final source's stats).
+  virtual Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval) {
+    std::vector<std::vector<Timestamp>> sets;
+    sets.reserve(sources.size());
+    for (ObjectId source : sources) {
+      auto set = ReachableSet(source, interval);
+      if (!set.ok()) return set.status();
+      sets.push_back(std::move(*set));
+    }
+    return sets;
+  }
+
+  /// Worker threads a closure sweep on this session may use for its
+  /// per-round frontier expansion (`FrontierPool`). 1 — the default —
+  /// keeps every sweep on the calling thread; backends without a parallel
+  /// sweep ignore it. Answers never depend on the thread count; at 1
+  /// thread and a single source the page sequence is the historical one
+  /// exactly. Sessions minted by `NewSession()` inherit the setting.
+  virtual void SetTraversalThreads(int threads) { (void)threads; }
+
   /// Cost metrics of the most recent Query/ReachableSet on this session.
   virtual const QueryStats& last_query_stats() const = 0;
 

@@ -467,6 +467,156 @@ Result<std::vector<Timestamp>> ReachGraphIndex::ReachableSet(
   return finish();
 }
 
+Result<std::vector<std::vector<Timestamp>>> ReachGraphIndex::ReachableSets(
+    const std::vector<ObjectId>& sources, TimeInterval interval) {
+  return ReachableSets(sources, interval, &pool_, &last_stats_);
+}
+
+Result<std::vector<std::vector<Timestamp>>> ReachGraphIndex::ReachableSets(
+    const std::vector<ObjectId>& sources, TimeInterval interval,
+    BufferPool* pool, QueryStats* stats) const {
+  if (sources.size() == 1) {
+    // Hard compatibility contract: a singleton batch IS the historical
+    // single-source sweep — same answers, same page sequence.
+    auto set = ReachableSet(sources[0], interval, pool, stats);
+    if (!set.ok()) return set.status();
+    std::vector<std::vector<Timestamp>> sets;
+    sets.push_back(std::move(*set));
+    return sets;
+  }
+  QueryScope scope(pool, stats);
+  const size_t num_sources = sources.size();
+  std::vector<std::vector<Timestamp>> sets(
+      num_sources, std::vector<Timestamp>(num_objects_, kInvalidTime));
+  const TimeInterval w = interval.Intersect(span_);
+  if (w.empty()) {
+    scope.Finish();
+    return sets;
+  }
+
+  // Batch-shared read state: partitions parse once into the scratch, and
+  // every object's timeline is read/parsed at most once no matter how
+  // many sources sweep over it — the per-source loop pays both again for
+  // every seed.
+  TraversalScratch scratch;
+  scratch.pool = pool;
+  std::unordered_map<ObjectId, std::vector<DnGraph::TimelineEntry>>
+      timeline_cache;
+  auto load_timelines = [&](const std::vector<ObjectId>& objects) -> Status {
+    std::vector<ObjectId> need;  // Uncached, first-appearance order.
+    std::vector<Extent> extents;
+    for (ObjectId o : objects) {
+      if (timeline_cache.count(o) != 0) continue;
+      bool queued = false;
+      for (ObjectId q : need) {
+        if (q == o) {
+          queued = true;
+          break;
+        }
+      }
+      if (queued) continue;
+      need.push_back(o);
+      extents.push_back(timeline_extents_[o]);
+    }
+    if (need.empty()) return Status::OK();
+    auto blobs = ReadExtentsBatched(pool, extents, options_.page_size);
+    if (!blobs.ok()) return blobs.status();
+    for (size_t k = 0; k < need.size(); ++k) {
+      auto timeline = ParseTimeline((*blobs)[k]);
+      if (!timeline.ok()) return timeline.status();
+      timeline_cache.emplace(need[k], std::move(*timeline));
+    }
+    return Status::OK();
+  };
+
+  // Lanes of 64 sources share one masked time-ordered Dijkstra: an entry
+  // says "these lanes' items enter `vertex` at tick `enter`", and a
+  // vertex is expanded once per lane (the arrived mask filters pops), so
+  // restricting any run to a single lane replays the single-source sweep
+  // move for move.
+  struct Entry {
+    Timestamp enter;
+    VertexId vertex;
+    uint64_t mask;
+    bool operator>(const Entry& o) const {
+      return enter > o.enter || (enter == o.enter && vertex > o.vertex);
+    }
+  };
+  for (size_t chunk_begin = 0; chunk_begin < num_sources; chunk_begin += 64) {
+    const size_t chunk_end = std::min(num_sources, chunk_begin + 64);
+    std::vector<uint64_t> infected(num_objects_, 0);
+    std::vector<uint64_t> arrived(vertex_partition_.size(), 0);
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::vector<VertexId> pushed;
+
+    auto push_object =
+        [&](Timestamp from, const std::vector<DnGraph::TimelineEntry>& timeline,
+            uint64_t mask) {
+          for (const auto& entry : timeline) {
+            if (entry.span.end < from || entry.span.start > w.end) continue;
+            if ((mask & ~arrived[entry.vertex]) == 0) continue;
+            heap.push({std::max(from, entry.span.start), entry.vertex, mask});
+            pushed.push_back(entry.vertex);
+          }
+        };
+
+    {
+      std::vector<ObjectId> seed_objects;
+      for (size_t si = chunk_begin; si < chunk_end; ++si) {
+        if (sources[si] < num_objects_) seed_objects.push_back(sources[si]);
+      }
+      STREACH_RETURN_NOT_OK(load_timelines(seed_objects));
+      pushed.clear();
+      for (size_t si = chunk_begin; si < chunk_end; ++si) {
+        const ObjectId src = sources[si];
+        if (src >= num_objects_) continue;  // Its set stays empty.
+        const uint64_t lane = 1ull << (si - chunk_begin);
+        sets[si][src] = w.start;
+        infected[src] |= lane;
+        push_object(w.start, timeline_cache[src], lane);
+      }
+      STREACH_RETURN_NOT_OK(PrefetchVertices(pushed, &scratch));
+    }
+
+    std::vector<std::pair<ObjectId, uint64_t>> newly;
+    while (!heap.empty()) {
+      const Entry top = heap.top();
+      heap.pop();
+      const uint64_t new_mask = top.mask & ~arrived[top.vertex];
+      if (new_mask == 0) continue;  // Every lane already expanded here.
+      arrived[top.vertex] |= new_mask;
+      scope.AddItemsVisited(1);
+      auto sv = GetVertex(top.vertex, &scratch);
+      if (!sv.ok()) return sv.status();
+      newly.clear();
+      std::vector<ObjectId> newly_objects;
+      for (ObjectId o : (*sv)->members) {
+        if (o >= num_objects_) continue;
+        const uint64_t add = new_mask & ~infected[o];
+        if (add == 0) continue;
+        infected[o] |= add;
+        uint64_t lanes = add;
+        while (lanes != 0) {
+          const int b = __builtin_ctzll(lanes);
+          sets[chunk_begin + static_cast<size_t>(b)][o] = top.enter;
+          lanes &= lanes - 1;
+        }
+        newly.push_back({o, add});
+        newly_objects.push_back(o);
+      }
+      if (newly.empty()) continue;
+      STREACH_RETURN_NOT_OK(load_timelines(newly_objects));
+      pushed.clear();
+      for (const auto& [o, add] : newly) {
+        push_object(top.enter, timeline_cache[o], add);
+      }
+      STREACH_RETURN_NOT_OK(PrefetchVertices(pushed, &scratch));
+    }
+  }
+  scope.Finish();
+  return sets;
+}
+
 Result<ReachAnswer> ReachGraphIndex::QueryBmBfs(const ReachQuery& query,
                                                 BufferPool* pool,
                                                 QueryStats* stats) const {

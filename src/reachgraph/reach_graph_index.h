@@ -103,6 +103,19 @@ class ReachGraphIndex {
                                               BufferPool* pool,
                                               QueryStats* stats) const;
 
+  /// Multi-source batch closure: `result[i]` equals
+  /// `ReachableSet(sources[i], interval)` exactly. Sources run through the
+  /// member sweep in lanes of 64 — one masked Dijkstra per lane group with
+  /// per-vertex/per-object reach bitmasks — and every object timeline and
+  /// partition blob is read once for the whole batch instead of once per
+  /// source, which is where the batched-IO savings come from. A singleton
+  /// batch is the historical single-source sweep, page for page.
+  Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval);
+  Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval,
+      BufferPool* pool, QueryStats* stats) const;
+
   /// Re-entrant query paths: traverse through the caller's buffer pool and
   /// write metrics into `*stats`. Safe to call concurrently from many
   /// threads with distinct pools (see NewSessionPool).

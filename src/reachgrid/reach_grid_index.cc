@@ -166,21 +166,48 @@ Status ReachGridIndex::WriteIndex(const TrajectoryStore& store) {
 
   // Locator tables (the external object->cell hash of §4.2), one per
   // bucket, after the cell area — on the same shard as the bucket's cells.
+  // Raw codec: one back-to-back byte array per bucket, probed in place by
+  // byte offset (the historical image, bit for bit). Non-raw codecs:
+  // fixed-span blocks of kLocatorBlockEntries entries, so a probe decodes
+  // exactly one block (constant IO) instead of the whole table.
   locator_extents_.resize(static_cast<size_t>(num_buckets));
+  locator_blocks_.resize(static_cast<size_t>(num_buckets));
+  const bool raw_locator = options_.build.page_codec == PageCodecKind::kRaw;
   for (int bucket = 0; bucket < num_buckets; ++bucket) {
     const uint32_t shard =
         topology_.ShardForPartition(static_cast<uint64_t>(bucket));
-    pool.Submit(shard, [this, &store, &writer, bucket, shard]() -> Status {
+    pool.Submit(shard, [this, &store, &writer, bucket, shard,
+                        raw_locator]() -> Status {
       const TimeInterval bw = BucketInterval(bucket);
       Encoder enc;
-      for (ObjectId o = 0; o < store.num_objects(); ++o) {
-        enc.PutU32(grid_.CellOf(store.Get(o).At(bw.start)));
+      if (raw_locator) {
+        for (ObjectId o = 0; o < store.num_objects(); ++o) {
+          enc.PutU32(grid_.CellOf(store.Get(o).At(bw.start)));
+        }
+        RecordShape shape;
+        shape.U32Delta(store.num_objects());
+        auto extent = writer.Append(shard, enc.buffer(), shape);
+        if (!extent.ok()) return extent.status();
+        locator_extents_[static_cast<size_t>(bucket)] = *extent;
+        return Status::OK();
       }
-      RecordShape shape;
-      shape.U32Delta(store.num_objects());
-      auto extent = writer.Append(shard, enc.buffer(), shape);
-      if (!extent.ok()) return extent.status();
-      locator_extents_[static_cast<size_t>(bucket)] = *extent;
+      std::vector<Extent> blocks;
+      const size_t num = store.num_objects();
+      blocks.reserve((num + kLocatorBlockEntries - 1) / kLocatorBlockEntries);
+      for (size_t base = 0; base < num; base += kLocatorBlockEntries) {
+        const size_t block_end = std::min(num, base + kLocatorBlockEntries);
+        enc.Clear();
+        for (size_t o = base; o < block_end; ++o) {
+          enc.PutU32(grid_.CellOf(
+              store.Get(static_cast<ObjectId>(o)).At(bw.start)));
+        }
+        RecordShape shape;
+        shape.U32Delta(block_end - base);
+        auto extent = writer.Append(shard, enc.buffer(), shape);
+        if (!extent.ok()) return extent.status();
+        blocks.push_back(*extent);
+      }
+      locator_blocks_[static_cast<size_t>(bucket)] = std::move(blocks);
       return Status::OK();
     });
   }
@@ -193,21 +220,28 @@ Result<CellId> ReachGridIndex::LookupCell(int bucket, ObjectId object,
   if (bucket < 0 || bucket >= num_buckets() || object >= num_objects_) {
     return Status::OutOfRange("locator lookup out of range");
   }
-  const Extent& extent = locator_extents_[static_cast<size_t>(bucket)];
   if (pool->page_codec()->kind() != PageCodecKind::kRaw) {
-    // Encoded locator entries are variable-width, so the constant-IO
-    // byte-offset probe below cannot address them. Read the whole table
-    // through the codec instead (shared, so a decoded-cache hit moves no
-    // bytes): every lookup after the first is free, and the compressed
-    // table spans fewer pages to begin with.
-    auto table = ReadExtentShared(pool, extent, options_.page_size);
-    if (!table.ok()) return table.status();
-    if ((*table)->size() < (static_cast<uint64_t>(object) + 1) * 4) {
+    // Encoded locator entries are variable-width, so the byte-offset probe
+    // below cannot address them. The table is stored as fixed-span blocks
+    // of kLocatorBlockEntries entries instead: the in-memory skip table
+    // maps straight to the one block holding this object, so a probe
+    // decodes a constant number of bytes — §4.2's constant-IO contract
+    // survives compression. (Shared read: repeat probes of a hot block
+    // hit the decoded-record cache and move nothing.)
+    const auto& blocks = locator_blocks_[static_cast<size_t>(bucket)];
+    const size_t block = static_cast<size_t>(object) / kLocatorBlockEntries;
+    if (block >= blocks.size()) {
       return Status::Corruption("locator table shorter than object id");
     }
-    return DecodeLocatorEntry((*table)->data() +
-                              static_cast<uint64_t>(object) * 4);
+    auto record = ReadExtentShared(pool, blocks[block], options_.page_size);
+    if (!record.ok()) return record.status();
+    const size_t slot = (static_cast<size_t>(object) % kLocatorBlockEntries) * 4;
+    if ((*record)->size() < slot + 4) {
+      return Status::Corruption("locator block shorter than object slot");
+    }
+    return DecodeLocatorEntry((*record)->data() + slot);
   }
+  const Extent& extent = locator_extents_[static_cast<size_t>(bucket)];
   // Direct single-entry read of the entry's (possibly two) pages.
   const uint64_t byte_offset = LocatorEntryOffset(extent, object);
   char raw[4];
@@ -224,11 +258,8 @@ Result<std::vector<CellId>> ReachGridIndex::LookupCells(
     int bucket, const std::vector<ObjectId>& objects, BufferPool* pool) const {
   std::vector<CellId> cells;
   cells.reserve(objects.size());
-  if (pool->io_queue_depth() == 1 ||
-      pool->page_codec()->kind() != PageCodecKind::kRaw) {
-    // Synchronous depth — or a decoded locator table, where the first
-    // lookup materializes the whole table and the rest hit the decoded
-    // cache, so there is no page batch to assemble.
+  if (pool->io_queue_depth() == 1) {
+    // Synchronous depth: the exact per-object probe loop.
     for (ObjectId object : objects) {
       auto cell = LookupCell(bucket, object, pool);
       if (!cell.ok()) return cell.status();
@@ -238,6 +269,49 @@ Result<std::vector<CellId>> ReachGridIndex::LookupCells(
   }
   if (bucket < 0 || bucket >= num_buckets()) {
     return Status::OutOfRange("locator lookup out of range");
+  }
+  if (pool->page_codec()->kind() != PageCodecKind::kRaw) {
+    // Compressed locator: gather the distinct blocks the batch probes and
+    // read them through one batched call, so the per-shard queues see the
+    // whole locator demand of this expansion step at once.
+    const auto& blocks = locator_blocks_[static_cast<size_t>(bucket)];
+    std::vector<size_t> needed;
+    needed.reserve(objects.size());
+    for (ObjectId object : objects) {
+      if (object >= num_objects_) {
+        return Status::OutOfRange("locator lookup out of range");
+      }
+      needed.push_back(static_cast<size_t>(object) / kLocatorBlockEntries);
+    }
+    std::vector<size_t> unique_blocks = needed;
+    std::sort(unique_blocks.begin(), unique_blocks.end());
+    unique_blocks.erase(
+        std::unique(unique_blocks.begin(), unique_blocks.end()),
+        unique_blocks.end());
+    std::vector<Extent> extents;
+    extents.reserve(unique_blocks.size());
+    for (size_t block : unique_blocks) {
+      if (block >= blocks.size()) {
+        return Status::Corruption("locator table shorter than object id");
+      }
+      extents.push_back(blocks[block]);
+    }
+    auto blobs = ReadExtentsBatched(pool, extents, options_.page_size);
+    if (!blobs.ok()) return blobs.status();
+    for (size_t k = 0; k < objects.size(); ++k) {
+      const size_t idx = static_cast<size_t>(
+          std::lower_bound(unique_blocks.begin(), unique_blocks.end(),
+                           needed[k]) -
+          unique_blocks.begin());
+      const std::string& blob = (*blobs)[idx];
+      const size_t slot =
+          (static_cast<size_t>(objects[k]) % kLocatorBlockEntries) * 4;
+      if (blob.size() < slot + 4) {
+        return Status::Corruption("locator block shorter than object slot");
+      }
+      cells.push_back(DecodeLocatorEntry(blob.data() + slot));
+    }
+    return cells;
   }
   const Extent& extent = locator_extents_[static_cast<size_t>(bucket)];
   // One batched fetch for every byte's page (4 per object, mostly the
@@ -313,14 +387,25 @@ Status ReachGridIndex::FetchCells(int bucket, const std::vector<CellId>& cells,
 
 Status ReachGridIndex::ParseCellBlob(const std::string& blob,
                                      BucketContext* ctx) const {
+  std::vector<std::pair<ObjectId, BucketPositions>> parsed;
+  STREACH_RETURN_NOT_OK(ParseCellBlobInto(blob, *ctx, &parsed));
+  for (auto& [object, positions] : parsed) {
+    ctx->objects.emplace(object, std::move(positions));
+  }
+  return Status::OK();
+}
+
+Status ReachGridIndex::ParseCellBlobInto(
+    const std::string& blob, const BucketContext& ctx,
+    std::vector<std::pair<ObjectId, BucketPositions>>* out) const {
   Decoder dec(blob);
   auto count = dec.GetVarint();
   if (!count.ok()) return count.status();
-  const auto ticks = static_cast<size_t>(ctx->interval.length());
+  const auto ticks = static_cast<size_t>(ctx.interval.length());
   for (uint64_t i = 0; i < *count; ++i) {
     auto object = dec.GetU32();
     if (!object.ok()) return object.status();
-    const bool known = ctx->objects.count(*object) != 0;
+    const bool known = ctx.objects.count(*object) != 0;
     BucketPositions positions;
     if (!known) positions.reserve(ticks);
     for (size_t j = 0; j < ticks; ++j) {
@@ -329,7 +414,71 @@ Status ReachGridIndex::ParseCellBlob(const std::string& blob,
       if (!x.ok() || !y.ok()) return Status::Corruption("cell positions");
       if (!known) positions.emplace_back(*x, *y);
     }
-    if (!known) ctx->objects.emplace(*object, std::move(positions));
+    if (!known) out->emplace_back(*object, std::move(positions));
+  }
+  return Status::OK();
+}
+
+Status ReachGridIndex::FetchCellsParallel(int bucket,
+                                          const std::vector<CellId>& cells,
+                                          BucketContext* ctx, BufferPool* pool,
+                                          FrontierPool* frontier) const {
+  if (frontier == nullptr || frontier->num_threads() == 1) {
+    return FetchCells(bucket, cells, ctx, pool);
+  }
+  // Same extent collection as FetchCells, but the batch is split across
+  // the frontier workers: each worker reads its chunk through the
+  // thread-safe pool and decodes/parses the blobs in parallel (the CPU
+  // cost that dominates compressed sweeps). Parsed objects are merged on
+  // the caller afterwards; duplicates across cells carry identical
+  // positions (each cell stores the object's whole bucket segment), so
+  // keep-first merging is order-insensitive.
+  const auto& directory = bucket_cells_[static_cast<size_t>(bucket)];
+  std::vector<Extent> extents;
+  for (CellId cell : cells) {
+    auto [fetched_it, first_time] = ctx->fetched_cells.try_emplace(cell, true);
+    if (!first_time) continue;
+    auto it = directory.find(cell);
+    if (it == directory.end()) continue;  // Empty cell.
+    extents.push_back(it->second);
+  }
+  if (extents.empty()) return Status::OK();
+  const int workers = frontier->num_threads();
+  std::vector<std::vector<std::pair<ObjectId, BucketPositions>>> parsed(
+      static_cast<size_t>(workers));
+  std::vector<Status> worker_status(static_cast<size_t>(workers));
+  auto process_chunk = [&](int worker, size_t begin, size_t end) {
+    auto& status = worker_status[static_cast<size_t>(worker)];
+    if (!status.ok()) return;
+    std::vector<Extent> chunk(extents.begin() + static_cast<ptrdiff_t>(begin),
+                              extents.begin() + static_cast<ptrdiff_t>(end));
+    auto blobs = ReadExtentsBatched(pool, chunk, options_.page_size);
+    if (!blobs.ok()) {
+      status = blobs.status();
+      return;
+    }
+    for (const std::string& blob : *blobs) {
+      status = ParseCellBlobInto(blob, *ctx,
+                                 &parsed[static_cast<size_t>(worker)]);
+      if (!status.ok()) return;
+    }
+  };
+  // Below the threshold the worker wakeup costs more than the fetch; a
+  // small step stays on the caller (identical result either way).
+  if (extents.size() < kParallelFetchMinExtents) {
+    process_chunk(0, 0, extents.size());
+  } else {
+    frontier->ParallelFor(extents.size(), process_chunk);
+  }
+  for (const Status& status : worker_status) {
+    STREACH_RETURN_NOT_OK(status);
+  }
+  for (auto& worker_out : parsed) {
+    for (auto& [object, positions] : worker_out) {
+      if (ctx->objects.count(object) == 0) {
+        ctx->objects.emplace(object, std::move(positions));
+      }
+    }
   }
   return Status::OK();
 }
@@ -360,6 +509,256 @@ Result<std::vector<Timestamp>> ReachGridIndex::ReachableSet(
       Sweep(source, kInvalidObject, interval, &infection_times, pool, stats);
   if (!answer.ok()) return answer.status();
   return infection_times;
+}
+
+void ReachGridIndex::SetTraversalThreads(int threads) {
+  if (threads < 1) threads = 1;
+  if (threads == traversal_threads_) return;
+  traversal_threads_ = threads;
+  frontier_ = threads > 1 ? std::make_unique<FrontierPool>(threads) : nullptr;
+  pool_.set_thread_safe(threads > 1);
+}
+
+Result<std::vector<std::vector<Timestamp>>> ReachGridIndex::ReachableSets(
+    const std::vector<ObjectId>& sources, TimeInterval interval) {
+  return ReachableSets(sources, interval, &pool_, &last_stats_,
+                       frontier_.get());
+}
+
+Result<std::vector<std::vector<Timestamp>>> ReachGridIndex::ReachableSets(
+    const std::vector<ObjectId>& sources, TimeInterval interval,
+    BufferPool* pool, QueryStats* stats, FrontierPool* frontier) const {
+  if (sources.size() == 1 &&
+      (frontier == nullptr || frontier->num_threads() == 1)) {
+    // Hard compatibility contract: a singleton batch on one thread IS the
+    // historical single-source sweep — same answers, same page sequence.
+    auto set = ReachableSet(sources[0], interval, pool, stats);
+    if (!set.ok()) return set.status();
+    std::vector<std::vector<Timestamp>> sets;
+    sets.push_back(std::move(*set));
+    return sets;
+  }
+  return MultiSweep(sources, interval, pool, stats, frontier);
+}
+
+Result<std::vector<std::vector<Timestamp>>> ReachGridIndex::MultiSweep(
+    const std::vector<ObjectId>& sources, TimeInterval interval,
+    BufferPool* pool, QueryStats* stats, FrontierPool* frontier) const {
+  const int workers = frontier != nullptr ? frontier->num_threads() : 1;
+  if (workers > 1) pool->set_thread_safe(true);
+  QueryScope scope(pool, stats);
+  const size_t num_sources = sources.size();
+  std::vector<std::vector<Timestamp>> sets(
+      num_sources, std::vector<Timestamp>(num_objects_, kInvalidTime));
+
+  const TimeInterval w = interval.Intersect(span_);
+  SourceBitSlab bits(num_objects_, num_sources);
+  const size_t words = bits.words_per_item();
+  bool any_seed = false;
+  if (!w.empty()) {
+    for (size_t si = 0; si < num_sources; ++si) {
+      if (sources[si] >= num_objects_) continue;  // Its set stays empty.
+      sets[si][sources[si]] = w.start;
+      bits.set(sources[si], si);
+      any_seed = true;
+    }
+  }
+  if (!any_seed) {
+    scope.Finish();
+    return sets;
+  }
+
+  const double dt = options_.contact_range;
+  const double dt_sq = dt * dt;
+
+  // Round-scoped scratch, allocated once for the whole sweep: the claim
+  // bitmap, the per-object discovery masks (written only by the claiming
+  // worker), and the per-worker discovery queues.
+  AtomicBitmap discovered(num_objects_);
+  std::vector<uint64_t> staging(num_objects_ * words, 0);
+  LocalQueues<ObjectId> queues(workers);
+  // Small rounds stay on the caller: below the threshold the worker
+  // wakeup costs more than the scan (the result is identical either way,
+  // so this is purely a 1-core/tiny-round overhead guard).
+  auto parallel_for =
+      [&](size_t n, const std::function<void(int, size_t, size_t)>& body) {
+        if (frontier != nullptr && n >= kParallelScanMinObjects) {
+          frontier->ParallelFor(n, body);
+        } else if (n > 0) {
+          body(0, 0, n);
+        }
+      };
+
+  const int first_bucket = BucketOf(w.start);
+  const int last_bucket = BucketOf(w.end);
+  for (int bucket = first_bucket; bucket <= last_bucket; ++bucket) {
+    BucketContext ctx;
+    ctx.bucket = bucket;
+    ctx.interval = BucketInterval(bucket);
+    const TimeInterval bw = ctx.interval.Intersect(w);
+
+    auto position_of = [&](ObjectId o, Timestamp t) -> const Point& {
+      return ctx.objects.find(o)->second[static_cast<size_t>(
+          t - ctx.interval.start)];
+    };
+
+    auto fetch_sorted = [&](std::vector<CellId> cells) -> Status {
+      std::sort(cells.begin(), cells.end());
+      cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+      STREACH_RETURN_NOT_OK(
+          FetchCellsParallel(bucket, cells, &ctx, pool, frontier));
+      scope.AddItemsVisited(cells.size());
+      return Status::OK();
+    };
+
+    // Identical to the single-source admit step, batched over every seed
+    // of every source: locator IO once per unknown object — not once per
+    // (source, object) — is where the batch dedup comes from.
+    auto admit_seeds = [&](const std::vector<ObjectId>& batch,
+                           Timestamp from) -> Status {
+      std::vector<ObjectId> unknown;
+      for (ObjectId s : batch) {
+        if (ctx.objects.count(s) == 0) unknown.push_back(s);
+      }
+      auto located = LookupCells(bucket, unknown, pool);
+      if (!located.ok()) return located.status();
+      STREACH_RETURN_NOT_OK(fetch_sorted(std::move(*located)));
+      std::vector<CellId> wanted;
+      for (ObjectId s : batch) {
+        if (ctx.objects.count(s) == 0) {
+          return Status::Corruption("seed missing from its located cell");
+        }
+        Rect mbr;
+        for (Timestamp t = from; t <= bw.end; ++t) {
+          mbr.ExpandToInclude(position_of(s, t));
+        }
+        const auto candidates = grid_.CellsIntersecting(mbr.Padded(dt));
+        wanted.insert(wanted.end(), candidates.begin(), candidates.end());
+      }
+      return fetch_sorted(std::move(wanted));
+    };
+
+    {
+      // Every object any source has reached so far enters the bucket as a
+      // seed, ascending ids (deterministic locator/fetch order).
+      std::vector<ObjectId> batch;
+      for (size_t o = 0; o < num_objects_; ++o) {
+        if (bits.any(o)) batch.push_back(static_cast<ObjectId>(o));
+      }
+      STREACH_RETURN_NOT_OK(admit_seeds(batch, bw.start));
+    }
+
+    // Sorted snapshot of the fetched objects, rebuilt when admissions grow
+    // the map (values are pointer-stable across rehash).
+    std::vector<std::pair<ObjectId, const BucketPositions*>> object_list;
+    auto refresh_object_list = [&]() {
+      if (object_list.size() == ctx.objects.size()) return;
+      object_list.clear();
+      object_list.reserve(ctx.objects.size());
+      for (const auto& [o, positions] : ctx.objects) {
+        object_list.emplace_back(o, &positions);
+      }
+      std::sort(object_list.begin(), object_list.end());
+    };
+
+    auto seed_cell_key = [&](const Point& p) {
+      const auto cx = static_cast<int64_t>(std::floor(p.x / dt));
+      const auto cy = static_cast<int64_t>(std::floor(p.y / dt));
+      // Shift in the unsigned domain: left-shifting a negative cx is UB.
+      return static_cast<int64_t>((static_cast<uint64_t>(cx) << 32) ^
+                                  (static_cast<uint64_t>(cy) & 0xFFFFFFFFu));
+    };
+    // A seed's hash entry carries its reach-bits row: a contact transfers
+    // exactly the sources that have reached the seed by this round.
+    struct SeedRef {
+      Point pos;
+      const uint64_t* row;
+    };
+    std::unordered_map<int64_t, std::vector<SeedRef>> seed_hash;
+    for (Timestamp t = bw.start; t <= bw.end; ++t) {
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        refresh_object_list();
+        // Build the round's seed hash sequentially; the parallel phase
+        // below only reads it (and the bit rows it points into).
+        seed_hash.clear();
+        for (const auto& [o, positions] : object_list) {
+          if (!bits.any(o)) continue;
+          const Point& ps =
+              (*positions)[static_cast<size_t>(t - ctx.interval.start)];
+          seed_hash[seed_cell_key(ps)].push_back(SeedRef{ps, bits.row(o)});
+        }
+        // Parallel candidate scan: each object gathers the bits of every
+        // seed within dT; the claim bitmap hands the discovery to exactly
+        // one worker, which parks the new bits in the object's staging
+        // row and queues the object locally.
+        parallel_for(
+            object_list.size(), [&](int worker, size_t begin, size_t end) {
+              std::vector<uint64_t> acquired(words);
+              for (size_t idx = begin; idx < end; ++idx) {
+                const ObjectId o = object_list[idx].first;
+                if (bits.saturated(o)) continue;  // Nothing left to learn.
+                const Point& po = (*object_list[idx].second)[
+                    static_cast<size_t>(t - ctx.interval.start)];
+                std::fill(acquired.begin(), acquired.end(), 0);
+                bool near_seed = false;
+                for (int dx = -1; dx <= 1; ++dx) {
+                  for (int dy = -1; dy <= 1; ++dy) {
+                    auto it = seed_hash.find(seed_cell_key(
+                        Point(po.x + dx * dt, po.y + dy * dt)));
+                    if (it == seed_hash.end()) continue;
+                    for (const SeedRef& seed : it->second) {
+                      if (Point::DistanceSquared(po, seed.pos) < dt_sq) {
+                        for (size_t w2 = 0; w2 < words; ++w2) {
+                          acquired[w2] |= seed.row[w2];
+                        }
+                        near_seed = true;
+                      }
+                    }
+                  }
+                }
+                if (!near_seed) continue;
+                const uint64_t* mine = bits.row(o);
+                bool fresh = false;
+                for (size_t w2 = 0; w2 < words; ++w2) {
+                  acquired[w2] &= ~mine[w2];
+                  fresh = fresh || acquired[w2] != 0;
+                }
+                if (!fresh) continue;
+                if (discovered.TestAndSet(o)) {
+                  std::copy(acquired.begin(), acquired.end(),
+                            staging.begin() + static_cast<size_t>(o) * words);
+                  queues.Push(worker, o);
+                }
+              }
+            });
+        // Sorted merge on the caller: identical round outcomes at every
+        // worker count, and within-tick chaining exactly as the
+        // single-source sweep (new bits spread in the next round of the
+        // same tick).
+        std::vector<ObjectId> found = queues.Drain();
+        if (found.empty()) continue;
+        std::sort(found.begin(), found.end());
+        std::vector<ObjectId> admissions;
+        for (ObjectId o : found) {
+          uint64_t* mask = staging.data() + static_cast<size_t>(o) * words;
+          const bool first_reach = !bits.any(o);
+          bits.ForEachSet(mask, [&](size_t si) { sets[si][o] = t; });
+          bits.Merge(o, mask);
+          std::fill(mask, mask + words, 0);
+          if (first_reach) admissions.push_back(o);
+        }
+        discovered.Reset();
+        if (!admissions.empty()) {
+          STREACH_RETURN_NOT_OK(admit_seeds(admissions, t));
+        }
+        changed = true;
+      }
+    }
+  }
+  scope.Finish();
+  return sets;
 }
 
 Result<ReachAnswer> ReachGridIndex::Sweep(

@@ -9,6 +9,7 @@
 #include "common/query_stats.h"
 #include "common/result.h"
 #include "common/types.h"
+#include "engine/parallel_frontier.h"
 #include "spatial/grid2d.h"
 #include "storage/block_device.h"
 #include "storage/block_file.h"
@@ -93,6 +94,26 @@ class ReachGridIndex {
                                               BufferPool* pool,
                                               QueryStats* stats) const;
 
+  /// Multi-source batch closure: `result[i]` equals
+  /// `ReachableSet(sources[i], interval)` exactly, but the whole batch is
+  /// evaluated by ONE shared-frontier sweep — per-source reach lives in a
+  /// bitset slab, every cell record is fetched once no matter how many
+  /// seeds need it, and each chaining round's contact tests fan out over
+  /// `frontier` (null or 1 thread: the identical sequential rounds). A
+  /// singleton batch with no worker pool delegates to `ReachableSet`, so
+  /// the historical page sequence is preserved bit for bit in that case.
+  Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval);
+  Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval,
+      BufferPool* pool, QueryStats* stats, FrontierPool* frontier) const;
+
+  /// Worker threads the convenience entry points use for frontier rounds
+  /// (1 = historical single-threaded sweeps; the built-in pool switches to
+  /// thread-safe mode beyond that). Re-entrant callers pass their own
+  /// `FrontierPool` instead.
+  void SetTraversalThreads(int threads);
+
   /// A fresh buffer pool over this index's storage topology, for one
   /// concurrent query session (sized like the built-in pool, decoding
   /// with this index's codec).
@@ -164,8 +185,24 @@ class ReachGridIndex {
   Status FetchCells(int bucket, const std::vector<CellId>& cells,
                     BucketContext* ctx, BufferPool* pool) const;
 
+  /// Fetches cells like `FetchCells`, but splits the extent batch across
+  /// `frontier`'s workers: each worker reads its chunk through the
+  /// (thread-safe) pool and decodes the cell blobs in parallel, and the
+  /// parsed objects merge deterministically afterwards. Null / 1-thread
+  /// frontiers fall back to `FetchCells` exactly.
+  Status FetchCellsParallel(int bucket, const std::vector<CellId>& cells,
+                            BucketContext* ctx, BufferPool* pool,
+                            FrontierPool* frontier) const;
+
   /// Decodes one cell record into `ctx`'s per-bucket position table.
   Status ParseCellBlob(const std::string& blob, BucketContext* ctx) const;
+
+  /// Decodes one cell record into `out`, skipping objects already present
+  /// in `ctx` (which is only read — safe to call from parallel workers
+  /// while the merge is deferred).
+  Status ParseCellBlobInto(
+      const std::string& blob, const BucketContext& ctx,
+      std::vector<std::pair<ObjectId, BucketPositions>>* out) const;
 
   /// Locator lookup: cell of `object` at the start of `bucket` (§4.2's
   /// constant-IO external hash).
@@ -186,6 +223,15 @@ class ReachGridIndex {
                             std::vector<Timestamp>* infection_times,
                             BufferPool* pool, QueryStats* stats) const;
 
+  /// Shared-frontier batch sweep behind `ReachableSets`: one pass over
+  /// the buckets with per-source reach bits; each tick's contact rounds
+  /// run as ParallelFor loops over the fetched objects and merge their
+  /// discoveries in sorted order, so the answers are identical at every
+  /// worker count (and equal to per-source `Sweep`s).
+  Result<std::vector<std::vector<Timestamp>>> MultiSweep(
+      const std::vector<ObjectId>& sources, TimeInterval interval,
+      BufferPool* pool, QueryStats* stats, FrontierPool* frontier) const;
+
   ReachGridOptions options_;
   StorageTopology topology_;
   BufferPool pool_;
@@ -198,8 +244,26 @@ class ReachGridIndex {
 
   // In-memory directory: per bucket, extents of non-empty cells.
   std::vector<std::unordered_map<CellId, Extent>> bucket_cells_;
-  // Locator tables: per bucket, extent of the object->cell array.
+  // Locator tables: per bucket, extent of the object->cell array (raw
+  // codec only — one back-to-back byte array probed in place).
   std::vector<Extent> locator_extents_;
+  // Entries per compressed locator block: small enough that one probe
+  // decodes a constant number of bytes (§4.2's constant-IO contract),
+  // large enough that U32Delta still squeezes the per-block run.
+  static constexpr size_t kLocatorBlockEntries = 256;
+  /// Work-size floors below which a frontier step runs on the calling
+  /// thread instead of fanning out: waking the pool costs more than a
+  /// small fetch/scan. Answers are identical on both paths.
+  static constexpr size_t kParallelFetchMinExtents = 32;
+  static constexpr size_t kParallelScanMinObjects = 256;
+  // Non-raw codecs store the locator as fixed-span blocks of
+  // kLocatorBlockEntries entries; this skip table maps block index ->
+  // extent so a probe decodes exactly one block instead of the table.
+  std::vector<std::vector<Extent>> locator_blocks_;
+
+  // Convenience-path traversal workers (re-entrant callers own theirs).
+  int traversal_threads_ = 1;
+  std::unique_ptr<FrontierPool> frontier_;
 };
 
 }  // namespace streach

@@ -23,6 +23,11 @@ BufferPool::BufferPool(const StorageTopology* topology, size_t capacity_pages)
 }
 
 Result<PageRef> BufferPool::Fetch(PageId id) {
+  auto lock = MaybeLock();
+  return FetchLocked(id);
+}
+
+Result<PageRef> BufferPool::FetchLocked(PageId id) {
   auto it = entries_.find(id);
   if (it != entries_.end()) {
     ++hits_;
@@ -53,11 +58,17 @@ Result<PageRef> BufferPool::Fetch(PageId id) {
 
 Result<std::vector<PageRef>> BufferPool::FetchBatch(
     const std::vector<PageId>& ids) {
+  auto lock = MaybeLock();
+  return FetchBatchLocked(ids);
+}
+
+Result<std::vector<PageRef>> BufferPool::FetchBatchLocked(
+    const std::vector<PageId>& ids) {
   std::vector<PageRef> refs(ids.size());
   if (io_queue_depth_ == 1) {
     // Degenerate path: exactly the synchronous loop, access by access.
     for (size_t i = 0; i < ids.size(); ++i) {
-      auto ref = Fetch(ids[i]);
+      auto ref = FetchLocked(ids[i]);
       if (!ref.ok()) return ref.status();
       refs[i] = *ref;
     }
@@ -152,6 +163,7 @@ void BufferPool::set_page_codec(const PageCodec* codec) {
 }
 
 void BufferPool::set_decoded_cache_capacity(size_t bytes) {
+  auto lock = MaybeLock();
   decoded_capacity_ = bytes;
   EvictDecodedDownTo(decoded_capacity_);
 }
@@ -168,6 +180,7 @@ void BufferPool::EvictDecodedDownTo(size_t budget) {
 
 std::shared_ptr<const std::string> BufferPool::LookupDecodedRecord(
     const Extent& extent) {
+  auto lock = MaybeLock();
   auto it = decoded_.find(DecodedKey{extent.first_page, extent.offset_in_page});
   if (it == decoded_.end()) {
     ++decoded_misses_;
@@ -183,6 +196,7 @@ std::shared_ptr<const std::string> BufferPool::LookupDecodedRecord(
 void BufferPool::InsertDecodedRecord(
     const Extent& extent, std::shared_ptr<const std::string> record) {
   STREACH_CHECK(record != nullptr);
+  auto lock = MaybeLock();
   if (record->size() > decoded_capacity_) return;  // Never fits; serve only.
   const DecodedKey key{extent.first_page, extent.offset_in_page};
   // A batch holding the same extent twice decodes it twice; keep the
@@ -197,11 +211,13 @@ void BufferPool::InsertDecodedRecord(
 void BufferPool::AccountDecode(uint32_t shard, uint64_t encoded_bytes,
                                uint64_t decoded_bytes) {
   STREACH_CHECK_LT(shard, cursors_.size());
+  auto lock = MaybeLock();
   cursors_[shard].stats.encoded_bytes += encoded_bytes;
   cursors_[shard].stats.decoded_bytes += decoded_bytes;
 }
 
 void BufferPool::Clear() {
+  auto lock = MaybeLock();
   lru_.clear();
   entries_.clear();
   decoded_lru_.clear();

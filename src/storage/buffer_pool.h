@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -99,6 +100,25 @@ class BufferPool {
   /// byte-identical to synchronous fetching.
   void set_io_queue_depth(int depth);
   int io_queue_depth() const { return io_queue_depth_; }
+
+  /// \name Concurrent-fetch mode
+  ///
+  /// A parallel frontier sweep fans one session's expansion step across
+  /// several worker threads, each fetching its own slice of the step's
+  /// pages through the SAME pool (that is what makes the dedup shared).
+  /// Enabling thread-safe mode guards every mutating entry point —
+  /// Fetch/FetchBatch, the decoded-record cache, Clear — with an internal
+  /// mutex, so concurrent workers serialize per call instead of
+  /// corrupting the LRU. Accounting totals per call are unchanged; only
+  /// the interleaving of installs (and therefore, at > 1 worker, the
+  /// run-to-run eviction order) varies. Off by default: the unlocked
+  /// single-caller pool, bit-identical to the historical behavior.
+  /// Accessors (hits/misses/io_stats) stay unguarded — read them only
+  /// while no worker is fetching, which is when sweeps read them.
+  /// @{
+  void set_thread_safe(bool on) { thread_safe_ = on; }
+  bool thread_safe() const { return thread_safe_; }
+  /// @}
 
   /// \name Page codec & decoded-record cache
   ///
@@ -231,6 +251,19 @@ class BufferPool {
   /// and FetchBatch.
   void Install(PageId id, std::shared_ptr<const std::string> bytes);
 
+  /// Lock-free bodies of the public fetch paths; the public methods wrap
+  /// them in the thread-safe-mode mutex (FetchBatch's depth-1 loop calls
+  /// FetchLocked so the lock is not taken recursively).
+  Result<PageRef> FetchLocked(PageId id);
+  Result<std::vector<PageRef>> FetchBatchLocked(const std::vector<PageId>& ids);
+
+  /// Acquires `mu_` only in thread-safe mode.
+  std::unique_lock<std::mutex> MaybeLock() const {
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    if (thread_safe_) lock.lock();
+    return lock;
+  }
+
   /// Evicts decoded records LRU-first until at most `budget` bytes stay.
   void EvictDecodedDownTo(size_t budget);
 
@@ -238,6 +271,8 @@ class BufferPool {
   const StorageTopology* topology_;    // Topology mode; else nullptr.
   size_t capacity_;
   int io_queue_depth_ = 1;
+  bool thread_safe_ = false;
+  mutable std::mutex mu_;  // Guards all mutable state in thread-safe mode.
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   std::vector<ReadCursor> cursors_;  // One per shard.
