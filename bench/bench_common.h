@@ -8,9 +8,11 @@
 // and (c) google-benchmark timings where wall-clock matters. Datasets are
 // generated once per process and cached.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
@@ -37,6 +39,14 @@ inline void PrintHeader(const std::string& experiment,
   std::printf("================================================================\n");
 }
 
+/// Default worker count for the contact-extraction front end: every
+/// available core, capped at 8 (the join saturates memory bandwidth well
+/// before wide fan-out pays off). 1 on hosts that do not report a count.
+inline int DefaultJoinThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 8u));
+}
+
 /// A dataset with its derived contact network and a §6-style workload.
 struct BenchEnv {
   Dataset dataset;
@@ -46,19 +56,24 @@ struct BenchEnv {
 
 /// Builds (once) and returns the environment for a dataset preset.
 /// `which` is "RWP" or "VN" or "VNR"; scale ignored for VNR.
+/// `join_threads` parallelizes the contact extraction feeding the
+/// network (0 = DefaultJoinThreads()); the contact set is identical at
+/// every value.
 inline BenchEnv MakeEnv(const std::string& which, DatasetScale scale,
                         Timestamp duration, int num_queries,
                         int min_interval = 150, int max_interval = 350,
-                        bool build_network = true) {
+                        bool build_network = true, int join_threads = 0) {
   Result<Dataset> dataset = which == "RWP" ? MakeRwpDataset(scale, duration)
                             : which == "VN" ? MakeVnDataset(scale, duration)
                                             : MakeVnrDataset(duration);
   STREACH_CHECK(dataset.ok());
   BenchEnv env{std::move(dataset).ValueUnsafe(), nullptr, {}};
   if (build_network) {
+    JoinOptions join;
+    join.threads = join_threads > 0 ? join_threads : DefaultJoinThreads();
     env.network = std::make_unique<ContactNetwork>(
         env.dataset.num_objects(), env.dataset.span(),
-        ExtractContacts(env.dataset.store, env.dataset.contact_range));
+        ExtractContacts(env.dataset.store, env.dataset.contact_range, join));
   }
   if (num_queries > 0) {
     WorkloadParams wl;

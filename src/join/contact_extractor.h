@@ -5,6 +5,8 @@
 
 #include "common/types.h"
 #include "join/contact.h"
+#include "join/contact_sink.h"
+#include "join/proximity_join.h"
 #include "trajectory/trajectory_store.h"
 
 namespace streach {
@@ -16,14 +18,43 @@ namespace streach {
 /// with maximal validity intervals. Pairs leaving and re-entering
 /// proximity produce distinct contacts.
 ///
+/// With `options.threads > 1` the window is partitioned into time-slice
+/// chunks scanned by parallel workers; runs that span a chunk boundary
+/// are stitched back together, so the result is byte-identical — same
+/// contacts, same order — to the sequential scan at every thread count
+/// and chunking. `options.threads == 1` (with `chunk_ticks == 0`)
+/// structurally runs the historical single-pass code path.
+///
 /// \param store the trajectory dataset.
 /// \param dt contact distance threshold dT (meters, strict `<`).
 /// \param window time range to scan; defaults to the full store span.
+/// \param options front-end parallelism knobs (JoinOptions in
+///        join/proximity_join.h).
 /// \return contacts sorted by (start time, pair).
+std::vector<Contact> ExtractContacts(const TrajectoryStore& store, double dt,
+                                     TimeInterval window,
+                                     const JoinOptions& options);
+
 std::vector<Contact> ExtractContacts(const TrajectoryStore& store, double dt,
                                      TimeInterval window);
 
+std::vector<Contact> ExtractContacts(const TrajectoryStore& store, double dt,
+                                     const JoinOptions& options);
+
 std::vector<Contact> ExtractContacts(const TrajectoryStore& store, double dt);
+
+/// \brief Streaming twin of ExtractContacts: drives `sink` as contact
+/// runs close instead of materializing the full vector.
+///
+/// Same join, same coalescing, same contact set as the materializing
+/// path; the delivery order is the ContactSink contract — sorted by
+/// (validity.end, validity.start, a, b), identical at every thread count
+/// and chunking. At `options.threads == 1` the sink is fed tick by tick
+/// as the scan closes runs, so a consumer (e.g. an incremental index
+/// head segment) never waits for the whole window.
+void ExtractContactsTo(const TrajectoryStore& store, double dt,
+                       TimeInterval window, const JoinOptions& options,
+                       ContactSink* sink);
 
 }  // namespace streach
 

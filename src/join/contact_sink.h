@@ -1,0 +1,49 @@
+#ifndef STREACH_JOIN_CONTACT_SINK_H_
+#define STREACH_JOIN_CONTACT_SINK_H_
+
+#include <vector>
+
+#include "join/contact.h"
+
+namespace streach {
+
+/// \brief Streaming consumer of extracted contacts.
+///
+/// `ExtractContactsTo` drives a sink as contact runs close instead of
+/// materializing the full contact vector — the interface the
+/// streaming-ingestion head segment (ROADMAP) consumes: an LSM-style
+/// mutable head can absorb each contact the moment its run ends, while
+/// the join is still scanning later ticks.
+///
+/// Emission contract (deterministic, independent of `JoinOptions` —
+/// thread count and chunking never change the sequence): contacts arrive
+/// sorted by (validity.end, validity.start, a, b) — i.e. grouped by the
+/// tick their run closed, ascending, and totally ordered within a close
+/// tick. `OnFinish` is called exactly once, after the last `OnContact`.
+class ContactSink {
+ public:
+  virtual ~ContactSink() = default;
+
+  /// One closed contact run with its maximal validity interval.
+  virtual void OnContact(const Contact& contact) = 0;
+
+  /// End of stream; no further OnContact calls follow.
+  virtual void OnFinish() {}
+};
+
+/// \brief Trivial sink that buffers the stream — the bridge back to the
+/// materializing API, and a test double.
+class CollectingContactSink : public ContactSink {
+ public:
+  void OnContact(const Contact& contact) override {
+    contacts.push_back(contact);
+  }
+  void OnFinish() override { ++finish_calls; }
+
+  std::vector<Contact> contacts;
+  int finish_calls = 0;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_JOIN_CONTACT_SINK_H_

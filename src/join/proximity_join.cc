@@ -3,12 +3,20 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "engine/parallel_frontier.h"
 
 namespace streach {
 
 namespace {
 
-Rect NonDegenerateExtent(const TrajectoryStore& store) {
+/// Below this many occupied cells a parallel sweep costs more in pool
+/// wakeup than it saves; the caller runs the plain loop (which is also
+/// what keeps the 1-core throughput profile flat).
+constexpr size_t kParallelSweepMinCells = 32;
+
+}  // namespace
+
+Rect ProximityJoiner::EnvironmentExtent(const TrajectoryStore& store) {
   Rect extent = store.ComputeExtent();
   STREACH_CHECK(!extent.empty());
   // Guard against a degenerate (zero-area) extent, e.g. all objects
@@ -19,46 +27,71 @@ Rect NonDegenerateExtent(const TrajectoryStore& store) {
   return extent;
 }
 
-}  // namespace
-
 ProximityJoiner::ProximityJoiner(const TrajectoryStore* store, double dt)
+    : ProximityJoiner(store, dt, EnvironmentExtent(*store), 1) {}
+
+ProximityJoiner::ProximityJoiner(const TrajectoryStore* store, double dt,
+                                 const Rect& extent, int threads)
     : store_(store),
       dt_(dt),
       dt_sq_(dt * dt),
-      grid_(NonDegenerateExtent(*store), dt) {
+      grid_(extent, dt),
+      threads_(threads < 1 ? 1 : threads) {
   STREACH_CHECK_GT(dt, 0.0);
-  buckets_.resize(grid_.num_cells());
+  count_.assign(grid_.num_cells(), 0);
+  slot_.resize(grid_.num_cells());
 }
 
-void ProximityJoiner::FillBuckets(Timestamp t) {
-  for (CellId c : used_buckets_) buckets_[c].clear();
-  used_buckets_.clear();
+ProximityJoiner::~ProximityJoiner() = default;
+
+void ProximityJoiner::FillCellList(Timestamp t) {
+  if (filled_tick_ == t) return;
+  filled_tick_ = t;
   const size_t n = store_->num_objects();
+  store_->GatherPositionsAt(t, &positions_);
+  cell_of_.resize(n);
+  cell_objects_.resize(n);
+  for (CellId c : used_cells_) count_[c] = 0;
+  used_cells_.clear();
+  // Counting pass. used_cells_ keeps discovery order — no consumer
+  // depends on cell order (PairsAtTick sorts its output), and within a
+  // cell ids ascend because the scatter below runs in id order.
   for (ObjectId o = 0; o < n; ++o) {
-    const CellId c = grid_.CellOf(store_->PositionAt(o, t));
-    if (buckets_[c].empty()) used_buckets_.push_back(c);
-    buckets_[c].push_back(o);
+    const CellId c = grid_.CellOf(positions_[o]);
+    cell_of_[o] = c;
+    if (count_[c]++ == 0) used_cells_.push_back(c);
+  }
+  // Prefix offsets, then scatter. slot_[c] ends at the cell's CSR end;
+  // its range start is recovered as slot_[c] - count_[c].
+  uint32_t offset = 0;
+  for (CellId c : used_cells_) {
+    slot_[c] = offset;
+    offset += count_[c];
+  }
+  for (ObjectId o = 0; o < n; ++o) {
+    cell_objects_[slot_[cell_of_[o]]++] = o;
   }
 }
 
-std::vector<std::pair<ObjectId, ObjectId>> ProximityJoiner::PairsAtTick(
-    Timestamp t) {
-  FillBuckets(t);
-  std::vector<std::pair<ObjectId, ObjectId>> out;
+void ProximityJoiner::SweepCellRange(
+    size_t begin, size_t end,
+    std::vector<std::pair<ObjectId, ObjectId>>* out) const {
   const int rows = grid_.rows();
   const int cols = grid_.cols();
-  for (CellId cell : used_buckets_) {
-    const std::vector<ObjectId>& mine = buckets_[cell];
+  for (size_t u = begin; u < end; ++u) {
+    const CellId cell = used_cells_[u];
+    const uint32_t me = slot_[cell];
+    const uint32_t mb = me - count_[cell];
     const int row = grid_.RowOfCell(cell);
     const int col = grid_.ColOfCell(cell);
-    // Within-cell pairs.
-    for (size_t i = 0; i < mine.size(); ++i) {
-      const Point& pi = store_->PositionAt(mine[i], t);
-      for (size_t j = i + 1; j < mine.size(); ++j) {
-        const Point& pj = store_->PositionAt(mine[j], t);
-        if (Point::DistanceSquared(pi, pj) < dt_sq_) {
-          out.emplace_back(std::min(mine[i], mine[j]),
-                           std::max(mine[i], mine[j]));
+    // Within-cell pairs; ids ascend within a cell, so a < b already.
+    for (uint32_t i = mb; i < me; ++i) {
+      const ObjectId a = cell_objects_[i];
+      const Point& pa = positions_[a];
+      for (uint32_t j = i + 1; j < me; ++j) {
+        const ObjectId b = cell_objects_[j];
+        if (Point::DistanceSquared(pa, positions_[b]) < dt_sq_) {
+          out->emplace_back(a, b);
         }
       }
     }
@@ -69,17 +102,46 @@ std::vector<std::pair<ObjectId, ObjectId>> ProximityJoiner::PairsAtTick(
       const int nr = row + d[0];
       const int nc = col + d[1];
       if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
-      const std::vector<ObjectId>& theirs = buckets_[grid_.CellAt(nr, nc)];
-      for (ObjectId a : mine) {
-        const Point& pa = store_->PositionAt(a, t);
-        for (ObjectId b : theirs) {
-          const Point& pb = store_->PositionAt(b, t);
-          if (Point::DistanceSquared(pa, pb) < dt_sq_) {
-            out.emplace_back(std::min(a, b), std::max(a, b));
+      const CellId other = grid_.CellAt(nr, nc);
+      if (count_[other] == 0) continue;
+      const uint32_t te = slot_[other];
+      const uint32_t tb = te - count_[other];
+      for (uint32_t i = mb; i < me; ++i) {
+        const ObjectId a = cell_objects_[i];
+        const Point& pa = positions_[a];
+        for (uint32_t j = tb; j < te; ++j) {
+          const ObjectId b = cell_objects_[j];
+          if (Point::DistanceSquared(pa, positions_[b]) < dt_sq_) {
+            out->emplace_back(std::min(a, b), std::max(a, b));
           }
         }
       }
     }
+  }
+}
+
+std::vector<std::pair<ObjectId, ObjectId>> ProximityJoiner::PairsAtTick(
+    Timestamp t) {
+  FillCellList(t);
+  std::vector<std::pair<ObjectId, ObjectId>> out;
+  if (threads_ <= 1 || used_cells_.size() < kParallelSweepMinCells) {
+    SweepCellRange(0, used_cells_.size(), &out);
+  } else {
+    if (!pool_) pool_ = std::make_unique<FrontierPool>(threads_);
+    // Per-worker staging vectors: no shared state during the sweep; the
+    // merge + sort below makes the result independent of the chunk
+    // partitioning.
+    std::vector<std::vector<std::pair<ObjectId, ObjectId>>> staging(
+        static_cast<size_t>(pool_->num_threads()));
+    pool_->ParallelFor(used_cells_.size(),
+                       [&](int worker, size_t begin, size_t end) {
+                         SweepCellRange(begin, end,
+                                        &staging[static_cast<size_t>(worker)]);
+                       });
+    size_t total = 0;
+    for (const auto& s : staging) total += s.size();
+    out.reserve(total);
+    for (const auto& s : staging) out.insert(out.end(), s.begin(), s.end());
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -88,23 +150,31 @@ std::vector<std::pair<ObjectId, ObjectId>> ProximityJoiner::PairsAtTick(
 std::vector<std::pair<ObjectId, ObjectId>>
 ProximityJoiner::PairsAtTickInvolving(Timestamp t,
                                       const std::vector<ObjectId>& probes) {
-  FillBuckets(t);
+  FillCellList(t);
   std::vector<std::pair<ObjectId, ObjectId>> out;
   for (ObjectId a : probes) {
-    const Point& pa = store_->PositionAt(a, t);
-    const CellId cell = grid_.CellOf(pa);
-    for (CellId nb : grid_.Neighborhood(cell, 1)) {
-      for (ObjectId b : buckets_[nb]) {
+    STREACH_CHECK_LT(a, positions_.size());
+    const Point& pa = positions_[a];
+    for (CellId nb : grid_.Neighborhood(cell_of_[a], 1)) {
+      if (count_[nb] == 0) continue;
+      const uint32_t te = slot_[nb];
+      const uint32_t tb = te - count_[nb];
+      for (uint32_t j = tb; j < te; ++j) {
+        const ObjectId b = cell_objects_[j];
         if (b == a) continue;
-        const Point& pb = store_->PositionAt(b, t);
-        if (Point::DistanceSquared(pa, pb) < dt_sq_) {
+        // A probe–probe pair is claimed by its smaller endpoint: when b
+        // is also a probe and b < a, b's own scan already emitted it.
+        if (b < a &&
+            std::binary_search(probes.begin(), probes.end(), b)) {
+          continue;
+        }
+        if (Point::DistanceSquared(pa, positions_[b]) < dt_sq_) {
           out.emplace_back(std::min(a, b), std::max(a, b));
         }
       }
     }
   }
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -20,6 +20,22 @@ Status TrajectoryStore::Add(Trajectory trajectory) {
   return Status::OK();
 }
 
+void TrajectoryStore::GatherPositionsAt(Timestamp t,
+                                        std::vector<Point>* out) const {
+  out->resize(trajectories_.size());
+  if (trajectories_.empty()) return;
+  STREACH_CHECK(span().Contains(t));
+  // All trajectories share the store span (enforced by Add), so one
+  // bounds check covers the whole gather; the per-trajectory index is
+  // plain arithmetic into the sample array.
+  Point* positions = out->data();
+  for (size_t i = 0; i < trajectories_.size(); ++i) {
+    const Trajectory& tr = trajectories_[i];
+    positions[i] =
+        tr.samples()[static_cast<size_t>(t - tr.span().start)];
+  }
+}
+
 Rect TrajectoryStore::ComputeExtent() const {
   Rect extent;
   for (const Trajectory& tr : trajectories_) {

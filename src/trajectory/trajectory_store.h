@@ -46,6 +46,12 @@ class TrajectoryStore {
     return Get(object).At(t);
   }
 
+  /// Gathers every object's position at tick `t` into `out` (resized to
+  /// num_objects()). One bounds check for the whole tick instead of one
+  /// per lookup — the batched access path of the proximity-join front
+  /// end, which reads all N positions every tick.
+  void GatherPositionsAt(Timestamp t, std::vector<Point>* out) const;
+
   /// Bounding box of every sample of every object — the environment E.
   Rect ComputeExtent() const;
 

@@ -4,12 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "join/contact.h"
 #include "join/contact_extractor.h"
+#include "join/contact_sink.h"
 #include "join/proximity_join.h"
 #include "trajectory/trajectory_store.h"
 
@@ -54,6 +58,54 @@ std::vector<std::pair<ObjectId, ObjectId>> BruteForcePairs(
     }
   }
   return out;
+}
+
+/// O(N^2 T) reference extractor: brute-force pairs per tick, coalesced
+/// into maximal runs, sorted like ExtractContacts.
+std::vector<Contact> BruteForceContacts(const TrajectoryStore& store,
+                                        double dt, TimeInterval window) {
+  std::vector<Contact> contacts;
+  const TimeInterval w = window.Intersect(store.span());
+  if (w.empty() || store.num_objects() < 2) return contacts;
+  std::map<std::pair<ObjectId, ObjectId>, Timestamp> open;
+  for (Timestamp t = w.start; t <= w.end; ++t) {
+    const auto pairs = BruteForcePairs(store, t, dt);
+    const std::set<std::pair<ObjectId, ObjectId>> now(pairs.begin(),
+                                                      pairs.end());
+    for (auto it = open.begin(); it != open.end();) {
+      if (now.count(it->first) == 0) {
+        contacts.emplace_back(it->first.first, it->first.second,
+                              TimeInterval(it->second, t - 1));
+        it = open.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& p : now) {
+      if (open.count(p) == 0) open.emplace(p, t);
+    }
+  }
+  for (const auto& [p, start] : open) {
+    contacts.emplace_back(p.first, p.second, TimeInterval(start, w.end));
+  }
+  std::sort(contacts.begin(), contacts.end());
+  return contacts;
+}
+
+/// The JoinOptions lattice the equivalence suites sweep: the historical
+/// sequential path, forced chunking at 1 thread (stitcher alone), and
+/// parallel workers with both auto and tiny forced chunks.
+std::vector<JoinOptions> EquivalenceConfigs() {
+  std::vector<JoinOptions> configs;
+  for (int threads : {1, 2, 4}) {
+    for (int chunk_ticks : {0, 3, 7}) {
+      JoinOptions options;
+      options.threads = threads;
+      options.chunk_ticks = chunk_ticks;
+      configs.push_back(options);
+    }
+  }
+  return configs;
 }
 
 // ---------------------------------------------------------------- Contact
@@ -252,6 +304,261 @@ TEST(ContactExtractorTest, CoalescingMatchesPerTickPairsProperty) {
 TEST(ContactExtractorTest, NoObjectsNoContacts) {
   TrajectoryStore store;
   EXPECT_TRUE(ExtractContacts(store, 10.0, TimeInterval(0, 5)).empty());
+}
+
+// ------------------------------------------------- Parallel join front end
+
+TEST(ProximityJoinTest, InvolvingNoDuplicatesPreDedup) {
+  // Regression: probe–probe pairs used to be emitted once per endpoint
+  // and cleaned up by sort+unique. A cluster of probes all within dT
+  // of each other must now come out duplicate-free directly.
+  auto store = StoreFromPaths({{Point(0, 0)},
+                               {Point(1, 0)},
+                               {Point(0, 1)},
+                               {Point(1, 1)},
+                               {Point(50, 50)}});
+  ProximityJoiner joiner(&store, 5.0);
+  const std::vector<ObjectId> probes = {0, 1, 2, 3};
+  const auto pairs = joiner.PairsAtTickInvolving(0, probes);
+  EXPECT_EQ(std::adjacent_find(pairs.begin(), pairs.end()), pairs.end())
+      << "probe-probe pairs emitted more than once";
+  // All six probe pairs, each exactly once.
+  EXPECT_EQ(pairs.size(), 6u);
+  EXPECT_EQ(pairs, joiner.PairsAtTick(0));
+}
+
+TEST(ProximityJoinTest, InvolvingNoDuplicatesRandomProperty) {
+  Rng rng(53);
+  for (int round = 0; round < 10; ++round) {
+    auto store = RandomStore(&rng, 50, 2, 80.0, 5.0);
+    ProximityJoiner joiner(&store, 25.0);
+    // A dense sorted probe set so probe-probe contacts are common.
+    const std::vector<ObjectId> probes = {2, 5, 6, 11, 12, 13, 30, 41};
+    for (Timestamp t = 0; t < 2; ++t) {
+      const auto pairs = joiner.PairsAtTickInvolving(t, probes);
+      EXPECT_EQ(std::adjacent_find(pairs.begin(), pairs.end()), pairs.end())
+          << "round " << round << " t " << t;
+    }
+  }
+}
+
+TEST(ProximityJoinTest, CellListCachedForRepeatedTick) {
+  Rng rng(59);
+  auto store = RandomStore(&rng, 30, 4, 100.0, 5.0);
+  ProximityJoiner joiner(&store, 15.0);
+  EXPECT_EQ(joiner.filled_tick(), kInvalidTime);
+  const auto first = joiner.PairsAtTick(2);
+  EXPECT_EQ(joiner.filled_tick(), 2);
+  // Back-to-back calls for the same tick (the guided-expansion access
+  // pattern) reuse the cell list and agree with the fresh fill.
+  EXPECT_EQ(joiner.PairsAtTick(2), first);
+  EXPECT_EQ(joiner.PairsAtTickInvolving(2, {1, 7, 9}),
+            ProximityJoiner(&store, 15.0).PairsAtTickInvolving(2, {1, 7, 9}));
+  EXPECT_EQ(joiner.filled_tick(), 2);
+  joiner.PairsAtTick(3);  // A different tick invalidates the cache.
+  EXPECT_EQ(joiner.filled_tick(), 3);
+  EXPECT_EQ(joiner.PairsAtTick(2), first);
+}
+
+TEST(ProximityJoinTest, ParallelSweepMatchesSequentialAndBruteForce) {
+  // Enough occupied cells to clear the parallel work-size floor.
+  Rng rng(61);
+  auto store = RandomStore(&rng, 300, 3, 600.0, 8.0);
+  const double dt = 12.0;
+  const Rect extent = ProximityJoiner::EnvironmentExtent(store);
+  ProximityJoiner sequential(&store, dt, extent, 1);
+  for (int threads : {2, 4}) {
+    ProximityJoiner parallel(&store, dt, extent, threads);
+    for (Timestamp t = 0; t < 3; ++t) {
+      auto expected = BruteForcePairs(store, t, dt);
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(sequential.PairsAtTick(t), expected);
+      EXPECT_EQ(parallel.PairsAtTick(t), expected)
+          << "threads " << threads << " t " << t;
+    }
+  }
+}
+
+TEST(ContactExtractorTest, ParallelChunkedByteIdentical) {
+  // The tentpole contract: every (threads, chunk_ticks) configuration
+  // returns the exact vector the sequential seed path returns — same
+  // contacts, same order — and both match the O(n^2) reference.
+  Rng rng(67);
+  for (int round = 0; round < 4; ++round) {
+    auto store = RandomStore(&rng, 40, 30, 120.0, 6.0);
+    const double dt = 18.0;
+    const std::vector<TimeInterval> windows = {
+        store.span(), TimeInterval(3, 27), TimeInterval(5, 9),
+        TimeInterval(29, 29)};
+    for (const TimeInterval& window : windows) {
+      const auto reference = BruteForceContacts(store, dt, window);
+      const auto sequential = ExtractContacts(store, dt, window);
+      EXPECT_EQ(sequential, reference) << "window " << window;
+      for (const JoinOptions& options : EquivalenceConfigs()) {
+        EXPECT_EQ(ExtractContacts(store, dt, window, options), sequential)
+            << "round " << round << " window " << window << " threads "
+            << options.threads << " chunk_ticks " << options.chunk_ticks;
+      }
+    }
+  }
+}
+
+TEST(ContactExtractorTest, CrossBoundaryRunsStitchedExactly) {
+  // Deterministic boundary torture: with chunk_ticks=3 the boundaries
+  // fall at 2|3, 5|6, 8|9. Pair (0,1) spans the whole window, pair
+  // (2,3) closes exactly on a boundary tick, pair (4,5) opens exactly
+  // on the first tick after one, and pair (6,7) is in contact only
+  // during single ticks adjacent to boundaries.
+  const double kFar = 500.0;
+  std::vector<std::vector<Point>> paths(8);
+  auto base = [](int obj) { return Point(60.0 * obj, 0.0); };
+  for (int obj = 0; obj < 8; ++obj) {
+    paths[static_cast<size_t>(obj)].assign(12, base(obj));
+  }
+  auto together = [&](int a, int b, int t) {
+    paths[static_cast<size_t>(b)][static_cast<size_t>(t)] =
+        Point(base(a).x + 1.0, 0.0);
+  };
+  auto apart = [&](int b, int t) {
+    paths[static_cast<size_t>(b)][static_cast<size_t>(t)] =
+        Point(base(b).x, kFar);
+  };
+  for (int t = 0; t < 12; ++t) together(0, 1, t);      // [0,11]
+  for (int t = 0; t <= 5; ++t) together(2, 3, t);      // [0,5]
+  for (int t = 5; t >= 0; --t) apart(5, t);
+  for (int t = 6; t < 12; ++t) together(4, 5, t);      // [6,11]
+  for (int t = 0; t < 12; ++t) apart(7, t);
+  together(6, 7, 2);  // (6,7) touch only at ticks 2 and 3: one run [2,3]
+  together(6, 7, 3);  // crossing the 2|3 chunk boundary exactly.
+  auto store = StoreFromPaths(paths);
+  const auto reference = BruteForceContacts(store, 2.0, store.span());
+  const std::vector<Contact> expected = {
+      Contact(0, 1, TimeInterval(0, 11)),
+      Contact(2, 3, TimeInterval(0, 5)),
+      Contact(6, 7, TimeInterval(2, 3)),
+      Contact(4, 5, TimeInterval(6, 11)),
+  };
+  std::vector<Contact> sorted_expected = expected;
+  std::sort(sorted_expected.begin(), sorted_expected.end());
+  ASSERT_EQ(reference, sorted_expected);
+  for (const JoinOptions& options : EquivalenceConfigs()) {
+    EXPECT_EQ(ExtractContacts(store, 2.0, store.span(), options),
+              sorted_expected)
+        << "threads " << options.threads << " chunk_ticks "
+        << options.chunk_ticks;
+  }
+}
+
+TEST(ContactExtractorTest, CellBorderObjectsMatchBruteForce) {
+  // Objects sitting exactly on cell borders (coordinates at multiples of
+  // dT = the grid cell side) must land in exactly one cell and join
+  // identically on every path.
+  const double dt = 10.0;
+  std::vector<std::vector<Point>> paths;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      paths.push_back(std::vector<Point>(8, Point(i * dt, j * dt)));
+    }
+  }
+  // A few off-lattice objects to create actual contacts (lattice
+  // neighbors are at distance exactly dT — strictly no contact).
+  paths.push_back(std::vector<Point>(8, Point(5.0, 0.0)));
+  paths.push_back(std::vector<Point>(8, Point(20.0, 15.5)));
+  paths.push_back(std::vector<Point>(8, Point(0.25, 30.0)));
+  auto store = StoreFromPaths(paths);
+  const auto reference = BruteForceContacts(store, dt, store.span());
+  ASSERT_FALSE(reference.empty());
+  for (const JoinOptions& options : EquivalenceConfigs()) {
+    EXPECT_EQ(ExtractContacts(store, dt, store.span(), options), reference)
+        << "threads " << options.threads << " chunk_ticks "
+        << options.chunk_ticks;
+  }
+}
+
+TEST(ContactExtractorTest, DtEpsilonDistanceEdges) {
+  // Distances straddling the strict threshold: exactly dT (no contact),
+  // a hair below (contact), and the 3-4-5 diagonal at exactly dT.
+  const double dt = 5.0;
+  std::vector<std::vector<Point>> paths;
+  paths.push_back(std::vector<Point>(6, Point(0, 0)));
+  paths.push_back(std::vector<Point>(6, Point(5.0, 0)));           // == dT
+  paths.push_back(std::vector<Point>(6, Point(0, 5.0 - 1e-9)));    // < dT
+  paths.push_back(std::vector<Point>(6, Point(103, 104)));         // 3-4-5
+  paths.push_back(std::vector<Point>(6, Point(100, 100)));         // == dT
+  paths.push_back(std::vector<Point>(6, Point(100, 104 - 1e-9)));  // < dT
+  auto store = StoreFromPaths(paths);
+  const auto reference = BruteForceContacts(store, dt, store.span());
+  const std::vector<Contact> expected = {
+      Contact(0, 2, TimeInterval(0, 5)),
+      Contact(3, 5, TimeInterval(0, 5)),
+      Contact(4, 5, TimeInterval(0, 5)),
+  };
+  ASSERT_EQ(reference, expected);
+  for (const JoinOptions& options : EquivalenceConfigs()) {
+    EXPECT_EQ(ExtractContacts(store, dt, store.span(), options), expected)
+        << "threads " << options.threads << " chunk_ticks "
+        << options.chunk_ticks;
+  }
+}
+
+// ------------------------------------------------------------ ContactSink
+
+TEST(ContactSinkTest, StreamingMatchesMaterializing) {
+  Rng rng(71);
+  for (int round = 0; round < 3; ++round) {
+    auto store = RandomStore(&rng, 35, 25, 110.0, 6.0);
+    const double dt = 16.0;
+    const auto materialized = ExtractContacts(store, dt);
+    for (const JoinOptions& options : EquivalenceConfigs()) {
+      CollectingContactSink sink;
+      ExtractContactsTo(store, dt, store.span(), options, &sink);
+      EXPECT_EQ(sink.finish_calls, 1);
+      std::vector<Contact> streamed = sink.contacts;
+      std::sort(streamed.begin(), streamed.end());
+      EXPECT_EQ(streamed, materialized)
+          << "round " << round << " threads " << options.threads
+          << " chunk_ticks " << options.chunk_ticks;
+    }
+  }
+}
+
+TEST(ContactSinkTest, EmissionOrderDeterministicAcrossChunking) {
+  // The sink contract: delivery is sorted by (end, start, a, b) and the
+  // exact sequence is independent of threads and chunking.
+  Rng rng(73);
+  auto store = RandomStore(&rng, 30, 24, 100.0, 6.0);
+  const double dt = 15.0;
+  auto close_order = [](const Contact& x, const Contact& y) {
+    return std::tie(x.validity.end, x.validity.start, x.a, x.b) <
+           std::tie(y.validity.end, y.validity.start, y.a, y.b);
+  };
+  std::vector<Contact> baseline;
+  bool have_baseline = false;
+  for (const JoinOptions& options : EquivalenceConfigs()) {
+    CollectingContactSink sink;
+    ExtractContactsTo(store, dt, store.span(), options, &sink);
+    EXPECT_TRUE(std::is_sorted(sink.contacts.begin(), sink.contacts.end(),
+                               close_order))
+        << "threads " << options.threads << " chunk_ticks "
+        << options.chunk_ticks;
+    if (!have_baseline) {
+      baseline = sink.contacts;
+      have_baseline = true;
+      EXPECT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(sink.contacts, baseline)
+          << "threads " << options.threads << " chunk_ticks "
+          << options.chunk_ticks;
+    }
+  }
+}
+
+TEST(ContactSinkTest, EmptyWindowStillFinishes) {
+  TrajectoryStore store;
+  CollectingContactSink sink;
+  ExtractContactsTo(store, 10.0, TimeInterval(0, 5), JoinOptions(), &sink);
+  EXPECT_TRUE(sink.contacts.empty());
+  EXPECT_EQ(sink.finish_calls, 1);
 }
 
 }  // namespace
