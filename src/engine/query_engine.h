@@ -64,6 +64,27 @@ struct QueryEngineOptions {
   /// reads each hot page once instead of once per source.
   int batch_sources = 1;
 
+  /// \name Streaming-ingestion knobs
+  ///
+  /// Consumed by call sites standing up a streaming-backed workload
+  /// (`MakeStreamingOptions` in stream/streaming_options.h copies them,
+  /// plus `page_codec` above, into the ingestor's `StreamingOptions`);
+  /// the engine itself does not alter execution based on them. Answers
+  /// never depend on either — any seal schedule and any arrival order
+  /// within the lateness bound produce byte-identical results.
+  /// @{
+
+  /// Stream ticks between automatic head seals (width of the sealed
+  /// segments' time grid). <= 0 keeps the `StreamingOptions` default.
+  int seal_interval_ticks = 0;
+
+  /// Bounded arrival disorder the head tolerates: an appended contact
+  /// run may close up to this many ticks before the latest close tick
+  /// already seen. < 0 keeps the `StreamingOptions` default (0, the
+  /// `ContactSink` in-order contract).
+  int max_lateness_ticks = -1;
+  /// @}
+
   /// Capacity (entries) of the engine's result cache memoizing
   /// `(index, source, interval) -> reachable set`; 0 disables it. On a
   /// cache hit a point query is answered by set lookup with zero backend

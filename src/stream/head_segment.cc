@@ -1,0 +1,91 @@
+#include "stream/head_segment.h"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+namespace streach {
+namespace {
+
+/// Close-tick order of the resident run: a prefix of this order is
+/// exactly "every run closing at or before the watermark".
+bool EndOrder(const Contact& x, const Contact& y) {
+  return std::tie(x.validity.end, x.validity.start, x.a, x.b) <
+         std::tie(y.validity.end, y.validity.start, y.a, y.b);
+}
+
+}  // namespace
+
+HeadSegment::HeadSegment(int max_lateness_ticks)
+    : max_lateness_(max_lateness_ticks) {}
+
+Status HeadSegment::Append(const Contact& contact) {
+  if (sealed_through_ != kInvalidTime &&
+      contact.validity.end <= sealed_through_) {
+    return Status::InvalidArgument(
+        "streaming: contact " + contact.ToString() +
+        " closes at or before the seal line (tick " +
+        std::to_string(sealed_through_) +
+        "); it arrived later than max_lateness_ticks allows");
+  }
+  if (max_end_seen_ == kInvalidTime ||
+      contact.validity.end > max_end_seen_) {
+    max_end_seen_ = contact.validity.end;
+  }
+  reorder_.push_back(contact);
+  if (reorder_.size() >= kReorderCapacity) DrainReorderBuffer();
+  return Status::OK();
+}
+
+Timestamp HeadSegment::SafeWatermark() const {
+  if (max_end_seen_ == kInvalidTime) return kInvalidTime;
+  // 64-bit so a tiny max_end minus a large lateness cannot wrap.
+  const int64_t w = static_cast<int64_t>(max_end_seen_) - max_lateness_ - 1;
+  return w <= static_cast<int64_t>(kInvalidTime)
+             ? kInvalidTime
+             : static_cast<Timestamp>(w);
+}
+
+std::vector<Contact> HeadSegment::ExtractThrough(Timestamp watermark) {
+  if (watermark == kInvalidTime) return {};
+  if (sealed_through_ != kInvalidTime && watermark <= sealed_through_) {
+    return {};
+  }
+  DrainReorderBuffer();
+  const auto split = std::partition_point(
+      sorted_.begin(), sorted_.end(), [watermark](const Contact& c) {
+        return c.validity.end <= watermark;
+      });
+  std::vector<Contact> extracted(std::make_move_iterator(sorted_.begin()),
+                                 std::make_move_iterator(split));
+  sorted_.erase(sorted_.begin(), split);
+  // End order is not build order: re-sort into the canonical
+  // (start, pair, end) sequence a one-shot batch build consumes.
+  std::sort(extracted.begin(), extracted.end());
+  sealed_through_ = watermark;
+  return extracted;
+}
+
+void HeadSegment::CollectOverlapping(TimeInterval interval,
+                                     std::vector<Contact>* out) const {
+  for (const Contact& c : sorted_) {
+    if (c.validity.Overlaps(interval)) out->push_back(c);
+  }
+  for (const Contact& c : reorder_) {
+    if (c.validity.Overlaps(interval)) out->push_back(c);
+  }
+}
+
+void HeadSegment::DrainReorderBuffer() {
+  if (reorder_.empty()) return;
+  std::sort(reorder_.begin(), reorder_.end(), EndOrder);
+  const size_t merged_from = sorted_.size();
+  sorted_.insert(sorted_.end(), std::make_move_iterator(reorder_.begin()),
+                 std::make_move_iterator(reorder_.end()));
+  std::inplace_merge(sorted_.begin(),
+                     sorted_.begin() + static_cast<ptrdiff_t>(merged_from),
+                     sorted_.end(), EndOrder);
+  reorder_.clear();
+}
+
+}  // namespace streach

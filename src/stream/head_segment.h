@@ -1,0 +1,81 @@
+#ifndef STREACH_STREAM_HEAD_SEGMENT_H_
+#define STREACH_STREAM_HEAD_SEGMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "join/contact.h"
+
+namespace streach {
+
+/// \brief Mutable in-memory segment at the front of the streaming tier.
+///
+/// The head absorbs appended contact runs, answers queries over the data
+/// it still holds, and hands closed prefixes of the stream to the sealer.
+/// Arrival disorder is tolerated within a bounded lateness window: an
+/// append may close its run up to `max_lateness_ticks` ticks before the
+/// latest close tick already observed. Arrivals land in a small reorder
+/// buffer first and are merged into the end-ordered resident run in
+/// batches, so the common case — the `ContactSink` stream, already
+/// ordered by close tick — costs an amortized append, not a sort.
+///
+/// The seal line (`sealed_through()`) only moves forward: once
+/// `ExtractThrough(w)` has removed every run closing at or before `w`,
+/// an append closing in that region is rejected — it broke the lateness
+/// promise, and accepting it would make sealed history wrong.
+///
+/// Not thread-safe; `StreamingIngestor` serializes access.
+class HeadSegment {
+ public:
+  /// Arrivals buffered before a merge into the end-ordered run.
+  static constexpr size_t kReorderCapacity = 128;
+
+  explicit HeadSegment(int max_lateness_ticks);
+
+  /// Absorbs one contact run. Rejects (InvalidArgument) a run closing at
+  /// or before the seal line — the arrival exceeded the lateness bound.
+  Status Append(const Contact& contact);
+
+  /// Latest tick that is safe to seal: no in-bound future append can
+  /// close at or before it (`max close tick seen - lateness - 1`).
+  /// kInvalidTime before the first append.
+  Timestamp SafeWatermark() const;
+
+  /// Removes and returns every resident run closing at or before
+  /// `watermark`, sorted by `Contact::operator<` — the order a one-shot
+  /// batch build consumes, so sealed images are append-order-invariant.
+  /// Advances the seal line to `watermark` (even when nothing is
+  /// resident below it); a watermark at or below the seal line is a
+  /// no-op returning nothing.
+  std::vector<Contact> ExtractThrough(Timestamp watermark);
+
+  /// Appends every resident run whose validity overlaps `interval` to
+  /// `out` (order unspecified — callers sweep or sort, never persist).
+  void CollectOverlapping(TimeInterval interval,
+                          std::vector<Contact>* out) const;
+
+  /// Resident runs (merged + reorder buffer).
+  size_t size() const { return sorted_.size() + reorder_.size(); }
+
+  /// Latest close tick observed; kInvalidTime before the first append.
+  Timestamp max_end_seen() const { return max_end_seen_; }
+
+  /// The seal line; kInvalidTime until the first ExtractThrough.
+  Timestamp sealed_through() const { return sealed_through_; }
+
+ private:
+  /// Merges the reorder buffer into the end-ordered resident run.
+  void DrainReorderBuffer();
+
+  int max_lateness_;
+  Timestamp max_end_seen_ = kInvalidTime;
+  Timestamp sealed_through_ = kInvalidTime;
+  std::vector<Contact> sorted_;   // Ordered by (end, start, a, b).
+  std::vector<Contact> reorder_;  // Recent arrivals, arrival order.
+};
+
+}  // namespace streach
+
+#endif  // STREACH_STREAM_HEAD_SEGMENT_H_

@@ -1,0 +1,176 @@
+#include "stream/sealed_segment.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/encoding.h"
+#include "storage/block_file.h"
+#include "storage/build_pool.h"
+#include "storage/page_codec.h"
+
+namespace streach {
+namespace {
+
+/// Serialized block: count, then four struct-of-arrays u32 columns
+/// (starts, ends, a, b). Starts ascend within a block — canonical
+/// contact order — so the delta codec sees sorted runs on the column
+/// the seal grid orders by.
+void EncodeBlock(const Contact* contacts, uint32_t count, Encoder* enc,
+                 RecordShape* shape) {
+  enc->PutU32(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    enc->PutU32(static_cast<uint32_t>(contacts[i].validity.start));
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    enc->PutU32(static_cast<uint32_t>(contacts[i].validity.end));
+  }
+  for (uint32_t i = 0; i < count; ++i) enc->PutU32(contacts[i].a);
+  for (uint32_t i = 0; i < count; ++i) enc->PutU32(contacts[i].b);
+  shape->Bytes(sizeof(uint32_t));
+  for (int column = 0; column < 4; ++column) shape->U32Delta(count);
+}
+
+Result<std::vector<Contact>> DecodeBlock(std::string_view record,
+                                         uint32_t expected_count) {
+  Decoder decoder(record);
+  uint32_t count = 0;
+  STREACH_ASSIGN_OR_RETURN(count, decoder.GetU32());
+  if (count != expected_count) {
+    return Status::Corruption(
+        "sealed segment block: stored count " + std::to_string(count) +
+        " != directory count " + std::to_string(expected_count));
+  }
+  std::vector<Contact> contacts(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t v = 0;
+    STREACH_ASSIGN_OR_RETURN(v, decoder.GetU32());
+    contacts[i].validity.start = static_cast<Timestamp>(v);
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t v = 0;
+    STREACH_ASSIGN_OR_RETURN(v, decoder.GetU32());
+    contacts[i].validity.end = static_cast<Timestamp>(v);
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    STREACH_ASSIGN_OR_RETURN(contacts[i].a, decoder.GetU32());
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    STREACH_ASSIGN_OR_RETURN(contacts[i].b, decoder.GetU32());
+  }
+  if (!decoder.Done()) {
+    return Status::Corruption("sealed segment block: trailing bytes");
+  }
+  return contacts;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const SealedSegment>> SealedSegment::Build(
+    uint64_t id, std::vector<Contact> contacts,
+    const StreamingOptions& options) {
+  STREACH_RETURN_NOT_OK(ValidateStreamingOptions(options));
+  if (contacts.empty()) {
+    return Status::InvalidArgument("sealed segment: no contacts to seal");
+  }
+  // Canonical batch-build order — idempotent for head extracts (already
+  // sorted) and what makes direct builds append-order-invariant too.
+  std::sort(contacts.begin(), contacts.end());
+
+  auto segment = std::shared_ptr<SealedSegment>(new SealedSegment());
+  segment->id_ = id;
+  segment->codec_ = options.build.page_codec;
+  segment->page_size_ = options.page_size;
+  segment->contact_count_ = contacts.size();
+  segment->cover_ = TimeInterval(contacts.front().validity.start,
+                                 contacts.front().validity.end);
+  for (const Contact& c : contacts) {
+    segment->cover_ = segment->cover_.Union(c.validity);
+  }
+
+  StorageTopologyOptions topo_options;
+  topo_options.num_shards = options.num_shards;
+  topo_options.page_size = options.page_size;
+  segment->topology_ = std::make_unique<StorageTopology>(topo_options);
+
+  const size_t per_block = options.block_contacts;
+  const size_t num_blocks = (contacts.size() + per_block - 1) / per_block;
+  segment->blocks_.resize(num_blocks);
+
+  ShardedExtentWriter writer(segment->topology_.get(),
+                             options.build.write_queue_depth,
+                             GetPageCodec(options.build.page_codec));
+  BuildWorkerPool pool(options.num_shards, options.build.build_workers);
+  for (size_t k = 0; k < num_blocks; ++k) {
+    const uint32_t shard = segment->topology_->ShardForPartition(k);
+    const size_t begin = k * per_block;
+    const uint32_t count = static_cast<uint32_t>(
+        std::min(per_block, contacts.size() - begin));
+    BlockMeta* meta = &segment->blocks_[k];
+    const Contact* slice = contacts.data() + begin;
+    pool.Submit(shard, [slice, count, shard, meta, &writer]() -> Status {
+      Encoder enc;
+      RecordShape shape;
+      EncodeBlock(slice, count, &enc, &shape);
+      Extent extent;
+      STREACH_ASSIGN_OR_RETURN(extent,
+                               writer.Append(shard, enc.buffer(), shape));
+      meta->extent = extent;
+      meta->count = count;
+      meta->min_start = slice[0].validity.start;
+      Timestamp max_end = slice[0].validity.end;
+      for (uint32_t i = 1; i < count; ++i) {
+        max_end = std::max(max_end, slice[i].validity.end);
+      }
+      meta->max_end = max_end;
+      return Status::OK();
+    });
+  }
+  STREACH_RETURN_NOT_OK(pool.Finish());
+  STREACH_RETURN_NOT_OK(writer.Flush());
+  segment->stored_bytes_ = writer.bytes_written();
+  return std::shared_ptr<const SealedSegment>(std::move(segment));
+}
+
+std::unique_ptr<BufferPool> SealedSegment::NewPool(
+    size_t capacity_pages, int io_queue_depth) const {
+  auto pool = std::make_unique<BufferPool>(topology_.get(), capacity_pages);
+  pool->set_page_codec(GetPageCodec(codec_));
+  pool->set_io_queue_depth(io_queue_depth);
+  return pool;
+}
+
+Status SealedSegment::LoadOverlapping(TimeInterval interval,
+                                      BufferPool* pool,
+                                      std::vector<Contact>* out) const {
+  STREACH_CHECK(pool != nullptr);
+  if (interval.empty() || !cover_.Overlaps(interval)) return Status::OK();
+  std::vector<Extent> extents;
+  std::vector<size_t> block_of_extent;
+  for (size_t k = 0; k < blocks_.size(); ++k) {
+    const BlockMeta& block = blocks_[k];
+    // min_start ascends across the directory: once a block starts past
+    // the interval, every later block does too.
+    if (block.min_start > interval.end) break;
+    if (block.max_end < interval.start) continue;
+    extents.push_back(block.extent);
+    block_of_extent.push_back(k);
+  }
+  if (extents.empty()) return Status::OK();
+  std::vector<std::string> records;
+  STREACH_ASSIGN_OR_RETURN(records,
+                           ReadExtentsBatched(pool, extents, page_size_));
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::vector<Contact> contacts;
+    STREACH_ASSIGN_OR_RETURN(
+        contacts,
+        DecodeBlock(records[i], blocks_[block_of_extent[i]].count));
+    for (const Contact& c : contacts) {
+      if (c.validity.Overlaps(interval)) out->push_back(c);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace streach

@@ -1,0 +1,96 @@
+#ifndef STREACH_STREAM_SEALED_SEGMENT_H_
+#define STREACH_STREAM_SEALED_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "join/contact.h"
+#include "storage/block_device.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_topology.h"
+#include "stream/streaming_options.h"
+
+namespace streach {
+
+/// \brief One immutable on-disk unit of the streaming tier.
+///
+/// A seal takes the closed prefix of the head segment — every contact
+/// run that can no longer change under the lateness bound — and builds
+/// it into a sealed segment through the same write stack as the batch
+/// index families: contacts sorted in canonical batch-build order,
+/// chunked into fixed-size blocks, block k routed to shard k mod S
+/// (`StorageTopology::ShardForPartition`) and appended through a
+/// `ShardedExtentWriter` under a `BuildWorkerPool`, with the build's
+/// page codec compressing each block's sorted timestamp/id runs. The
+/// per-shard images are a pure function of the contact set and the
+/// build options — never of append order, seal schedule, or worker
+/// count.
+///
+/// Each segment owns its own `StorageTopology`: once `Build` returns,
+/// nothing ever mutates the devices again, so any number of query
+/// sessions may read the segment concurrently through private pools
+/// (`NewPool`) with no synchronization.
+class SealedSegment {
+ public:
+  /// Builds the segment from `contacts` (any order; must be non-empty).
+  /// `id` is the ingestor-assigned seal ordinal, used only for display
+  /// and per-session pool keying.
+  static Result<std::shared_ptr<const SealedSegment>> Build(
+      uint64_t id, std::vector<Contact> contacts,
+      const StreamingOptions& options);
+
+  uint64_t id() const { return id_; }
+  size_t contact_count() const { return contact_count_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+  /// Smallest interval covering every stored run's validity.
+  TimeInterval cover() const { return cover_; }
+
+  PageCodecKind page_codec() const { return codec_; }
+  size_t page_size() const { return page_size_; }
+  const StorageTopology& topology() const { return *topology_; }
+
+  /// Stored bytes across all shards (after codec encode).
+  uint64_t stored_bytes() const { return stored_bytes_; }
+
+  /// A private buffer pool over this segment's devices, configured for
+  /// its codec. One per query session per segment.
+  std::unique_ptr<BufferPool> NewPool(size_t capacity_pages,
+                                      int io_queue_depth) const;
+
+  /// Appends every stored run overlapping `interval` to `out`, fetching
+  /// the candidate blocks through `pool` as one batched read (the pool
+  /// must come from `NewPool`).
+  Status LoadOverlapping(TimeInterval interval, BufferPool* pool,
+                         std::vector<Contact>* out) const;
+
+ private:
+  /// Directory entry of one on-disk block. Blocks are stored in
+  /// canonical contact order, so `min_start` ascends across the
+  /// directory and an interval probe scans a contiguous prefix.
+  struct BlockMeta {
+    Extent extent;
+    Timestamp min_start = 0;
+    Timestamp max_end = 0;
+    uint32_t count = 0;
+  };
+
+  SealedSegment() = default;
+
+  uint64_t id_ = 0;
+  PageCodecKind codec_ = PageCodecKind::kRaw;
+  size_t page_size_ = BlockDevice::kDefaultPageSize;
+  size_t contact_count_ = 0;
+  TimeInterval cover_;
+  uint64_t stored_bytes_ = 0;
+  std::unique_ptr<StorageTopology> topology_;
+  std::vector<BlockMeta> blocks_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_STREAM_SEALED_SEGMENT_H_

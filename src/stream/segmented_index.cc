@@ -1,0 +1,293 @@
+#include "stream/segmented_index.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/query_stats.h"
+#include "common/stopwatch.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+
+namespace streach {
+namespace {
+
+/// One unit of the cross-segment closure: the contacts a single segment
+/// (sealed or head) contributes to the query interval, with an
+/// object -> contact-index adjacency for the sweep.
+struct SweepUnit {
+  uint64_t ordinal = 0;  // Seal id; the head sorts after every seal.
+  TimeInterval cover;
+  std::vector<Contact> contacts;
+  std::unordered_map<ObjectId, std::vector<uint32_t>> adjacency;
+};
+
+void BuildAdjacency(SweepUnit* unit) {
+  for (uint32_t e = 0; e < unit->contacts.size(); ++e) {
+    const Contact& c = unit->contacts[e];
+    unit->adjacency[c.a].push_back(e);
+    unit->adjacency[c.b].push_back(e);
+  }
+}
+
+/// One temporal-Dijkstra pass over a unit, clamped to `w`. `times` is
+/// the global infection front (kInvalidTime = uninfected); the pass
+/// relaxes it in place and reports whether anything improved. Equal
+/// arrival times chain within the pass, so a whole same-tick contact
+/// component infects together — the brute-force oracle's per-tick
+/// union-find semantics (§3.2).
+bool SweepOnce(const SweepUnit& unit, TimeInterval w,
+               std::vector<Timestamp>* times) {
+  using Item = std::pair<Timestamp, ObjectId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  for (const auto& [object, edges] : unit.adjacency) {
+    const Timestamp t = (*times)[object];
+    if (t != kInvalidTime) heap.push({t, object});
+  }
+  bool improved = false;
+  while (!heap.empty()) {
+    const auto [t, object] = heap.top();
+    heap.pop();
+    if (t != (*times)[object]) continue;  // Superseded by a better time.
+    for (const uint32_t e : unit.adjacency.at(object)) {
+      const Contact& c = unit.contacts[e];
+      const Timestamp clamped_start = std::max(c.validity.start, w.start);
+      const Timestamp clamped_end = std::min(c.validity.end, w.end);
+      if (clamped_start > clamped_end || t > clamped_end) continue;
+      const Timestamp arrival = std::max(t, clamped_start);
+      Timestamp& partner = (*times)[c.Other(object)];
+      if (partner == kInvalidTime || arrival < partner) {
+        partner = arrival;
+        improved = true;
+        heap.push({arrival, c.Other(object)});
+      }
+    }
+  }
+  return improved;
+}
+
+/// \brief The `ReachabilityIndex` session over a live ingestor (see
+/// segmented_index.h for the query model).
+class SegmentedIndex final : public ReachabilityIndex {
+ public:
+  explicit SegmentedIndex(std::shared_ptr<const StreamingIngestor> ingestor)
+      : ingestor_(std::move(ingestor)) {}
+
+  Result<ReachAnswer> Query(const ReachQuery& query) override {
+    // Mirrors the brute-force oracle case for case: a self-query is
+    // reachable iff the clamped window is non-empty, with no object
+    // range check; otherwise the answer is the closure's entry.
+    ReachAnswer answer;
+    if (query.source == query.destination) {
+      const TimeInterval w = query.interval.Intersect(ingestor_->span());
+      stats_ = QueryStats{};
+      answer.reachable = !w.empty();
+      answer.arrival_time = w.empty() ? kInvalidTime : w.start;
+      return answer;
+    }
+    std::vector<Timestamp> infected;
+    STREACH_ASSIGN_OR_RETURN(infected,
+                             ReachableSet(query.source, query.interval));
+    if (query.destination < infected.size()) {
+      const Timestamp t = infected[query.destination];
+      answer.reachable = t != kInvalidTime;
+      answer.arrival_time = t;
+    }
+    return answer;
+  }
+
+  Result<std::vector<Timestamp>> ReachableSet(ObjectId source,
+                                              TimeInterval interval) override {
+    std::vector<std::vector<Timestamp>> sets;
+    STREACH_ASSIGN_OR_RETURN(sets, ReachableSets({source}, interval));
+    return std::move(sets[0]);
+  }
+
+  Result<std::vector<std::vector<Timestamp>>> ReachableSets(
+      const std::vector<ObjectId>& sources, TimeInterval interval) override {
+    Stopwatch watch;
+    stats_ = QueryStats{};
+    // Multi-pool accounting: one pool per sealed segment, some possibly
+    // created mid-query (first touch of a segment). Snapshot the
+    // existing pools' counters; a pool absent from the snapshot
+    // contributes its full totals — it did not exist before this query.
+    struct Before {
+      IoStats io;
+      uint64_t hits = 0;
+      uint64_t misses = 0;
+    };
+    std::unordered_map<const BufferPool*, Before> before;
+    before.reserve(pools_.size());
+    for (const auto& [id, pool] : pools_) {
+      before[pool.get()] = {pool->io_stats(), pool->hits(), pool->misses()};
+    }
+
+    const size_t num_objects = ingestor_->num_objects();
+    const TimeInterval w = interval.Intersect(ingestor_->span());
+    std::vector<std::vector<Timestamp>> sets(
+        sources.size(), std::vector<Timestamp>(num_objects, kInvalidTime));
+    uint64_t visited = 0;
+    Status status;
+    if (!w.empty()) {
+      std::vector<SweepUnit> units;
+      status = LoadUnits(w, &units);
+      if (status.ok()) {
+        for (const SweepUnit& unit : units) visited += unit.contacts.size();
+        for (size_t i = 0; i < sources.size(); ++i) {
+          if (sources[i] >= num_objects) continue;
+          std::vector<Timestamp>& times = sets[i];
+          times[sources[i]] = w.start;
+          // Bounded fixpoint: sweep the units (ascending cover, head
+          // last) until no infection time improves. A run crossing a
+          // seal boundary lives in the later unit, so infection flows
+          // backward across the cut on the next round; times only
+          // decrease over a finite lattice, so this terminates.
+          bool changed = true;
+          while (changed) {
+            changed = false;
+            for (const SweepUnit& unit : units) {
+              changed |= SweepOnce(unit, w, &times);
+            }
+          }
+        }
+      }
+    }
+
+    // Finalized even on error so partially accounted IO is visible.
+    IoStats io;
+    uint64_t pages = 0;
+    uint64_t hits = 0;
+    for (const auto& [id, pool] : pools_) {
+      const auto it = before.find(pool.get());
+      if (it == before.end()) {
+        io += pool->io_stats();
+        pages += pool->misses();
+        hits += pool->hits();
+      } else {
+        io += pool->io_stats() - it->second.io;
+        pages += pool->misses() - it->second.misses;
+        hits += pool->hits() - it->second.hits;
+      }
+    }
+    stats_.io_cost = io.NormalizedReadCost();
+    stats_.pages_fetched = pages;
+    stats_.pool_hits = hits;
+    stats_.items_visited = visited;
+    stats_.cpu_seconds = watch.ElapsedSeconds();
+    if (!status.ok()) return status;
+    return sets;
+  }
+
+  const QueryStats& last_query_stats() const override { return stats_; }
+
+  void ClearCache() override {
+    for (const auto& [id, pool] : pools_) pool->Clear();
+  }
+
+  void SetIoQueueDepth(int depth) override {
+    io_queue_depth_ = std::max(depth, 1);
+    for (const auto& [id, pool] : pools_) {
+      pool->set_io_queue_depth(io_queue_depth_);
+    }
+  }
+
+  // No identity on purpose: the index is live (appends land between
+  // queries), so the engine's result cache must never memoize it.
+  std::shared_ptr<const void> IndexIdentity() const override {
+    return nullptr;
+  }
+
+  int num_shards() const override { return ingestor_->options().num_shards; }
+
+  std::optional<PageCodecKind> page_codec() const override {
+    return ingestor_->options().build.page_codec;
+  }
+
+  std::vector<IoStats> shard_io_stats() const override {
+    std::vector<IoStats> total(
+        static_cast<size_t>(ingestor_->options().num_shards));
+    for (const auto& [id, pool] : pools_) {
+      const std::vector<IoStats> per_shard = pool->PerShardIoStats();
+      for (size_t s = 0; s < per_shard.size() && s < total.size(); ++s) {
+        total[s] += per_shard[s];
+      }
+    }
+    return total;
+  }
+
+  std::string DescribeIndex() const override {
+    return "SegmentedIndex(streaming)";
+  }
+
+  std::unique_ptr<ReachabilityIndex> NewSession() const override {
+    auto session = std::make_unique<SegmentedIndex>(ingestor_);
+    session->io_queue_depth_ = io_queue_depth_;
+    return session;
+  }
+
+ private:
+  /// Snapshots the ingestor and loads every overlapping unit's contacts:
+  /// sealed segments in ascending (cover start, seal id), the head last.
+  Status LoadUnits(TimeInterval w, std::vector<SweepUnit>* units) {
+    StreamingIngestor::Snapshot snapshot = ingestor_->SnapshotFor(w);
+    units->reserve(snapshot.segments.size() + 1);
+    for (const auto& segment : snapshot.segments) {
+      SweepUnit unit;
+      unit.ordinal = segment->id();
+      unit.cover = segment->cover();
+      STREACH_RETURN_NOT_OK(
+          segment->LoadOverlapping(w, PoolFor(*segment), &unit.contacts));
+      if (!unit.contacts.empty()) units->push_back(std::move(unit));
+    }
+    std::sort(units->begin(), units->end(),
+              [](const SweepUnit& x, const SweepUnit& y) {
+                return std::tie(x.cover.start, x.ordinal) <
+                       std::tie(y.cover.start, y.ordinal);
+              });
+    if (!snapshot.head.empty()) {
+      SweepUnit unit;
+      unit.contacts = std::move(snapshot.head);
+      units->push_back(std::move(unit));
+    }
+    for (SweepUnit& unit : *units) BuildAdjacency(&unit);
+    return Status::OK();
+  }
+
+  /// This session's pool over one sealed segment, created on first
+  /// touch. Seal ids are unique and never reused, so the key is stable.
+  BufferPool* PoolFor(const SealedSegment& segment) {
+    auto it = pools_.find(segment.id());
+    if (it == pools_.end()) {
+      it = pools_
+               .emplace(segment.id(),
+                        segment.NewPool(
+                            ingestor_->options().buffer_pool_pages,
+                            io_queue_depth_))
+               .first;
+    }
+    return it->second.get();
+  }
+
+  std::shared_ptr<const StreamingIngestor> ingestor_;
+  std::unordered_map<uint64_t, std::unique_ptr<BufferPool>> pools_;
+  QueryStats stats_;
+  int io_queue_depth_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<ReachabilityIndex> MakeStreamingBackend(
+    std::shared_ptr<const StreamingIngestor> ingestor) {
+  STREACH_CHECK(ingestor != nullptr);
+  return std::make_unique<SegmentedIndex>(std::move(ingestor));
+}
+
+}  // namespace streach

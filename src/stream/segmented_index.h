@@ -1,0 +1,39 @@
+#ifndef STREACH_STREAM_SEGMENTED_INDEX_H_
+#define STREACH_STREAM_SEGMENTED_INDEX_H_
+
+#include <memory>
+
+#include "engine/reachability_index.h"
+#include "stream/streaming_ingestor.h"
+
+namespace streach {
+
+/// \brief A `ReachabilityIndex` session over a live streaming ingestor.
+///
+/// A query over `[t1, t2]` snapshots the ingestor (the sealed segments
+/// overlapping the interval, pinned, plus copies of the overlapping head
+/// runs), loads each unit's candidate blocks through a private per-segment
+/// buffer pool, and closes reachability with a bounded fixpoint of
+/// per-unit temporal-Dijkstra sweeps: units are swept in ascending cover
+/// order, and the round repeats until no infection time improves — which
+/// stitches chains whose runs cross seal boundaries in either direction.
+/// Infection times only decrease over a finite lattice, so the fixpoint
+/// terminates; because every contact run is wholly owned by exactly one
+/// unit and the sweep unions activity across all overlapping units, the
+/// answer is independent of how the stream was cut into segments — the
+/// invariant that makes any append order and seal schedule byte-identical
+/// to a one-shot batch build.
+///
+/// Sessions follow the engine contract: one private set of buffer pools
+/// and one stats slot per session, `NewSession()` for concurrent workers.
+/// `IndexIdentity()` is null — the index is mutable (appends land between
+/// queries), so memoized result-cache answers would go stale.
+///
+/// `MakeStreamingBackend` is the factory; the session shares ownership of
+/// the ingestor, so it stays valid however long queries keep running.
+std::unique_ptr<ReachabilityIndex> MakeStreamingBackend(
+    std::shared_ptr<const StreamingIngestor> ingestor);
+
+}  // namespace streach
+
+#endif  // STREACH_STREAM_SEGMENTED_INDEX_H_

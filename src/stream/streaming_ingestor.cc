@@ -1,0 +1,145 @@
+#include "stream/streaming_ingestor.h"
+
+#include <string>
+#include <utility>
+
+namespace streach {
+
+Result<std::shared_ptr<StreamingIngestor>> StreamingIngestor::Create(
+    const StreamingOptions& options) {
+  STREACH_RETURN_NOT_OK(ValidateStreamingOptions(options));
+  return std::shared_ptr<StreamingIngestor>(new StreamingIngestor(options));
+}
+
+StreamingIngestor::StreamingIngestor(const StreamingOptions& options)
+    : options_(options),
+      head_(options.max_lateness_ticks),
+      next_seal_boundary_(options.span.start + options.seal_interval_ticks -
+                          1) {}
+
+Status StreamingIngestor::Append(const Contact& contact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(contact);
+}
+
+Status StreamingIngestor::AppendLocked(const Contact& contact) {
+  if (contact.a >= options_.num_objects ||
+      contact.b >= options_.num_objects) {
+    return Status::InvalidArgument(
+        "streaming: contact " + contact.ToString() + " names an object >= " +
+        std::to_string(options_.num_objects));
+  }
+  if (contact.a == contact.b) {
+    return Status::InvalidArgument("streaming: self-contact " +
+                                   contact.ToString());
+  }
+  if (contact.validity.empty() || !options_.span.Contains(contact.validity)) {
+    return Status::InvalidArgument(
+        "streaming: contact " + contact.ToString() +
+        " has validity outside the stream span " + options_.span.ToString());
+  }
+  STREACH_RETURN_NOT_OK(head_.Append(contact));
+  ++appended_;
+  // The watermark may have jumped several grid boundaries at once (one
+  // large in-order batch); seal each crossed interval in order so the
+  // segmentation matches a tick-by-tick arrival of the same stream.
+  while (true) {
+    const Timestamp watermark = head_.SafeWatermark();
+    if (watermark == kInvalidTime || watermark < next_seal_boundary_) break;
+    STREACH_RETURN_NOT_OK(SealThroughLocked(next_seal_boundary_));
+    next_seal_boundary_ += options_.seal_interval_ticks;
+  }
+  return Status::OK();
+}
+
+Status StreamingIngestor::Seal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Timestamp watermark = head_.SafeWatermark();
+  if (watermark == kInvalidTime) return Status::OK();
+  STREACH_RETURN_NOT_OK(SealThroughLocked(watermark));
+  AdvanceBoundaryLocked(watermark);
+  return Status::OK();
+}
+
+Status StreamingIngestor::SealRemaining() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Timestamp watermark = head_.max_end_seen();
+  if (watermark == kInvalidTime) return Status::OK();
+  STREACH_RETURN_NOT_OK(SealThroughLocked(watermark));
+  AdvanceBoundaryLocked(watermark);
+  return Status::OK();
+}
+
+Status StreamingIngestor::SealThroughLocked(Timestamp watermark) {
+  std::vector<Contact> batch = head_.ExtractThrough(watermark);
+  if (batch.empty()) return Status::OK();
+  const size_t count = batch.size();
+  std::shared_ptr<const SealedSegment> segment;
+  STREACH_ASSIGN_OR_RETURN(
+      segment,
+      SealedSegment::Build(next_segment_id_, std::move(batch), options_));
+  ++next_segment_id_;
+  sealed_contacts_ += count;
+  stored_bytes_ += segment->stored_bytes();
+  segments_.push_back(std::move(segment));
+  return Status::OK();
+}
+
+void StreamingIngestor::AdvanceBoundaryLocked(Timestamp watermark) {
+  while (next_seal_boundary_ <= watermark) {
+    next_seal_boundary_ += options_.seal_interval_ticks;
+  }
+}
+
+void StreamingIngestor::OnContact(const Contact& contact) {
+  const Status status = Append(contact);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_status_.ok()) sink_status_ = status;
+  }
+}
+
+Status StreamingIngestor::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sink_status_;
+}
+
+StreamingIngestor::Snapshot StreamingIngestor::SnapshotFor(
+    TimeInterval interval) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  for (const auto& segment : segments_) {
+    if (segment->cover().Overlaps(interval)) {
+      snapshot.segments.push_back(segment);
+    }
+  }
+  head_.CollectOverlapping(interval, &snapshot.head);
+  return snapshot;
+}
+
+size_t StreamingIngestor::head_contacts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_.size();
+}
+
+size_t StreamingIngestor::sealed_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+uint64_t StreamingIngestor::appended_contacts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+uint64_t StreamingIngestor::sealed_contacts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_contacts_;
+}
+
+uint64_t StreamingIngestor::stored_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stored_bytes_;
+}
+
+}  // namespace streach

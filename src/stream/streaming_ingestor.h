@@ -1,0 +1,123 @@
+#ifndef STREACH_STREAM_STREAMING_INGESTOR_H_
+#define STREACH_STREAM_STREAMING_INGESTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "join/contact.h"
+#include "join/contact_sink.h"
+#include "stream/head_segment.h"
+#include "stream/sealed_segment.h"
+#include "stream/streaming_options.h"
+
+namespace streach {
+
+/// \brief The streaming tier's write front door: head segment + seal
+/// schedule + the growing list of sealed segments.
+///
+/// `Append` absorbs one contact run into the mutable head; whenever the
+/// lateness watermark crosses a `seal_interval_ticks` boundary, the
+/// closed prefix of the head seals automatically into an immutable
+/// `SealedSegment`. `Seal()` forces an adversarial mid-interval seal of
+/// whatever is safely closed right now; `SealRemaining()` is the
+/// end-of-stream flush that seals everything (and rejects stragglers
+/// afterwards).
+///
+/// The ingestor is also a `ContactSink`, so `ExtractContactsTo` can feed
+/// it directly — extraction streams into the head as runs close, with no
+/// materialized contact vector in between. Sink delivery order (close
+/// tick ascending) satisfies any lateness bound, including 0.
+///
+/// Thread safety: every entry point locks one internal mutex, so any
+/// number of appenders and query sessions (via `SnapshotFor`) may run
+/// concurrently. Queries never hold the lock while reading segment
+/// pages: a snapshot pins the overlapping sealed segments (shared
+/// ownership; their devices are immutable) and copies the overlapping
+/// head runs.
+class StreamingIngestor : public ContactSink {
+ public:
+  /// Validates `options` and creates an empty ingestor.
+  static Result<std::shared_ptr<StreamingIngestor>> Create(
+      const StreamingOptions& options);
+
+  /// Absorbs one contact run; may seal zero or more segments before
+  /// returning. Rejects runs naming objects outside
+  /// [0, num_objects), self-pairs, validity outside the span, and
+  /// arrivals later than the lateness bound.
+  Status Append(const Contact& contact);
+
+  /// Seals everything safely closed under the lateness bound right now
+  /// (no-op when nothing is). Any point in the stream is a legal call
+  /// site — answers never change, only the segmentation does.
+  Status Seal();
+
+  /// End-of-stream flush: seals every resident run regardless of the
+  /// lateness bound. Afterwards, appends closing at or before the last
+  /// sealed tick are rejected.
+  Status SealRemaining();
+
+  /// \name ContactSink
+  /// `OnContact` forwards to `Append`, latching the first failure into
+  /// `status()` (the sink interface cannot report errors inline).
+  /// `OnFinish` is a no-op: end of one extraction pass is not end of
+  /// the stream — callers decide when to `SealRemaining`.
+  /// @{
+  void OnContact(const Contact& contact) override;
+  void OnFinish() override {}
+  /// @}
+
+  /// First error swallowed by the sink path; OK if none.
+  Status status() const;
+
+  /// What a query over `interval` must consult: the sealed segments
+  /// whose cover overlaps it (pinned) plus copies of the overlapping
+  /// head runs.
+  struct Snapshot {
+    std::vector<std::shared_ptr<const SealedSegment>> segments;
+    std::vector<Contact> head;
+  };
+  Snapshot SnapshotFor(TimeInterval interval) const;
+
+  const StreamingOptions& options() const { return options_; }
+  size_t num_objects() const { return options_.num_objects; }
+  TimeInterval span() const { return options_.span; }
+
+  /// \name Counters (each takes the lock; safe anytime)
+  /// @{
+  size_t head_contacts() const;
+  size_t sealed_segments() const;
+  uint64_t appended_contacts() const;
+  uint64_t sealed_contacts() const;
+  uint64_t stored_bytes() const;
+  /// @}
+
+ private:
+  explicit StreamingIngestor(const StreamingOptions& options);
+
+  Status AppendLocked(const Contact& contact);
+  /// Extracts through `watermark` and, if anything came out, builds and
+  /// publishes a sealed segment.
+  Status SealThroughLocked(Timestamp watermark);
+  /// Advances the automatic seal grid past `watermark`.
+  void AdvanceBoundaryLocked(Timestamp watermark);
+
+  const StreamingOptions options_;
+  mutable std::mutex mu_;
+  HeadSegment head_;
+  std::vector<std::shared_ptr<const SealedSegment>> segments_;
+  Timestamp next_seal_boundary_;
+  uint64_t next_segment_id_ = 0;
+  uint64_t appended_ = 0;
+  uint64_t sealed_contacts_ = 0;
+  uint64_t stored_bytes_ = 0;
+  Status sink_status_;
+};
+
+}  // namespace streach
+
+#endif  // STREACH_STREAM_STREAMING_INGESTOR_H_

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Schema + contract validators for the BENCH_*.json files the bench
+binaries emit (field meanings in docs/BENCH_SCHEMA.md).
+
+One subcommand per schema, so CI and local runs share one versioned
+checker instead of inline workflow scripts:
+
+    python3 tools/validate_bench.py engine    BENCH_engine_scaling.json
+    python3 tools/validate_bench.py build     BENCH_build_scaling.json
+    python3 tools/validate_bench.py join      BENCH_join_scaling.json
+    python3 tools/validate_bench.py streaming BENCH_streaming.json
+
+Each validator asserts the schema (required fields per row) and the
+behavioural contracts the sweep is supposed to prove — IO overlap under
+deep queues, codec compression, batch dedup, join determinism, streaming
+batch equivalence. Exits non-zero with the failed assertion on any
+violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        rows = json.load(f)
+    assert isinstance(rows, list) and rows, "no rows"
+    return rows
+
+
+def check_required(rows, required):
+    for row in rows:
+        missing = required - row.keys()
+        assert not missing, f"row missing {missing}: {row}"
+
+
+def validate_engine(path):
+    rows = load_rows(path)
+    check_required(rows, {
+        "backend", "threads", "shards", "depth", "codec",
+        "traversal_threads", "batch_sources",
+        "qps", "io_per_query", "total_reads",
+        "reads_per_source", "mean_inflight",
+        "batched_reads", "build_seconds",
+        "build_pages_written", "build_batched_writes",
+        "build_mean_write_inflight", "encoded_bytes",
+        "decoded_bytes", "compression_ratio"})
+    deep = [r for r in rows if r["depth"] > 1]
+    assert deep, "no deep-queue cells in the sweep"
+    overlapped = [r for r in deep if r["mean_inflight"] > 1.0]
+    assert overlapped, "depth>1 cells never overlapped IO"
+    # Write side: every index was built with deep write queues, so
+    # each row must carry a real build profile whose batched writes
+    # overlapped and covered every written page.
+    for row in rows:
+        assert row["build_seconds"] > 0, f"no build time: {row}"
+        assert row["build_pages_written"] > 0, f"no build pages: {row}"
+        assert row["build_batched_writes"] == row["build_pages_written"], \
+            f"deep-queue build did not batch every write: {row}"
+    write_overlapped = [r for r in rows
+                        if r["build_mean_write_inflight"] > 1.0]
+    assert write_overlapped, "builds never overlapped writes"
+    # Codec contract: for ReachGrid and SPJ, the delta-varint twin
+    # of every raw cell must compress > 1.5x and read strictly
+    # fewer pages.
+    cells = {(r["backend"], r["threads"], r["shards"], r["depth"],
+              r["codec"]): r for r in rows}
+    for backend in ("ReachGrid", "SPJ(scan-join)"):
+        pairs = 0
+        for key, raw in cells.items():
+            if key[0] != backend or key[4] != "raw":
+                continue
+            delta = cells.get(key[:4] + ("delta-varint",))
+            assert delta, f"missing delta twin for {key}"
+            pairs += 1
+            assert delta["compression_ratio"] > 1.5, \
+                f"{backend}: ratio {delta['compression_ratio']}"
+            assert delta["total_reads"] < raw["total_reads"], \
+                f"{backend}: delta reads {delta['total_reads']} not < " \
+                f"raw {raw['total_reads']} at {key[:4]}"
+        assert pairs, f"no codec pairs for {backend}"
+    # Multi-source dedup contract: growing the shared-frontier
+    # batch strictly cuts the per-source read bill, for every
+    # backend with a batch closure path.
+    for backend in ("ReachGrid(multi-source)",
+                    "ReachGraph(multi-source)", "SPJ(multi-source)"):
+        series = sorted(((r["batch_sources"], r["reads_per_source"])
+                         for r in rows if r["backend"] == backend))
+        assert len(series) >= 3, f"{backend}: sweep too small {series}"
+        for (b0, reads0), (b1, reads1) in zip(series, series[1:]):
+            assert reads1 < reads0, \
+                f"{backend}: reads/source {reads1} at batch {b1} " \
+                f"not < {reads0} at batch {b0}"
+    # Intra-query parallelism never changes the IO bill: the
+    # closure cells' reads_per_source is one value across the
+    # whole traversal_threads axis.
+    closure = [r for r in rows if r["backend"] == "ReachGrid(closure)"]
+    assert len(closure) >= 2, "no closure-scaling cells"
+    assert len({r["reads_per_source"] for r in closure}) == 1, \
+        f"traversal_threads changed the read bill: {closure}"
+    print(f"{len(rows)} cells OK; "
+          f"max inflight {max(r['mean_inflight'] for r in deep):.2f}; "
+          f"max write inflight "
+          f"{max(r['build_mean_write_inflight'] for r in rows):.2f}; "
+          f"max ratio "
+          f"{max(r['compression_ratio'] for r in rows):.2f}")
+
+
+def validate_build(path):
+    rows = load_rows(path)
+    check_required(rows, {
+        "backend", "workers", "depth", "shards",
+        "build_seconds", "pages_written", "batched_writes",
+        "mean_write_inflight"})
+    for row in rows:
+        assert row["build_seconds"] > 0, f"no build time: {row}"
+        assert row["pages_written"] > 0, f"no pages: {row}"
+        if row["depth"] == 1:
+            assert row["batched_writes"] == 0, \
+                f"depth-1 build batched writes: {row}"
+        else:
+            assert row["batched_writes"] == row["pages_written"], \
+                f"deep build did not batch every write: {row}"
+            assert row["mean_write_inflight"] > 1.0, \
+                f"deep build never overlapped: {row}"
+    backends = {r["backend"] for r in rows}
+    assert backends == {"ReachGrid", "ReachGraph", "GRAIL", "SPJ"}, \
+        f"unexpected backend set {backends}"
+    axes = {(r["workers"], r["depth"]) for r in rows}
+    assert {(1, 1), (0, 1), (1, 8), (0, 8)} <= axes, \
+        f"workers x depth sweep incomplete: {axes}"
+    print(f"{len(rows)} build cells OK; max write inflight "
+          f"{max(r['mean_write_inflight'] for r in rows):.2f}")
+
+
+def validate_join(path):
+    rows = load_rows(path)
+    check_required(rows, {
+        "objects", "ticks", "dt", "join_threads",
+        "extract_seconds", "ticks_per_sec", "contacts",
+        "seed_seconds", "hardware_concurrency"})
+    for row in rows:
+        assert row["extract_seconds"] > 0, f"no extract time: {row}"
+        assert row["seed_seconds"] > 0, f"no seed time: {row}"
+        assert row["contacts"] > 0, f"no contacts: {row}"
+    # Determinism contract: the contact count of a (objects, dt)
+    # dataset is one value across the whole join_threads axis.
+    # (The binary itself STREACH_CHECKs full contact-set equality
+    # against the seed joiner; this re-checks what the JSON
+    # records.)
+    groups = {}
+    for r in rows:
+        groups.setdefault((r["objects"], r["dt"]), []).append(r)
+    for key, cells in groups.items():
+        counts = {r["contacts"] for r in cells}
+        assert len(counts) == 1, \
+            f"join_threads changed the contact set at {key}: {counts}"
+    # Perf contract: the CSR cell list beats the seed joiner at the
+    # largest object count even at 1 thread, for every dT.
+    largest = max(r["objects"] for r in rows)
+    seed_beaten = [r for r in rows
+                   if r["objects"] == largest and r["join_threads"] == 1]
+    assert seed_beaten, "no 1-thread cells at the largest object count"
+    for r in seed_beaten:
+        assert r["extract_seconds"] < r["seed_seconds"], \
+            f"CSR {r['extract_seconds']:.6f}s not beating seed " \
+            f"{r['seed_seconds']:.6f}s at {largest} objects dt {r['dt']}"
+    # Scaling contract, multi-core runners only (a 1-core host just
+    # has to stay flat): ticks/sec non-decreasing in join_threads,
+    # with a 0.85 noise floor, for thread counts the host can
+    # actually run in parallel.
+    cores = rows[0]["hardware_concurrency"]
+    if cores > 1:
+        for key, cells in groups.items():
+            series = sorted((r["join_threads"], r["ticks_per_sec"])
+                            for r in cells)
+            usable = [(t, tps) for t, tps in series if t <= cores]
+            for (t0, tps0), (t1, tps1) in zip(usable, usable[1:]):
+                assert tps1 >= 0.85 * tps0, \
+                    f"{key}: {tps1:.0f} ticks/s at {t1} threads " \
+                    f"regressed from {tps0:.0f} at {t0}"
+    print(f"{len(rows)} join cells OK; largest {largest} objects; "
+          f"best speedup vs seed "
+          f"{max(r['seed_seconds'] / r['extract_seconds'] for r in seed_beaten):.2f}x")
+
+
+def validate_streaming(path):
+    rows = load_rows(path)
+    check_required(rows, {
+        "seal_interval", "shards", "codec", "contacts",
+        "ingest_seconds", "contacts_per_sec", "sealed_segments",
+        "sealed_contacts", "head_contacts", "stored_bytes",
+        "matches_batch", "query_seconds"})
+    for row in rows:
+        # The tentpole invariant: every seal schedule / shard count /
+        # codec answers the workload byte-identically to the one-shot
+        # batch build.
+        assert row["matches_batch"] is True, \
+            f"cell diverged from the batch build: {row}"
+        assert row["contacts"] > 0, f"no contacts ingested: {row}"
+        assert row["ingest_seconds"] > 0, f"no ingest time: {row}"
+        assert row["contacts_per_sec"] > 0, f"no ingest throughput: {row}"
+        assert row["sealed_segments"] >= 1, f"nothing sealed: {row}"
+        assert row["stored_bytes"] > 0, f"no sealed bytes: {row}"
+        # Conservation: every appended contact is in a sealed segment or
+        # still in the head — never both, never dropped.
+        assert row["sealed_contacts"] + row["head_contacts"] == row["contacts"], \
+            f"sealed + head != appended: {row}"
+    # The contact stream is one dataset: every cell ingested the same
+    # number of contacts.
+    assert len({r["contacts"] for r in rows}) == 1, \
+        f"cells disagree on the contact stream: {rows}"
+    # Finer seal grids mean more sealed segments (same shards/codec).
+    groups = {}
+    for r in rows:
+        groups.setdefault((r["shards"], r["codec"]), []).append(r)
+    for key, cells in groups.items():
+        series = sorted((r["seal_interval"], r["sealed_segments"])
+                        for r in cells)
+        for (s0, n0), (s1, n1) in zip(series, series[1:]):
+            assert n1 <= n0, \
+                f"{key}: coarser grid {s1} sealed more segments " \
+                f"({n1}) than {s0} ({n0})"
+    # Codec contract: delta-varint cells store strictly fewer bytes
+    # than their raw twins.
+    cells = {(r["seal_interval"], r["shards"], r["codec"]): r for r in rows}
+    pairs = 0
+    for key, raw in cells.items():
+        if key[2] != "raw":
+            continue
+        delta = cells.get(key[:2] + ("delta-varint",))
+        assert delta, f"missing delta twin for {key}"
+        pairs += 1
+        assert delta["stored_bytes"] < raw["stored_bytes"], \
+            f"delta {delta['stored_bytes']}B not < raw " \
+            f"{raw['stored_bytes']}B at {key[:2]}"
+    assert pairs, "no codec pairs in the sweep"
+    print(f"{len(rows)} streaming cells OK; all match batch; "
+          f"best ingest {max(r['contacts_per_sec'] for r in rows):.0f} "
+          f"contacts/s; max segments "
+          f"{max(r['sealed_segments'] for r in rows)}")
+
+
+VALIDATORS = {
+    "engine": validate_engine,
+    "build": validate_build,
+    "join": validate_join,
+    "streaming": validate_streaming,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("schema", choices=sorted(VALIDATORS))
+    parser.add_argument("path", help="BENCH_*.json file to validate")
+    args = parser.parse_args()
+    try:
+        VALIDATORS[args.schema](args.path)
+    except AssertionError as failure:
+        print(f"validate_bench {args.schema}: {failure}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
