@@ -1,0 +1,281 @@
+// Query-family sweep: every non-boolean family (engine/query_spec.h) on
+// every set-capable backend, measuring per-family throughput/IO and
+// emitting the cross-backend agreement evidence CI gates on.
+//
+// Not a paper experiment — the paper's workload is boolean reach; this
+// charts the family layer (PR 9): decay / k-hop / threshold evaluate
+// through ConstrainedProfile, top-k through ReachableSets, and every
+// backend must produce byte-identical answers. Each cell therefore
+// records a canonical hash of its answer vector (equal across backends
+// of one family) plus the reach count of a *relaxed* rerun of the same
+// specs — decay 0, unbounded hops, probability floor 0 — which bounds
+// the constrained count from above (the validate_bench invariant).
+// docs/BENCH_SCHEMA.md documents every field.
+//
+// Set STREACH_BENCH_TINY=1 to run a reduced dataset — the CI bench-smoke
+// configuration.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/spj.h"
+#include "bench_common.h"
+#include "engine/query_spec.h"
+#include "reachgraph/reach_graph_index.h"
+#include "reachgrid/reach_grid_index.h"
+
+namespace streach {
+namespace bench {
+namespace {
+
+bool TinyMode() {
+  const char* tiny = std::getenv("STREACH_BENCH_TINY");
+  return tiny != nullptr && tiny[0] != '\0' && tiny[0] != '0';
+}
+
+BenchEnv& Env() {
+  static BenchEnv env =
+      TinyMode() ? MakeEnv("RWP", DatasetScale::kSmall,
+                           /*duration=*/300, /*num_queries=*/0)
+                 : MakeEnv("RWP", DatasetScale::kMedium,
+                           /*duration=*/1000, /*num_queries=*/0);
+  return env;
+}
+
+/// Specs per family per cell. Family queries materialize whole profiles
+/// (no destination early-exit), so the sweep uses a lighter workload
+/// than the boolean benches.
+int QueriesPerCell() { return TinyMode() ? 24 : 80; }
+
+struct Backend {
+  std::string name;
+  std::unique_ptr<ReachabilityIndex> session;
+};
+
+std::vector<Backend>& Backends() {
+  static std::vector<Backend>* backends = [] {
+    auto* list = new std::vector<Backend>();
+    ReachGridOptions grid_options;
+    grid_options.temporal_resolution = 20;
+    grid_options.spatial_cell_size = 1024.0;
+    grid_options.contact_range = Env().dataset.contact_range;
+    auto grid = ReachGridIndex::Build(Env().dataset.store, grid_options);
+    STREACH_CHECK(grid.ok());
+    list->push_back(
+        {"ReachGrid",
+         MakeReachGridBackend(std::shared_ptr<const ReachGridIndex>(
+             std::move(*grid)))});
+    auto graph = ReachGraphIndex::Build(*Env().network, ReachGraphOptions{});
+    STREACH_CHECK(graph.ok());
+    list->push_back(
+        {"ReachGraph",
+         MakeReachGraphBackend(std::shared_ptr<const ReachGraphIndex>(
+                                   std::move(*graph)),
+                               ReachGraphTraversal::kBmBfs)});
+    SpjOptions spj_options;
+    spj_options.contact_range = Env().dataset.contact_range;
+    auto spj = SpjEvaluator::Build(Env().dataset.store, spj_options);
+    STREACH_CHECK(spj.ok());
+    list->push_back(
+        {"SPJ", MakeSpjBackend(
+                    std::shared_ptr<const SpjEvaluator>(std::move(*spj)))});
+    return list;
+  }();
+  return *backends;
+}
+
+std::vector<QuerySpec> SpecsFor(QueryFamily family) {
+  FamilyWorkloadParams params;
+  params.base.num_queries = QueriesPerCell();
+  params.base.num_objects = Env().dataset.num_objects();
+  params.base.span = Env().dataset.span();
+  params.base.min_interval_len = TinyMode() ? 50 : 150;
+  params.base.max_interval_len = TinyMode() ? 200 : 350;
+  params.base.seed = 4242;
+  params.family = family;
+  return GenerateFamilyWorkload(params);
+}
+
+/// The same specs with their family constraint disabled: decay 0,
+/// unbounded hop budget/window, probability floor 0. The relaxed reach
+/// count bounds the constrained one from above (boolean and top-k are
+/// their own relaxation).
+std::vector<QuerySpec> Relax(std::vector<QuerySpec> specs) {
+  for (QuerySpec& spec : specs) {
+    switch (spec.family) {
+      case QueryFamily::kDecayReach:
+        spec.decay = 0.0;
+        break;
+      case QueryFamily::kKHopReach:
+        spec.max_hops = -1;
+        spec.per_hop_ticks = -1;
+        break;
+      case QueryFamily::kThresholdReach:
+        spec.min_path_probability = 0.0;
+        break;
+      case QueryFamily::kBoolean:
+      case QueryFamily::kTopKSources:
+        break;
+    }
+  }
+  return specs;
+}
+
+/// Canonical FNV-1a hash of an answer vector — equal across backends iff
+/// the answers are byte-identical (the equivalence CI checks).
+uint64_t HashAnswers(const std::vector<FamilyAnswer>& answers) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_double = [&](double d) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d), "double is 64-bit");
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  for (const FamilyAnswer& a : answers) {
+    mix(static_cast<uint64_t>(a.family));
+    mix(a.point.reachable ? 1 : 0);
+    mix(static_cast<uint64_t>(a.point.arrival_time));
+    mix_double(a.best_probability);
+    mix(a.profile.size());
+    for (const ReachProfileEntry& e : a.profile) {
+      mix(static_cast<uint64_t>(e.infected_at));
+      mix(static_cast<uint64_t>(e.transfers));
+    }
+    mix(a.ranked.size());
+    for (const TopKEntry& e : a.ranked) {
+      mix(e.source);
+      mix(e.reach_count);
+    }
+  }
+  return h;
+}
+
+struct Row {
+  std::string family;
+  std::string backend;
+  int num_queries;
+  uint64_t num_reachable;
+  uint64_t relaxed_reachable;
+  uint64_t answers_hash;
+  double wall_seconds;
+  double queries_per_second;
+  double mean_io_cost;
+  double p50_latency;
+  double p95_latency;
+};
+std::vector<Row>& Rows() {
+  static std::vector<Row> rows;
+  return rows;
+}
+
+void FamilySweep(benchmark::State& state, QueryFamily family) {
+  Backend& backend = Backends()[static_cast<size_t>(state.range(0))];
+  const auto specs = SpecsFor(family);
+  const auto relaxed = Relax(specs);
+  for (auto _ : state) {
+    QueryEngine engine;
+    auto report = engine.RunFamilies(backend.session.get(), specs);
+    STREACH_CHECK(report.ok());
+    auto relaxed_report = engine.RunFamilies(backend.session.get(), relaxed);
+    STREACH_CHECK(relaxed_report.ok());
+    Rows().push_back({FamilyName(family), backend.name,
+                      static_cast<int>(specs.size()),
+                      report->summary.num_reachable,
+                      relaxed_report->summary.num_reachable,
+                      HashAnswers(report->answers),
+                      report->summary.wall_seconds,
+                      report->summary.queries_per_second,
+                      report->summary.mean_io_cost(),
+                      report->summary.p50_latency,
+                      report->summary.p95_latency});
+  }
+}
+
+#define FAMILY_BENCH(name, family)                               \
+  BENCHMARK_CAPTURE(FamilySweep, name, family)                   \
+      ->DenseRange(0, 2) /* backend index */                     \
+      ->ArgNames({"backend"})                                    \
+      ->Iterations(1)                                            \
+      ->Unit(benchmark::kMillisecond)
+
+FAMILY_BENCH(boolean, QueryFamily::kBoolean);
+FAMILY_BENCH(decay, QueryFamily::kDecayReach);
+FAMILY_BENCH(khop, QueryFamily::kKHopReach);
+FAMILY_BENCH(topk, QueryFamily::kTopKSources);
+FAMILY_BENCH(threshold, QueryFamily::kThresholdReach);
+
+#undef FAMILY_BENCH
+
+void WriteJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  const auto& rows = Rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"family\": \"%s\", \"backend\": \"%s\", \"num_queries\": %d, "
+        "\"num_reachable\": %llu, \"relaxed_reachable\": %llu, "
+        "\"answers_hash\": \"%016llx\", \"wall_seconds\": %.6f, "
+        "\"queries_per_second\": %.1f, \"mean_io_cost\": %.2f, "
+        "\"p50_latency\": %.6f, \"p95_latency\": %.6f}%s\n",
+        r.family.c_str(), r.backend.c_str(), r.num_queries,
+        static_cast<unsigned long long>(r.num_reachable),
+        static_cast<unsigned long long>(r.relaxed_reachable),
+        static_cast<unsigned long long>(r.answers_hash), r.wall_seconds,
+        r.queries_per_second, r.mean_io_cost, r.p50_latency, r.p95_latency,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+void PrintFamilyTable() {
+  std::printf("\n%-10s %-10s %8s %10s %10s %18s %10s %10s\n", "Family",
+              "Backend", "Queries", "Reached", "Relaxed", "AnswersHash",
+              "qps", "mean IO");
+  for (const Row& r : Rows()) {
+    std::printf("%-10s %-10s %8d %10llu %10llu %18llx %10.1f %10.2f\n",
+                r.family.c_str(), r.backend.c_str(), r.num_queries,
+                static_cast<unsigned long long>(r.num_reachable),
+                static_cast<unsigned long long>(r.relaxed_reachable),
+                static_cast<unsigned long long>(r.answers_hash),
+                r.queries_per_second, r.mean_io_cost);
+  }
+  WriteJson("BENCH_query_families.json");
+  std::printf("Wrote BENCH_query_families.json (%zu cells)\n", Rows().size());
+}
+
+}  // namespace bench
+}  // namespace streach
+
+int main(int argc, char** argv) {
+  streach::bench::PrintHeader(
+      "Query families — decay / k-hop / top-k / threshold on every "
+      "set-capable backend",
+      "(beyond the paper) every family reduces onto ConstrainedProfile or "
+      "ReachableSets, so ReachGrid, ReachGraph and SPJ answer them "
+      "byte-identically");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  streach::bench::PrintFamilyTable();
+  return 0;
+}

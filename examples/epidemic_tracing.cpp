@@ -31,6 +31,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "engine/query_spec.h"
 #include "generators/random_waypoint.h"
 #include "join/contact_extractor.h"
 #include "reachgrid/reach_grid_index.h"
@@ -184,6 +185,50 @@ int main(int argc, char** argv) {
   STREACH_CHECK(*live_trace == sequential[0]);
   std::printf("Live streaming index agrees with the batch trace for "
               "index case %u.\n", index_cases[0]);
+
+  // Contact-tracing rings via the k-hop query family: ring k is everyone
+  // the contagion can reach from an index case in at most k hand-offs —
+  // the set a health department would notify in round k. The spec is
+  // evaluated against the LIVE streaming tier and cross-checked against
+  // the batch ReachGrid's constrained profile; the unbounded ring must
+  // collapse to the plain closure traced above.
+  std::printf("\nContact-tracing rings for index case %u (k-hop family):\n",
+              index_cases[0]);
+  std::printf("%10s %12s %14s\n", "ring", "notified", "newly added");
+  size_t prev_ring = 0;
+  for (const int32_t ring_hops : {1, 2, 4, 8, -1}) {
+    QuerySpec ring;
+    ring.family = QueryFamily::kKHopReach;
+    ring.source = index_cases[0];
+    ring.interval = window;
+    ring.max_hops = ring_hops;
+    auto answer = EvaluateFamily(live.get(), ring);
+    STREACH_CHECK(answer.ok());
+    auto grid_profile = (*index)->ConstrainedProfile(
+        ring.source, ring.interval, HopConstraints{ring.max_hops, -1});
+    STREACH_CHECK(grid_profile.ok());
+    STREACH_CHECK(answer->profile == *grid_profile);
+    size_t notified = 0;
+    for (const ReachProfileEntry& entry : answer->profile) {
+      notified += (entry.transfers >= 0);
+    }
+    // Rings are nested: a larger hop budget never loses anyone.
+    STREACH_CHECK(notified >= prev_ring);
+    if (ring_hops < 0) {
+      // Unbounded k-hop IS the boolean closure, infection time for
+      // infection time.
+      STREACH_CHECK_EQ(answer->profile.size(), sequential[0].size());
+      for (ObjectId o = 0; o < sequential[0].size(); ++o) {
+        STREACH_CHECK_EQ(answer->profile[o].infected_at, sequential[0][o]);
+      }
+      std::printf("%10s %12zu %14zu\n", "unbounded", notified,
+                  notified - prev_ring);
+    } else {
+      std::printf("%10d %12zu %14zu\n", ring_hops, notified,
+                  notified - prev_ring);
+    }
+    prev_ring = notified;
+  }
 
   std::vector<Timestamp> earliest(store->num_objects(), kInvalidTime);
   for (const std::vector<Timestamp>& infected : batched) {

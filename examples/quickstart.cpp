@@ -53,6 +53,7 @@
 #include "common/stopwatch.h"
 #include "engine/backends.h"
 #include "engine/query_engine.h"
+#include "engine/query_spec.h"
 #include "engine/reachability_index.h"
 #include "join/contact.h"
 #include "join/contact_extractor.h"
@@ -339,6 +340,52 @@ int main(int argc, char** argv) {
         closure_engine.RunClosures(backend.get(), seeds, full_span);
     STREACH_CHECK(report.ok());
     std::printf("  %s\n", report->summary.ToString().c_str());
+  }
+
+  // 8. Beyond boolean reach: the transfer-decay query family. An item
+  //    loses strength at every hand-off (retention = 1 - decay) and
+  //    stops spreading once it would drop below the floor, so the same
+  //    scenario answers "who got a *strong enough* copy", not just "who
+  //    got a copy". With decay 0.5 and floor 0.4 a single hand-off
+  //    survives (0.5 >= 0.4) but a second does not (0.25 < 0.4), so only
+  //    o2 is reached from o1; dropping the floor to 0.2 admits two
+  //    hand-offs and the t=1 component {o2,o3,o4} pulls everyone in.
+  //    Every backend — both batch indexes, the live streaming tier and
+  //    the brute-force oracle — must produce byte-identical profiles.
+  QuerySpec decay;
+  decay.family = QueryFamily::kDecayReach;
+  decay.source = 0;
+  decay.interval = TimeInterval(0, 3);
+  decay.decay = 0.5;
+  std::printf("\nDecay family from o1 over %s (decay %.1f per hand-off):\n",
+              decay.interval.ToString().c_str(), decay.decay);
+  for (const double floor_value : {0.4, 0.2}) {
+    decay.min_strength = floor_value;
+    bool first = true;
+    FamilyAnswer expected;
+    for (auto& backend : backends) {
+      auto answer = EvaluateFamily(backend.get(), decay);
+      STREACH_CHECK(answer.ok());
+      if (first) {
+        expected = *answer;
+        first = false;
+      } else {
+        STREACH_CHECK(*answer == expected);
+      }
+    }
+    size_t reached = 0;
+    std::printf("  floor %.1f reaches {", floor_value);
+    for (ObjectId o = 0; o < expected.profile.size(); ++o) {
+      if (expected.profile[o].transfers < 0) continue;
+      std::printf("%so%u(%d hand-offs, t=%d)", reached == 0 ? "" : ", ", o + 1,
+                  expected.profile[o].transfers,
+                  expected.profile[o].infected_at);
+      ++reached;
+    }
+    std::printf("} — all %zu backends byte-identical\n", backends.size());
+    // The worked example: floor 0.4 stops after one hand-off (o1, o2);
+    // floor 0.2 admits two and the t=1 meeting infects everyone.
+    STREACH_CHECK_EQ(reached, floor_value > 0.25 ? 2u : 4u);
   }
 
   std::printf("\nAll backends agree on every query. See README.md for the\n"

@@ -6,6 +6,7 @@
 #include "common/encoding.h"
 #include "common/query_scope.h"
 #include "common/stopwatch.h"
+#include "network/hop_profile.h"
 #include "network/union_find.h"
 #include "storage/build_pool.h"
 #include "spatial/grid2d.h"
@@ -240,6 +241,118 @@ Result<std::vector<std::vector<Timestamp>>> SpjEvaluator::ReachableSets(
     const std::vector<ObjectId>& sources, TimeInterval interval,
     BufferPool* pool, QueryStats* stats) const {
   return Closure(sources, interval, pool, stats);
+}
+
+Result<std::vector<ReachProfileEntry>> SpjEvaluator::ConstrainedProfile(
+    ObjectId source, TimeInterval interval, const HopConstraints& hops) {
+  return ConstrainedProfile(source, interval, hops, &pool_, &last_stats_);
+}
+
+Result<std::vector<ReachProfileEntry>> SpjEvaluator::ConstrainedProfile(
+    ObjectId source, TimeInterval interval, const HopConstraints& hops,
+    BufferPool* pool, QueryStats* stats) const {
+  QueryScope scope(pool, stats);
+  const TimeInterval w = interval.Intersect(span_);
+  if (w.empty() || source >= num_objects_) {
+    scope.Finish();
+    return std::vector<ReachProfileEntry>(num_objects_);
+  }
+
+  const double dt = options_.contact_range;
+  const double dt_sq = dt * dt;
+
+  const int first_slab =
+      static_cast<int>((w.start - span_.start) / options_.slab_ticks);
+  const int last_slab =
+      static_cast<int>((w.end - span_.start) / options_.slab_ticks);
+
+  // Phase 1 — exactly Query's scan, once: the transfer-level recursion
+  // revisits every tick per level, but contact pairs are a property of
+  // the positions alone, so they are joined a single time and the level
+  // loop runs over the materialized per-tick pair lists in memory.
+  const std::vector<Extent> wanted(
+      slab_extents_.begin() + first_slab,
+      slab_extents_.begin() + last_slab + 1);
+  auto slabs_result = ReadExtentsBatched(pool, wanted, options_.page_size);
+  if (!slabs_result.ok()) return slabs_result.status();
+  std::vector<std::string> slabs = std::move(*slabs_result);
+
+  std::vector<std::vector<std::pair<ObjectId, ObjectId>>> tick_pairs(
+      static_cast<size_t>(w.length()));
+  std::vector<Point> positions;
+  for (int slab = first_slab; slab <= last_slab; ++slab) {
+    const TimeInterval sw = SlabInterval(slab);
+    const auto slab_ticks = static_cast<size_t>(sw.length());
+    Decoder dec(slabs[static_cast<size_t>(slab - first_slab)]);
+    positions.assign(num_objects_ * slab_ticks, Point());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      auto x = dec.GetDouble();
+      auto y = dec.GetDouble();
+      if (!x.ok() || !y.ok()) return Status::Corruption("slab positions");
+      positions[i] = Point(*x, *y);
+    }
+    auto position_of = [&](ObjectId o, Timestamp t) -> const Point& {
+      return positions[static_cast<size_t>(o) * slab_ticks +
+                       static_cast<size_t>(t - sw.start)];
+    };
+
+    Rect extent;
+    for (const Point& p : positions) extent.ExpandToInclude(p);
+    if (extent.Width() <= 0 || extent.Height() <= 0) {
+      extent = extent.Padded(1.0);
+    }
+    UniformGrid2D grid(extent, dt);
+    std::unordered_map<CellId, std::vector<ObjectId>> buckets;
+
+    const TimeInterval tw = sw.Intersect(w);
+    for (Timestamp t = tw.start; t <= tw.end; ++t) {
+      buckets.clear();
+      for (ObjectId o = 0; o < num_objects_; ++o) {
+        buckets[grid.CellOf(position_of(o, t))].push_back(o);
+      }
+      std::vector<std::pair<ObjectId, ObjectId>>& pairs =
+          tick_pairs[static_cast<size_t>(t - w.start)];
+      for (const auto& [cell, mine] : buckets) {
+        const int row = grid.RowOfCell(cell);
+        const int col = grid.ColOfCell(cell);
+        for (size_t i = 0; i < mine.size(); ++i) {
+          for (size_t j = i + 1; j < mine.size(); ++j) {
+            if (Point::DistanceSquared(position_of(mine[i], t),
+                                       position_of(mine[j], t)) < dt_sq) {
+              pairs.emplace_back(mine[i], mine[j]);
+            }
+          }
+        }
+        static constexpr int kForward[4][2] = {
+            {0, 1}, {1, -1}, {1, 0}, {1, 1}};
+        for (const auto& d : kForward) {
+          const int nr = row + d[0];
+          const int nc = col + d[1];
+          if (nr < 0 || nr >= grid.rows() || nc < 0 || nc >= grid.cols()) {
+            continue;
+          }
+          auto other = buckets.find(grid.CellAt(nr, nc));
+          if (other == buckets.end()) continue;
+          for (ObjectId a : mine) {
+            for (ObjectId b : other->second) {
+              if (Point::DistanceSquared(position_of(a, t),
+                                         position_of(b, t)) < dt_sq) {
+                pairs.emplace_back(a, b);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  auto profile = ComputeHopProfile(
+      num_objects_, source, w, hops,
+      [&](Timestamp t) -> const std::vector<std::pair<ObjectId, ObjectId>>& {
+        return tick_pairs[static_cast<size_t>(t - w.start)];
+      });
+  scope.Finish();
+  return profile;
 }
 
 Result<std::vector<std::vector<Timestamp>>> SpjEvaluator::Closure(

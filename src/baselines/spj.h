@@ -78,6 +78,16 @@ class SpjEvaluator {
       const std::vector<ObjectId>& sources, TimeInterval interval,
       BufferPool* pool, QueryStats* stats) const;
 
+  /// Constrained reachability profile (network/hop_profile.h semantics)
+  /// from one slab scan: the per-tick contact pairs are materialized once
+  /// — they depend on positions alone — and the transfer-level recursion
+  /// runs over them in memory, so the IO bill matches a single closure.
+  Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval, const HopConstraints& hops);
+  Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval, const HopConstraints& hops,
+      BufferPool* pool, QueryStats* stats) const;
+
   /// A fresh buffer pool over this evaluator's storage topology, for one
   /// concurrent query session (sized like the built-in pool, decoding
   /// with this evaluator's codec).

@@ -105,6 +105,49 @@ struct ReachQuery {
   }
 };
 
+/// \brief Transfer-count constraints on a reachability traversal.
+///
+/// Hops are counted as *component entries*: the item starts at the source
+/// with 0 transfers, and each time it enters a snapshot component it has
+/// not been carried into before, every member of that component receives
+/// it at +1 transfers (the paper's Property 5.1 — contact components
+/// spread delay-free within one tick, so within-component pairwise chains
+/// are not individually countable and are deliberately not counted).
+struct HopConstraints {
+  /// Maximum number of transfers (component entries) the item may make;
+  /// < 0 means unbounded (plain reachability).
+  int32_t max_transfers = -1;
+  /// Per-hop freshness bound: a carrier infected at time `t0` can only
+  /// hand the item on during `[t0, t0 + per_hop_ticks]`; < 0 disables
+  /// the bound (a carrier transmits forever within the query window).
+  Timestamp per_hop_ticks = -1;
+
+  constexpr bool operator==(const HopConstraints& o) const {
+    return max_transfers == o.max_transfers &&
+           per_hop_ticks == o.per_hop_ticks;
+  }
+  constexpr bool operator!=(const HopConstraints& o) const {
+    return !(*this == o);
+  }
+};
+
+/// \brief One object's row of a constrained-reachability profile.
+struct ReachProfileEntry {
+  /// Earliest time the object receives the item within the constraints
+  /// (kInvalidTime when unreached).
+  Timestamp infected_at = kInvalidTime;
+  /// Minimum number of transfers over all constraint-respecting chains
+  /// that reach the object (-1 when unreached; 0 for the source itself).
+  int32_t transfers = -1;
+
+  constexpr bool operator==(const ReachProfileEntry& o) const {
+    return infected_at == o.infected_at && transfers == o.transfers;
+  }
+  constexpr bool operator!=(const ReachProfileEntry& o) const {
+    return !(*this == o);
+  }
+};
+
 /// \brief Outcome of evaluating a reachability query.
 struct ReachAnswer {
   /// True iff the destination is reachable from the source in the interval.

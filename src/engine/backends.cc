@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/query_scope.h"
 #include "network/brute_force.h"
+#include "network/hop_profile.h"
 #include "storage/buffer_pool.h"
 
 namespace streach {
@@ -57,6 +58,21 @@ BruteForceReachability::ReachableSets(const std::vector<ObjectId>& sources,
   return sets;
 }
 
+Result<std::vector<ReachProfileEntry>>
+BruteForceReachability::ConstrainedProfile(ObjectId source,
+                                           TimeInterval interval,
+                                           const HopConstraints& hops) {
+  QueryScope scope(/*pool=*/nullptr, &stats_);
+  const ContactNetwork& network = *network_;
+  return ComputeHopProfile(
+      network.num_objects(), source, interval.Intersect(network.span()),
+      hops,
+      [&network](Timestamp t)
+          -> const std::vector<std::pair<ObjectId, ObjectId>>& {
+        return network.PairsAt(t);
+      });
+}
+
 std::string BruteForceReachability::DescribeIndex() const {
   return "BruteForce(contact sweep)";
 }
@@ -96,6 +112,13 @@ class ReachGridBackend : public ReachabilityIndex {
       const std::vector<ObjectId>& sources, TimeInterval interval) override {
     return index_->ReachableSets(sources, interval, pool_.get(), &stats_,
                                  frontier_.get());
+  }
+
+  Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval,
+      const HopConstraints& hops) override {
+    return index_->ConstrainedProfile(source, interval, hops, pool_.get(),
+                                      &stats_);
   }
 
   void SetTraversalThreads(int threads) override {
@@ -180,6 +203,13 @@ class ReachGraphBackend : public ReachabilityIndex {
     return index_->ReachableSets(sources, interval, pool_.get(), &stats_);
   }
 
+  Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval,
+      const HopConstraints& hops) override {
+    return index_->ConstrainedProfile(source, interval, hops, pool_.get(),
+                                      &stats_);
+  }
+
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override { pool_->Clear(); }
   void SetIoQueueDepth(int depth) override {
@@ -233,6 +263,13 @@ class SpjBackend : public ReachabilityIndex {
   Result<std::vector<std::vector<Timestamp>>> ReachableSets(
       const std::vector<ObjectId>& sources, TimeInterval interval) override {
     return spj_->ReachableSets(sources, interval, pool_.get(), &stats_);
+  }
+
+  Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval,
+      const HopConstraints& hops) override {
+    return spj_->ConstrainedProfile(source, interval, hops, pool_.get(),
+                                    &stats_);
   }
 
   const QueryStats& last_query_stats() const override { return stats_; }

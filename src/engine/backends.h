@@ -39,6 +39,9 @@ class BruteForceReachability : public ReachabilityIndex {
                                               TimeInterval interval) override;
   Result<std::vector<std::vector<Timestamp>>> ReachableSets(
       const std::vector<ObjectId>& sources, TimeInterval interval) override;
+  Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval,
+      const HopConstraints& hops) override;
   const QueryStats& last_query_stats() const override { return stats_; }
   void ClearCache() override {}
   std::shared_ptr<const void> IndexIdentity() const override {

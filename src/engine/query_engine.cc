@@ -24,20 +24,6 @@ double Percentile(const std::vector<double>& sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-/// Point answer derived from a full reachable set: the set holds every
-/// object's infection time (kInvalidTime when unreached), which is
-/// exactly the earliest arrival a point query reports.
-ReachAnswer AnswerFromSet(const std::vector<Timestamp>& infection_times,
-                          ObjectId destination) {
-  ReachAnswer answer;
-  if (destination < infection_times.size() &&
-      infection_times[destination] != kInvalidTime) {
-    answer.reachable = true;
-    answer.arrival_time = infection_times[destination];
-  }
-  return answer;
-}
-
 }  // namespace
 
 std::string WorkloadSummary::ToString() const {
@@ -60,7 +46,24 @@ std::string WorkloadSummary::ToString() const {
       per_shard_io.empty() ? static_cast<size_t>(1) : per_shard_io.size(),
       io_queue_depth, traversal_threads, batch_sources,
       mean_inflight_requests(), page_codec.c_str(), compression_ratio());
-  return buf;
+  std::string out = buf;
+  // Family breakdown only when something beyond boolean ran: Run and
+  // RunClosures workloads keep the historical one-line shape.
+  bool beyond_boolean = false;
+  for (size_t f = 1; f < family_counts.size(); ++f) {
+    beyond_boolean = beyond_boolean || family_counts[f] > 0;
+  }
+  if (beyond_boolean) {
+    out += " | families";
+    for (size_t f = 0; f < family_counts.size(); ++f) {
+      if (family_counts[f] == 0) continue;
+      std::snprintf(buf, sizeof(buf), " %s=%llu",
+                    FamilyName(static_cast<QueryFamily>(f)),
+                    static_cast<unsigned long long>(family_counts[f]));
+      out += buf;
+    }
+  }
+  return out;
 }
 
 QueryEngine::QueryEngine(QueryEngineOptions options)
@@ -201,6 +204,7 @@ Result<WorkloadReport> QueryEngine::Run(
   WorkloadSummary& s = report.summary;
   s.backend = backend->DescribeIndex();
   s.num_queries = n;
+  s.family_counts[static_cast<size_t>(QueryFamily::kBoolean)] = n;
   s.io_queue_depth = options_.io_queue_depth;
   s.traversal_threads = std::max(options_.traversal_threads, 1);
   s.page_codec = ToString(backend_codec.value_or(options_.page_codec));
@@ -338,6 +342,7 @@ Result<ClosureWorkloadReport> QueryEngine::RunClosures(
   WorkloadSummary& s = report.summary;
   s.backend = backend->DescribeIndex();
   s.num_queries = n;  // One closure per source, however it was batched.
+  s.family_counts[static_cast<size_t>(QueryFamily::kBoolean)] = n;
   s.io_queue_depth = options_.io_queue_depth;
   s.traversal_threads = std::max(options_.traversal_threads, 1);
   s.batch_sources = static_cast<int>(batch);
@@ -367,6 +372,218 @@ Result<ClosureWorkloadReport> QueryEngine::RunClosures(
   s.p50_latency = Percentile(latencies, 0.50);
   s.p95_latency = Percentile(latencies, 0.95);
   s.p99_latency = Percentile(latencies, 0.99);
+  for (size_t k = 0; k < sessions.size(); ++k) {
+    const std::vector<IoStats> after = sessions[k]->shard_io_stats();
+    if (after.size() > s.per_shard_io.size()) {
+      s.per_shard_io.resize(after.size());
+    }
+    for (size_t shard = 0; shard < after.size(); ++shard) {
+      IoStats delta = after[shard];
+      if (shard < shard_io_before[k].size()) {
+        delta = delta - shard_io_before[k][shard];
+      }
+      s.per_shard_io[shard] += delta;
+    }
+  }
+  return report;
+}
+
+Result<FamilyWorkloadReport> QueryEngine::RunFamilies(
+    ReachabilityIndex* backend, const std::vector<QuerySpec>& specs) const {
+  STREACH_CHECK(backend != nullptr);
+  const std::optional<PageCodecKind> backend_codec = backend->page_codec();
+  if (backend_codec.has_value() && *backend_codec != options_.page_codec) {
+    return Status::InvalidArgument(
+        std::string("page_codec mismatch: engine configured for ") +
+        ToString(options_.page_codec) + ", backend stores " +
+        ToString(*backend_codec));
+  }
+  const size_t n = specs.size();
+  FamilyWorkloadReport report;
+  report.answers.resize(n);
+  report.per_query.resize(n);
+  std::vector<double> latencies(n, 0.0);
+
+  const int num_threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(options_.num_threads),
+                       std::max<size_t>(n, 1)));
+
+  // Sessions mirror Run(): worker 0 reuses the caller's session so a
+  // single-threaded run is a hand-written EvaluateFamily loop.
+  std::vector<std::unique_ptr<ReachabilityIndex>> extra_sessions;
+  std::vector<ReachabilityIndex*> sessions;
+  sessions.push_back(backend);
+  for (int i = 1; i < num_threads; ++i) {
+    extra_sessions.push_back(backend->NewSession());
+    sessions.push_back(extra_sessions.back().get());
+  }
+  for (ReachabilityIndex* session : sessions) {
+    session->SetIoQueueDepth(options_.io_queue_depth);
+    session->SetTraversalThreads(options_.traversal_threads);
+  }
+
+  std::vector<std::vector<IoStats>> shard_io_before;
+  shard_io_before.reserve(sessions.size());
+  for (ReachabilityIndex* session : sessions) {
+    shard_io_before.push_back(session->shard_io_stats());
+  }
+  const uint64_t cache_hits_before =
+      result_cache_ != nullptr ? result_cache_->hits() : 0;
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;  // Guards first_error only; never on the hot path.
+  Status first_error = Status::OK();
+
+  auto worker = [&](ReachabilityIndex* session) {
+    const bool cold = options_.cold_cache;
+    ResultCache* cache = cold ? nullptr : result_cache_.get();
+    const std::shared_ptr<const void> identity = session->IndexIdentity();
+    // Boolean specs share Run()'s set-cache path, including its "stop
+    // probing a point-query-only backend" downgrade; profile families
+    // only cache when the backend has a native ConstrainedProfile (a
+    // NotSupported there fails the whole spec anyway, cache or not).
+    bool set_cacheable = cache != nullptr && identity != nullptr;
+    const bool profile_cacheable = cache != nullptr && identity != nullptr;
+    auto fail_with = [&](const Status& status) {
+      std::lock_guard<std::mutex> guard(error_mutex);
+      if (first_error.ok()) first_error = status;
+      failed.store(true, std::memory_order_relaxed);
+    };
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      if (failed.load(std::memory_order_relaxed)) return;  // Stop early.
+      if (cold) session->ClearCache();
+      const QuerySpec& spec = specs[i];
+      Stopwatch latency;
+      bool answered = false;
+      if (spec.family == QueryFamily::kBoolean && set_cacheable) {
+        if (ResultCache::SetPtr set =
+                cache->Lookup(identity, spec.source, spec.interval)) {
+          report.answers[i].family = spec.family;
+          report.answers[i].point = AnswerFromSet(*set, spec.destination);
+          report.per_query[i] = QueryStats{};  // No backend work done.
+          answered = true;
+        } else {
+          auto set_result = session->ReachableSet(spec.source, spec.interval);
+          if (set_result.ok()) {
+            auto shared = std::make_shared<const std::vector<Timestamp>>(
+                std::move(*set_result));
+            cache->Insert(identity, spec.source, spec.interval, shared);
+            report.answers[i].family = spec.family;
+            report.answers[i].point = AnswerFromSet(*shared, spec.destination);
+            report.per_query[i] = session->last_query_stats();
+            answered = true;
+          } else if (set_result.status().IsNotSupported()) {
+            set_cacheable = false;  // Point-query-only backend.
+          } else {
+            fail_with(set_result.status());
+            return;
+          }
+        }
+      } else if (profile_cacheable &&
+                 (spec.family == QueryFamily::kDecayReach ||
+                  spec.family == QueryFamily::kKHopReach ||
+                  spec.family == QueryFamily::kThresholdReach)) {
+        auto hops = ResolveHops(spec);
+        if (!hops.ok()) {
+          fail_with(hops.status());
+          return;
+        }
+        if (ResultCache::ProfilePtr profile = cache->LookupProfile(
+                identity, spec.source, spec.interval, *hops)) {
+          report.answers[i] = AnswerFromProfile(spec, *profile);
+          report.per_query[i] = QueryStats{};  // No backend work done.
+          answered = true;
+        } else {
+          auto profile_result =
+              session->ConstrainedProfile(spec.source, spec.interval, *hops);
+          if (!profile_result.ok()) {
+            fail_with(profile_result.status());
+            return;
+          }
+          auto shared = std::make_shared<const std::vector<ReachProfileEntry>>(
+              std::move(*profile_result));
+          cache->InsertProfile(identity, spec.source, spec.interval, *hops,
+                               shared);
+          report.answers[i] = AnswerFromProfile(spec, *shared);
+          report.per_query[i] = session->last_query_stats();
+          answered = true;
+        }
+      }
+      if (!answered) {
+        auto answer = EvaluateFamily(session, spec);
+        if (!answer.ok()) {
+          fail_with(answer.status());
+          return;
+        }
+        report.answers[i] = std::move(*answer);
+        report.per_query[i] = session->last_query_stats();
+      }
+      latencies[i] = latency.ElapsedSeconds();
+    }
+  };
+
+  Stopwatch wall;
+  if (num_threads == 1) {
+    worker(sessions[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      threads.emplace_back(worker, sessions[static_cast<size_t>(i)]);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  if (!first_error.ok()) return first_error;
+
+  WorkloadSummary& s = report.summary;
+  s.backend = backend->DescribeIndex();
+  s.num_queries = n;
+  s.io_queue_depth = options_.io_queue_depth;
+  s.traversal_threads = std::max(options_.traversal_threads, 1);
+  s.page_codec = ToString(backend_codec.value_or(options_.page_codec));
+  s.wall_seconds = wall_seconds;
+  s.queries_per_second =
+      wall_seconds > 0 ? static_cast<double>(n) / wall_seconds : 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const FamilyAnswer& answer = report.answers[i];
+    ++s.family_counts[static_cast<size_t>(answer.family)];
+    switch (answer.family) {
+      case QueryFamily::kBoolean:
+      case QueryFamily::kThresholdReach:
+        if (answer.point.reachable) ++s.num_reachable;
+        break;
+      case QueryFamily::kDecayReach:
+      case QueryFamily::kKHopReach:
+        for (const ReachProfileEntry& entry : answer.profile) {
+          if (entry.transfers >= 0) ++s.num_reachable;
+        }
+        break;
+      case QueryFamily::kTopKSources:
+        for (const TopKEntry& entry : answer.ranked) {
+          s.num_reachable += entry.reach_count;
+        }
+        break;
+    }
+    const QueryStats& q = report.per_query[i];
+    s.total_io_cost += q.io_cost;
+    s.total_pages_fetched += q.pages_fetched;
+    s.total_pool_hits += q.pool_hits;
+    s.total_items_visited += q.items_visited;
+    s.total_cpu_seconds += q.cpu_seconds;
+    s.mean_latency += latencies[i];
+    s.max_latency = std::max(s.max_latency, latencies[i]);
+  }
+  if (n > 0) s.mean_latency /= static_cast<double>(n);
+  std::sort(latencies.begin(), latencies.end());
+  s.p50_latency = Percentile(latencies, 0.50);
+  s.p95_latency = Percentile(latencies, 0.95);
+  s.p99_latency = Percentile(latencies, 0.99);
+  if (result_cache_ != nullptr) {
+    s.result_cache_hits = result_cache_->hits() - cache_hits_before;
+  }
   for (size_t k = 0; k < sessions.size(); ++k) {
     const std::vector<IoStats> after = sessions[k]->shard_io_stats();
     if (after.size() > s.per_shard_io.size()) {

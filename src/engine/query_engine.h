@@ -1,6 +1,7 @@
 #ifndef STREACH_ENGINE_QUERY_ENGINE_H_
 #define STREACH_ENGINE_QUERY_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -9,6 +10,7 @@
 #include "common/query_stats.h"
 #include "common/result.h"
 #include "common/types.h"
+#include "engine/query_spec.h"
 #include "engine/reachability_index.h"
 #include "engine/result_cache.h"
 #include "storage/io_stats.h"
@@ -124,6 +126,10 @@ struct WorkloadSummary {
   double max_latency = 0.0;
   /// Point queries answered from the engine's result cache.
   uint64_t result_cache_hits = 0;
+  /// Queries per family over the run, indexed by the `QueryFamily` tag
+  /// value. `Run`/`RunClosures` workloads count as all-boolean;
+  /// `RunFamilies` fills one slot per spec.
+  std::array<uint64_t, 5> family_counts{};
   /// IO submission-queue depth the run executed at (echo of the engine
   /// option actually applied to the sessions).
   int io_queue_depth = 1;
@@ -203,6 +209,15 @@ struct WorkloadReport {
   WorkloadSummary summary;
 };
 
+/// Everything a family workload run produces. `answers[i]` and
+/// `per_query[i]` correspond to the i-th input spec independent of
+/// execution order.
+struct FamilyWorkloadReport {
+  std::vector<FamilyAnswer> answers;
+  std::vector<QueryStats> per_query;
+  WorkloadSummary summary;
+};
+
 /// Everything a closure-workload run produces. `sets[i]` is the full
 /// reachable set of the i-th input source independent of execution order;
 /// `per_batch[b]` covers the b-th batch of `batch_sources` consecutive
@@ -243,6 +258,21 @@ class QueryEngine {
   Result<ClosureWorkloadReport> RunClosures(
       ReachabilityIndex* backend, const std::vector<ObjectId>& sources,
       TimeInterval interval) const;
+
+  /// Runs a mixed-family workload (engine/query_spec.h): boolean specs
+  /// follow the exact `Run` path (result-cached reachable sets, plain
+  /// `Query` fallback for point-only backends), decay / k-hop / threshold
+  /// specs evaluate through `ConstrainedProfile` with the resolved
+  /// `HopConstraints` joining the cache key, and top-k specs rank one
+  /// `ReachableSets` batch over their candidates (uncached — a top-k
+  /// answer is already an aggregate). Answers are byte-identical at every
+  /// num_threads and with the cache on or off; a family a backend cannot
+  /// serve fails the run with that backend's NotSupported. The summary's
+  /// `num_reachable` totals reached point answers (boolean, threshold),
+  /// finite profile entries (decay, k-hop), and the reach counts of the
+  /// ranked entries (top-k).
+  Result<FamilyWorkloadReport> RunFamilies(
+      ReachabilityIndex* backend, const std::vector<QuerySpec>& specs) const;
 
   const QueryEngineOptions& options() const { return options_; }
 

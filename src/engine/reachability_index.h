@@ -70,6 +70,22 @@ class ReachabilityIndex {
     return sets;
   }
 
+  /// Constrained reachability profile: earliest arrival time and minimum
+  /// transfer count of every object reachable from `source` during
+  /// `interval` under `hops` (see network/hop_profile.h for the exact
+  /// level-synchronous semantics every backend must match byte-for-byte).
+  /// The decay, k-hop, and probability-threshold query families all
+  /// evaluate through this one primitive. Backends without an
+  /// implementation return NotSupported.
+  virtual Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval, const HopConstraints& hops) {
+    (void)source;
+    (void)interval;
+    (void)hops;
+    return Status::NotSupported(DescribeIndex() +
+                                " does not evaluate constrained profiles");
+  }
+
   /// Worker threads a closure sweep on this session may use for its
   /// per-round frontier expansion (`FrontierPool`). 1 — the default —
   /// keeps every sweep on the calling thread; backends without a parallel

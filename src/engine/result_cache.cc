@@ -10,11 +10,8 @@ ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {
   STREACH_CHECK_GT(capacity, 0u);
 }
 
-ResultCache::SetPtr ResultCache::Lookup(
-    const std::shared_ptr<const void>& index, ObjectId source,
-    TimeInterval interval) {
-  const Key key{index.get(), source, interval.start, interval.end};
-  std::lock_guard<std::mutex> guard(mu_);
+ResultCache::Entry* ResultCache::FindLocked(
+    const Key& key, const std::shared_ptr<const void>& index) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -32,19 +29,19 @@ ResultCache::SetPtr ResultCache::Lookup(
   // splice: allocation-free refresh under the shared mutex; the stored
   // iterator stays valid.
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-  return it->second.set;
+  return &it->second;
 }
 
-void ResultCache::Insert(const std::shared_ptr<const void>& index,
-                         ObjectId source, TimeInterval interval, SetPtr set) {
-  const Key key{index.get(), source, interval.start, interval.end};
-  std::lock_guard<std::mutex> guard(mu_);
+void ResultCache::PutLocked(const Key& key,
+                            const std::shared_ptr<const void>& index,
+                            Entry entry) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    // Another worker raced us to the same key; the sets are identical by
-    // determinism — refresh recency (and the witness, covering the
+    // Another worker raced us to the same key; the results are identical
+    // by determinism — refresh recency (and the witness, covering the
     // address-reuse case where the old entry is stale).
-    it->second.set = std::move(set);
+    entry.lru_it = it->second.lru_it;
+    it->second = std::move(entry);
     it->second.source = index;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return;
@@ -55,7 +52,51 @@ void ResultCache::Insert(const std::shared_ptr<const void>& index,
     entries_.erase(victim);
   }
   lru_.push_front(key);
-  entries_.emplace(key, Entry{std::move(set), index, lru_.begin()});
+  entry.source = index;
+  entry.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+}
+
+ResultCache::SetPtr ResultCache::Lookup(
+    const std::shared_ptr<const void>& index, ObjectId source,
+    TimeInterval interval) {
+  const Key key{index.get(), source, interval.start, interval.end,
+                /*kind=*/0,  /*max_transfers=*/0, /*per_hop_ticks=*/0};
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry* entry = FindLocked(key, index);
+  return entry != nullptr ? entry->set : nullptr;
+}
+
+void ResultCache::Insert(const std::shared_ptr<const void>& index,
+                         ObjectId source, TimeInterval interval, SetPtr set) {
+  const Key key{index.get(), source, interval.start, interval.end,
+                /*kind=*/0,  /*max_transfers=*/0, /*per_hop_ticks=*/0};
+  Entry entry;
+  entry.set = std::move(set);
+  std::lock_guard<std::mutex> guard(mu_);
+  PutLocked(key, index, std::move(entry));
+}
+
+ResultCache::ProfilePtr ResultCache::LookupProfile(
+    const std::shared_ptr<const void>& index, ObjectId source,
+    TimeInterval interval, const HopConstraints& hops) {
+  const Key key{index.get(), source,   interval.start,     interval.end,
+                /*kind=*/1,  hops.max_transfers, hops.per_hop_ticks};
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry* entry = FindLocked(key, index);
+  return entry != nullptr ? entry->profile : nullptr;
+}
+
+void ResultCache::InsertProfile(const std::shared_ptr<const void>& index,
+                                ObjectId source, TimeInterval interval,
+                                const HopConstraints& hops,
+                                ProfilePtr profile) {
+  const Key key{index.get(), source,   interval.start,     interval.end,
+                /*kind=*/1,  hops.max_transfers, hops.per_hop_ticks};
+  Entry entry;
+  entry.profile = std::move(profile);
+  std::lock_guard<std::mutex> guard(mu_);
+  PutLocked(key, index, std::move(entry));
 }
 
 void ResultCache::Clear() {

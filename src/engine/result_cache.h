@@ -12,18 +12,27 @@
 
 namespace streach {
 
-/// \brief Bounded LRU memoizing `(index, source, interval) -> reachable
-/// set`.
+/// \brief Bounded LRU memoizing query results per index.
 ///
-/// Indexes are immutable once built, so a reachable set computed for one
-/// query key is valid forever and invalidation is trivial (none). The
-/// engine answers a repeated point query `src ~I~> dst` by looking the
-/// triple `(index identity, src, I)` up here and reading `set[dst]` — no
-/// traversal, no IO. The identity token
+/// Two result kinds share one LRU budget:
+///
+///  * `(index, source, interval) -> reachable set` — the closure behind
+///    boolean point queries and top-k candidate counting.
+///  * `(index, source, interval, hop constraints) -> constrained profile`
+///    — the E-table readout behind the decay / k-hop / threshold
+///    families. The hop constraints are part of the key: specs that
+///    differ in transfer cap or per-hop bound can never collide. Specs
+///    that *resolve* to the same `HopConstraints` (e.g. two decay factors
+///    whose strength dies at the same transfer count) legitimately share
+///    an entry — the profile is fully determined by the key, and the
+///    family-specific post-processing happens outside the cache.
+///
+/// Indexes are immutable once built, so a result computed for one key is
+/// valid forever and invalidation is trivial (none). The identity token
 /// (`ReachabilityIndex::IndexIdentity`) scopes entries to the index that
 /// produced them, so one engine serving several backends/datasets never
-/// crosses answers. Sets are deterministic per key, so cache hits cannot
-/// change answers regardless of which worker thread populated the entry.
+/// crosses answers. Results are deterministic per key, so cache hits
+/// cannot change answers regardless of which worker populated the entry.
 ///
 /// Thread safety: all operations take an internal mutex; the engine's
 /// workers share one instance. Values are handed out as shared_ptrs so a
@@ -31,8 +40,9 @@ namespace streach {
 class ResultCache {
  public:
   using SetPtr = std::shared_ptr<const std::vector<Timestamp>>;
+  using ProfilePtr = std::shared_ptr<const std::vector<ReachProfileEntry>>;
 
-  /// `capacity` bounds the number of cached sets; must be positive.
+  /// `capacity` bounds the number of cached results; must be positive.
   explicit ResultCache(size_t capacity);
 
   ResultCache(const ResultCache&) = delete;
@@ -52,6 +62,15 @@ class ResultCache {
   void Insert(const std::shared_ptr<const void>& index, ObjectId source,
               TimeInterval interval, SetPtr set);
 
+  /// Profile-kind twins of Lookup/Insert: the hop constraints join the
+  /// key, everything else (liveness witness, LRU, stats) is shared.
+  ProfilePtr LookupProfile(const std::shared_ptr<const void>& index,
+                           ObjectId source, TimeInterval interval,
+                           const HopConstraints& hops);
+  void InsertProfile(const std::shared_ptr<const void>& index, ObjectId source,
+                     TimeInterval interval, const HopConstraints& hops,
+                     ProfilePtr profile);
+
   void Clear();
 
   size_t capacity() const { return capacity_; }
@@ -65,9 +84,16 @@ class ResultCache {
     ObjectId source;
     Timestamp start;
     Timestamp end;
+    /// 0 = reachable set, 1 = constrained profile (hop fields are zero
+    /// for sets, so set keys never collide with profile keys).
+    uint8_t kind;
+    int32_t max_transfers;
+    Timestamp per_hop_ticks;
     bool operator==(const Key& o) const {
       return index == o.index && source == o.source && start == o.start &&
-             end == o.end;
+             end == o.end && kind == o.kind &&
+             max_transfers == o.max_transfers &&
+             per_hop_ticks == o.per_hop_ticks;
     }
   };
   struct KeyHash {
@@ -76,16 +102,28 @@ class ResultCache {
       h = h * 1000003u ^ k.source;
       h = h * 1000003u ^ static_cast<uint32_t>(k.start);
       h = h * 1000003u ^ static_cast<uint32_t>(k.end);
+      h = h * 1000003u ^ k.kind;
+      h = h * 1000003u ^ static_cast<uint32_t>(k.max_transfers);
+      h = h * 1000003u ^ static_cast<uint32_t>(k.per_hop_ticks);
       return static_cast<size_t>(h);
     }
   };
   struct Entry {
+    /// Exactly one of these is set, matching the key's kind.
     SetPtr set;
+    ProfilePtr profile;
     /// Liveness witness for the producing index: if this expired, or a
     /// different object now owns the key's address, the entry is stale.
     std::weak_ptr<const void> source;
     std::list<Key>::iterator lru_it;
   };
+
+  /// Shared hit path (caller holds `mu_`): nullptr on miss or a stale
+  /// witness, the refreshed live entry otherwise.
+  Entry* FindLocked(const Key& key, const std::shared_ptr<const void>& index);
+  /// Shared insert path (caller holds `mu_`): refresh-or-evict-and-place.
+  void PutLocked(const Key& key, const std::shared_ptr<const void>& index,
+                 Entry entry);
 
   mutable std::mutex mu_;
   size_t capacity_;

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "common/check.h"
+#include "network/hop_profile.h"
 #include "spatial/grid2d.h"
 
 namespace streach {
@@ -136,6 +137,33 @@ ReachAnswer NonImmediateReach(size_t num_objects,
     answer.arrival_time = infected[dst];
   }
   return answer;
+}
+
+std::vector<ReachProfileEntry> NonImmediateHopProfile(
+    size_t num_objects, const std::vector<DelayedContact>& contacts,
+    ObjectId src, TimeInterval interval, const HopConstraints& hops) {
+  auto sweep = [&](const std::vector<Timestamp>& prev,
+                   std::vector<Timestamp>* next) -> Status {
+    for (const DelayedContact& c : contacts) {
+      if (c.receive_time > interval.end) break;  // Sorted by receive time.
+      if (c.deposit_time < interval.start) continue;
+      if (c.from >= num_objects || c.to >= num_objects || c.from == c.to) {
+        continue;
+      }
+      // The carrier must hold a fresh item when it deposits; the receiver
+      // is infected at the (possibly later) pickup tick.
+      if (!HopEligible(prev[c.from], c.deposit_time, hops.per_hop_ticks)) {
+        continue;
+      }
+      Timestamp& slot = (*next)[c.to];
+      if (slot == kInvalidTime || c.receive_time < slot) {
+        slot = c.receive_time;
+      }
+    }
+    return Status::OK();
+  };
+  auto profile = DriveHopLevels(num_objects, src, interval, hops, sweep);
+  return std::move(profile).ValueOrDie();  // The sweep never fails.
 }
 
 }  // namespace streach

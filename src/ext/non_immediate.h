@@ -44,6 +44,23 @@ ReachAnswer NonImmediateReach(size_t num_objects,
                               ObjectId src, ObjectId dst,
                               TimeInterval interval);
 
+/// \brief Hop-constrained reachability profile under non-immediate
+/// semantics, driven by the same level recursion as
+/// network/hop_profile.h (`DriveHopLevels`).
+///
+/// Transfers count *pickups*: every delayed contact traversed is one
+/// hop, and a carrier may deposit only while its item is fresh
+/// (`HopEligible` at the deposit tick). On immediate contacts
+/// (lifetime 0, both directions) over a network whose snapshot
+/// components never exceed a pair, pickup counting coincides with the
+/// engine's component-entry counting — the cross-check the query-family
+/// tests exploit; larger components make component entries the coarser
+/// (smaller) count. `contacts` must be sorted by receive time
+/// (`ExtractNonImmediateContacts` order).
+std::vector<ReachProfileEntry> NonImmediateHopProfile(
+    size_t num_objects, const std::vector<DelayedContact>& contacts,
+    ObjectId src, TimeInterval interval, const HopConstraints& hops);
+
 }  // namespace streach
 
 #endif  // STREACH_EXT_NON_IMMEDIATE_H_

@@ -147,4 +147,16 @@ std::vector<UncertainContact> WithUniformProbability(
   return out;
 }
 
+Result<ProbReachAnswer> EvaluateThresholdSpec(const UReachGraph& graph,
+                                              const QuerySpec& spec) {
+  if (spec.family != QueryFamily::kThresholdReach) {
+    return Status::InvalidArgument("spec is not a threshold-reach query");
+  }
+  if (spec.min_path_probability < 0.0 || spec.min_path_probability > 1.0) {
+    return Status::InvalidArgument("path floor must be in [0, 1]");
+  }
+  return graph.Query(spec.source, spec.destination, spec.interval,
+                     spec.min_path_probability);
+}
+
 }  // namespace streach

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "common/types.h"
+#include "engine/query_spec.h"
 #include "join/contact.h"
 
 namespace streach {
@@ -71,6 +72,17 @@ class UReachGraph {
 /// deterministic contact list (testing/demo helper).
 std::vector<UncertainContact> WithUniformProbability(
     const std::vector<Contact>& contacts, double p);
+
+/// Evaluates a `kThresholdReach` spec (engine/query_spec.h) against the
+/// uncertain graph: max-probability search with the spec's path floor as
+/// threshold. U-ReachGraph counts a probability factor per contact *edge*
+/// traversed, the engine's family one per component *entry*; under a
+/// uniform contact probability the two agree exactly on networks whose
+/// snapshot components never exceed a pair (each hand-off is one edge),
+/// which is the regime the query-family tests cross-check. Rejects
+/// non-threshold specs with InvalidArgument.
+Result<ProbReachAnswer> EvaluateThresholdSpec(const UReachGraph& graph,
+                                              const QuerySpec& spec);
 
 }  // namespace streach
 

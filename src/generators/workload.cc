@@ -35,4 +35,90 @@ std::vector<ReachQuery> GenerateWorkload(const WorkloadParams& params) {
   return queries;
 }
 
+std::vector<QuerySpec> GenerateFamilyWorkload(
+    const FamilyWorkloadParams& params) {
+  const WorkloadParams& base = params.base;
+  STREACH_CHECK_GE(base.num_objects, 2u);
+  STREACH_CHECK(!base.span.empty());
+  STREACH_CHECK_GE(base.min_interval_len, 1);
+  STREACH_CHECK_GE(base.max_interval_len, base.min_interval_len);
+
+  Rng rng(base.seed);
+  const auto span_len = base.span.length();
+  auto draw_interval = [&]() {
+    const int64_t len = std::min<int64_t>(
+        span_len, rng.UniformInt(base.min_interval_len,
+                                 base.max_interval_len));
+    const Timestamp latest_start =
+        static_cast<Timestamp>(base.span.end - len + 1);
+    const Timestamp start =
+        static_cast<Timestamp>(rng.UniformInt(base.span.start, latest_start));
+    return TimeInterval(start, static_cast<Timestamp>(start + len - 1));
+  };
+  auto draw_source = [&]() {
+    return static_cast<ObjectId>(rng.Uniform(base.num_objects));
+  };
+
+  std::vector<QuerySpec> specs;
+  specs.reserve(static_cast<size_t>(base.num_queries));
+  for (int i = 0; i < base.num_queries; ++i) {
+    QuerySpec spec;
+    spec.family = params.family;
+    switch (params.family) {
+      case QueryFamily::kBoolean:
+      case QueryFamily::kThresholdReach:
+        spec.source = draw_source();
+        do {
+          spec.destination = draw_source();
+        } while (spec.destination == spec.source);
+        spec.interval = draw_interval();
+        if (params.family == QueryFamily::kThresholdReach) {
+          spec.contact_probability = rng.UniformDouble(
+              params.min_contact_probability, params.max_contact_probability);
+          spec.min_path_probability =
+              rng.UniformDouble(params.min_path_floor, params.max_path_floor);
+        }
+        break;
+      case QueryFamily::kDecayReach:
+        spec.source = draw_source();
+        spec.interval = draw_interval();
+        spec.decay = rng.UniformDouble(params.min_decay, params.max_decay);
+        spec.min_strength = params.min_strength;
+        break;
+      case QueryFamily::kKHopReach:
+        spec.source = draw_source();
+        spec.interval = draw_interval();
+        spec.max_hops = static_cast<int32_t>(
+            rng.UniformInt(params.min_hops, params.max_hops));
+        spec.per_hop_ticks =
+            rng.Bernoulli(params.unbounded_window_prob)
+                ? Timestamp{-1}
+                : static_cast<Timestamp>(rng.UniformInt(
+                      params.min_per_hop_ticks, params.max_per_hop_ticks));
+        break;
+      case QueryFamily::kTopKSources: {
+        spec.interval = draw_interval();
+        spec.k =
+            static_cast<int32_t>(rng.UniformInt(params.min_k, params.max_k));
+        const int want = static_cast<int>(
+            std::min<int64_t>(rng.UniformInt(params.min_candidates,
+                                             params.max_candidates),
+                              static_cast<int64_t>(base.num_objects)));
+        // Distinct ascending candidates: rejection-sample into a sorted
+        // insert, deterministic given the rng stream.
+        while (static_cast<int>(spec.candidates.size()) < want) {
+          const ObjectId candidate = draw_source();
+          auto it = std::lower_bound(spec.candidates.begin(),
+                                     spec.candidates.end(), candidate);
+          if (it != spec.candidates.end() && *it == candidate) continue;
+          spec.candidates.insert(it, candidate);
+        }
+        break;
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
 }  // namespace streach

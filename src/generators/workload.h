@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "engine/query_spec.h"
 
 namespace streach {
 
@@ -24,6 +25,58 @@ struct WorkloadParams {
 /// destination, uniform interval length in [min, max] (clamped to the
 /// span), uniform placement within the span.
 std::vector<ReachQuery> GenerateWorkload(const WorkloadParams& params);
+
+/// Parameters of a random single-family `QuerySpec` workload. The shared
+/// query shape (count, population, span, interval lengths, seed) comes
+/// from `base`; the family-specific ranges below bound the parameter
+/// draws. Every draw flows through one `Rng` seeded from `base.seed`, so
+/// a fixed seed reproduces a byte-identical spec stream.
+struct FamilyWorkloadParams {
+  WorkloadParams base;
+  QueryFamily family = QueryFamily::kBoolean;
+
+  /// \name kDecayReach draws
+  /// @{
+  double min_decay = 0.05;
+  double max_decay = 0.6;
+  /// Strength floor every decay spec carries (fixed, not drawn: the
+  /// floor interacts with the decay draw to set the transfer cap).
+  double min_strength = 0.25;
+  /// @}
+
+  /// \name kKHopReach draws
+  /// @{
+  int32_t min_hops = 1;
+  int32_t max_hops = 4;  ///< Always finite (see network/hop_profile.h).
+  Timestamp min_per_hop_ticks = 10;
+  Timestamp max_per_hop_ticks = 60;
+  /// Chance a spec gets an unbounded contagious window instead.
+  double unbounded_window_prob = 0.25;
+  /// @}
+
+  /// \name kTopKSources draws
+  /// @{
+  int32_t min_k = 1;
+  int32_t max_k = 5;
+  int min_candidates = 2;
+  int max_candidates = 8;
+  /// @}
+
+  /// \name kThresholdReach draws
+  /// @{
+  double min_contact_probability = 0.5;
+  double max_contact_probability = 0.95;
+  double min_path_floor = 0.05;
+  double max_path_floor = 0.5;
+  /// @}
+};
+
+/// \brief Generates a random workload of `base.num_queries` specs, all of
+/// `params.family`: sources/destinations and intervals exactly as
+/// `GenerateWorkload` draws them, family parameters uniform within the
+/// ranges above (top-k candidate lists are distinct ids, ascending).
+std::vector<QuerySpec> GenerateFamilyWorkload(
+    const FamilyWorkloadParams& params);
 
 }  // namespace streach
 

@@ -1,0 +1,116 @@
+#include "network/hop_profile.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "network/union_find.h"
+
+namespace streach {
+
+int32_t EffectiveTransferCap(size_t num_objects, int32_t max_transfers) {
+  if (num_objects == 0) return 0;
+  const int32_t diameter_cap = static_cast<int32_t>(std::min<size_t>(
+      num_objects - 1,
+      static_cast<size_t>(std::numeric_limits<int32_t>::max())));
+  if (max_transfers < 0) return diameter_cap;
+  return std::min(max_transfers, diameter_cap);
+}
+
+Result<std::vector<ReachProfileEntry>> DriveHopLevels(
+    size_t num_objects, ObjectId source, TimeInterval window,
+    const HopConstraints& hops, const LevelSweepFn& level_sweep) {
+  std::vector<ReachProfileEntry> profile(num_objects);
+  if (window.empty() || source >= num_objects) return profile;
+  profile[source] = ReachProfileEntry{window.start, 0};
+
+  const int32_t cap = EffectiveTransferCap(num_objects, hops.max_transfers);
+  // Folding columns into a running minimum is only sound without a per-hop
+  // freshness bound (the header's monotone mode); with one, a carrier's
+  // transmission window depends on its exact transfer count, so columns
+  // stay strict.
+  const bool monotone = hops.per_hop_ticks < 0;
+
+  std::vector<Timestamp> prev(num_objects, kInvalidTime);
+  prev[source] = window.start;
+  std::vector<Timestamp> next(num_objects, kInvalidTime);
+  for (int32_t level = 0; level < cap; ++level) {
+    std::fill(next.begin(), next.end(), kInvalidTime);
+    STREACH_RETURN_NOT_OK(level_sweep(prev, &next));
+    if (monotone) {
+      for (size_t o = 0; o < num_objects; ++o) {
+        if (prev[o] != kInvalidTime &&
+            (next[o] == kInvalidTime || prev[o] < next[o])) {
+          next[o] = prev[o];
+        }
+      }
+    }
+    bool any = false;
+    for (size_t o = 0; o < num_objects; ++o) {
+      if (next[o] == kInvalidTime) continue;
+      any = true;
+      ReachProfileEntry& e = profile[o];
+      if (e.infected_at == kInvalidTime || next[o] < e.infected_at) {
+        e.infected_at = next[o];
+      }
+      if (e.transfers < 0) e.transfers = level + 1;
+    }
+    // An exact column repeat is a fixpoint (the column map is
+    // deterministic), and an all-empty column can never repopulate.
+    if (!any || next == prev) break;
+    prev.swap(next);
+  }
+  return profile;
+}
+
+std::vector<ReachProfileEntry> ComputeHopProfile(
+    size_t num_objects, ObjectId source, TimeInterval window,
+    const HopConstraints& hops,
+    const std::function<const std::vector<std::pair<ObjectId, ObjectId>>&(
+        Timestamp)>& pairs_at) {
+  UnionFind uf(num_objects);
+  std::vector<uint32_t> stamp(num_objects, 0);
+  uint32_t tick_stamp = 0;
+  std::vector<ObjectId> touched;
+
+  auto sweep = [&](const std::vector<Timestamp>& prev,
+                   std::vector<Timestamp>* next) -> Status {
+    for (Timestamp t = window.start; t <= window.end; ++t) {
+      const auto& pairs = pairs_at(t);
+      if (pairs.empty()) continue;
+      uf.Reset();
+      for (const auto& pair : pairs) uf.Union(pair.first, pair.second);
+      // Per component: how many eligible carriers it holds (saturated at
+      // 2) and, when exactly one, which — a member may only be labeled by
+      // a carrier other than itself.
+      std::unordered_map<uint32_t, std::pair<int, ObjectId>> carriers;
+      ++tick_stamp;
+      touched.clear();
+      for (const auto& pair : pairs) {
+        for (ObjectId o : {pair.first, pair.second}) {
+          if (stamp[o] == tick_stamp) continue;
+          stamp[o] = tick_stamp;
+          touched.push_back(o);
+          if (!HopEligible(prev[o], t, hops.per_hop_ticks)) continue;
+          auto [it, inserted] = carriers.emplace(uf.Find(o),
+                                                 std::make_pair(1, o));
+          if (!inserted && it->second.second != o) it->second.first = 2;
+        }
+      }
+      for (ObjectId o : touched) {
+        if ((*next)[o] != kInvalidTime) continue;  // Ticks ascend: min wins.
+        auto it = carriers.find(uf.Find(o));
+        if (it == carriers.end()) continue;
+        if (it->second.first >= 2 || it->second.second != o) (*next)[o] = t;
+      }
+    }
+    return Status::OK();
+  };
+
+  auto profile =
+      DriveHopLevels(num_objects, source, window, hops, sweep);
+  return std::move(profile).ValueOrDie();  // The sweep never fails.
+}
+
+}  // namespace streach

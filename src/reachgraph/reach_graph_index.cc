@@ -8,6 +8,7 @@
 #include "common/encoding.h"
 #include "common/query_scope.h"
 #include "common/stopwatch.h"
+#include "network/hop_profile.h"
 #include "storage/build_pool.h"
 
 namespace streach {
@@ -615,6 +616,131 @@ Result<std::vector<std::vector<Timestamp>>> ReachGraphIndex::ReachableSets(
   }
   scope.Finish();
   return sets;
+}
+
+Result<std::vector<ReachProfileEntry>> ReachGraphIndex::ConstrainedProfile(
+    ObjectId source, TimeInterval interval, const HopConstraints& hops) {
+  return ConstrainedProfile(source, interval, hops, &pool_, &last_stats_);
+}
+
+Result<std::vector<ReachProfileEntry>> ReachGraphIndex::ConstrainedProfile(
+    ObjectId source, TimeInterval interval, const HopConstraints& hops,
+    BufferPool* pool, QueryStats* stats) const {
+  QueryScope scope(pool, stats);
+  const TimeInterval w = interval.Intersect(span_);
+
+  TraversalScratch scratch;
+  scratch.pool = pool;
+  // Timelines parse once per query, whatever level first needs them.
+  std::unordered_map<ObjectId, std::vector<DnGraph::TimelineEntry>>
+      timeline_cache;
+  auto load_timelines = [&](const std::vector<ObjectId>& objects) -> Status {
+    std::vector<ObjectId> need;
+    std::vector<Extent> extents;
+    for (ObjectId o : objects) {
+      if (timeline_cache.count(o) != 0) continue;
+      need.push_back(o);
+      extents.push_back(timeline_extents_[o]);
+    }
+    if (need.empty()) return Status::OK();
+    auto blobs = ReadExtentsBatched(pool, extents, options_.page_size);
+    if (!blobs.ok()) return blobs.status();
+    for (size_t k = 0; k < need.size(); ++k) {
+      auto timeline = ParseTimeline((*blobs)[k]);
+      if (!timeline.ok()) return timeline.status();
+      timeline_cache.emplace(need[k], std::move(*timeline));
+    }
+    return Status::OK();
+  };
+
+  // The two earliest admissible entries of a vertex from *distinct*
+  // carriers. A member takes the earliest entry not carried by itself,
+  // so tracking one runner-up with a different carrier is exactly enough
+  // (its carrier cannot also be that member).
+  struct VertexEntries {
+    Timestamp t1 = kInvalidTime;
+    ObjectId m1 = kInvalidObject;
+    Timestamp t2 = kInvalidTime;
+    ObjectId m2 = kInvalidObject;
+
+    void Add(Timestamp t, ObjectId m) {
+      if (m == m1) {
+        if (t < t1) t1 = t;
+        return;
+      }
+      if (m == m2) {
+        if (t < t2) t2 = t;
+      } else if (t1 == kInvalidTime) {
+        t1 = t;
+        m1 = m;
+        return;
+      } else if (t < t1) {
+        t2 = t1;
+        m2 = m1;
+        t1 = t;
+        m1 = m;
+        return;
+      } else if (t2 == kInvalidTime || t < t2) {
+        t2 = t;
+        m2 = m;
+      }
+      if (t2 != kInvalidTime && t2 < t1) {
+        std::swap(t1, t2);
+        std::swap(m1, m2);
+      }
+    }
+  };
+
+  auto sweep = [&](const std::vector<Timestamp>& prev,
+                   std::vector<Timestamp>* next) -> Status {
+    std::vector<ObjectId> carriers;
+    for (ObjectId o = 0; o < num_objects_; ++o) {
+      if (prev[o] != kInvalidTime) carriers.push_back(o);
+    }
+    STREACH_RETURN_NOT_OK(load_timelines(carriers));
+
+    std::unordered_map<VertexId, VertexEntries> entered;
+    std::vector<VertexId> wanted;
+    for (ObjectId m : carriers) {
+      const Timestamp from = prev[m];
+      const Timestamp lim =
+          hops.per_hop_ticks < 0
+              ? w.end
+              : static_cast<Timestamp>(std::min<int64_t>(
+                    w.end, static_cast<int64_t>(from) + hops.per_hop_ticks));
+      if (from > lim) continue;
+      for (const auto& entry : timeline_cache[m]) {
+        if (entry.span.end < from || entry.span.start > lim) continue;
+        // Members are aboard for the whole vertex span (Property 5.1 via
+        // the identical-component merge), so the earliest admissible
+        // entry tick is simply the window/span/arrival meet.
+        const Timestamp tstar = std::max(entry.span.start, from);
+        auto [it, inserted] = entered.try_emplace(entry.vertex);
+        if (inserted) wanted.push_back(entry.vertex);
+        it->second.Add(tstar, m);
+      }
+    }
+    STREACH_RETURN_NOT_OK(PrefetchVertices(wanted, &scratch));
+    for (const VertexId v : wanted) {
+      const VertexEntries& e = entered[v];
+      auto sv = GetVertex(v, &scratch);
+      if (!sv.ok()) return sv.status();
+      scope.AddItemsVisited(1);
+      for (ObjectId o : (*sv)->members) {
+        if (o >= num_objects_) continue;
+        const Timestamp cand = (o == e.m1) ? e.t2 : e.t1;
+        if (cand == kInvalidTime) continue;
+        Timestamp& slot = (*next)[o];
+        if (slot == kInvalidTime || cand < slot) slot = cand;
+      }
+    }
+    return Status::OK();
+  };
+
+  auto profile = DriveHopLevels(num_objects_, source, w, hops, sweep);
+  if (!profile.ok()) return profile.status();
+  scope.Finish();
+  return std::move(*profile);
 }
 
 Result<ReachAnswer> ReachGraphIndex::QueryBmBfs(const ReachQuery& query,

@@ -116,6 +116,20 @@ class ReachGraphIndex {
       const std::vector<ObjectId>& sources, TimeInterval interval,
       BufferPool* pool, QueryStats* stats) const;
 
+  /// Constrained reachability profile (network/hop_profile.h semantics):
+  /// the transfer-level recursion runs natively on the DN structure — per
+  /// level, every carrier's Ht timeline is walked for the components it
+  /// can enter inside its transmission window, each candidate vertex
+  /// keeps its two earliest entries from *distinct* carriers (so a member
+  /// is never labeled by itself alone), and the vertex's members take the
+  /// earliest admissible entry. Timelines and partitions are cached
+  /// across levels, so the IO bill is close to one member sweep.
+  Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval, const HopConstraints& hops);
+  Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval, const HopConstraints& hops,
+      BufferPool* pool, QueryStats* stats) const;
+
   /// Re-entrant query paths: traverse through the caller's buffer pool and
   /// write metrics into `*stats`. Safe to call concurrently from many
   /// threads with distinct pools (see NewSessionPool).

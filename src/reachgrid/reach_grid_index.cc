@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "common/encoding.h"
 #include "common/query_scope.h"
 #include "common/stopwatch.h"
+#include "network/hop_profile.h"
+#include "network/union_find.h"
 #include "spatial/rect.h"
 #include "storage/build_pool.h"
 
@@ -908,6 +911,229 @@ Result<ReachAnswer> ReachGridIndex::Sweep(
     }
   }
   return finish(false, kInvalidTime);
+}
+
+Result<std::vector<ReachProfileEntry>> ReachGridIndex::ConstrainedProfile(
+    ObjectId source, TimeInterval interval, const HopConstraints& hops) {
+  return ConstrainedProfile(source, interval, hops, &pool_, &last_stats_);
+}
+
+Result<std::vector<ReachProfileEntry>> ReachGridIndex::ConstrainedProfile(
+    ObjectId source, TimeInterval interval, const HopConstraints& hops,
+    BufferPool* pool, QueryStats* stats) const {
+  QueryScope scope(pool, stats);
+  const TimeInterval w = interval.Intersect(span_);
+  // Wave membership stamps survive across levels so each tick's reset is
+  // O(wave), not O(objects).
+  std::vector<uint32_t> wave_stamp(num_objects_, 0);
+  uint32_t stamp_clock = 0;
+  auto profile = DriveHopLevels(
+      num_objects_, source, w, hops,
+      [&](const std::vector<Timestamp>& prev,
+          std::vector<Timestamp>* next) -> Status {
+        return LevelSweep(prev, w, hops.per_hop_ticks, next, &wave_stamp,
+                          &stamp_clock, pool, &scope);
+      });
+  if (!profile.ok()) return profile.status();
+  scope.Finish();
+  return std::move(*profile);
+}
+
+Status ReachGridIndex::LevelSweep(const std::vector<Timestamp>& prev,
+                                  TimeInterval w, Timestamp per_hop_ticks,
+                                  std::vector<Timestamp>* next,
+                                  std::vector<uint32_t>* wave_stamp,
+                                  uint32_t* stamp_clock, BufferPool* pool,
+                                  QueryScope* scope) const {
+  // This level's carriers, ascending ids (deterministic locator order).
+  std::vector<ObjectId> carriers;
+  for (size_t o = 0; o < num_objects_; ++o) {
+    if (prev[o] != kInvalidTime) carriers.push_back(static_cast<ObjectId>(o));
+  }
+  if (carriers.empty()) return Status::OK();
+
+  const double dt = options_.contact_range;
+  const double dt_sq = dt * dt;
+  auto seed_cell_key = [&](const Point& p) {
+    const auto cx = static_cast<int64_t>(std::floor(p.x / dt));
+    const auto cy = static_cast<int64_t>(std::floor(p.y / dt));
+    // Shift in the unsigned domain: left-shifting a negative cx is UB.
+    return static_cast<int64_t>((static_cast<uint64_t>(cx) << 32) ^
+                                (static_cast<uint64_t>(cy) & 0xFFFFFFFFu));
+  };
+
+  const int first_bucket = BucketOf(w.start);
+  const int last_bucket = BucketOf(w.end);
+  for (int bucket = first_bucket; bucket <= last_bucket; ++bucket) {
+    BucketContext ctx;
+    ctx.bucket = bucket;
+    ctx.interval = BucketInterval(bucket);
+    const TimeInterval bw = ctx.interval.Intersect(w);
+
+    auto position_of = [&](ObjectId o, Timestamp t) -> const Point& {
+      return ctx.objects.find(o)->second[static_cast<size_t>(
+          t - ctx.interval.start)];
+    };
+
+    auto fetch_sorted = [&](std::vector<CellId> cells) -> Status {
+      std::sort(cells.begin(), cells.end());
+      cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+      STREACH_RETURN_NOT_OK(FetchCells(bucket, cells, &ctx, pool));
+      scope->AddItemsVisited(cells.size());
+      return Status::OK();
+    };
+
+    // Identical to Sweep's admit step: locate, fetch, then fetch the
+    // candidate cells around the admitted objects' remaining segments.
+    auto admit_seeds = [&](const std::vector<ObjectId>& batch,
+                           Timestamp from) -> Status {
+      std::vector<ObjectId> unknown;
+      for (ObjectId s : batch) {
+        if (ctx.objects.count(s) == 0) unknown.push_back(s);
+      }
+      auto located = LookupCells(bucket, unknown, pool);
+      if (!located.ok()) return located.status();
+      STREACH_RETURN_NOT_OK(fetch_sorted(std::move(*located)));
+      std::vector<CellId> wanted;
+      for (ObjectId s : batch) {
+        if (ctx.objects.count(s) == 0) {
+          return Status::Corruption("seed missing from its located cell");
+        }
+        Rect mbr;
+        for (Timestamp t = from; t <= bw.end; ++t) {
+          mbr.ExpandToInclude(position_of(s, t));
+        }
+        const auto candidates = grid_.CellsIntersecting(mbr.Padded(dt));
+        wanted.insert(wanted.end(), candidates.begin(), candidates.end());
+      }
+      return fetch_sorted(std::move(wanted));
+    };
+
+    // Carriers whose transmission window touches this bucket enter like
+    // Algorithm 1 seeds.
+    std::vector<ObjectId> active;
+    for (ObjectId m : carriers) {
+      if (prev[m] > bw.end) continue;
+      if (per_hop_ticks >= 0 &&
+          static_cast<int64_t>(prev[m]) + per_hop_ticks <
+              static_cast<int64_t>(bw.start)) {
+        continue;  // Freshness expired before the bucket starts.
+      }
+      active.push_back(m);
+    }
+    if (active.empty()) continue;
+    STREACH_RETURN_NOT_OK(admit_seeds(active, bw.start));
+
+    // Objects whose candidate cells are already fetched from their join
+    // tick onward (re-joining a later wave needs no further admission).
+    std::unordered_set<ObjectId> admitted(active.begin(), active.end());
+
+    struct WaveRef {
+      size_t idx;  // Position in `wave`.
+      Point pos;
+    };
+    std::unordered_map<int64_t, std::vector<WaveRef>> wave_hash;
+    std::vector<ObjectId> wave;
+    std::vector<ObjectId> joiners;
+    for (Timestamp t = bw.start; t <= bw.end; ++t) {
+      const uint32_t tick_stamp = ++(*stamp_clock);
+      wave.clear();
+      wave_hash.clear();
+      auto enlist = [&](ObjectId o) {
+        const Point& p = position_of(o, t);
+        (*wave_stamp)[o] = tick_stamp;
+        wave_hash[seed_cell_key(p)].push_back(WaveRef{wave.size(), p});
+        wave.push_back(o);
+      };
+      // The wave starts from the carriers eligible to transmit at t; the
+      // prefix [0, num_eligible) of `wave` is exactly that set.
+      for (ObjectId m : active) {
+        if (HopEligible(prev[m], t, per_hop_ticks)) enlist(m);
+      }
+      const size_t num_eligible = wave.size();
+      if (num_eligible == 0) continue;
+
+      // Contact-closure rounds: any fetched object within dT of the wave
+      // conducts it (eligibility gates transmission, not membership), and
+      // joins exactly like a new seed so its neighborhood becomes visible
+      // to the next round.
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        joiners.clear();
+        for (const auto& [o, positions] : ctx.objects) {
+          if ((*wave_stamp)[o] == tick_stamp) continue;
+          const Point& po =
+              positions[static_cast<size_t>(t - ctx.interval.start)];
+          bool near = false;
+          for (int dx = -1; dx <= 1 && !near; ++dx) {
+            for (int dy = -1; dy <= 1 && !near; ++dy) {
+              auto it = wave_hash.find(
+                  seed_cell_key(Point(po.x + dx * dt, po.y + dy * dt)));
+              if (it == wave_hash.end()) continue;
+              for (const WaveRef& ref : it->second) {
+                if (Point::DistanceSquared(po, ref.pos) < dt_sq) {
+                  near = true;
+                  break;
+                }
+              }
+            }
+          }
+          if (near) joiners.push_back(o);
+        }
+        if (joiners.empty()) continue;
+        std::sort(joiners.begin(), joiners.end());  // Deterministic fetches.
+        std::vector<ObjectId> fresh;
+        for (ObjectId o : joiners) {
+          enlist(o);
+          if (admitted.insert(o).second) fresh.push_back(o);
+        }
+        if (!fresh.empty()) {
+          STREACH_RETURN_NOT_OK(admit_seeds(fresh, t));
+        }
+        changed = true;
+      }
+
+      // Exact snapshot components over the wave (the closure contains
+      // every component holding an eligible carrier in full, so in-wave
+      // unions reconstruct them exactly), then the labeling rule: a
+      // member takes the tick only from an eligible carrier that is not
+      // itself.
+      UnionFind uf(wave.size());
+      for (size_t i = 0; i < wave.size(); ++i) {
+        const Point& pi = position_of(wave[i], t);
+        for (int dx = -1; dx <= 1; ++dx) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            auto it = wave_hash.find(
+                seed_cell_key(Point(pi.x + dx * dt, pi.y + dy * dt)));
+            if (it == wave_hash.end()) continue;
+            for (const WaveRef& ref : it->second) {
+              if (ref.idx != i && Point::DistanceSquared(pi, ref.pos) < dt_sq) {
+                uf.Union(static_cast<uint32_t>(i),
+                         static_cast<uint32_t>(ref.idx));
+              }
+            }
+          }
+        }
+      }
+      // Per component: eligible-carrier count (saturated at 2) and, when
+      // exactly one, which.
+      std::unordered_map<uint32_t, std::pair<int, ObjectId>> comp;
+      for (size_t i = 0; i < num_eligible; ++i) {
+        auto [it, inserted] = comp.emplace(uf.Find(static_cast<uint32_t>(i)),
+                                           std::make_pair(1, wave[i]));
+        if (!inserted && it->second.second != wave[i]) it->second.first = 2;
+      }
+      for (size_t i = 0; i < wave.size(); ++i) {
+        const ObjectId o = wave[i];
+        if ((*next)[o] != kInvalidTime) continue;  // Ticks ascend: min wins.
+        auto it = comp.find(uf.Find(static_cast<uint32_t>(i)));
+        if (it == comp.end()) continue;
+        if (it->second.first >= 2 || it->second.second != o) (*next)[o] = t;
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace streach

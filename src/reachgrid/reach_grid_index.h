@@ -20,6 +20,8 @@
 
 namespace streach {
 
+class QueryScope;
+
 /// Construction parameters of ReachGrid (§4.1).
 struct ReachGridOptions {
   /// Temporal resolution RT: ticks per temporal bucket (paper optimum 20).
@@ -107,6 +109,22 @@ class ReachGridIndex {
   Result<std::vector<std::vector<Timestamp>>> ReachableSets(
       const std::vector<ObjectId>& sources, TimeInterval interval,
       BufferPool* pool, QueryStats* stats, FrontierPool* frontier) const;
+
+  /// Constrained reachability profile (network/hop_profile.h semantics):
+  /// each transfer level runs as one guided bucket sweep. The level's
+  /// carriers are admitted like Algorithm 1 seeds; every tick grows the
+  /// contact closure around the carriers active at that tick (an object in
+  /// contact conducts the wave whether or not it may transmit), newly
+  /// waved objects fetch their candidate cells exactly like new seeds, and
+  /// an exact union pass over the wave's positions recovers the snapshot
+  /// components so a member is only labeled by an eligible carrier other
+  /// than itself. Sequential; the buffer pool amortizes repeated cell
+  /// fetches across levels.
+  Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval, const HopConstraints& hops);
+  Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval, const HopConstraints& hops,
+      BufferPool* pool, QueryStats* stats) const;
 
   /// Worker threads the convenience entry points use for frontier rounds
   /// (1 = historical single-threaded sweeps; the built-in pool switches to
@@ -222,6 +240,14 @@ class ReachGridIndex {
                             TimeInterval interval,
                             std::vector<Timestamp>* infection_times,
                             BufferPool* pool, QueryStats* stats) const;
+
+  /// One E-column step of `ConstrainedProfile` (the `LevelSweepFn` handed
+  /// to `DriveHopLevels`): labels `next` from the carriers in `prev` by
+  /// the guided per-tick wave sweep described on the public entry point.
+  Status LevelSweep(const std::vector<Timestamp>& prev, TimeInterval window,
+                    Timestamp per_hop_ticks, std::vector<Timestamp>* next,
+                    std::vector<uint32_t>* wave_stamp, uint32_t* stamp_clock,
+                    BufferPool* pool, QueryScope* scope) const;
 
   /// Shared-frontier batch sweep behind `ReachableSets`: one pass over
   /// the buckets with per-source reach bits; each tick's contact rounds

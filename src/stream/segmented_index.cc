@@ -14,6 +14,7 @@
 #include "common/query_stats.h"
 #include "common/stopwatch.h"
 #include "common/types.h"
+#include "network/hop_profile.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
 
@@ -184,6 +185,83 @@ class SegmentedIndex final : public ReachabilityIndex {
     stats_.cpu_seconds = watch.ElapsedSeconds();
     if (!status.ok()) return status;
     return sets;
+  }
+
+  Result<std::vector<ReachProfileEntry>> ConstrainedProfile(
+      ObjectId source, TimeInterval interval,
+      const HopConstraints& hops) override {
+    Stopwatch watch;
+    stats_ = QueryStats{};
+    struct Before {
+      IoStats io;
+      uint64_t hits = 0;
+      uint64_t misses = 0;
+    };
+    std::unordered_map<const BufferPool*, Before> before;
+    before.reserve(pools_.size());
+    for (const auto& [id, pool] : pools_) {
+      before[pool.get()] = {pool->io_stats(), pool->hits(), pool->misses()};
+    }
+
+    const size_t num_objects = ingestor_->num_objects();
+    const TimeInterval w = interval.Intersect(ingestor_->span());
+    std::vector<ReachProfileEntry> profile(num_objects);
+    uint64_t visited = 0;
+    Status status;
+    if (!w.empty() && source < num_objects) {
+      std::vector<SweepUnit> units;
+      status = LoadUnits(w, &units);
+      if (status.ok()) {
+        // The transfer-level recursion needs the per-tick snapshot
+        // components of the WHOLE stream — a same-tick chain may cross
+        // units (conduit in one segment, carrier in another), so per-unit
+        // relaxation cannot see it. Materialize every unit's contacts
+        // into one per-tick pair table, then run the shared kernel; the
+        // table is independent of the seal schedule, which is what keeps
+        // streaming answers byte-identical to a one-shot batch build.
+        std::vector<std::vector<std::pair<ObjectId, ObjectId>>> tick_pairs(
+            static_cast<size_t>(w.length()));
+        for (const SweepUnit& unit : units) {
+          visited += unit.contacts.size();
+          for (const Contact& c : unit.contacts) {
+            const TimeInterval v = c.validity.Intersect(w);
+            for (Timestamp t = v.start; t <= v.end; ++t) {
+              tick_pairs[static_cast<size_t>(t - w.start)].emplace_back(c.a,
+                                                                        c.b);
+            }
+          }
+        }
+        profile = ComputeHopProfile(
+            num_objects, source, w, hops,
+            [&](Timestamp t)
+                -> const std::vector<std::pair<ObjectId, ObjectId>>& {
+              return tick_pairs[static_cast<size_t>(t - w.start)];
+            });
+      }
+    }
+
+    IoStats io;
+    uint64_t pages = 0;
+    uint64_t hits = 0;
+    for (const auto& [id, pool] : pools_) {
+      const auto it = before.find(pool.get());
+      if (it == before.end()) {
+        io += pool->io_stats();
+        pages += pool->misses();
+        hits += pool->hits();
+      } else {
+        io += pool->io_stats() - it->second.io;
+        pages += pool->misses() - it->second.misses;
+        hits += pool->hits() - it->second.hits;
+      }
+    }
+    stats_.io_cost = io.NormalizedReadCost();
+    stats_.pages_fetched = pages;
+    stats_.pool_hits = hits;
+    stats_.items_visited = visited;
+    stats_.cpu_seconds = watch.ElapsedSeconds();
+    if (!status.ok()) return status;
+    return profile;
   }
 
   const QueryStats& last_query_stats() const override { return stats_; }

@@ -9,6 +9,7 @@ checker instead of inline workflow scripts:
     python3 tools/validate_bench.py build     BENCH_build_scaling.json
     python3 tools/validate_bench.py join      BENCH_join_scaling.json
     python3 tools/validate_bench.py streaming BENCH_streaming.json
+    python3 tools/validate_bench.py query_families BENCH_query_families.json
 
 Each validator asserts the schema (required fields per row) and the
 behavioural contracts the sweep is supposed to prove — IO overlap under
@@ -242,11 +243,57 @@ def validate_streaming(path):
           f"{max(r['sealed_segments'] for r in rows)}")
 
 
+def validate_query_families(path):
+    rows = load_rows(path)
+    check_required(rows, {
+        "family", "backend", "num_queries", "num_reachable",
+        "relaxed_reachable", "answers_hash", "wall_seconds",
+        "queries_per_second", "mean_io_cost", "p50_latency",
+        "p95_latency"})
+    families = {"boolean", "decay", "khop", "topk", "threshold"}
+    backends = {"ReachGrid", "ReachGraph", "SPJ"}
+    for row in rows:
+        assert row["family"] in families, f"unknown family: {row}"
+        assert row["backend"] in backends, f"unknown backend: {row}"
+        assert row["num_queries"] > 0, f"empty cell: {row}"
+        assert row["queries_per_second"] > 0, f"no throughput: {row}"
+        assert row["wall_seconds"] > 0, f"no wall time: {row}"
+        # The family invariant: relaxing the constraint (decay 0,
+        # unbounded hops, probability floor 0) can only grow the
+        # reachable count, never shrink it.
+        assert row["num_reachable"] <= row["relaxed_reachable"], \
+            f"constrained reach exceeds its relaxation: {row}"
+        int(row["answers_hash"], 16)  # Well-formed hex digest.
+    assert {r["family"] for r in rows} == families, \
+        f"family sweep incomplete: {set(r['family'] for r in rows)}"
+    assert {r["backend"] for r in rows} == backends, \
+        f"backend sweep incomplete: {set(r['backend'] for r in rows)}"
+    # The equivalence contract: within one family, every backend answers
+    # the same specs with byte-identical results — one hash, one
+    # reachable count, one query count per family across the sweep.
+    groups = {}
+    for r in rows:
+        groups.setdefault(r["family"], []).append(r)
+    for family, cells in groups.items():
+        assert len({r["answers_hash"] for r in cells}) == 1, \
+            f"{family}: backends disagree on answers: " \
+            f"{[(r['backend'], r['answers_hash']) for r in cells]}"
+        assert len({r["num_reachable"] for r in cells}) == 1, \
+            f"{family}: backends disagree on reach counts"
+        assert len({r["num_queries"] for r in cells}) == 1, \
+            f"{family}: backends ran different workloads"
+    print(f"{len(rows)} family cells OK; "
+          f"{len(groups)} families agree across "
+          f"{len(backends)} backends; best "
+          f"{max(r['queries_per_second'] for r in rows):.0f} q/s")
+
+
 VALIDATORS = {
     "engine": validate_engine,
     "build": validate_build,
     "join": validate_join,
     "streaming": validate_streaming,
+    "query_families": validate_query_families,
 }
 
 
