@@ -18,13 +18,19 @@ struct QueryStats {
   uint64_t pool_hits = 0;      ///< Buffer-pool hits (no device access).
   double cpu_seconds = 0.0;
   uint64_t items_visited = 0;  ///< Vertices (ReachGraph) / cells (ReachGrid).
+  /// True when the answer was computed with part of the index unreadable
+  /// (quarantined segments skipped under degraded serving): correct over
+  /// the data that was readable, possibly missing contacts from the rest.
+  /// Never set on a fully served answer.
+  bool degraded = false;
 
   std::string ToString() const {
     return "io=" + std::to_string(io_cost) +
            " pages=" + std::to_string(pages_fetched) +
            " hits=" + std::to_string(pool_hits) +
            " cpu_us=" + std::to_string(cpu_seconds * 1e6) +
-           " visited=" + std::to_string(items_visited);
+           " visited=" + std::to_string(items_visited) +
+           (degraded ? " DEGRADED" : "");
   }
 };
 

@@ -22,6 +22,8 @@ std::string_view Status::CodeName(Code code) {
       return "AlreadyExists";
     case Code::kInternal:
       return "Internal";
+    case Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

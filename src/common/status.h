@@ -27,6 +27,11 @@ class Status {
     kNotSupported = 6,
     kAlreadyExists = 7,
     kInternal = 8,
+    /// Transient, retryable failure (e.g. an injected or real flaky read):
+    /// the operation may succeed if reissued, unlike `kIOError`, which is
+    /// permanent for the addressed resource. Retry loops key off this
+    /// code; everything else treats it as a plain error.
+    kUnavailable = 9,
   };
 
   /// Constructs an OK status.
@@ -61,6 +66,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -74,6 +82,7 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// Returns "OK" or "<CodeName>: <message>".
   std::string ToString() const;

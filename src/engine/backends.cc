@@ -136,6 +136,9 @@ class ReachGridBackend : public ReachabilityIndex {
   void SetIoQueueDepth(int depth) override {
     pool_->set_io_queue_depth(depth);
   }
+  void SetMaxReadRetries(int retries) override {
+    pool_->set_max_read_retries(retries);
+  }
   int num_shards() const override { return pool_->num_shards(); }
   std::vector<IoStats> shard_io_stats() const override {
     return pool_->PerShardIoStats();
@@ -157,6 +160,7 @@ class ReachGridBackend : public ReachabilityIndex {
   std::unique_ptr<ReachabilityIndex> NewSession() const override {
     auto session = std::make_unique<ReachGridBackend>(index_);
     session->SetIoQueueDepth(pool_->io_queue_depth());
+    session->SetMaxReadRetries(pool_->max_read_retries());
     session->SetTraversalThreads(traversal_threads_);
     return session;
   }
@@ -215,6 +219,9 @@ class ReachGraphBackend : public ReachabilityIndex {
   void SetIoQueueDepth(int depth) override {
     pool_->set_io_queue_depth(depth);
   }
+  void SetMaxReadRetries(int retries) override {
+    pool_->set_max_read_retries(retries);
+  }
   int num_shards() const override { return pool_->num_shards(); }
   std::vector<IoStats> shard_io_stats() const override {
     return pool_->PerShardIoStats();
@@ -234,6 +241,7 @@ class ReachGraphBackend : public ReachabilityIndex {
   std::unique_ptr<ReachabilityIndex> NewSession() const override {
     auto session = std::make_unique<ReachGraphBackend>(index_, traversal_);
     session->SetIoQueueDepth(pool_->io_queue_depth());
+    session->SetMaxReadRetries(pool_->max_read_retries());
     return session;
   }
 
@@ -277,6 +285,9 @@ class SpjBackend : public ReachabilityIndex {
   void SetIoQueueDepth(int depth) override {
     pool_->set_io_queue_depth(depth);
   }
+  void SetMaxReadRetries(int retries) override {
+    pool_->set_max_read_retries(retries);
+  }
   int num_shards() const override { return pool_->num_shards(); }
   std::vector<IoStats> shard_io_stats() const override {
     return pool_->PerShardIoStats();
@@ -292,6 +303,7 @@ class SpjBackend : public ReachabilityIndex {
   std::unique_ptr<ReachabilityIndex> NewSession() const override {
     auto session = std::make_unique<SpjBackend>(spj_);
     session->SetIoQueueDepth(pool_->io_queue_depth());
+    session->SetMaxReadRetries(pool_->max_read_retries());
     return session;
   }
 
@@ -324,6 +336,9 @@ class GrailBackend : public ReachabilityIndex {
   void SetIoQueueDepth(int depth) override {
     if (pool_ != nullptr) pool_->set_io_queue_depth(depth);
   }
+  void SetMaxReadRetries(int retries) override {
+    if (pool_ != nullptr) pool_->set_max_read_retries(retries);
+  }
 
   int num_shards() const override {
     return pool_ != nullptr ? pool_->num_shards() : 1;
@@ -347,7 +362,10 @@ class GrailBackend : public ReachabilityIndex {
 
   std::unique_ptr<ReachabilityIndex> NewSession() const override {
     auto session = std::make_unique<GrailBackend>(grail_, mode_);
-    if (pool_ != nullptr) session->SetIoQueueDepth(pool_->io_queue_depth());
+    if (pool_ != nullptr) {
+      session->SetIoQueueDepth(pool_->io_queue_depth());
+      session->SetMaxReadRetries(pool_->max_read_retries());
+    }
     return session;
   }
 

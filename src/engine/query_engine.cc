@@ -63,6 +63,14 @@ std::string WorkloadSummary::ToString() const {
       out += buf;
     }
   }
+  // Fault surface only when something actually went wrong: healthy runs
+  // keep the historical line.
+  if (failed_queries > 0 || degraded_queries > 0) {
+    std::snprintf(buf, sizeof(buf), " | failed=%llu degraded=%llu",
+                  static_cast<unsigned long long>(failed_queries),
+                  static_cast<unsigned long long>(degraded_queries));
+    out += buf;
+  }
   return out;
 }
 
@@ -93,6 +101,7 @@ Result<WorkloadReport> QueryEngine::Run(
   WorkloadReport report;
   report.answers.resize(n);
   report.per_query.resize(n);
+  report.statuses.resize(n);
   std::vector<double> latencies(n, 0.0);
 
   const int num_threads = static_cast<int>(
@@ -111,6 +120,8 @@ Result<WorkloadReport> QueryEngine::Run(
   for (ReachabilityIndex* session : sessions) {
     session->SetIoQueueDepth(options_.io_queue_depth);
     session->SetTraversalThreads(options_.traversal_threads);
+    session->SetMaxReadRetries(options_.max_read_retries);
+    session->SetDegradedServing(options_.degraded_serving);
   }
 
   // Per-shard IO is reported as the delta of each session's cumulative
@@ -125,9 +136,6 @@ Result<WorkloadReport> QueryEngine::Run(
       result_cache_ != nullptr ? result_cache_->hits() : 0;
 
   std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;  // Guards first_error only; never on the hot path.
-  Status first_error = Status::OK();
 
   auto worker = [&](ReachabilityIndex* session) {
     const bool cold = options_.cold_cache;
@@ -140,7 +148,6 @@ Result<WorkloadReport> QueryEngine::Run(
     // Backends without an index identity opt out of caching entirely.
     bool cacheable = cache != nullptr && identity != nullptr;
     for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      if (failed.load(std::memory_order_relaxed)) return;  // Stop early.
       if (cold) session->ClearCache();
       const ReachQuery& query = queries[i];
       Stopwatch latency;
@@ -164,22 +171,20 @@ Result<WorkloadReport> QueryEngine::Run(
           } else if (set_result.status().IsNotSupported()) {
             cacheable = false;  // Point-query-only backend.
           } else {
-            std::lock_guard<std::mutex> guard(error_mutex);
-            if (first_error.ok()) first_error = set_result.status();
-            failed.store(true, std::memory_order_relaxed);
-            return;
+            // This query failed; the rest of the workload keeps going.
+            report.statuses[i] = set_result.status();
+            report.per_query[i] = session->last_query_stats();
+            answered = true;
           }
         }
       }
       if (!answered) {
         auto answer = session->Query(query);
-        if (!answer.ok()) {
-          std::lock_guard<std::mutex> guard(error_mutex);
-          if (first_error.ok()) first_error = answer.status();
-          failed.store(true, std::memory_order_relaxed);
-          return;
+        if (answer.ok()) {
+          report.answers[i] = *answer;
+        } else {
+          report.statuses[i] = answer.status();
         }
-        report.answers[i] = *answer;
         report.per_query[i] = session->last_query_stats();
       }
       latencies[i] = latency.ElapsedSeconds();
@@ -199,8 +204,6 @@ Result<WorkloadReport> QueryEngine::Run(
   }
   const double wall_seconds = wall.ElapsedSeconds();
 
-  if (!first_error.ok()) return first_error;
-
   WorkloadSummary& s = report.summary;
   s.backend = backend->DescribeIndex();
   s.num_queries = n;
@@ -212,8 +215,13 @@ Result<WorkloadReport> QueryEngine::Run(
   s.queries_per_second =
       wall_seconds > 0 ? static_cast<double>(n) / wall_seconds : 0.0;
   for (size_t i = 0; i < n; ++i) {
-    if (report.answers[i].reachable) ++s.num_reachable;
+    if (!report.statuses[i].ok()) {
+      ++s.failed_queries;
+    } else if (report.answers[i].reachable) {
+      ++s.num_reachable;
+    }
     const QueryStats& q = report.per_query[i];
+    if (q.degraded) ++s.degraded_queries;
     s.total_io_cost += q.io_cost;
     s.total_pages_fetched += q.pages_fetched;
     s.total_pool_hits += q.pool_hits;
@@ -285,6 +293,8 @@ Result<ClosureWorkloadReport> QueryEngine::RunClosures(
   for (ReachabilityIndex* session : sessions) {
     session->SetIoQueueDepth(options_.io_queue_depth);
     session->SetTraversalThreads(options_.traversal_threads);
+    session->SetMaxReadRetries(options_.max_read_retries);
+    session->SetDegradedServing(options_.degraded_serving);
   }
 
   std::vector<std::vector<IoStats>> shard_io_before;
@@ -402,6 +412,7 @@ Result<FamilyWorkloadReport> QueryEngine::RunFamilies(
   FamilyWorkloadReport report;
   report.answers.resize(n);
   report.per_query.resize(n);
+  report.statuses.resize(n);
   std::vector<double> latencies(n, 0.0);
 
   const int num_threads = static_cast<int>(
@@ -420,6 +431,8 @@ Result<FamilyWorkloadReport> QueryEngine::RunFamilies(
   for (ReachabilityIndex* session : sessions) {
     session->SetIoQueueDepth(options_.io_queue_depth);
     session->SetTraversalThreads(options_.traversal_threads);
+    session->SetMaxReadRetries(options_.max_read_retries);
+    session->SetDegradedServing(options_.degraded_serving);
   }
 
   std::vector<std::vector<IoStats>> shard_io_before;
@@ -431,9 +444,6 @@ Result<FamilyWorkloadReport> QueryEngine::RunFamilies(
       result_cache_ != nullptr ? result_cache_->hits() : 0;
 
   std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;  // Guards first_error only; never on the hot path.
-  Status first_error = Status::OK();
 
   auto worker = [&](ReachabilityIndex* session) {
     const bool cold = options_.cold_cache;
@@ -445,17 +455,17 @@ Result<FamilyWorkloadReport> QueryEngine::RunFamilies(
     // NotSupported there fails the whole spec anyway, cache or not).
     bool set_cacheable = cache != nullptr && identity != nullptr;
     const bool profile_cacheable = cache != nullptr && identity != nullptr;
-    auto fail_with = [&](const Status& status) {
-      std::lock_guard<std::mutex> guard(error_mutex);
-      if (first_error.ok()) first_error = status;
-      failed.store(true, std::memory_order_relaxed);
-    };
     for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      if (failed.load(std::memory_order_relaxed)) return;  // Stop early.
       if (cold) session->ClearCache();
       const QuerySpec& spec = specs[i];
       Stopwatch latency;
       bool answered = false;
+      // Records a per-spec failure; the rest of the workload keeps going.
+      auto fail_spec = [&](const Status& status) {
+        report.statuses[i] = status;
+        report.per_query[i] = session->last_query_stats();
+        answered = true;
+      };
       if (spec.family == QueryFamily::kBoolean && set_cacheable) {
         if (ResultCache::SetPtr set =
                 cache->Lookup(identity, spec.source, spec.interval)) {
@@ -476,8 +486,7 @@ Result<FamilyWorkloadReport> QueryEngine::RunFamilies(
           } else if (set_result.status().IsNotSupported()) {
             set_cacheable = false;  // Point-query-only backend.
           } else {
-            fail_with(set_result.status());
-            return;
+            fail_spec(set_result.status());
           }
         }
       } else if (profile_cacheable &&
@@ -486,11 +495,9 @@ Result<FamilyWorkloadReport> QueryEngine::RunFamilies(
                   spec.family == QueryFamily::kThresholdReach)) {
         auto hops = ResolveHops(spec);
         if (!hops.ok()) {
-          fail_with(hops.status());
-          return;
-        }
-        if (ResultCache::ProfilePtr profile = cache->LookupProfile(
-                identity, spec.source, spec.interval, *hops)) {
+          fail_spec(hops.status());
+        } else if (ResultCache::ProfilePtr profile = cache->LookupProfile(
+                       identity, spec.source, spec.interval, *hops)) {
           report.answers[i] = AnswerFromProfile(spec, *profile);
           report.per_query[i] = QueryStats{};  // No backend work done.
           answered = true;
@@ -498,26 +505,27 @@ Result<FamilyWorkloadReport> QueryEngine::RunFamilies(
           auto profile_result =
               session->ConstrainedProfile(spec.source, spec.interval, *hops);
           if (!profile_result.ok()) {
-            fail_with(profile_result.status());
-            return;
+            fail_spec(profile_result.status());
+          } else {
+            auto shared =
+                std::make_shared<const std::vector<ReachProfileEntry>>(
+                    std::move(*profile_result));
+            cache->InsertProfile(identity, spec.source, spec.interval, *hops,
+                                 shared);
+            report.answers[i] = AnswerFromProfile(spec, *shared);
+            report.per_query[i] = session->last_query_stats();
+            answered = true;
           }
-          auto shared = std::make_shared<const std::vector<ReachProfileEntry>>(
-              std::move(*profile_result));
-          cache->InsertProfile(identity, spec.source, spec.interval, *hops,
-                               shared);
-          report.answers[i] = AnswerFromProfile(spec, *shared);
-          report.per_query[i] = session->last_query_stats();
-          answered = true;
         }
       }
       if (!answered) {
         auto answer = EvaluateFamily(session, spec);
-        if (!answer.ok()) {
-          fail_with(answer.status());
-          return;
+        if (answer.ok()) {
+          report.answers[i] = std::move(*answer);
+          report.per_query[i] = session->last_query_stats();
+        } else {
+          fail_spec(answer.status());
         }
-        report.answers[i] = std::move(*answer);
-        report.per_query[i] = session->last_query_stats();
       }
       latencies[i] = latency.ElapsedSeconds();
     }
@@ -536,8 +544,6 @@ Result<FamilyWorkloadReport> QueryEngine::RunFamilies(
   }
   const double wall_seconds = wall.ElapsedSeconds();
 
-  if (!first_error.ok()) return first_error;
-
   WorkloadSummary& s = report.summary;
   s.backend = backend->DescribeIndex();
   s.num_queries = n;
@@ -548,8 +554,23 @@ Result<FamilyWorkloadReport> QueryEngine::RunFamilies(
   s.queries_per_second =
       wall_seconds > 0 ? static_cast<double>(n) / wall_seconds : 0.0;
   for (size_t i = 0; i < n; ++i) {
+    // Failed specs count under the family that was ASKED (their answer
+    // slot is default-constructed) and contribute no reach counts.
+    ++s.family_counts[static_cast<size_t>(specs[i].family)];
+    const QueryStats& q = report.per_query[i];
+    if (q.degraded) ++s.degraded_queries;
+    s.total_io_cost += q.io_cost;
+    s.total_pages_fetched += q.pages_fetched;
+    s.total_pool_hits += q.pool_hits;
+    s.total_items_visited += q.items_visited;
+    s.total_cpu_seconds += q.cpu_seconds;
+    s.mean_latency += latencies[i];
+    s.max_latency = std::max(s.max_latency, latencies[i]);
+    if (!report.statuses[i].ok()) {
+      ++s.failed_queries;
+      continue;
+    }
     const FamilyAnswer& answer = report.answers[i];
-    ++s.family_counts[static_cast<size_t>(answer.family)];
     switch (answer.family) {
       case QueryFamily::kBoolean:
       case QueryFamily::kThresholdReach:
@@ -567,14 +588,6 @@ Result<FamilyWorkloadReport> QueryEngine::RunFamilies(
         }
         break;
     }
-    const QueryStats& q = report.per_query[i];
-    s.total_io_cost += q.io_cost;
-    s.total_pages_fetched += q.pages_fetched;
-    s.total_pool_hits += q.pool_hits;
-    s.total_items_visited += q.items_visited;
-    s.total_cpu_seconds += q.cpu_seconds;
-    s.mean_latency += latencies[i];
-    s.max_latency = std::max(s.max_latency, latencies[i]);
   }
   if (n > 0) s.mean_latency /= static_cast<double>(n);
   std::sort(latencies.begin(), latencies.end());

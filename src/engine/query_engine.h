@@ -87,6 +87,23 @@ struct QueryEngineOptions {
   int max_lateness_ticks = -1;
   /// @}
 
+  /// Bounded retry budget for transient (`Unavailable`) read failures,
+  /// applied to every worker session before the run
+  /// (`ReachabilityIndex::SetMaxReadRetries`). A transiently failing
+  /// page read is reissued up to this many times before the failure
+  /// surfaces as that query's status. 0 — the default — surfaces the
+  /// first failure; fault-free runs never retry either way. Answers
+  /// never depend on the budget, only whether faults are masked.
+  int max_read_retries = 0;
+
+  /// Opts every worker session into degraded serving
+  /// (`ReachabilityIndex::SetDegradedServing`): queries over an index
+  /// with quarantined (unreadable) parts skip them and answer from the
+  /// rest, flagged per query via `QueryStats::degraded`, instead of
+  /// failing with `Corruption`. Off by default: a damaged index fails
+  /// loudly rather than silently under-answering.
+  bool degraded_serving = false;
+
   /// Capacity (entries) of the engine's result cache memoizing
   /// `(index, source, interval) -> reachable set`; 0 disables it. On a
   /// cache hit a point query is answered by set lookup with zero backend
@@ -126,6 +143,12 @@ struct WorkloadSummary {
   double max_latency = 0.0;
   /// Point queries answered from the engine's result cache.
   uint64_t result_cache_hits = 0;
+  /// Queries whose per-query status is an error (`Run`/`RunFamilies`
+  /// record them in the report's `statuses` and keep going; 0 on every
+  /// healthy run).
+  uint64_t failed_queries = 0;
+  /// Queries answered under degraded serving (`QueryStats::degraded`).
+  uint64_t degraded_queries = 0;
   /// Queries per family over the run, indexed by the `QueryFamily` tag
   /// value. `Run`/`RunClosures` workloads count as all-boolean;
   /// `RunFamilies` fills one slot per spec.
@@ -201,20 +224,27 @@ struct WorkloadSummary {
   std::string ToString() const;
 };
 
-/// Everything a workload run produces. `answers[i]` and `per_query[i]`
-/// correspond to the i-th input query independent of execution order.
+/// Everything a workload run produces. `answers[i]`, `per_query[i]` and
+/// `statuses[i]` correspond to the i-th input query independent of
+/// execution order. `statuses[i]` is that query's own outcome: an
+/// errored query (surfaced fault, detected corruption) keeps its error
+/// here — with a default-constructed answer — while the rest of the
+/// workload still runs and reports normally.
 struct WorkloadReport {
   std::vector<ReachAnswer> answers;
   std::vector<QueryStats> per_query;
+  std::vector<Status> statuses;
   WorkloadSummary summary;
 };
 
-/// Everything a family workload run produces. `answers[i]` and
-/// `per_query[i]` correspond to the i-th input spec independent of
-/// execution order.
+/// Everything a family workload run produces. `answers[i]`,
+/// `per_query[i]` and `statuses[i]` correspond to the i-th input spec
+/// independent of execution order (per-spec statuses as in
+/// `WorkloadReport`).
 struct FamilyWorkloadReport {
   std::vector<FamilyAnswer> answers;
   std::vector<QueryStats> per_query;
+  std::vector<Status> statuses;
   WorkloadSummary summary;
 };
 
@@ -241,8 +271,12 @@ class QueryEngine {
  public:
   explicit QueryEngine(QueryEngineOptions options = {});
 
-  /// Runs every query; returns per-query answers/stats plus the summary.
-  /// Fails with the first error any backend query reports.
+  /// Runs every query; returns per-query answers/stats/statuses plus the
+  /// summary. A query whose backend evaluation fails (surfaced fault,
+  /// detected corruption, NotSupported) records its error in
+  /// `report.statuses[i]` — counted by `summary.failed_queries` — and
+  /// the run continues; one bad page never aborts the whole workload.
+  /// Only setup errors (codec mismatch) fail the call itself.
   Result<WorkloadReport> Run(ReachabilityIndex* backend,
                              const std::vector<ReachQuery>& queries) const;
 
@@ -266,8 +300,9 @@ class QueryEngine {
   /// `HopConstraints` joining the cache key, and top-k specs rank one
   /// `ReachableSets` batch over their candidates (uncached — a top-k
   /// answer is already an aggregate). Answers are byte-identical at every
-  /// num_threads and with the cache on or off; a family a backend cannot
-  /// serve fails the run with that backend's NotSupported. The summary's
+  /// num_threads and with the cache on or off; per-spec failures
+  /// (including a family the backend cannot serve) land in
+  /// `report.statuses[i]` like `Run`'s, without aborting. The summary's
   /// `num_reachable` totals reached point answers (boolean, threshold),
   /// finite profile entries (decay, k-hop), and the reach counts of the
   /// ranked entries (top-k).

@@ -109,6 +109,23 @@ class ReachabilityIndex {
   /// does. Sessions minted by `NewSession()` inherit the current depth.
   virtual void SetIoQueueDepth(int depth) { (void)depth; }
 
+  /// Sets this session's bounded retry budget for transient
+  /// (`Unavailable`) read failures — forwarded to the session's buffer
+  /// pool (`BufferPool::set_max_read_retries`). 0 — the default — keeps
+  /// the historical surface-first-failure behavior; memory-resident
+  /// backends ignore it. Answers never depend on the budget (a retried
+  /// read returns the same bytes), only whether transient faults are
+  /// masked or surfaced. Sessions minted by `NewSession()` inherit it.
+  virtual void SetMaxReadRetries(int retries) { (void)retries; }
+
+  /// Opts this session into degraded serving: when part of the index is
+  /// unreadable (a sealed segment fails verification and is
+  /// quarantined), queries skip the quarantined part and answer from the
+  /// rest, marking `last_query_stats().degraded` — instead of failing
+  /// with `Corruption`, the default. Backends without a quarantine
+  /// notion ignore it. Sessions minted by `NewSession()` inherit it.
+  virtual void SetDegradedServing(bool on) { (void)on; }
+
   /// Stable identity of the underlying immutable index, shared by every
   /// session minted from it via `NewSession()`. The engine's result cache
   /// keys entries by this token so memoized sets are never served across

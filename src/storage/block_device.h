@@ -12,6 +12,8 @@
 
 namespace streach {
 
+class FaultInjector;
+
 /// Identifier of a fixed-size page on a block device.
 using PageId = uint64_t;
 
@@ -51,7 +53,10 @@ constexpr PageId LocalPageOf(PageId address) {
 
 /// Location of a serialized blob on the device: a byte range inside a run
 /// of consecutive pages. `length` counts *stored* bytes — under a non-raw
-/// page codec that is the encoded size, not the raw record size.
+/// page codec that is the encoded size, not the raw record size, and for
+/// non-empty blobs it includes the 4-byte checksum footer the extent
+/// writer appends (see checksum.h); extent reads verify and strip the
+/// footer before handing bytes to the codec.
 struct Extent {
   PageId first_page = kInvalidPage;
   uint64_t offset_in_page = 0;  ///< Byte offset within first_page.
@@ -109,12 +114,17 @@ struct AsyncReadRequest {
 /// A serviced async read. `data` points into the device page (valid until
 /// the next allocation); `inflight` is the submission-queue occupancy at
 /// the moment this request was serviced, including itself — the overlap
-/// signal aggregated into `IoStats::mean_inflight()`.
+/// signal aggregated into `IoStats::mean_inflight()`. `status` is the
+/// per-request outcome: a failed request (injected fault, checksum
+/// mismatch) completes with its error and empty `data` while the rest of
+/// the batch still services — mirroring per-CQE results in io_uring —
+/// so the caller can retry exactly the failed pages.
 struct AsyncReadCompletion {
   uint64_t tag = 0;
   PageId page = kInvalidPage;
   std::string_view data;
   uint32_t inflight = 0;
+  Status status;
 };
 /// @}
 
@@ -159,6 +169,15 @@ struct AsyncWriteRequest {
 /// The device itself has no cache; deduplication of repeated reads is the
 /// job of the `BufferPool`.
 ///
+/// Integrity: every page has an out-of-band checksum sidecar entry
+/// (refreshed on allocation and on every write) that each read path
+/// verifies after accounting the access, so damaged media surfaces as
+/// `Corruption` with the page and shard named — never as silently wrong
+/// bytes. An attached `FaultInjector` is consulted at the same point and
+/// can fail individual read attempts (`Unavailable` / `IOError`) before
+/// the bytes are even looked at; failed attempts still account their
+/// head movement, exactly like a real seek that returns garbage.
+///
 /// Thread safety: the cursor-based `ReadPage(id, cursor)` overload is safe
 /// for any number of concurrent readers (with distinct cursors) as long as
 /// no thread concurrently allocates or writes pages. The mutating members
@@ -170,8 +189,7 @@ class BlockDevice {
  public:
   static constexpr size_t kDefaultPageSize = 4096;  // 4 KB, Table 3.
 
-  explicit BlockDevice(size_t page_size = kDefaultPageSize)
-      : page_size_(page_size) {}
+  explicit BlockDevice(size_t page_size = kDefaultPageSize);
 
   BlockDevice(const BlockDevice&) = delete;
   BlockDevice& operator=(const BlockDevice&) = delete;
@@ -231,6 +249,32 @@ class BlockDevice {
                      int queue_depth, ReadCursor* cursor,
                      std::vector<AsyncReadCompletion>* completions) const;
 
+  /// Attaches (or with nullptr detaches) a fault injector consulted on
+  /// every read attempt; `shard_label` names this device in injected
+  /// error messages and in the injector's per-shard fault schedule. The
+  /// members are mutable and the method const because indexes expose
+  /// their topology by const reference only — attachment is a test-time
+  /// observer concern, not a logical mutation of the stored bytes. Only
+  /// attach/detach while no reads are in flight.
+  void set_fault_injector(const FaultInjector* injector,
+                          uint32_t shard_label) const {
+    fault_injector_ = injector;
+    shard_label_ = shard_label;
+  }
+  const FaultInjector* fault_injector() const { return fault_injector_; }
+
+  /// Flips bit `bit_index` of page `id`'s stored bytes — simulated media
+  /// damage for fault tests. With `refresh_checksum` the page's sidecar
+  /// entry is recomputed over the damaged bytes, so only the per-blob
+  /// footer can catch the corruption; without it the sidecar goes stale
+  /// and the next read of the page fails the page-level verify. Const
+  /// (with one documented const_cast inside) for the same reason as
+  /// `set_fault_injector`: tests hold topologies by const reference.
+  /// No accounting, no head movement. Call only while no reads are in
+  /// flight.
+  Status CorruptPageForTesting(PageId id, uint64_t bit_index,
+                               bool refresh_checksum) const;
+
   /// Device-global access counters: every `WritePage` /
   /// `SubmitWriteBatch` / accounting `ReadPage(id)` lands here; the
   /// cursor-based read paths account against their caller's cursor
@@ -256,10 +300,23 @@ class BlockDevice {
   static void ClassifyAccess(PageId id, bool is_write, IoStats* stats,
                              PageId* last);
 
+  /// Outcome of a read attempt of an (already bounds-checked, already
+  /// accounted) page: consults the attached fault injector, then
+  /// verifies the page's checksum sidecar entry. OK means the bytes are
+  /// safe to hand out.
+  Status CheckRead(PageId id) const;
+
   size_t page_size_;
   std::vector<std::string> pages_;
+  /// Checksum sidecar: page_sums_[id] is the FNV-1a of pages_[id],
+  /// maintained out of band (a real deployment would keep these in
+  /// battery-backed controller memory or a separate checksum file).
+  std::vector<uint32_t> page_sums_;
+  uint32_t zero_page_sum_;  ///< Checksum of an all-zero page, precomputed.
   IoStats stats_;
   PageId last_access_ = kInvalidPage;
+  mutable const FaultInjector* fault_injector_ = nullptr;
+  mutable uint32_t shard_label_ = 0;
 };
 
 }  // namespace streach

@@ -1,6 +1,7 @@
 #include "storage/block_file.h"
 
 #include "common/check.h"
+#include "storage/checksum.h"
 
 namespace streach {
 
@@ -53,22 +54,34 @@ Result<Extent> ExtentWriter::AppendStored(std::string_view blob) {
   Extent extent;
   extent.first_page = MakePageAddress(shard_id_, current_page_);
   extent.offset_in_page = current_.size();
-  extent.length = blob.size();
+  // Non-empty blobs carry a checksum footer over their stored bytes;
+  // `length` counts it (extent reads verify and strip it).
+  extent.length =
+      blob.empty() ? 0 : blob.size() + kBlobChecksumBytes;
 
   const size_t page_size = device_->page_size();
-  size_t consumed = 0;
-  while (consumed < blob.size()) {
-    const size_t room = page_size - current_.size();
-    const size_t take = std::min(room, blob.size() - consumed);
-    current_.append(blob.data() + consumed, take);
-    consumed += take;
-    if (current_.size() == page_size) {
-      STREACH_RETURN_NOT_OK(FlushCurrentPage());
-      current_page_ = device_->AllocatePage();
-      current_.clear();
+  auto pack = [&](std::string_view bytes) -> Status {
+    size_t consumed = 0;
+    while (consumed < bytes.size()) {
+      const size_t room = page_size - current_.size();
+      const size_t take = std::min(room, bytes.size() - consumed);
+      current_.append(bytes.data() + consumed, take);
+      consumed += take;
+      if (current_.size() == page_size) {
+        STREACH_RETURN_NOT_OK(FlushCurrentPage());
+        current_page_ = device_->AllocatePage();
+        current_.clear();
+      }
     }
+    return Status::OK();
+  };
+  STREACH_RETURN_NOT_OK(pack(blob));
+  if (!blob.empty()) {
+    std::string footer;
+    AppendChecksumFooter(Fnv1a32(blob), &footer);
+    STREACH_RETURN_NOT_OK(pack(footer));
   }
-  bytes_written_ += blob.size();
+  bytes_written_ += extent.length;
   return extent;
 }
 
@@ -168,7 +181,10 @@ namespace {
 /// called once per page, in ascending page order, and must yield that
 /// page's contents. The single place that knows how a blob maps onto
 /// page-sized pieces — both the synchronous and the batched read path
-/// assemble through it.
+/// assemble through it, which also makes it the single place the per-blob
+/// checksum footer is verified and stripped: callers always receive the
+/// stored payload alone, with damage surfaced as `Corruption` naming the
+/// extent's first page and shard.
 template <typename NextPage>
 Result<std::string> StitchExtent(const Extent& extent, size_t page_size,
                                  NextPage&& next_page) {
@@ -186,6 +202,23 @@ Result<std::string> StitchExtent(const Extent& extent, size_t page_size,
     out.append(page->data() + offset, take);
     remaining -= take;
     offset = 0;
+  }
+  if (extent.length > 0) {
+    const auto where = [&] {
+      return "extent at page " + std::to_string(LocalPageOf(extent.first_page)) +
+             " (shard " + std::to_string(ShardOfPage(extent.first_page)) + ")";
+    };
+    if (out.size() < kBlobChecksumBytes) {
+      return Status::Corruption("stored blob shorter than checksum footer in " +
+                                where());
+    }
+    const std::string_view stored(out);
+    const uint32_t expect =
+        DecodeChecksumFooter(stored.substr(out.size() - kBlobChecksumBytes));
+    if (Fnv1a32(stored.substr(0, out.size() - kBlobChecksumBytes)) != expect) {
+      return Status::Corruption("blob checksum mismatch in " + where());
+    }
+    out.resize(out.size() - kBlobChecksumBytes);
   }
   return out;
 }

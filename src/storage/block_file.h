@@ -39,6 +39,13 @@ namespace streach {
 /// the encoded form (`Extent::length` is the stored size) and accounts
 /// `encoded_bytes`/`decoded_bytes` against the device-global stats, the
 /// source of a build's compression ratio.
+///
+/// Integrity: every non-empty blob is placed with a 4-byte FNV-1a footer
+/// over its stored bytes (see checksum.h), counted by `Extent::length`
+/// and `bytes_written()` but NOT by the codec byte accounting, which
+/// stays payload-only so compression ratios are footer-independent.
+/// Extent reads verify and strip the footer; torn or bit-flipped records
+/// surface as `Corruption` under every codec, including raw.
 class ExtentWriter {
  public:
   /// Pages buffered before a batch is submitted at depth > 1. Large

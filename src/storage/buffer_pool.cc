@@ -49,6 +49,13 @@ Result<PageRef> BufferPool::FetchLocked(PageId id) {
       topology_ != nullptr ? &topology_->shard(static_cast<int>(shard))
                            : device_;
   auto page = dev->ReadPage(LocalPageOf(id), &cursors_[shard]);
+  for (int attempt = 0; !page.ok() && page.status().IsUnavailable();
+       ++attempt) {
+    ++cursors_[shard].stats.transient_faults;
+    if (attempt >= max_read_retries_) break;  // Budget spent: surface it.
+    ++cursors_[shard].stats.read_retries;
+    page = dev->ReadPage(LocalPageOf(id), &cursors_[shard]);
+  }
   if (!page.ok()) return page.status();
   auto bytes = std::make_shared<const std::string>(*page);
   PageRef ref(bytes);
@@ -113,22 +120,48 @@ Result<std::vector<PageRef>> BufferPool::FetchBatchLocked(
     }
     requests.push_back(AsyncReadRequest{missing[k], k});
   }
-  std::vector<AsyncReadCompletion> completions;
-  if (topology_ != nullptr) {
-    STREACH_RETURN_NOT_OK(topology_->SubmitBatch(requests, io_queue_depth_,
-                                                 &cursors_, &completions));
-  } else {
-    STREACH_RETURN_NOT_OK(device_->SubmitBatch(requests, io_queue_depth_,
-                                               &cursors_[0], &completions));
+  // Each round submits the still-outstanding pages as one batch; pages
+  // that complete with a transient `Unavailable` are reissued in the
+  // next round (accounted per attempt, like the synchronous retry loop)
+  // until the per-page budget `max_read_retries_` is spent. Any other
+  // failure is final for the whole fetch.
+  std::vector<std::shared_ptr<const std::string>> bytes(missing.size());
+  for (int round = 0;; ++round) {
+    std::vector<AsyncReadCompletion> completions;
+    if (topology_ != nullptr) {
+      STREACH_RETURN_NOT_OK(topology_->SubmitBatch(requests, io_queue_depth_,
+                                                   &cursors_, &completions));
+    } else {
+      STREACH_RETURN_NOT_OK(device_->SubmitBatch(requests, io_queue_depth_,
+                                                 &cursors_[0], &completions));
+    }
+    std::vector<AsyncReadRequest> retry;
+    Status first_error;
+    for (const AsyncReadCompletion& completion : completions) {
+      if (completion.status.ok()) {
+        bytes[completion.tag] =
+            std::make_shared<const std::string>(completion.data);
+        continue;
+      }
+      const uint32_t shard =
+          topology_ != nullptr ? ShardOfPage(completion.page) : 0;
+      if (completion.status.IsUnavailable()) {
+        ++cursors_[shard].stats.transient_faults;
+        if (round < max_read_retries_) {
+          ++cursors_[shard].stats.read_retries;
+          retry.push_back(AsyncReadRequest{completion.page, completion.tag});
+          continue;
+        }
+      }
+      if (first_error.ok()) first_error = completion.status;
+    }
+    if (!first_error.ok()) return first_error;
+    if (retry.empty()) break;
+    requests = std::move(retry);
   }
 
   // Pass 3 — install in request order (eviction stays deterministic no
   // matter how the device reordered service) and resolve every waiter.
-  std::vector<std::shared_ptr<const std::string>> bytes(missing.size());
-  for (const AsyncReadCompletion& completion : completions) {
-    bytes[completion.tag] =
-        std::make_shared<const std::string>(completion.data);
-  }
   for (size_t k = 0; k < missing.size(); ++k) {
     STREACH_CHECK(bytes[k] != nullptr);
     for (size_t slot : waiters[missing[k]]) refs[slot] = PageRef(bytes[k]);
@@ -155,6 +188,11 @@ void BufferPool::Install(PageId id, std::shared_ptr<const std::string> bytes) {
 void BufferPool::set_io_queue_depth(int depth) {
   STREACH_CHECK_GT(depth, 0);
   io_queue_depth_ = depth;
+}
+
+void BufferPool::set_max_read_retries(int retries) {
+  STREACH_CHECK_GE(retries, 0);
+  max_read_retries_ = retries;
 }
 
 void BufferPool::set_page_codec(const PageCodec* codec) {

@@ -101,6 +101,17 @@ class BufferPool {
   void set_io_queue_depth(int depth);
   int io_queue_depth() const { return io_queue_depth_; }
 
+  /// Bounded retry budget for transient (`Unavailable`) read failures:
+  /// a miss that fails transiently is reissued up to `retries` times —
+  /// each attempt accounted like any other access, plus the
+  /// `read_retries`/`transient_faults` counters — before the failure is
+  /// surfaced to the caller. Non-transient errors (`IOError`,
+  /// `Corruption`) are never retried: the media will not get better.
+  /// 0 (the default) surfaces the first failure — the historical
+  /// behavior, and fault-free runs never enter the loop.
+  void set_max_read_retries(int retries);
+  int max_read_retries() const { return max_read_retries_; }
+
   /// \name Concurrent-fetch mode
   ///
   /// A parallel frontier sweep fans one session's expansion step across
@@ -271,6 +282,7 @@ class BufferPool {
   const StorageTopology* topology_;    // Topology mode; else nullptr.
   size_t capacity_;
   int io_queue_depth_ = 1;
+  int max_read_retries_ = 0;
   bool thread_safe_ = false;
   mutable std::mutex mu_;  // Guards all mutable state in thread-safe mode.
   uint64_t hits_ = 0;

@@ -1,0 +1,60 @@
+#ifndef STREACH_STORAGE_CHECKSUM_H_
+#define STREACH_STORAGE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace streach {
+
+/// \name Storage integrity checksums
+///
+/// The storage tier guards its bytes at two granularities, both with the
+/// same 32-bit FNV-1a hash:
+///
+///  * every blob an `ExtentWriter` places carries a 4-byte footer over its
+///    stored bytes (codec-independent — the raw codec finally detects
+///    torn or bit-flipped records, which previously only `kDeltaVarint`
+///    caught as a decode side effect), verified and stripped when the
+///    extent is reassembled;
+///  * every `BlockDevice` page has an out-of-band checksum sidecar entry,
+///    refreshed on each write and verified on each read, so even byte
+///    probes that bypass extent assembly (e.g. ReachGrid's raw locator
+///    peeks) never see silently corrupted media.
+///
+/// FNV-1a is not cryptographic — it detects accidental corruption (the
+/// threat model of a simulated disk), costs one multiply per byte, and
+/// needs no tables.
+/// @{
+
+inline constexpr size_t kBlobChecksumBytes = 4;
+
+inline uint32_t Fnv1a32(std::string_view bytes) {
+  uint32_t hash = 2166136261u;
+  for (const char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+/// Little-endian footer encode/decode (fixed width, codec-independent).
+inline void AppendChecksumFooter(uint32_t sum, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((sum >> (8 * i)) & 0xFF));
+  }
+}
+
+inline uint32_t DecodeChecksumFooter(std::string_view footer) {
+  uint32_t sum = 0;
+  for (int i = 0; i < 4; ++i) {
+    sum |= static_cast<uint32_t>(static_cast<uint8_t>(footer[i])) << (8 * i);
+  }
+  return sum;
+}
+/// @}
+
+}  // namespace streach
+
+#endif  // STREACH_STORAGE_CHECKSUM_H_

@@ -1,0 +1,96 @@
+#include "storage/fault_injector.h"
+
+#include <string>
+
+#include "storage/block_device.h"
+#include "storage/storage_topology.h"
+
+namespace streach {
+namespace {
+
+/// SplitMix64 finisher: a full-avalanche 64-bit mix, so consecutive page
+/// ids land on uncorrelated draws.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::string PageLabel(uint32_t shard, uint64_t page) {
+  return "page " + std::to_string(page) + " (shard " + std::to_string(shard) +
+         ")";
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultInjectorOptions& options)
+    : options_(options) {}
+
+double FaultInjector::Draw(uint32_t shard, uint64_t page,
+                           uint32_t kind) const {
+  uint64_t h = Mix64(options_.seed ^ Mix64(page));
+  h = Mix64(h ^ (static_cast<uint64_t>(shard) << 32 | kind));
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::IsTransient(uint32_t shard, uint64_t page) const {
+  return Draw(shard, page, 1) < options_.transient_rate;
+}
+
+bool FaultInjector::IsPermanent(uint32_t shard, uint64_t page) const {
+  return Draw(shard, page, 2) < options_.permanent_rate;
+}
+
+bool FaultInjector::IsBitFlip(uint32_t shard, uint64_t page) const {
+  return Draw(shard, page, 3) < options_.bitflip_rate;
+}
+
+Status FaultInjector::OnRead(uint32_t shard, uint64_t page) const {
+  if (IsPermanent(shard, page)) {
+    permanent_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected media failure reading " +
+                           PageLabel(shard, page));
+  }
+  if (IsTransient(shard, page)) {
+    const uint64_t key = static_cast<uint64_t>(shard) << 48 | page;
+    std::lock_guard<std::mutex> lock(mu_);
+    int& attempts = attempts_[key];
+    if (attempts < options_.transient_failures) {
+      ++attempts;
+      transient_injected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("injected transient fault reading " +
+                                 PageLabel(shard, page) + ", attempt " +
+                                 std::to_string(attempts) + " of " +
+                                 std::to_string(options_.transient_failures));
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjector::ResetAttempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  attempts_.clear();
+}
+
+Status CorruptMedia(const StorageTopology& topology,
+                    const FaultInjector& injector, bool refresh_checksums) {
+  const uint32_t num_shards = static_cast<uint32_t>(topology.num_shards());
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    const BlockDevice& dev = topology.shard(static_cast<int>(shard));
+    for (uint64_t page = 0; page < dev.num_pages(); ++page) {
+      if (!injector.IsBitFlip(shard, page)) continue;
+      // Flip a deterministic bit: position derived from the same hash
+      // family as the classification draws.
+      const uint64_t bit =
+          Mix64(injector.options().seed ^ Mix64(page * 2 + shard)) %
+          (dev.page_size() * 8);
+      STREACH_RETURN_NOT_OK(
+          dev.CorruptPageForTesting(page, bit, refresh_checksums));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace streach

@@ -1,0 +1,118 @@
+#ifndef STREACH_STORAGE_FAULT_INJECTOR_H_
+#define STREACH_STORAGE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace streach {
+
+class StorageTopology;
+
+/// Configuration of a deterministic fault schedule. Every rate is a
+/// fraction of pages in [0, 1]; which pages are afflicted is a pure hash
+/// of (seed, shard, local page), so two injectors with the same options
+/// afflict exactly the same pages — and reruns reproduce bit for bit.
+struct FaultInjectorOptions {
+  uint64_t seed = 0;
+
+  /// Fraction of pages whose reads fail transiently: the first
+  /// `transient_failures` attempts on such a page return
+  /// `Status::Unavailable`, after which reads succeed. A retry budget
+  /// >= `transient_failures` therefore masks every transient fault.
+  double transient_rate = 0.0;
+  int transient_failures = 1;
+
+  /// Fraction of pages whose reads always fail with `Status::IOError`
+  /// (dead media: no retry budget helps).
+  double permanent_rate = 0.0;
+
+  /// Fraction of pages whose stored bytes get a deterministic bit flip
+  /// when `CorruptMedia` is applied (reads succeed; the checksum layers
+  /// are what must catch the damage).
+  double bitflip_rate = 0.0;
+};
+
+/// \brief Deterministic, seeded read-fault policy attachable to
+/// `BlockDevice` / `StorageTopology` — the test substrate of the
+/// fault-tolerance layer.
+///
+/// Classification (`IsTransient` / `IsPermanent` / `IsBitFlip`) is a pure
+/// function of (seed, shard, page): no state, safe from any thread.
+/// `OnRead` — invoked by the device on every read attempt while attached
+/// — consults the classification and, for transient pages, a small
+/// attempt map (mutex-guarded, touched only for afflicted pages) so the
+/// first k attempts fail and later ones succeed. Fault kinds compose;
+/// permanent wins over transient on a page afflicted by both.
+///
+/// Attach with `StorageTopology::AttachFaultInjector` (labels every shard
+/// device) or `BlockDevice::set_fault_injector`; attach and detach only
+/// while no reads are in flight. The injector must outlive the devices'
+/// use of it.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorOptions& options);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultInjectorOptions& options() const { return options_; }
+
+  /// \name Pure page classification (thread-safe, stateless)
+  /// @{
+  bool IsTransient(uint32_t shard, uint64_t page) const;
+  bool IsPermanent(uint32_t shard, uint64_t page) const;
+  bool IsBitFlip(uint32_t shard, uint64_t page) const;
+  /// @}
+
+  /// Outcome of one read attempt of `page` on `shard`: OK for healthy
+  /// pages (the overwhelmingly common case — two hashes, no lock), an
+  /// `Unavailable` with page/shard context for a transient page whose
+  /// failure budget is not yet exhausted, `IOError` for a permanent one.
+  Status OnRead(uint32_t shard, uint64_t page) const;
+
+  /// Faults injected so far (across all attached devices).
+  uint64_t transient_injected() const {
+    return transient_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t permanent_injected() const {
+    return permanent_injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Resets the transient attempt history, so previously healed pages
+  /// fail their first `transient_failures` attempts again. Const like
+  /// `OnRead`: the attempt map is interior state of a policy object
+  /// that devices hold by const pointer.
+  void ResetAttempts() const;
+
+ private:
+  /// Uniform in [0, 1): the page's position in the fault lottery for
+  /// `kind` (distinct kinds draw independent numbers).
+  double Draw(uint32_t shard, uint64_t page, uint32_t kind) const;
+
+  const FaultInjectorOptions options_;
+  mutable std::atomic<uint64_t> transient_injected_{0};
+  mutable std::atomic<uint64_t> permanent_injected_{0};
+  mutable std::mutex mu_;  // Guards attempts_ (afflicted pages only).
+  mutable std::unordered_map<uint64_t, int> attempts_;
+};
+
+/// Applies the injector's bit-flip schedule to every already-allocated
+/// page of `topology`: each afflicted page gets one deterministic bit
+/// flipped in place. With `refresh_checksums` the page-checksum sidecar
+/// is recomputed over the damaged bytes ("consistent" corruption that
+/// only the per-blob footer can catch); without it the sidecar goes
+/// stale and the very next read of the page fails the page-level verify.
+/// Call after a build completes and before queries run. Takes a const
+/// reference because indexes expose their topology const-only; the
+/// in-place damage goes through `CorruptPageForTesting`, which is
+/// deliberately const-callable for exactly this use.
+Status CorruptMedia(const StorageTopology& topology,
+                    const FaultInjector& injector, bool refresh_checksums);
+
+}  // namespace streach
+
+#endif  // STREACH_STORAGE_FAULT_INJECTOR_H_

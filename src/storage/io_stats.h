@@ -48,6 +48,20 @@ struct IoStats {
   uint64_t write_inflight_accum = 0;  ///< Sum of occupancy at each service.
   /// @}
 
+  /// \name Fault & retry counters
+  ///
+  /// A read that fails with a transient `Unavailable` (an injected fault,
+  /// or on real hardware a flaky bus) counts one `transient_faults` per
+  /// failed attempt; every reissued attempt the buffer pool's bounded
+  /// retry loop pays counts one `read_retries`. Fault-free runs leave
+  /// both at zero — the historical profile — and a workload whose faults
+  /// were fully masked shows `transient_faults == read_retries` with no
+  /// surfaced errors.
+  /// @{
+  uint64_t read_retries = 0;     ///< Read attempts reissued after Unavailable.
+  uint64_t transient_faults = 0; ///< Unavailable results observed.
+  /// @}
+
   /// \name Page-codec byte counters
   ///
   /// Records transcoded through a `PageCodec` account the stored
@@ -116,6 +130,8 @@ struct IoStats {
     d.inflight_accum = inflight_accum - o.inflight_accum;
     d.batched_writes = batched_writes - o.batched_writes;
     d.write_inflight_accum = write_inflight_accum - o.write_inflight_accum;
+    d.read_retries = read_retries - o.read_retries;
+    d.transient_faults = transient_faults - o.transient_faults;
     d.encoded_bytes = encoded_bytes - o.encoded_bytes;
     d.decoded_bytes = decoded_bytes - o.decoded_bytes;
     return d;
@@ -130,6 +146,8 @@ struct IoStats {
     inflight_accum += o.inflight_accum;
     batched_writes += o.batched_writes;
     write_inflight_accum += o.write_inflight_accum;
+    read_retries += o.read_retries;
+    transient_faults += o.transient_faults;
     encoded_bytes += o.encoded_bytes;
     decoded_bytes += o.decoded_bytes;
     return *this;

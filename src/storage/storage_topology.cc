@@ -89,6 +89,12 @@ Status StorageTopology::SubmitWriteBatch(
   return Status::OK();
 }
 
+void StorageTopology::AttachFaultInjector(const FaultInjector* injector) const {
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->set_fault_injector(injector, s);
+  }
+}
+
 PageId StorageTopology::num_pages() const {
   PageId total = 0;
   for (const auto& shard : shards_) total += shard->num_pages();

@@ -110,6 +110,15 @@ class StorageTopology {
   Status SubmitWriteBatch(std::vector<AsyncWriteRequest> requests,
                           int queue_depth);
 
+  /// Attaches (or with nullptr detaches) a fault injector to every shard
+  /// device, labelling shard `s` with `s` so injected errors and fault
+  /// schedules are expressed in shard-local terms. Const for the same
+  /// reason as `BlockDevice::set_fault_injector`: indexes expose their
+  /// topology by const reference, and injector attachment is a test-time
+  /// observer concern. Only attach/detach while no reads are in flight;
+  /// the injector must outlive its attachment.
+  void AttachFaultInjector(const FaultInjector* injector) const;
+
   /// Pages/bytes allocated across all shards.
   PageId num_pages() const;
   uint64_t size_bytes() const;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <queue>
+#include <set>
 #include <string>
 #include <tuple>
 #include <unordered_map>
@@ -20,6 +22,28 @@
 
 namespace streach {
 namespace {
+
+/// Seal ids of sealed segments that failed verification (checksum
+/// mismatch while loading), shared by every session minted from one
+/// `MakeStreamingBackend` call. Quarantine is sticky and cumulative: a
+/// segment that once returned `Corruption` is never read again by any
+/// session — under degraded serving its contacts are silently absent
+/// from answers (flagged via `QueryStats::degraded`), otherwise every
+/// query touching it keeps failing with `Corruption`. Seal ids are never
+/// reused, so entries never alias a later segment.
+struct QuarantineRegistry {
+  std::mutex mu;
+  std::set<uint64_t> seal_ids;
+
+  bool Contains(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    return seal_ids.count(id) != 0;
+  }
+  void Add(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    seal_ids.insert(id);
+  }
+};
 
 /// One unit of the cross-segment closure: the contacts a single segment
 /// (sealed or head) contributes to the query interval, with an
@@ -79,8 +103,9 @@ bool SweepOnce(const SweepUnit& unit, TimeInterval w,
 /// segmented_index.h for the query model).
 class SegmentedIndex final : public ReachabilityIndex {
  public:
-  explicit SegmentedIndex(std::shared_ptr<const StreamingIngestor> ingestor)
-      : ingestor_(std::move(ingestor)) {}
+  SegmentedIndex(std::shared_ptr<const StreamingIngestor> ingestor,
+                 std::shared_ptr<QuarantineRegistry> quarantine)
+      : ingestor_(std::move(ingestor)), quarantine_(std::move(quarantine)) {}
 
   Result<ReachAnswer> Query(const ReachQuery& query) override {
     // Mirrors the brute-force oracle case for case: a self-query is
@@ -136,10 +161,11 @@ class SegmentedIndex final : public ReachabilityIndex {
     std::vector<std::vector<Timestamp>> sets(
         sources.size(), std::vector<Timestamp>(num_objects, kInvalidTime));
     uint64_t visited = 0;
+    bool degraded = false;
     Status status;
     if (!w.empty()) {
       std::vector<SweepUnit> units;
-      status = LoadUnits(w, &units);
+      status = LoadUnits(w, &units, &degraded);
       if (status.ok()) {
         for (const SweepUnit& unit : units) visited += unit.contacts.size();
         for (size_t i = 0; i < sources.size(); ++i) {
@@ -183,6 +209,7 @@ class SegmentedIndex final : public ReachabilityIndex {
     stats_.pool_hits = hits;
     stats_.items_visited = visited;
     stats_.cpu_seconds = watch.ElapsedSeconds();
+    stats_.degraded = degraded;
     if (!status.ok()) return status;
     return sets;
   }
@@ -207,10 +234,11 @@ class SegmentedIndex final : public ReachabilityIndex {
     const TimeInterval w = interval.Intersect(ingestor_->span());
     std::vector<ReachProfileEntry> profile(num_objects);
     uint64_t visited = 0;
+    bool degraded = false;
     Status status;
     if (!w.empty() && source < num_objects) {
       std::vector<SweepUnit> units;
-      status = LoadUnits(w, &units);
+      status = LoadUnits(w, &units, &degraded);
       if (status.ok()) {
         // The transfer-level recursion needs the per-tick snapshot
         // components of the WHOLE stream — a same-tick chain may cross
@@ -260,6 +288,7 @@ class SegmentedIndex final : public ReachabilityIndex {
     stats_.pool_hits = hits;
     stats_.items_visited = visited;
     stats_.cpu_seconds = watch.ElapsedSeconds();
+    stats_.degraded = degraded;
     if (!status.ok()) return status;
     return profile;
   }
@@ -276,6 +305,15 @@ class SegmentedIndex final : public ReachabilityIndex {
       pool->set_io_queue_depth(io_queue_depth_);
     }
   }
+
+  void SetMaxReadRetries(int retries) override {
+    max_read_retries_ = std::max(retries, 0);
+    for (const auto& [id, pool] : pools_) {
+      pool->set_max_read_retries(max_read_retries_);
+    }
+  }
+
+  void SetDegradedServing(bool on) override { degraded_serving_ = on; }
 
   // No identity on purpose: the index is live (appends land between
   // queries), so the engine's result cache must never memoize it.
@@ -306,23 +344,49 @@ class SegmentedIndex final : public ReachabilityIndex {
   }
 
   std::unique_ptr<ReachabilityIndex> NewSession() const override {
-    auto session = std::make_unique<SegmentedIndex>(ingestor_);
+    auto session = std::make_unique<SegmentedIndex>(ingestor_, quarantine_);
     session->io_queue_depth_ = io_queue_depth_;
+    session->max_read_retries_ = max_read_retries_;
+    session->degraded_serving_ = degraded_serving_;
     return session;
   }
 
  private:
   /// Snapshots the ingestor and loads every overlapping unit's contacts:
   /// sealed segments in ascending (cover start, seal id), the head last.
-  Status LoadUnits(TimeInterval w, std::vector<SweepUnit>* units) {
+  /// Segments that fail verification (`Corruption` from the read path —
+  /// a blob or page checksum mismatch) are quarantined for every session
+  /// sharing this backend; already-quarantined segments are never read.
+  /// Under degraded serving an unreadable segment is skipped and
+  /// `*degraded` is set; otherwise the query fails with the Corruption.
+  /// Non-Corruption errors (e.g. an unmasked transient fault) propagate
+  /// without quarantining — the segment's media may be fine.
+  Status LoadUnits(TimeInterval w, std::vector<SweepUnit>* units,
+                   bool* degraded) {
     StreamingIngestor::Snapshot snapshot = ingestor_->SnapshotFor(w);
     units->reserve(snapshot.segments.size() + 1);
     for (const auto& segment : snapshot.segments) {
+      if (quarantine_->Contains(segment->id())) {
+        if (!degraded_serving_) {
+          return Status::Corruption(
+              "sealed segment " + std::to_string(segment->id()) +
+              " is quarantined (failed verification)");
+        }
+        *degraded = true;
+        continue;
+      }
       SweepUnit unit;
       unit.ordinal = segment->id();
       unit.cover = segment->cover();
-      STREACH_RETURN_NOT_OK(
-          segment->LoadOverlapping(w, PoolFor(*segment), &unit.contacts));
+      const Status status =
+          segment->LoadOverlapping(w, PoolFor(*segment), &unit.contacts);
+      if (!status.ok()) {
+        if (!status.IsCorruption()) return status;
+        quarantine_->Add(segment->id());
+        if (!degraded_serving_) return status;
+        *degraded = true;
+        continue;
+      }
       if (!unit.contacts.empty()) units->push_back(std::move(unit));
     }
     std::sort(units->begin(), units->end(),
@@ -350,14 +414,18 @@ class SegmentedIndex final : public ReachabilityIndex {
                             ingestor_->options().buffer_pool_pages,
                             io_queue_depth_))
                .first;
+      it->second->set_max_read_retries(max_read_retries_);
     }
     return it->second.get();
   }
 
   std::shared_ptr<const StreamingIngestor> ingestor_;
+  std::shared_ptr<QuarantineRegistry> quarantine_;
   std::unordered_map<uint64_t, std::unique_ptr<BufferPool>> pools_;
   QueryStats stats_;
   int io_queue_depth_ = 1;
+  int max_read_retries_ = 0;
+  bool degraded_serving_ = false;
 };
 
 }  // namespace
@@ -365,7 +433,8 @@ class SegmentedIndex final : public ReachabilityIndex {
 std::unique_ptr<ReachabilityIndex> MakeStreamingBackend(
     std::shared_ptr<const StreamingIngestor> ingestor) {
   STREACH_CHECK(ingestor != nullptr);
-  return std::make_unique<SegmentedIndex>(std::move(ingestor));
+  return std::make_unique<SegmentedIndex>(
+      std::move(ingestor), std::make_shared<QuarantineRegistry>());
 }
 
 }  // namespace streach

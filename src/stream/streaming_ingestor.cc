@@ -11,6 +11,34 @@ Result<std::shared_ptr<StreamingIngestor>> StreamingIngestor::Create(
   return std::shared_ptr<StreamingIngestor>(new StreamingIngestor(options));
 }
 
+Result<std::shared_ptr<StreamingIngestor>> StreamingIngestor::Recover(
+    const StreamingOptions& options, std::string_view wal_bytes,
+    uint64_t* replayed_contacts) {
+  std::shared_ptr<StreamingIngestor> ingestor;
+  STREACH_ASSIGN_OR_RETURN(ingestor, Create(options));
+  uint64_t contacts = 0;
+  // Replaying through the public entry points reconstructs everything —
+  // head contents, seal grid, sealed-segment images — and naturally
+  // re-logs the replayed prefix into the fresh instance's own WAL, so a
+  // recovered ingestor can itself crash and recover again.
+  for (const ContactWal::Record& record : ContactWal::Replay(wal_bytes)) {
+    switch (record.kind) {
+      case ContactWal::Record::kContact:
+        STREACH_RETURN_NOT_OK(ingestor->Append(record.contact));
+        ++contacts;
+        break;
+      case ContactWal::Record::kSeal:
+        STREACH_RETURN_NOT_OK(ingestor->Seal());
+        break;
+      case ContactWal::Record::kSealRemaining:
+        STREACH_RETURN_NOT_OK(ingestor->SealRemaining());
+        break;
+    }
+  }
+  if (replayed_contacts != nullptr) *replayed_contacts = contacts;
+  return ingestor;
+}
+
 StreamingIngestor::StreamingIngestor(const StreamingOptions& options)
     : options_(options),
       head_(options.max_lateness_ticks),
@@ -39,6 +67,12 @@ Status StreamingIngestor::AppendLocked(const Contact& contact) {
         " has validity outside the stream span " + options_.span.ToString());
   }
   STREACH_RETURN_NOT_OK(head_.Append(contact));
+  // WAL-before-ack: the record lands in the log image before this call
+  // can return success. Only *accepted* contacts are logged, so replay
+  // never re-trips validation. Any automatic seals below are derived
+  // state — replaying the same appends re-derives them — so they are
+  // deliberately not logged.
+  wal_.LogContact(contact);
   ++appended_;
   // The watermark may have jumped several grid boundaries at once (one
   // large in-order batch); seal each crossed interval in order so the
@@ -54,19 +88,27 @@ Status StreamingIngestor::AppendLocked(const Contact& contact) {
 
 Status StreamingIngestor::Seal() {
   std::lock_guard<std::mutex> lock(mu_);
+  // A failed sink append means the resident stream is missing contacts
+  // the producer believes it delivered; refuse to make that durable.
+  STREACH_RETURN_NOT_OK(sink_status_);
   const Timestamp watermark = head_.SafeWatermark();
-  if (watermark == kInvalidTime) return Status::OK();
-  STREACH_RETURN_NOT_OK(SealThroughLocked(watermark));
-  AdvanceBoundaryLocked(watermark);
+  if (watermark != kInvalidTime) {
+    STREACH_RETURN_NOT_OK(SealThroughLocked(watermark));
+    AdvanceBoundaryLocked(watermark);
+  }
+  wal_.LogSeal();
   return Status::OK();
 }
 
 Status StreamingIngestor::SealRemaining() {
   std::lock_guard<std::mutex> lock(mu_);
+  STREACH_RETURN_NOT_OK(sink_status_);
   const Timestamp watermark = head_.max_end_seen();
-  if (watermark == kInvalidTime) return Status::OK();
-  STREACH_RETURN_NOT_OK(SealThroughLocked(watermark));
-  AdvanceBoundaryLocked(watermark);
+  if (watermark != kInvalidTime) {
+    STREACH_RETURN_NOT_OK(SealThroughLocked(watermark));
+    AdvanceBoundaryLocked(watermark);
+  }
+  wal_.LogSealRemaining();
   return Status::OK();
 }
 
@@ -115,6 +157,11 @@ StreamingIngestor::Snapshot StreamingIngestor::SnapshotFor(
   }
   head_.CollectOverlapping(interval, &snapshot.head);
   return snapshot;
+}
+
+std::string StreamingIngestor::WalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.bytes();
 }
 
 size_t StreamingIngestor::head_contacts() const {

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -11,6 +13,7 @@
 #include "common/types.h"
 #include "join/contact.h"
 #include "join/contact_sink.h"
+#include "stream/contact_wal.h"
 #include "stream/head_segment.h"
 #include "stream/sealed_segment.h"
 #include "stream/streaming_options.h"
@@ -39,11 +42,33 @@ namespace streach {
 /// pages: a snapshot pins the overlapping sealed segments (shared
 /// ownership; their devices are immutable) and copies the overlapping
 /// head runs.
+///
+/// Durability: every accepted append and every explicit `Seal`/
+/// `SealRemaining` is recorded in an internal write-ahead log
+/// (`ContactWal`) *before* the call returns success — so the ack given
+/// to a producer is always covered by the log. `WalBytes()` is the log
+/// image to persist; `Recover` rebuilds a byte-identical ingestor from
+/// any prefix of it (a crash may tear the final record; replay stops at
+/// the first damaged one). Automatic boundary seals are not logged —
+/// they replay deterministically from the appends themselves.
 class StreamingIngestor : public ContactSink {
  public:
   /// Validates `options` and creates an empty ingestor.
   static Result<std::shared_ptr<StreamingIngestor>> Create(
       const StreamingOptions& options);
+
+  /// Rebuilds an ingestor from a persisted WAL image: creates an empty
+  /// ingestor under `options` and replays the log's longest valid
+  /// prefix through the normal `Append`/`Seal`/`SealRemaining` paths —
+  /// so the recovered instance (head contents, sealed-segment images,
+  /// seal grid, and its own fresh WAL) is byte-identical to the one
+  /// that wrote the log, up to the crash point. A torn or corrupt tail
+  /// record is silently dropped (it was never acked). `options` must
+  /// match the writing ingestor's. If `replayed_contacts` is non-null
+  /// it receives the number of contact records replayed.
+  static Result<std::shared_ptr<StreamingIngestor>> Recover(
+      const StreamingOptions& options, std::string_view wal_bytes,
+      uint64_t* replayed_contacts = nullptr);
 
   /// Absorbs one contact run; may seal zero or more segments before
   /// returning. Rejects runs naming objects outside
@@ -53,12 +78,16 @@ class StreamingIngestor : public ContactSink {
 
   /// Seals everything safely closed under the lateness bound right now
   /// (no-op when nothing is). Any point in the stream is a legal call
-  /// site — answers never change, only the segmentation does.
+  /// site — answers never change, only the segmentation does. Refuses
+  /// with the latched sink error if a sink-path append has failed: the
+  /// stream's contents are no longer what the producer intended, so
+  /// sealing them durable would launder the loss.
   Status Seal();
 
   /// End-of-stream flush: seals every resident run regardless of the
   /// lateness bound. Afterwards, appends closing at or before the last
-  /// sealed tick are rejected.
+  /// sealed tick are rejected. Refuses with the latched sink error like
+  /// `Seal`.
   Status SealRemaining();
 
   /// \name ContactSink
@@ -86,6 +115,11 @@ class StreamingIngestor : public ContactSink {
   const StreamingOptions& options() const { return options_; }
   size_t num_objects() const { return options_.num_objects; }
   TimeInterval span() const { return options_.span; }
+
+  /// The WAL image covering every acked append and explicit seal so
+  /// far — the bytes a durable deployment would have fsynced. Feed any
+  /// prefix of it to `Recover` to rebuild this ingestor's state.
+  std::string WalBytes() const;
 
   /// \name Counters (each takes the lock; safe anytime)
   /// @{
@@ -116,6 +150,7 @@ class StreamingIngestor : public ContactSink {
   uint64_t sealed_contacts_ = 0;
   uint64_t stored_bytes_ = 0;
   Status sink_status_;
+  ContactWal wal_;
 };
 
 }  // namespace streach

@@ -18,6 +18,7 @@
 #include "storage/block_device.h"
 #include "storage/block_file.h"
 #include "storage/buffer_pool.h"
+#include "storage/checksum.h"
 #include "storage/page_codec.h"
 
 namespace streach {
@@ -350,7 +351,9 @@ TEST(PageCodecTest, WriterEncodesAndReadExtentDecodes) {
   ASSERT_TRUE(writer.Flush().ok());
   EXPECT_LT(extent->length, enc.size());  // Stored form is smaller.
   EXPECT_EQ(device.stats().decoded_bytes, enc.size());
-  EXPECT_EQ(device.stats().encoded_bytes, extent->length);
+  // Codec accounting covers the payload only; the extent additionally
+  // stores the 4-byte checksum footer.
+  EXPECT_EQ(device.stats().encoded_bytes, extent->length - kBlobChecksumBytes);
   EXPECT_GT(device.stats().compression_ratio(), 1.5);
 
   BufferPool pool(&device, 16);
@@ -367,8 +370,9 @@ TEST(PageCodecTest, WriterEncodesAndReadExtentDecodes) {
   EXPECT_EQ(*again, enc.buffer());
   EXPECT_EQ(pool.decoded_hits(), 1u);
   EXPECT_EQ(pool.io_stats().total_reads(), reads_after_first);
-  // The read side accounted the decode against the shard cursor.
-  EXPECT_EQ(pool.io_stats().encoded_bytes, extent->length);
+  // The read side accounted the decode against the shard cursor
+  // (payload only — the checksum footer is stripped before decode).
+  EXPECT_EQ(pool.io_stats().encoded_bytes, extent->length - kBlobChecksumBytes);
   EXPECT_EQ(pool.io_stats().decoded_bytes, enc.size());
   // Clear drops the decoded cache: the next read decodes (and fetches)
   // again — the cold-measurement contract.

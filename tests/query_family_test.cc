@@ -943,7 +943,9 @@ TEST(QueryFamilyCache, PointOnlyBackendFallbackIdenticalCacheOnOff) {
   }
 
   // Every non-boolean family needs set/profile primitives GRAIL lacks:
-  // NotSupported, identically with the cache on or off.
+  // NotSupported in the spec's per-query status (the run itself
+  // completes — per-query failures never abort the batch), identically
+  // with the cache on or off.
   for (const QueryFamily family :
        {QueryFamily::kDecayReach, QueryFamily::kKHopReach,
         QueryFamily::kTopKSources, QueryFamily::kThresholdReach}) {
@@ -953,12 +955,15 @@ TEST(QueryFamilyCache, PointOnlyBackendFallbackIdenticalCacheOnOff) {
     spec.destination = 2;
     spec.interval = TimeInterval(10, 50);
     spec.candidates = {1, 2};
-    const auto cached_status =
-        cached.RunFamilies(session.get(), {spec}).status();
-    const auto plain_status =
-        QueryEngine().RunFamilies(session.get(), {spec}).status();
-    EXPECT_TRUE(cached_status.IsNotSupported()) << FamilyName(family);
-    EXPECT_TRUE(plain_status.IsNotSupported()) << FamilyName(family);
+    const auto with_cache_report = cached.RunFamilies(session.get(), {spec});
+    const auto plain_report = QueryEngine().RunFamilies(session.get(), {spec});
+    ASSERT_TRUE(with_cache_report.ok()) << FamilyName(family);
+    ASSERT_TRUE(plain_report.ok()) << FamilyName(family);
+    EXPECT_TRUE(with_cache_report->statuses[0].IsNotSupported())
+        << FamilyName(family);
+    EXPECT_TRUE(plain_report->statuses[0].IsNotSupported())
+        << FamilyName(family);
+    EXPECT_EQ(with_cache_report->summary.failed_queries, 1u);
   }
 }
 

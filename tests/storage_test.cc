@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "storage/block_device.h"
 #include "storage/block_file.h"
+#include "storage/checksum.h"
 #include "storage/buffer_pool.h"
 #include "storage/build_pool.h"
 #include "storage/io_stats.h"
@@ -218,7 +219,8 @@ TEST(ExtentWriterTest, PacksBlobsAcrossPages) {
   EXPECT_EQ(e1->first_page, 0u);
   EXPECT_EQ(e1->offset_in_page, 0u);
   EXPECT_EQ(e2->first_page, 0u);
-  EXPECT_EQ(e2->offset_in_page, 10u);
+  // e1 stores 10 payload bytes + the 4-byte checksum footer.
+  EXPECT_EQ(e2->offset_in_page, 10u + kBlobChecksumBytes);
   EXPECT_EQ(e2->PageSpan(16), 2u);
 
   BufferPool pool(&dev, 4);

@@ -10,6 +10,7 @@ checker instead of inline workflow scripts:
     python3 tools/validate_bench.py join      BENCH_join_scaling.json
     python3 tools/validate_bench.py streaming BENCH_streaming.json
     python3 tools/validate_bench.py query_families BENCH_query_families.json
+    python3 tools/validate_bench.py fault_injection BENCH_fault_injection.json
 
 Each validator asserts the schema (required fields per row) and the
 behavioural contracts the sweep is supposed to prove — IO overlap under
@@ -288,12 +289,88 @@ def validate_query_families(path):
           f"{max(r['queries_per_second'] for r in rows):.0f} q/s")
 
 
+def validate_fault_injection(path):
+    rows = load_rows(path)
+    check_required(rows, {
+        "fault_rate", "retries", "queries", "failed_queries",
+        "success_rate", "transient_faults", "read_retries",
+        "ok_answers_match", "stored_bytes", "footer_bytes",
+        "payload_bytes", "checksum_overhead", "query_seconds"})
+    for row in rows:
+        assert row["queries"] > 0, f"empty cell: {row}"
+        assert 0 <= row["failed_queries"] <= row["queries"], \
+            f"failure count out of range: {row}"
+        expected = (row["queries"] - row["failed_queries"]) / row["queries"]
+        assert abs(row["success_rate"] - expected) < 1e-3, \
+            f"success_rate inconsistent with failed_queries: {row}"
+        # The detection contract: a query that completes under faults is
+        # never silently wrong — every OK answer matches the fault-free
+        # reference in every cell.
+        assert row["ok_answers_match"] is True, \
+            f"surviving answers diverged from fault-free run: {row}"
+        # Integrity tax: 4 footer bytes per blob must stay under 5% of
+        # the payload they protect.
+        assert row["footer_bytes"] + row["payload_bytes"] == \
+            row["stored_bytes"], f"footer + payload != stored: {row}"
+        assert row["checksum_overhead"] < 0.05, \
+            f"checksum overhead not under 5%: {row}"
+        # A fault the retry loop did not reissue is a fault that failed
+        # its query, so failures never exceed observed faults.
+        assert row["failed_queries"] <= row["transient_faults"], \
+            f"more failures than injected faults: {row}"
+        assert row["read_retries"] <= row["transient_faults"], \
+            f"more retries than faults to mask: {row}"
+        if row["retries"] == 0:
+            assert row["read_retries"] == 0, \
+                f"zero-budget cell reissued reads: {row}"
+    # Healthy-media contract: with fault_rate 0 nothing is injected and
+    # nothing fails, at every retry budget.
+    healthy = [r for r in rows if r["fault_rate"] == 0]
+    assert healthy, "no fault_rate=0 rows in the sweep"
+    for row in healthy:
+        assert row["transient_faults"] == 0, \
+            f"faults injected on healthy media: {row}"
+        assert row["failed_queries"] == 0, \
+            f"queries failed on healthy media: {row}"
+    # Masking contract: a budget >= the per-page failure count (the
+    # bench uses 2) retries every observed fault and fails nothing.
+    masked = [r for r in rows if r["retries"] >= 2]
+    assert masked, "no cells with a masking retry budget"
+    for row in masked:
+        assert row["failed_queries"] == 0, \
+            f"masking budget still failed queries: {row}"
+        assert row["read_retries"] == row["transient_faults"], \
+            f"masking budget left faults unretried: {row}"
+    # Growing the budget never fails more queries at the same rate.
+    groups = {}
+    for r in rows:
+        groups.setdefault(r["fault_rate"], []).append(r)
+    for rate, cells in groups.items():
+        series = sorted((r["retries"], r["failed_queries"]) for r in cells)
+        for (b0, f0), (b1, f1) in zip(series, series[1:]):
+            assert f1 <= f0, \
+                f"rate {rate}: budget {b1} failed {f1} > budget {b0}'s {f0}"
+    # One build behind every cell: the stored image never changes with
+    # the fault schedule.
+    assert len({r["stored_bytes"] for r in rows}) == 1, \
+        f"cells disagree on stored bytes: {rows}"
+    faulted = [r for r in rows if r["fault_rate"] > 0]
+    assert faulted, "no faulted cells in the sweep"
+    assert any(r["transient_faults"] > 0 for r in faulted), \
+        "fault schedule never hit a read"
+    print(f"{len(rows)} fault cells OK; checksum overhead "
+          f"{max(r['checksum_overhead'] for r in rows) * 100:.2f}%; "
+          f"max masked faults "
+          f"{max(r['read_retries'] for r in masked)}")
+
+
 VALIDATORS = {
     "engine": validate_engine,
     "build": validate_build,
     "join": validate_join,
     "streaming": validate_streaming,
     "query_families": validate_query_families,
+    "fault_injection": validate_fault_injection,
 }
 
 
